@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks regenerate every table/figure at "bench scale" — large
+enough for the paper's qualitative shapes to be stable, small enough to
+run in minutes.  The printed output of each benchmark is the series the
+corresponding paper artifact plots; EXPERIMENTS.md records a full-scale
+run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def bench_context():
+    """Experiment context shared by all figure benchmarks."""
+    config = ExperimentConfig(dvfs_scale=0.5, hpc_scale=0.08, n_estimators=60)
+    return ExperimentContext(config)
+
+
+@pytest.fixture(scope="session")
+def bench_context_warm(bench_context):
+    """Context with datasets and the RF ensembles pre-fitted, so
+    per-figure benchmarks measure the figure computation itself."""
+    for domain in ("dvfs", "hpc"):
+        bench_context.dataset(domain)
+        bench_context.fitted(domain, "rf")
+    return bench_context

@@ -1,0 +1,26 @@
+"""Benchmark C1-C4 — the paper's headline claims, plus the SVM
+non-convergence demonstration from Section V.B."""
+
+from repro.experiments import demonstrate_hpc_svm_failure, run_claims
+
+
+def test_bench_claims(benchmark, bench_context_warm):
+    """Evaluate all claim checks against the reproduced pipeline."""
+    result = benchmark.pedantic(
+        lambda: run_claims(context=bench_context_warm), rounds=1, iterations=1
+    )
+    print()
+    print(result.as_text())
+    assert result.all_passed()
+
+
+def test_bench_hpc_svm_convergence_failure(benchmark, bench_context_warm):
+    """Kernel-SVM training on a bootstrapped HPC replicate diverges."""
+    failed = benchmark.pedantic(
+        lambda: demonstrate_hpc_svm_failure(
+            context=bench_context_warm, n_samples=1200, max_iter=4
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert failed

@@ -1,0 +1,22 @@
+"""Benchmark F4 — Fig. 4: DVFS entropy boxplots (RF / LR / SVM).
+
+Shape assertions: unknown entropies exceed known for every ensemble,
+the RF known median sits near zero, and the RF separation beats SVM's.
+"""
+
+from repro.experiments import run_fig4
+
+
+def test_bench_fig4(benchmark, bench_context_warm):
+    """Regenerate the Fig. 4 boxplot statistics."""
+    result = benchmark.pedantic(
+        lambda: run_fig4(context=bench_context_warm), rounds=1, iterations=1
+    )
+    print()
+    print(result.as_text())
+
+    for kind in ("rf", "lr", "svm"):
+        assert result.separation(kind) >= 0.0, kind
+    assert result.stats[("rf", "known")]["median"] < 0.15
+    assert result.stats[("rf", "unknown")]["median"] > 0.4
+    assert result.separation("rf") > result.separation("svm")

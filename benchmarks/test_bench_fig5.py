@@ -1,0 +1,21 @@
+"""Benchmark F5 — Fig. 5: HPC entropy boxplots (RF / LR; SVM diverges).
+
+Shape assertions: the known-data entropy is as high as the unknown-data
+entropy (both medians high, gap small) — the overlapping-classes
+finding of Section V.B.
+"""
+
+from repro.experiments import run_fig5
+
+
+def test_bench_fig5(benchmark, bench_context_warm):
+    """Regenerate the Fig. 5 boxplot statistics."""
+    result = benchmark.pedantic(
+        lambda: run_fig5(context=bench_context_warm), rounds=1, iterations=1
+    )
+    print()
+    print(result.as_text())
+
+    assert abs(result.known_unknown_gap("rf")) < 0.25
+    assert result.stats[("rf", "known")]["median"] > 0.3
+    assert result.stats[("rf", "unknown")]["median"] > 0.3

@@ -1,0 +1,55 @@
+"""Benchmark F7 — Fig. 7a/7b: rejection curves and F1 vs. threshold.
+
+Shape assertions:
+* 7a — at some threshold with ≤10% known rejection, RF rejects most of
+  the unknown inputs; the SVM ensemble is far worse (paper Section V.A);
+* 7b — F1 of accepted predictions rises as the threshold tightens, for
+  both RF-DVFS and RF-HPC.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig7a, run_fig7b
+
+
+def test_bench_fig7a(benchmark, bench_context_warm):
+    """Regenerate the Fig. 7a rejection-curve series."""
+    result = benchmark.pedantic(
+        lambda: run_fig7a(context=bench_context_warm), rounds=1, iterations=1
+    )
+    print()
+    print(result.as_text())
+
+    # Best RF operating point within a 10% known-rejection budget.
+    best_unknown = 0.0
+    for i, _ in enumerate(result.thresholds):
+        known = result.curves[("rf", "known")][i]
+        unknown = result.curves[("rf", "unknown")][i]
+        if known <= 10.0:
+            best_unknown = max(best_unknown, unknown)
+    assert best_unknown >= 80.0
+
+    svm_best = 0.0
+    for i, _ in enumerate(result.thresholds):
+        if result.curves[("svm", "known")][i] <= 10.0:
+            svm_best = max(svm_best, result.curves[("svm", "unknown")][i])
+    assert svm_best < best_unknown - 15.0
+
+    for curve in result.curves.values():
+        assert np.all(np.diff(curve) <= 1e-9)  # monotone in threshold
+
+
+def test_bench_fig7b(benchmark, bench_context_warm):
+    """Regenerate the Fig. 7b F1-vs-threshold series."""
+    result = benchmark.pedantic(
+        lambda: run_fig7b(context=bench_context_warm), rounds=1, iterations=1
+    )
+    print()
+    print(result.as_text())
+
+    for domain in ("dvfs", "hpc"):
+        assert result.best_f1(domain) > result.final_f1(domain)
+    # DVFS approaches a perfect score once uncertain inputs are rejected.
+    assert result.best_f1("dvfs") > 0.95
+    # HPC improves by a large margin (paper: 0.84 -> ~0.95).
+    assert result.best_f1("hpc") >= result.final_f1("hpc") + 0.1

@@ -1,0 +1,30 @@
+"""Benchmark F8 — Fig. 8: t-SNE latent-space geometry.
+
+Shape assertions: the DVFS training classes are far purer (more
+disjoint) than the HPC classes, and the HPC overlap score is
+substantial — the quantitative counterpart of the paper's side-by-side
+t-SNE plots.
+"""
+
+from repro.experiments import run_fig8
+
+
+def test_bench_fig8(benchmark, bench_context_warm):
+    """Regenerate the Fig. 8 embedding + geometry metrics."""
+    result = benchmark.pedantic(
+        lambda: run_fig8(context=bench_context_warm, n_embed=700, tsne_iterations=300),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.as_text())
+
+    dvfs = result.metrics["dvfs"]
+    hpc = result.metrics["hpc"]
+    # Disjoint DVFS classes vs. overlapping HPC classes.
+    assert dvfs["train_neighborhood_purity"] > 0.9
+    assert hpc["train_neighborhood_purity"] < dvfs["train_neighborhood_purity"]
+    assert hpc["train_class_overlap"] > 0.15
+    assert dvfs["train_silhouette"] > hpc["train_silhouette"]
+    # The embedding preserves the separation structure.
+    assert dvfs["embedding_purity"] > 0.85

@@ -1,0 +1,37 @@
+"""Benchmark F9 — Fig. 9a/9b: ensemble-size convergence and HPC curves.
+
+Shape assertions:
+* 9a — mean entropy stabilises by roughly 20-30 base classifiers
+  (the paper's "more than 20 adds unnecessary overhead");
+* 9b — the HPC known and unknown rejection curves track each other.
+"""
+
+from repro.experiments import run_fig9a, run_fig9b
+
+
+def test_bench_fig9a(benchmark, bench_context_warm):
+    """Regenerate the Fig. 9a entropy-vs-M series."""
+    result = benchmark.pedantic(
+        lambda: run_fig9a(context=bench_context_warm), rounds=1, iterations=1
+    )
+    print()
+    print(result.as_text())
+
+    assert result.stabilization_size(tolerance=0.03) <= 30
+    # Unknown entropy stays above known at every ensemble size > 1.
+    for m, known, unknown in zip(result.sizes[1:], result.known[1:], result.unknown[1:]):
+        assert unknown > known, f"M={m}"
+
+
+def test_bench_fig9b(benchmark, bench_context_warm):
+    """Regenerate the Fig. 9b HPC rejection curves."""
+    result = benchmark.pedantic(
+        lambda: run_fig9b(context=bench_context_warm), rounds=1, iterations=1
+    )
+    print()
+    print(result.as_text())
+
+    # Known and unknown populations are indistinguishable to the
+    # rejection mechanism (mean gap below 15 percentage points).
+    assert result.known_unknown_tracking_error("rf") < 15.0
+    assert result.known_unknown_tracking_error("lr") < 20.0

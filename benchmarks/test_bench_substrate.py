@@ -1,0 +1,115 @@
+"""Micro-benchmarks of the substrates (timing-focused).
+
+These are classic pytest-benchmark measurements (multiple rounds) of
+the hot paths: simulator throughput, tree/forest training, entropy
+computation.  They guard against performance regressions in the layers
+every experiment depends on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hmd import DvfsFeatureExtractor, HpcFeatureExtractor
+from repro.hmd.apps import DVFS_KNOWN_BENIGN
+from repro.ml import DecisionTreeClassifier, LogisticRegression, RandomForestClassifier
+from repro.sim import HpcSimulator, SocSimulator, WorkloadGenerator
+from repro.uncertainty import shannon_entropy, votes_to_distribution
+from tests.conftest import make_blobs
+
+
+@pytest.fixture(scope="module")
+def activity_trace():
+    spec = DVFS_KNOWN_BENIGN[0]
+    return WorkloadGenerator(random_state=0).generate(spec, 2400)
+
+
+@pytest.fixture(scope="module")
+def training_data():
+    return make_blobs(n_per_class=1000, n_features=16, separation=1.5, seed=0)
+
+
+def test_bench_workload_generation(benchmark):
+    """Activity-trace generation throughput (2400 steps = 2 min)."""
+    spec = DVFS_KNOWN_BENIGN[0]
+    generator = WorkloadGenerator(random_state=1)
+    trace = benchmark(lambda: generator.generate(spec, 2400))
+    assert trace.n_steps == 2400
+
+
+def test_bench_dvfs_simulator(benchmark, activity_trace):
+    """Governor + thermal simulation throughput."""
+    simulator = SocSimulator(random_state=0)
+    trace = benchmark(lambda: simulator.run(activity_trace))
+    assert trace.n_steps == activity_trace.n_steps
+
+
+def test_bench_hpc_simulator(benchmark, activity_trace):
+    """Counter-model throughput (vectorised path)."""
+    simulator = HpcSimulator(random_state=0)
+    trace = benchmark(lambda: simulator.run(activity_trace))
+    assert trace.n_intervals > 0
+
+
+def test_bench_dvfs_feature_extraction(benchmark, activity_trace):
+    """Window feature extraction over a 10-window trace."""
+    dvfs = SocSimulator(random_state=0).run(activity_trace)
+    extractor = DvfsFeatureExtractor()
+    X = benchmark(lambda: extractor.extract_windows(dvfs, 240))
+    assert X.shape[0] == 10
+
+
+def test_bench_hpc_feature_extraction(benchmark, activity_trace):
+    """Per-interval feature extraction throughput."""
+    hpc = HpcSimulator(random_state=0).run(activity_trace)
+    extractor = HpcFeatureExtractor()
+    X = benchmark(lambda: extractor.extract(hpc))
+    assert X.shape[0] == hpc.n_intervals
+
+
+def test_bench_tree_fit(benchmark, training_data):
+    """CART training on 2000 x 16."""
+    X, y = training_data
+    tree = benchmark(
+        lambda: DecisionTreeClassifier(max_depth=12, random_state=0).fit(X, y)
+    )
+    assert tree.tree_.node_count > 1
+
+
+def test_bench_forest_fit(benchmark, training_data):
+    """Random-forest training (20 trees) on 2000 x 16."""
+    X, y = training_data
+    forest = benchmark.pedantic(
+        lambda: RandomForestClassifier(n_estimators=20, random_state=0).fit(X, y),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(forest.estimators_) == 20
+
+
+def test_bench_forest_predict(benchmark, training_data):
+    """Vectorised vote collection across a 20-tree forest."""
+    X, y = training_data
+    forest = RandomForestClassifier(n_estimators=20, random_state=0).fit(X, y)
+    votes = benchmark(lambda: forest.decisions(X))
+    assert votes.shape == (len(X), 20)
+
+
+def test_bench_logistic_fit(benchmark, training_data):
+    """L-BFGS logistic regression on 2000 x 16."""
+    X, y = training_data
+    model = benchmark(lambda: LogisticRegression().fit(X, y))
+    assert model.coef_.shape == (1, 16)
+
+
+def test_bench_entropy_pipeline(benchmark):
+    """Vote-distribution + entropy on 100k x 100 votes."""
+    rng = np.random.default_rng(0)
+    votes = rng.integers(0, 2, size=(100_000, 100))
+    classes = np.array([0, 1])
+
+    def compute():
+        dist = votes_to_distribution(votes, classes)
+        return shannon_entropy(dist)
+
+    entropy = benchmark(compute)
+    assert entropy.shape == (100_000,)

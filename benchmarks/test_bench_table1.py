@@ -1,0 +1,33 @@
+"""Benchmark T1 — regenerate Table I (dataset taxonomy).
+
+Builds both datasets at FULL scale and checks the sample counts match
+the paper exactly (DVFS 2100/700/284, HPC 44605/6372/12727).
+"""
+
+from repro.data import (
+    DVFS_TABLE1,
+    HPC_TABLE1,
+    build_dvfs_dataset,
+    build_hpc_dataset,
+    clear_dataset_cache,
+)
+from repro.experiments import ExperimentConfig, ExperimentContext, run_table1
+
+
+def test_bench_table1_full_scale(benchmark):
+    """Full-scale dataset generation reproduces Table I exactly."""
+
+    def build():
+        clear_dataset_cache()
+        dvfs = build_dvfs_dataset(seed=7, scale=1.0)
+        hpc = build_hpc_dataset(seed=7, scale=1.0)
+        return dvfs, hpc
+
+    dvfs, hpc = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert dvfs.taxonomy() == DVFS_TABLE1
+    assert hpc.taxonomy() == HPC_TABLE1
+    context = ExperimentContext(ExperimentConfig(dvfs_scale=1.0, hpc_scale=1.0))
+    result = run_table1(context=context)
+    assert result.matches_paper()
+    print()
+    print(result.as_text())

@@ -1,0 +1,71 @@
+"""Compare uncertainty signals for zero-day detection (ablation demo).
+
+Scores four per-sample signals as detectors of unknown workloads on the
+DVFS dataset (higher AUC = better at separating never-seen apps from
+known test traffic):
+
+* ensemble vote entropy (the paper's estimator, Eq. 4);
+* vote margin and variation ratio (classical ensemble statistics);
+* 1 − Platt-scaled confidence of a single SVM (the related-work
+  approach the paper argues against, Section II.E).
+
+    python examples/compare_uncertainty_signals.py
+"""
+
+import numpy as np
+
+from repro.data import build_dvfs_dataset
+from repro.experiments import format_table
+from repro.ml import CalibratedClassifier, LinearSVC, RandomForestClassifier, StandardScaler
+from repro.ml.metrics import roc_auc_score
+from repro.uncertainty import EnsembleUncertaintyEstimator
+
+SCALE = 0.5
+
+
+def detection_auc(score_known: np.ndarray, score_unknown: np.ndarray) -> float:
+    """AUC of separating unknown (positive) from known inputs."""
+    y = np.concatenate([np.zeros(len(score_known)), np.ones(len(score_unknown))])
+    s = np.concatenate([score_known, score_unknown])
+    return roc_auc_score(y, s)
+
+
+def main() -> None:
+    dataset = build_dvfs_dataset(seed=7, scale=SCALE)
+    scaler = StandardScaler().fit(dataset.train.X)
+    X_train = scaler.transform(dataset.train.X)
+    X_test = scaler.transform(dataset.test.X)
+    X_unknown = scaler.transform(dataset.unknown.X)
+
+    ensemble = RandomForestClassifier(n_estimators=100, random_state=7)
+    ensemble.fit(X_train, dataset.train.y)
+    estimator = EnsembleUncertaintyEstimator(ensemble)
+
+    report_known = estimator.report(X_test)
+    report_unknown = estimator.report(X_unknown)
+
+    platt = CalibratedClassifier(LinearSVC(max_iter=300), random_state=7)
+    platt.fit(X_train, dataset.train.y)
+
+    rows = [
+        ["vote entropy (paper)",
+         detection_auc(report_known.entropy, report_unknown.entropy)],
+        ["variation ratio",
+         detection_auc(report_known.variation_ratio, report_unknown.variation_ratio)],
+        ["1 - vote margin",
+         detection_auc(1 - report_known.margin, 1 - report_unknown.margin)],
+        ["1 - Platt confidence (single SVM)",
+         detection_auc(1 - platt.confidence(X_test), 1 - platt.confidence(X_unknown))],
+    ]
+    rows.sort(key=lambda r: -r[1])
+    print(format_table(["uncertainty signal", "unknown-detection AUC"], rows))
+
+    platt_conf_unknown = platt.confidence(X_unknown).mean()
+    print(f"\nMean Platt confidence on NEVER-SEEN apps: {platt_conf_unknown:.3f}")
+    print("High confidence on unknown inputs is exactly the failure mode")
+    print("the paper warns about: a sigmoid point estimate is not model")
+    print("uncertainty.")
+
+
+if __name__ == "__main__":
+    main()

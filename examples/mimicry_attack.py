@@ -1,0 +1,51 @@
+"""Mimicry evasion attack vs the uncertainty-aware HMD.
+
+An attacker pads ransomware's schedule with browser-like phases to
+evade the DVFS detector (the adversarial-HMD threat model the paper's
+related work cites).  The sweep shows the Trusted HMD's security story:
+raw detection decays with stealth, but the blended behaviour looks like
+*nothing in the training set*, so predictive entropy rises and the
+rejection policy converts silent misses into analyst escalations.
+
+    python examples/mimicry_attack.py
+"""
+
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentContext,
+    run_evasion_ablation,
+)
+from repro.viz import ascii_line_chart
+
+SCALE = 0.3
+
+
+def main() -> None:
+    context = ExperimentContext(
+        ExperimentConfig(dvfs_scale=SCALE, n_estimators=80)
+    )
+    result = run_evasion_ablation(context=context, n_windows=50)
+    print(result.as_text())
+
+    stealth = [row[0] for row in result.rows_]
+    detected = [row[1] for row in result.rows_]
+    caught = [row[4] for row in result.rows_]
+    print()
+    print(ascii_line_chart(
+        {
+            "detected": (stealth, detected),
+            "caught (det or flagged)": (stealth, caught),
+        },
+        width=52,
+        height=12,
+    ))
+
+    print("\nReading: the gap between the two curves is the work the")
+    print("uncertainty estimator does — mimicry windows stop being")
+    print("*classified* as malware long before they stop being")
+    print("*suspicious*. At extreme stealth the payload barely runs,")
+    print("which is itself a win for the defender.")
+
+
+if __name__ == "__main__":
+    main()

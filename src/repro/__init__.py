@@ -1,0 +1,28 @@
+"""repro — reproduction of "Towards Improving the Trustworthiness of
+Hardware based Malware Detector using Online Uncertainty Estimation"
+(Kumar, Chawla, Mukhopadhyay — DAC 2021, arXiv:2103.11519).
+
+Subpackages
+-----------
+``repro.ml``
+    From-scratch classical-ML substrate (estimators, ensembles,
+    metrics, PCA, t-SNE, Platt calibration).
+``repro.sim``
+    Hardware substrates: workload archetypes, SoC DVFS governor
+    simulator, CPU performance-counter model.
+``repro.hmd``
+    HMD components: application catalogues and feature extraction.
+``repro.data``
+    Dataset builders reproducing the paper's Table I.
+``repro.uncertainty``
+    The paper's contribution: ensemble vote-entropy uncertainty,
+    rejection policies, trusted-HMD pipeline, online monitoring loop.
+``repro.experiments``
+    Runners regenerating every table and figure of the evaluation.
+"""
+
+from . import data, experiments, hmd, ml, sim, uncertainty, viz
+
+__version__ = "1.0.0"
+
+__all__ = ["data", "experiments", "hmd", "ml", "sim", "uncertainty", "viz", "__version__"]

@@ -1,0 +1,24 @@
+"""Dataset construction (system S10 in DESIGN.md)."""
+
+from .builders import (
+    DVFS_TABLE1,
+    EM_TABLE,
+    HPC_TABLE1,
+    build_dvfs_dataset,
+    build_em_dataset,
+    build_hpc_dataset,
+    clear_dataset_cache,
+)
+from .dataset import DataSplit, HmdDataset
+
+__all__ = [
+    "DVFS_TABLE1",
+    "DataSplit",
+    "EM_TABLE",
+    "HPC_TABLE1",
+    "HmdDataset",
+    "build_dvfs_dataset",
+    "build_em_dataset",
+    "build_hpc_dataset",
+    "clear_dataset_cache",
+]

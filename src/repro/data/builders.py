@@ -1,0 +1,361 @@
+"""Dataset builders: simulate traces, extract features, form Table I (S10).
+
+At ``scale=1.0`` the builders reproduce the paper's Table I sample
+counts exactly:
+
+========  =======  ============  ========
+Dataset   Train    Test (known)  Unknown
+========  =======  ============  ========
+DVFS      2100     700           284
+HPC       44605    6372          12727
+========  =======  ============  ========
+
+``scale`` shrinks every bucket proportionally for fast tests and
+benchmark smoke runs.  Datasets are memoised per (domain, seed, scale)
+because the experiment harness reuses them across figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hmd.apps import (
+    dvfs_known_apps,
+    dvfs_unknown_apps,
+    hpc_known_apps,
+    hpc_unknown_apps,
+)
+from ..hmd.features import DvfsFeatureExtractor, HpcFeatureExtractor
+from ..ml.validation import check_random_state
+from ..sim.cpu import HpcSimulator
+from ..sim.power import SocSimulator
+from ..sim.workloads import WorkloadGenerator, WorkloadSpec
+
+__all__ = [
+    "build_dvfs_dataset",
+    "build_em_dataset",
+    "build_hpc_dataset",
+    "clear_dataset_cache",
+    "DVFS_TABLE1",
+    "EM_TABLE",
+    "HPC_TABLE1",
+]
+
+from .dataset import DataSplit, HmdDataset
+
+#: Table I counts for the DVFS dataset (train, test, unknown).
+DVFS_TABLE1 = {"train": 2100, "test": 700, "unknown": 284}
+#: Table I counts for the HPC dataset.
+HPC_TABLE1 = {"train": 44605, "test": 6372, "unknown": 12727}
+
+#: DVFS signature window: 240 governor samples at 50 ms = 12 s.
+DVFS_WINDOW_STEPS = 240
+
+_CACHE: dict[tuple, HmdDataset] = {}
+
+
+def clear_dataset_cache() -> None:
+    """Drop memoised datasets (used by tests that tweak generation)."""
+    _CACHE.clear()
+
+
+def _allocate(total: int, n_parts: int) -> list[int]:
+    """Split ``total`` into ``n_parts`` integers differing by at most 1."""
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1.")
+    if total < n_parts:
+        raise ValueError(
+            f"Cannot allocate {total} samples over {n_parts} parts "
+            "(need at least one each)."
+        )
+    base = total // n_parts
+    remainder = total % n_parts
+    return [base + (1 if i < remainder else 0) for i in range(n_parts)]
+
+
+def _scaled(count: int, scale: float) -> int:
+    return max(1, int(round(count * scale)))
+
+
+# ----------------------------------------------------------------------
+# DVFS dataset
+# ----------------------------------------------------------------------
+
+def _dvfs_windows_for_app(
+    spec: WorkloadSpec,
+    n_windows: int,
+    seed: int,
+    governor=None,
+) -> np.ndarray:
+    """Simulate ``n_windows`` DVFS signature windows for one app."""
+    generator = WorkloadGenerator(dt=0.05, random_state=seed)
+    soc = SocSimulator(random_state=seed + 1, governor=governor)
+    extractor = DvfsFeatureExtractor()
+    rows = []
+    for _ in range(n_windows):
+        activity = generator.generate(spec, DVFS_WINDOW_STEPS)
+        dvfs = soc.run(activity)
+        rows.append(extractor.extract(dvfs))
+    return np.stack(rows)
+
+
+def build_dvfs_dataset(
+    *, seed: int = 7, scale: float = 1.0, governor=None
+) -> HmdDataset:
+    """Build the DVFS-based HMD dataset (Chawla et al. analogue).
+
+    Parameters
+    ----------
+    seed:
+        Master seed; per-app generator seeds derive from it.
+    scale:
+        Fraction of the Table I sample counts to generate.
+    governor:
+        Optional governor policy object (default: ``OndemandGovernor``).
+        Used by the sensor-choice ablation — e.g. a
+        ``PerformanceGovernor`` pins the top states and destroys the
+        DVFS signature.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive; got {scale}.")
+    governor_tag = type(governor).__name__ if governor is not None else "ondemand"
+    key = ("dvfs", seed, round(scale, 6), governor_tag)
+    if key in _CACHE:
+        return _CACHE[key]
+
+    known = dvfs_known_apps()
+    unknown = dvfs_unknown_apps()
+    train_per_app = _scaled(DVFS_TABLE1["train"] // len(known), scale)
+    test_per_app = _scaled(DVFS_TABLE1["test"] // len(known), scale)
+    unknown_per_app_list = [
+        _scaled(c, scale) for c in _allocate(DVFS_TABLE1["unknown"], len(unknown))
+    ]
+
+    rng = check_random_state(seed)
+    train_parts, test_parts = [], []
+    for app_idx, spec in enumerate(known):
+        n_windows = train_per_app + test_per_app
+        X = _dvfs_windows_for_app(
+            spec, n_windows, seed=seed * 1000 + app_idx, governor=governor
+        )
+        order = rng.permutation(n_windows)
+        train_idx, test_idx = order[:train_per_app], order[train_per_app:]
+        train_parts.append((X[train_idx], spec))
+        test_parts.append((X[test_idx], spec))
+
+    unknown_parts = []
+    for app_idx, (spec, n_windows) in enumerate(zip(unknown, unknown_per_app_list)):
+        X = _dvfs_windows_for_app(
+            spec, n_windows, seed=seed * 1000 + 500 + app_idx, governor=governor
+        )
+        unknown_parts.append((X, spec))
+
+    def _combine(parts) -> DataSplit:
+        X = np.vstack([p[0] for p in parts])
+        y = np.concatenate([np.full(len(p[0]), p[1].label) for p in parts])
+        apps = np.concatenate([np.full(len(p[0]), p[1].name) for p in parts])
+        order = rng.permutation(len(y))
+        return DataSplit(X=X[order], y=y[order], apps=apps[order])
+
+    # Feature names come from a probe trace of the first app.
+    probe_activity = WorkloadGenerator(dt=0.05, random_state=0).generate(
+        known[0], DVFS_WINDOW_STEPS
+    )
+    probe_trace = SocSimulator(random_state=0).run(probe_activity)
+    feature_names = tuple(DvfsFeatureExtractor().feature_names(probe_trace))
+
+    dataset = HmdDataset(
+        name="dvfs",
+        train=_combine(train_parts),
+        test=_combine(test_parts),
+        unknown=_combine(unknown_parts),
+        feature_names=feature_names,
+        metadata={
+            "seed": seed,
+            "scale": scale,
+            "governor": governor_tag,
+            "window_steps": DVFS_WINDOW_STEPS,
+            "known_apps": [s.name for s in known],
+            "unknown_apps": [s.name for s in unknown],
+        },
+    )
+    _CACHE[key] = dataset
+    return dataset
+
+
+# ----------------------------------------------------------------------
+# HPC dataset
+# ----------------------------------------------------------------------
+
+#: Counter sampling runs are simulated in chunks of this many intervals;
+#: each chunk is an independent application session.
+HPC_CHUNK_INTERVALS = 500
+
+
+def _hpc_intervals_for_app(
+    spec: WorkloadSpec,
+    n_intervals: int,
+    seed: int,
+) -> np.ndarray:
+    """Simulate ``n_intervals`` HPC feature rows for one app."""
+    generator = WorkloadGenerator(dt=0.05, random_state=seed)
+    extractor = HpcFeatureExtractor()
+    simulator = HpcSimulator(random_state=seed + 1)
+    steps_per_interval = int(round(simulator.dt / generator.dt))
+    rows = []
+    remaining = n_intervals
+    while remaining > 0:
+        chunk = min(HPC_CHUNK_INTERVALS, remaining)
+        activity = generator.generate(spec, chunk * steps_per_interval)
+        trace = simulator.run(activity)
+        feats = extractor.extract(trace)
+        rows.append(feats[:chunk])
+        remaining -= chunk
+    return np.vstack(rows)[:n_intervals]
+
+
+def build_hpc_dataset(*, seed: int = 7, scale: float = 1.0) -> HmdDataset:
+    """Build the HPC-based HMD dataset (Zhou et al. analogue)."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive; got {scale}.")
+    key = ("hpc", seed, round(scale, 6))
+    if key in _CACHE:
+        return _CACHE[key]
+
+    known = hpc_known_apps()
+    unknown = hpc_unknown_apps()
+    train_counts = _allocate(_scaled(HPC_TABLE1["train"], scale), len(known))
+    test_counts = _allocate(_scaled(HPC_TABLE1["test"], scale), len(known))
+    unknown_counts = _allocate(_scaled(HPC_TABLE1["unknown"], scale), len(unknown))
+
+    rng = check_random_state(seed)
+    train_parts, test_parts = [], []
+    for app_idx, spec in enumerate(known):
+        n_total = train_counts[app_idx] + test_counts[app_idx]
+        X = _hpc_intervals_for_app(spec, n_total, seed=seed * 2000 + app_idx)
+        order = rng.permutation(n_total)
+        train_idx = order[: train_counts[app_idx]]
+        test_idx = order[train_counts[app_idx] :]
+        train_parts.append((X[train_idx], spec))
+        test_parts.append((X[test_idx], spec))
+
+    unknown_parts = []
+    for app_idx, (spec, count) in enumerate(zip(unknown, unknown_counts)):
+        X = _hpc_intervals_for_app(spec, count, seed=seed * 2000 + 900 + app_idx)
+        unknown_parts.append((X, spec))
+
+    def _combine(parts) -> DataSplit:
+        X = np.vstack([p[0] for p in parts])
+        y = np.concatenate([np.full(len(p[0]), p[1].label) for p in parts])
+        apps = np.concatenate([np.full(len(p[0]), p[1].name) for p in parts])
+        order = rng.permutation(len(y))
+        return DataSplit(X=X[order], y=y[order], apps=apps[order])
+
+    probe_activity = WorkloadGenerator(dt=0.05, random_state=0).generate(known[0], 20)
+    probe_trace = HpcSimulator(random_state=0).run(probe_activity)
+    feature_names = tuple(HpcFeatureExtractor().feature_names(probe_trace))
+
+    dataset = HmdDataset(
+        name="hpc",
+        train=_combine(train_parts),
+        test=_combine(test_parts),
+        unknown=_combine(unknown_parts),
+        feature_names=feature_names,
+        metadata={
+            "seed": seed,
+            "scale": scale,
+            "known_apps": [s.name for s in known],
+            "unknown_apps": [s.name for s in unknown],
+        },
+    )
+    _CACHE[key] = dataset
+    return dataset
+
+
+# ----------------------------------------------------------------------
+# EM dataset (extension E1 — third HMD sensor family)
+# ----------------------------------------------------------------------
+
+#: Extension dataset sizing (not from the paper): per known app
+#: train/test windows and total unknown windows.
+EM_TABLE = {"train": 1400, "test": 560, "unknown": 284}
+
+#: EM capture window: 256 activity steps at 50 ms ≈ 12.8 s.
+EM_WINDOW_STEPS = 256
+
+
+def _em_windows_for_app(spec: WorkloadSpec, n_windows: int, seed: int) -> np.ndarray:
+    """Simulate ``n_windows`` EM spectra feature rows for one app."""
+    from ..sim.em import EmFeatureExtractor, EmSimulator
+
+    generator = WorkloadGenerator(dt=0.05, random_state=seed)
+    simulator = EmSimulator(random_state=seed + 1)
+    extractor = EmFeatureExtractor()
+    rows = []
+    for _ in range(n_windows):
+        activity = generator.generate(spec, EM_WINDOW_STEPS)
+        rows.append(extractor.extract(simulator.run(activity)))
+    return np.stack(rows)
+
+
+def build_em_dataset(*, seed: int = 7, scale: float = 1.0) -> HmdDataset:
+    """Build an EM side-channel HMD dataset (extension E1).
+
+    Reuses the DVFS application catalogue — the same phone workloads
+    observed through the electromagnetic channel instead of the
+    governor's state sequence.  Not part of the paper's evaluation; it
+    demonstrates that the uncertainty framework is sensor-agnostic.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive; got {scale}.")
+    key = ("em", seed, round(scale, 6))
+    if key in _CACHE:
+        return _CACHE[key]
+
+    known = dvfs_known_apps()
+    unknown = dvfs_unknown_apps()
+    train_per_app = _scaled(EM_TABLE["train"] // len(known), scale)
+    test_per_app = _scaled(EM_TABLE["test"] // len(known), scale)
+    unknown_per_app_list = [
+        _scaled(c, scale) for c in _allocate(EM_TABLE["unknown"], len(unknown))
+    ]
+
+    rng = check_random_state(seed)
+    train_parts, test_parts = [], []
+    for app_idx, spec in enumerate(known):
+        n_windows = train_per_app + test_per_app
+        X = _em_windows_for_app(spec, n_windows, seed=seed * 3000 + app_idx)
+        order = rng.permutation(n_windows)
+        train_parts.append((X[order[:train_per_app]], spec))
+        test_parts.append((X[order[train_per_app:]], spec))
+
+    unknown_parts = []
+    for app_idx, (spec, n_windows) in enumerate(zip(unknown, unknown_per_app_list)):
+        X = _em_windows_for_app(spec, n_windows, seed=seed * 3000 + 700 + app_idx)
+        unknown_parts.append((X, spec))
+
+    def _combine(parts) -> DataSplit:
+        X = np.vstack([p[0] for p in parts])
+        y = np.concatenate([np.full(len(p[0]), p[1].label) for p in parts])
+        apps = np.concatenate([np.full(len(p[0]), p[1].name) for p in parts])
+        order = rng.permutation(len(y))
+        return DataSplit(X=X[order], y=y[order], apps=apps[order])
+
+    from ..sim.em import EmFeatureExtractor
+
+    dataset = HmdDataset(
+        name="em",
+        train=_combine(train_parts),
+        test=_combine(test_parts),
+        unknown=_combine(unknown_parts),
+        feature_names=tuple(EmFeatureExtractor().feature_names()),
+        metadata={
+            "seed": seed,
+            "scale": scale,
+            "window_steps": EM_WINDOW_STEPS,
+            "known_apps": [s.name for s in known],
+            "unknown_apps": [s.name for s in unknown],
+        },
+    )
+    _CACHE[key] = dataset
+    return dataset

@@ -1,0 +1,113 @@
+"""Dataset containers for the HMD reproduction (S10).
+
+A :class:`HmdDataset` holds the three buckets of Fig. 6 / Table I:
+
+* ``train`` — known-application signatures used to fit models;
+* ``test`` — held-out signatures of the *same* known applications,
+  used to evaluate in-distribution uncertainty;
+* ``unknown`` — signatures of applications never seen in training,
+  used to evaluate out-of-distribution / zero-day behaviour.
+
+True labels are retained for the unknown bucket so that F1-after-
+rejection (Fig. 7b) can be computed on the pooled test ∪ unknown data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DataSplit", "HmdDataset"]
+
+
+@dataclass
+class DataSplit:
+    """One bucket of samples: features, labels and source app names."""
+
+    X: np.ndarray
+    y: np.ndarray
+    apps: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.X) != len(self.y) or len(self.X) != len(self.apps):
+            raise ValueError(
+                f"Inconsistent split sizes: X={len(self.X)}, y={len(self.y)}, "
+                f"apps={len(self.apps)}."
+            )
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples in the split."""
+        return len(self.y)
+
+    def class_counts(self) -> dict[int, int]:
+        """Samples per label."""
+        labels, counts = np.unique(self.y, return_counts=True)
+        return {int(label): int(count) for label, count in zip(labels, counts)}
+
+    def app_counts(self) -> dict[str, int]:
+        """Samples per source application."""
+        apps, counts = np.unique(self.apps, return_counts=True)
+        return {str(app): int(count) for app, count in zip(apps, counts)}
+
+    def subset(self, mask: np.ndarray) -> "DataSplit":
+        """Boolean-mask a split into a smaller one."""
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != self.n_samples:
+            raise ValueError("Mask length does not match split size.")
+        return DataSplit(X=self.X[mask], y=self.y[mask], apps=self.apps[mask])
+
+
+@dataclass
+class HmdDataset:
+    """The full known/unknown dataset of one HMD domain."""
+
+    name: str
+    train: DataSplit
+    test: DataSplit
+    unknown: DataSplit
+    feature_names: tuple[str, ...]
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n_features = len(self.feature_names)
+        for split_name, split in (
+            ("train", self.train),
+            ("test", self.test),
+            ("unknown", self.unknown),
+        ):
+            if split.X.shape[1] != n_features:
+                raise ValueError(
+                    f"{split_name} split has {split.X.shape[1]} features, "
+                    f"expected {n_features}."
+                )
+
+    @property
+    def n_features(self) -> int:
+        """Feature dimensionality."""
+        return len(self.feature_names)
+
+    def taxonomy(self) -> dict[str, int]:
+        """Sample counts per split — the rows of Table I."""
+        return {
+            "train": self.train.n_samples,
+            "test": self.test.n_samples,
+            "unknown": self.unknown.n_samples,
+        }
+
+    def summary(self) -> str:
+        """Human-readable dataset overview."""
+        lines = [f"HmdDataset {self.name!r}: {self.n_features} features"]
+        for split_name, split in (
+            ("train", self.train),
+            ("test", self.test),
+            ("unknown", self.unknown),
+        ):
+            counts = split.class_counts()
+            lines.append(
+                f"  {split_name:8s} {split.n_samples:6d} samples "
+                f"(benign={counts.get(0, 0)}, malware={counts.get(1, 0)}, "
+                f"apps={len(split.app_counts())})"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,559 @@
+"""Ablation studies A1-A3 (reproduction-original analyses).
+
+A1  **Platt scaling vs. ensemble entropy** — Section II.E argues that a
+    Platt-calibrated probability is *not* model confidence: a single
+    model can emit a confident sigmoid output on data it knows nothing
+    about.  We score both signals as unknown-workload detectors
+    (ROC-AUC of separating known-test from unknown inputs on the DVFS
+    dataset) — ensemble entropy should win decisively.
+A2  **Uncertainty decomposition** — the paper's future work: separate
+    aleatoric from epistemic uncertainty.  Expected: unknown-DVFS
+    uncertainty is epistemic-dominated; HPC uncertainty is aleatoric-
+    dominated for both known and unknown data.
+A3  **Ensemble diversity** — the mechanism behind C2: sweep the
+    bootstrap replicate size and compare base-classifier families by
+    the diversity of their members (mean pairwise disagreement) and the
+    resulting unknown-detection AUC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml.calibration import CalibratedClassifier
+from ..ml.ensemble import BaggingClassifier
+from ..ml.linear import LogisticRegression
+from ..ml.metrics import roc_auc_score
+from ..ml.svm import LinearSVC
+from ..ml.tree import DecisionTreeClassifier
+from ..uncertainty.decomposition import decompose_uncertainty
+from ..uncertainty.estimator import EnsembleUncertaintyEstimator
+from .common import ExperimentConfig, ExperimentContext, format_table
+
+__all__ = [
+    "PlattAblationResult",
+    "DecompositionAblationResult",
+    "DiversityAblationResult",
+    "CounterBudgetResult",
+    "EvasionAblationResult",
+    "GovernorAblationResult",
+    "run_platt_ablation",
+    "run_decomposition_ablation",
+    "run_diversity_ablation",
+    "run_counter_budget_ablation",
+    "run_evasion_ablation",
+    "run_governor_ablation",
+]
+
+
+def _unknown_detection_auc(score_known: np.ndarray, score_unknown: np.ndarray) -> float:
+    """AUC of separating unknown (positive) from known by a score."""
+    y = np.concatenate([np.zeros(len(score_known)), np.ones(len(score_unknown))])
+    s = np.concatenate([score_known, score_unknown])
+    return roc_auc_score(y, s)
+
+
+# ----------------------------------------------------------------------
+# A1: Platt scaling vs ensemble entropy
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PlattAblationResult:
+    """Unknown-detection AUC of each uncertainty signal (DVFS)."""
+
+    entropy_auc: float
+    platt_auc: float
+    platt_confidence_known: float
+    platt_confidence_unknown: float
+
+    def entropy_wins(self) -> bool:
+        """True when ensemble entropy beats Platt confidence."""
+        return self.entropy_auc > self.platt_auc
+
+    def as_text(self) -> str:
+        """Render the comparison."""
+        rows = [
+            ["ensemble entropy", self.entropy_auc],
+            ["platt (1 - confidence)", self.platt_auc],
+        ]
+        return (
+            "Ablation A1 — unknown-workload detection AUC (DVFS)\n"
+            + format_table(["signal", "auc"], rows)
+            + f"\nmean Platt confidence: known={self.platt_confidence_known:.3f}, "
+            f"unknown={self.platt_confidence_unknown:.3f} "
+            "(high confidence on unknowns = the paper's warning)"
+        )
+
+
+def run_platt_ablation(config: ExperimentConfig | None = None,
+                       context: ExperimentContext | None = None) -> PlattAblationResult:
+    """Compare ensemble entropy with Platt-scaled confidence on DVFS."""
+    ctx = context if context is not None else ExperimentContext(config)
+    ds = ctx.dataset("dvfs")
+    X_train, X_test, X_unknown = ctx.scaled_splits("dvfs")
+
+    fitted = ctx.fitted("dvfs", "rf")
+    entropy_auc = _unknown_detection_auc(fitted.entropy_test, fitted.entropy_unknown)
+
+    platt = CalibratedClassifier(
+        LinearSVC(max_iter=200), random_state=ctx.config.seed
+    )
+    platt.fit(X_train, ds.train.y)
+    conf_known = platt.confidence(X_test)
+    conf_unknown = platt.confidence(X_unknown)
+    # Uncertainty signal = 1 - confidence.
+    platt_auc = _unknown_detection_auc(1.0 - conf_known, 1.0 - conf_unknown)
+
+    return PlattAblationResult(
+        entropy_auc=float(entropy_auc),
+        platt_auc=float(platt_auc),
+        platt_confidence_known=float(conf_known.mean()),
+        platt_confidence_unknown=float(conf_unknown.mean()),
+    )
+
+
+# ----------------------------------------------------------------------
+# A2: uncertainty decomposition
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DecompositionAblationResult:
+    """Mean total/aleatoric/epistemic per (domain, split)."""
+
+    rows_: tuple  # (domain, split, total, aleatoric, epistemic)
+
+    def rows(self) -> list[list]:
+        """Table rows."""
+        return [list(r) for r in self.rows_]
+
+    def mean_epistemic(self, domain: str, split: str) -> float:
+        """Mean epistemic term for one (domain, split)."""
+        for d, s, _, _, epi in self.rows_:
+            if d == domain and s == split:
+                return epi
+        raise KeyError((domain, split))
+
+    def mean_aleatoric(self, domain: str, split: str) -> float:
+        """Mean aleatoric term for one (domain, split)."""
+        for d, s, _, ale, _ in self.rows_:
+            if d == domain and s == split:
+                return ale
+        raise KeyError((domain, split))
+
+    def as_text(self) -> str:
+        """Render the decomposition table."""
+        return (
+            "Ablation A2 — uncertainty decomposition (mean bits)\n"
+            + format_table(
+                ["dataset", "split", "total", "aleatoric", "epistemic"],
+                self.rows(),
+            )
+        )
+
+
+def run_decomposition_ablation(
+    config: ExperimentConfig | None = None,
+    context: ExperimentContext | None = None,
+    *,
+    min_samples_leaf: int = 15,
+) -> DecompositionAblationResult:
+    """Decompose RF uncertainty into aleatoric/epistemic on both datasets.
+
+    Uses a dedicated forest with smoothed leaves (``min_samples_leaf``):
+    fully-grown trees have pure leaves whose one-hot probabilities carry
+    no aleatoric signal, so the default figure-ensembles cannot be
+    reused here.
+    """
+    from ..ml.ensemble import RandomForestClassifier
+
+    ctx = context if context is not None else ExperimentContext(config)
+    rows = []
+    for domain in ("dvfs", "hpc"):
+        ds = ctx.dataset(domain)
+        X_train, X_test, X_unknown = ctx.scaled_splits(domain)
+        ensemble = RandomForestClassifier(
+            n_estimators=min(ctx.config.n_estimators, 50),
+            min_samples_leaf=min_samples_leaf,
+            random_state=ctx.config.seed,
+        )
+        ensemble.fit(X_train, ds.train.y)
+        for split, X in (("known", X_test), ("unknown", X_unknown)):
+            dec = decompose_uncertainty(ensemble, X)
+            rows.append(
+                (
+                    domain,
+                    split,
+                    float(dec.total.mean()),
+                    float(dec.aleatoric.mean()),
+                    float(dec.epistemic.mean()),
+                )
+            )
+    return DecompositionAblationResult(rows_=tuple(rows))
+
+
+# ----------------------------------------------------------------------
+# A3: ensemble diversity
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DiversityAblationResult:
+    """Diversity and unknown-detection AUC per configuration."""
+
+    rows_: tuple  # (base, max_samples, diversity, auc)
+
+    def rows(self) -> list[list]:
+        """Table rows."""
+        return [list(r) for r in self.rows_]
+
+    def diversity(self, base: str, max_samples: float) -> float:
+        """Member disagreement for one configuration."""
+        for b, ms, div, _ in self.rows_:
+            if b == base and ms == max_samples:
+                return div
+        raise KeyError((base, max_samples))
+
+    def auc(self, base: str, max_samples: float) -> float:
+        """Unknown-detection AUC for one configuration."""
+        for b, ms, _, auc in self.rows_:
+            if b == base and ms == max_samples:
+                return auc
+        raise KeyError((base, max_samples))
+
+    def as_text(self) -> str:
+        """Render the diversity sweep."""
+        return (
+            "Ablation A3 — ensemble diversity vs unknown-detection quality (DVFS)\n"
+            + format_table(
+                ["base", "max_samples", "member_disagreement", "unknown_auc"],
+                self.rows(),
+            )
+        )
+
+
+def _member_disagreement(votes: np.ndarray) -> float:
+    """Mean pairwise disagreement between ensemble members."""
+    n, m = votes.shape
+    if m < 2:
+        return 0.0
+    agree = 0.0
+    pairs = 0
+    for i in range(m):
+        for j in range(i + 1, m):
+            agree += float(np.mean(votes[:, i] == votes[:, j]))
+            pairs += 1
+    return 1.0 - agree / pairs
+
+
+def run_diversity_ablation(
+    config: ExperimentConfig | None = None,
+    context: ExperimentContext | None = None,
+    *,
+    n_estimators: int = 25,
+    max_samples_grid: tuple[float, ...] = (0.3, 0.6, 1.0),
+) -> DiversityAblationResult:
+    """Sweep bootstrap size × base family; measure diversity and AUC."""
+    ctx = context if context is not None else ExperimentContext(config)
+    ds = ctx.dataset("dvfs")
+    X_train, X_test, X_unknown = ctx.scaled_splits("dvfs")
+
+    bases = {
+        "tree": DecisionTreeClassifier(),
+        "logreg": LogisticRegression(max_iter=100),
+        "linsvm": LinearSVC(max_iter=200),
+    }
+    rows = []
+    for base_name, prototype in bases.items():
+        for max_samples in max_samples_grid:
+            bag = BaggingClassifier(
+                prototype,
+                n_estimators=n_estimators,
+                max_samples=max_samples,
+                random_state=ctx.config.seed,
+            )
+            bag.fit(X_train, ds.train.y)
+            estimator = EnsembleUncertaintyEstimator(bag)
+            votes_unknown = estimator.member_votes(X_unknown)
+            diversity = _member_disagreement(votes_unknown)
+            auc = _unknown_detection_auc(
+                estimator.predictive_entropy(X_test),
+                estimator.predictive_entropy(X_unknown),
+            )
+            rows.append((base_name, float(max_samples), diversity, float(auc)))
+    return DiversityAblationResult(rows_=tuple(rows))
+
+
+# ----------------------------------------------------------------------
+# A4: sensor / governor choice
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GovernorAblationResult:
+    """Detector quality per DVFS governor policy."""
+
+    rows_: tuple  # (governor, f1, unknown_auc)
+
+    def rows(self) -> list[list]:
+        """Table rows."""
+        return [list(r) for r in self.rows_]
+
+    def f1(self, governor: str) -> float:
+        """Known-test F1 under one governor."""
+        for g, f1, _ in self.rows_:
+            if g == governor:
+                return f1
+        raise KeyError(governor)
+
+    def unknown_auc(self, governor: str) -> float:
+        """Unknown-detection AUC under one governor."""
+        for g, _, auc in self.rows_:
+            if g == governor:
+                return auc
+        raise KeyError(governor)
+
+    def as_text(self) -> str:
+        """Render the governor comparison."""
+        return (
+            "Ablation A4 — DVFS governor choice vs detector quality\n"
+            + format_table(["governor", "known f1", "unknown_auc"], self.rows())
+            + "\n(performance governor pins max states -> signature destroyed)"
+        )
+
+
+def run_governor_ablation(
+    config: ExperimentConfig | None = None,
+    context: ExperimentContext | None = None,
+    *,
+    n_estimators: int = 40,
+) -> GovernorAblationResult:
+    """Compare HMD quality under ondemand / conservative / performance.
+
+    The DVFS signal only exists because the governor reacts to workload
+    dynamics; pinning the frequency (performance governor) removes the
+    modulation and collapses detector quality — the sensor-selection
+    point the paper makes in Section III.C.
+    """
+    from ..data import build_dvfs_dataset
+    from ..ml.ensemble import RandomForestClassifier
+    from ..ml.metrics import f1_score
+    from ..ml.preprocessing import StandardScaler
+    from ..sim.power import ConservativeGovernor, OndemandGovernor, PerformanceGovernor
+
+    ctx = context if context is not None else ExperimentContext(config)
+    scale = ctx.config.dvfs_scale
+    governors = {
+        "ondemand": OndemandGovernor(),
+        "conservative": ConservativeGovernor(),
+        "performance": PerformanceGovernor(),
+    }
+    rows = []
+    for name, governor in governors.items():
+        ds = build_dvfs_dataset(seed=ctx.config.seed, scale=scale, governor=governor)
+        scaler = StandardScaler().fit(ds.train.X)
+        X_train = scaler.transform(ds.train.X)
+        X_test = scaler.transform(ds.test.X)
+        X_unknown = scaler.transform(ds.unknown.X)
+        ensemble = RandomForestClassifier(
+            n_estimators=n_estimators, random_state=ctx.config.seed
+        ).fit(X_train, ds.train.y)
+        estimator = EnsembleUncertaintyEstimator(ensemble)
+        f1 = f1_score(ds.test.y, estimator.predict(X_test))
+        auc = _unknown_detection_auc(
+            estimator.predictive_entropy(X_test),
+            estimator.predictive_entropy(X_unknown),
+        )
+        rows.append((name, float(f1), float(auc)))
+    return GovernorAblationResult(rows_=tuple(rows))
+
+
+# ----------------------------------------------------------------------
+# A5: adversarial mimicry (evasion) vs uncertainty
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EvasionAblationResult:
+    """Detector behaviour on mimicry malware per stealth level."""
+
+    rows_: tuple  # (stealth, detected_frac, mean_entropy, flagged_frac, caught_frac)
+    threshold: float
+
+    def rows(self) -> list[list]:
+        """Table rows."""
+        return [list(r) for r in self.rows_]
+
+    def detected(self, stealth: float) -> float:
+        """Fraction classified malware at a stealth level."""
+        for s, det, _, _, _ in self.rows_:
+            if abs(s - stealth) < 1e-9:
+                return det
+        raise KeyError(stealth)
+
+    def caught(self, stealth: float) -> float:
+        """Fraction either detected or flagged uncertain."""
+        for s, _, _, _, c in self.rows_:
+            if abs(s - stealth) < 1e-9:
+                return c
+        raise KeyError(stealth)
+
+    def as_text(self) -> str:
+        """Render the evasion sweep."""
+        return (
+            "Ablation A5 — mimicry evasion vs uncertainty (DVFS, RF)\n"
+            + format_table(
+                ["stealth", "detected", "mean_entropy", "flagged", "caught"],
+                self.rows(),
+            )
+            + f"\n(threshold={self.threshold:.2f}; caught = detected as malware "
+            "OR flagged uncertain)"
+        )
+
+
+def run_evasion_ablation(
+    config: ExperimentConfig | None = None,
+    context: ExperimentContext | None = None,
+    *,
+    stealth_levels: tuple[float, ...] = (0.0, 0.3, 0.5, 0.7, 0.9),
+    threshold: float = 0.40,
+    n_windows: int = 60,
+) -> EvasionAblationResult:
+    """Mimicry attack on the DVFS HMD: ransomware imitating a browser.
+
+    For each stealth level the attacker pads the ransomware schedule
+    with browser-like phases (``blend_specs``).  Reported per level:
+    the fraction still *detected* as malware, the mean predictive
+    entropy, the fraction *flagged* uncertain, and the union (*caught*)
+    — the security-relevant quantity for the trusted HMD.
+
+    Expected shape: plain detection decays as stealth rises, but the
+    blended behaviour is unlike any training app, so entropy rises and
+    the flagged fraction compensates — the trusted HMD degrades to
+    "suspicious, needs analyst" instead of silently passing the attack.
+    """
+    from ..hmd.apps import DVFS_KNOWN_BENIGN, DVFS_KNOWN_MALWARE
+    from ..hmd.features import DvfsFeatureExtractor
+    from ..sim.power import SocSimulator
+    from ..sim.workloads import WorkloadGenerator, blend_specs
+
+    ctx = context if context is not None else ExperimentContext(config)
+    ds = ctx.dataset("dvfs")
+    fitted = ctx.fitted("dvfs", "rf")
+
+    from ..ml.preprocessing import StandardScaler
+
+    scaler = StandardScaler().fit(ds.train.X)
+    window_steps = ds.metadata.get("window_steps", 240)
+    extractor = DvfsFeatureExtractor()
+    ransomware = next(s for s in DVFS_KNOWN_MALWARE if s.name == "ransomware")
+    browser = next(s for s in DVFS_KNOWN_BENIGN if s.name == "browser")
+
+    rows = []
+    for stealth in stealth_levels:
+        spec = (
+            ransomware
+            if stealth == 0.0
+            else blend_specs(ransomware, browser, stealth)
+        )
+        generator = WorkloadGenerator(
+            dt=0.05, random_state=ctx.config.seed + int(stealth * 100)
+        )
+        soc = SocSimulator(random_state=ctx.config.seed + 1)
+        windows = []
+        for _ in range(n_windows):
+            activity = generator.generate(spec, window_steps)
+            windows.append(extractor.extract(soc.run(activity)))
+        X = scaler.transform(np.stack(windows))
+
+        predictions, entropy = fitted.estimator.predict_with_uncertainty(X)
+        detected = float(np.mean(predictions == 1))
+        flagged = float(np.mean(entropy > threshold))
+        caught = float(np.mean((predictions == 1) | (entropy > threshold)))
+        rows.append(
+            (float(stealth), detected, float(entropy.mean()), flagged, caught)
+        )
+    return EvasionAblationResult(rows_=tuple(rows), threshold=threshold)
+
+
+# ----------------------------------------------------------------------
+# A6: HPC counter budget (feature selection)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CounterBudgetResult:
+    """Detector quality vs number of selected HPC features."""
+
+    rows_: tuple  # (k, f1, known_entropy_median, ece)
+    selected_features: tuple[str, ...]
+
+    def rows(self) -> list[list]:
+        """Table rows."""
+        return [list(r) for r in self.rows_]
+
+    def f1(self, k: int) -> float:
+        """Known-test F1 with the top-k features."""
+        for kk, f1, _, _ in self.rows_:
+            if kk == k:
+                return f1
+        raise KeyError(k)
+
+    def as_text(self) -> str:
+        """Render the counter-budget sweep."""
+        return (
+            "Ablation A6 — HPC feature budget (top-k by mutual information)\n"
+            + format_table(
+                ["k", "known f1", "known entropy median", "ece"], self.rows()
+            )
+            + "\ntop features: " + ", ".join(self.selected_features[:8])
+        )
+
+
+def run_counter_budget_ablation(
+    config: ExperimentConfig | None = None,
+    context: ExperimentContext | None = None,
+    *,
+    budgets: tuple[int, ...] = (4, 8, 16, 30),
+    n_estimators: int = 40,
+) -> CounterBudgetResult:
+    """Sweep the number of HPC features available to the detector.
+
+    Real HPC hardware multiplexes a handful of counters; the HMD
+    literature asks how small the counter set can be.  We rank features
+    by mutual information and retrain at several budgets, reporting
+    accuracy, residual uncertainty and calibration.
+    """
+    from ..ml.ensemble import RandomForestClassifier
+    from ..ml.feature_selection import SelectKBest, mutual_info_classif
+    from ..ml.metrics import f1_score
+    from ..uncertainty.entropy import shannon_entropy
+    from ..uncertainty.reliability import expected_calibration_error
+
+    ctx = context if context is not None else ExperimentContext(config)
+    ds = ctx.dataset("hpc")
+    X_train, X_test, _ = ctx.scaled_splits("hpc")
+    n_features = X_train.shape[1]
+
+    ranker = SelectKBest(mutual_info_classif, k="all").fit(X_train, ds.train.y)
+    order = np.argsort(-ranker.scores_)
+    names = tuple(ds.feature_names[i] for i in order)
+
+    rows = []
+    for k in budgets:
+        k = min(k, n_features)
+        keep = order[:k]
+        ensemble = RandomForestClassifier(
+            n_estimators=n_estimators, random_state=ctx.config.seed
+        ).fit(X_train[:, keep], ds.train.y)
+        estimator = EnsembleUncertaintyEstimator(ensemble)
+        predictions, entropy = estimator.predict_with_uncertainty(X_test[:, keep])
+        dist = ensemble.vote_distribution(X_test[:, keep])
+        rows.append(
+            (
+                int(k),
+                float(f1_score(ds.test.y, predictions)),
+                float(np.median(entropy)),
+                float(
+                    expected_calibration_error(ds.test.y, dist, ensemble.classes_)
+                ),
+            )
+        )
+    return CounterBudgetResult(rows_=tuple(rows), selected_features=names)

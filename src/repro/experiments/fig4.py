@@ -1,0 +1,67 @@
+"""Fig. 4 — entropy boxplots for the DVFS dataset.
+
+For each ensemble (RF, LR, SVM) the paper shows the distribution of
+predictive entropies on known (test) vs. unknown workloads.  Expected
+shape: known entropies concentrate near zero (disjoint training
+classes) while unknown entropies sit high (out-of-distribution data),
+with the SVM ensemble showing the *least* separation because bagging a
+convex learner yields too little diversity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import (
+    ENSEMBLE_KINDS,
+    ExperimentConfig,
+    ExperimentContext,
+    boxplot_stats,
+    format_table,
+)
+
+__all__ = ["Fig4Result", "run_fig4"]
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Boxplot statistics per (ensemble, split)."""
+
+    stats: dict  # {(kind, split): boxplot_stats dict}
+
+    def rows(self) -> list[list]:
+        """Table rows: kind, split, five-number summary."""
+        out = []
+        for (kind, split), s in self.stats.items():
+            out.append(
+                [kind, split, s["whisker_low"], s["q1"], s["median"], s["q3"],
+                 s["whisker_high"], s["mean"]]
+            )
+        return out
+
+    def separation(self, kind: str) -> float:
+        """Median entropy gap (unknown − known) for one ensemble kind."""
+        return (
+            self.stats[(kind, "unknown")]["median"]
+            - self.stats[(kind, "known")]["median"]
+        )
+
+    def as_text(self) -> str:
+        """Render the boxplot summary table."""
+        table = format_table(
+            ["ensemble", "split", "wlow", "q1", "median", "q3", "whigh", "mean"],
+            self.rows(),
+        )
+        return f"Fig. 4 — DVFS predictive-entropy boxplots\n{table}"
+
+
+def run_fig4(config: ExperimentConfig | None = None,
+             context: ExperimentContext | None = None) -> Fig4Result:
+    """Compute entropy boxplot statistics on the DVFS dataset."""
+    ctx = context if context is not None else ExperimentContext(config)
+    stats = {}
+    for kind in ENSEMBLE_KINDS["dvfs"]:
+        fitted = ctx.fitted("dvfs", kind)
+        stats[(kind, "known")] = boxplot_stats(fitted.entropy_test)
+        stats[(kind, "unknown")] = boxplot_stats(fitted.entropy_unknown)
+    return Fig4Result(stats=stats)

@@ -1,0 +1,68 @@
+"""Fig. 5 — entropy boxplots for the HPC dataset.
+
+Expected shape (the paper's central negative result): the estimated
+entropy for the *known* test data is as high as for the unknown data —
+the overlapping benign/malware classes make the ensemble uncertain even
+in-distribution.  SVM is absent: it fails to converge on the
+bootstrapped HPC dataset (reproduced as a :class:`ConvergenceError`
+demonstration in :mod:`repro.experiments.claims`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import (
+    ENSEMBLE_KINDS,
+    ExperimentConfig,
+    ExperimentContext,
+    boxplot_stats,
+    format_table,
+)
+
+__all__ = ["Fig5Result", "run_fig5"]
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Boxplot statistics per (ensemble, split), HPC dataset."""
+
+    stats: dict
+
+    def rows(self) -> list[list]:
+        """Table rows: kind, split, five-number summary."""
+        out = []
+        for (kind, split), s in self.stats.items():
+            out.append(
+                [kind, split, s["whisker_low"], s["q1"], s["median"], s["q3"],
+                 s["whisker_high"], s["mean"]]
+            )
+        return out
+
+    def known_unknown_gap(self, kind: str) -> float:
+        """Median entropy difference unknown − known (≈0 for HPC)."""
+        return (
+            self.stats[(kind, "unknown")]["median"]
+            - self.stats[(kind, "known")]["median"]
+        )
+
+    def as_text(self) -> str:
+        """Render the boxplot summary table."""
+        table = format_table(
+            ["ensemble", "split", "wlow", "q1", "median", "q3", "whigh", "mean"],
+            self.rows(),
+        )
+        note = "(SVM omitted: fails to converge on the bootstrapped HPC data)"
+        return f"Fig. 5 — HPC predictive-entropy boxplots\n{table}\n{note}"
+
+
+def run_fig5(config: ExperimentConfig | None = None,
+             context: ExperimentContext | None = None) -> Fig5Result:
+    """Compute entropy boxplot statistics on the HPC dataset."""
+    ctx = context if context is not None else ExperimentContext(config)
+    stats = {}
+    for kind in ENSEMBLE_KINDS["hpc"]:
+        fitted = ctx.fitted("hpc", kind)
+        stats[(kind, "known")] = boxplot_stats(fitted.entropy_test)
+        stats[(kind, "unknown")] = boxplot_stats(fitted.entropy_unknown)
+    return Fig5Result(stats=stats)

@@ -1,0 +1,123 @@
+"""Fig. 7 — rejection curves and F1 vs. entropy threshold.
+
+* **Fig. 7a**: % of known / unknown DVFS inputs rejected as the entropy
+  threshold sweeps 0→0.75, for the RF, LR and SVM ensembles.  Expected
+  shape: RF separates best (high unknown rejection at low known
+  rejection); SVM's curves collapse onto each other at tiny thresholds.
+* **Fig. 7b**: F1 score of the accepted predictions (pooled known-test
+  ∪ unknown, true labels) vs. threshold for RF-DVFS and RF-HPC.
+  Expected shape: both rise as uncertain inputs are rejected; DVFS
+  approaches 1.0, HPC climbs from ~0.8 toward ~0.95.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..uncertainty.rejection import f1_vs_threshold, rejection_curve
+from .common import ENSEMBLE_KINDS, ExperimentConfig, ExperimentContext, format_table
+
+__all__ = ["Fig7aResult", "Fig7bResult", "run_fig7a", "run_fig7b"]
+
+
+@dataclass(frozen=True)
+class Fig7aResult:
+    """Rejected-input percentage per (ensemble, split) per threshold."""
+
+    thresholds: tuple[float, ...]
+    curves: dict  # {(kind, split): np.ndarray of % rejected}
+
+    def rows(self) -> list[list]:
+        """One row per threshold with all curve values."""
+        keys = sorted(self.curves)
+        out = []
+        for i, t in enumerate(self.thresholds):
+            out.append([t] + [float(self.curves[k][i]) for k in keys])
+        return out
+
+    def operating_point(self, kind: str, threshold: float) -> tuple[float, float]:
+        """(known %, unknown %) rejected at the given threshold."""
+        idx = int(np.argmin(np.abs(np.asarray(self.thresholds) - threshold)))
+        return (
+            float(self.curves[(kind, "known")][idx]),
+            float(self.curves[(kind, "unknown")][idx]),
+        )
+
+    def as_text(self) -> str:
+        """Render all rejection curves."""
+        keys = sorted(self.curves)
+        headers = ["threshold"] + [f"{k}-{s}" for k, s in keys]
+        return "Fig. 7a — DVFS rejected inputs (%) vs entropy threshold\n" + format_table(
+            headers, self.rows()
+        )
+
+
+def run_fig7a(config: ExperimentConfig | None = None,
+              context: ExperimentContext | None = None) -> Fig7aResult:
+    """Sweep rejection thresholds over the DVFS ensembles."""
+    ctx = context if context is not None else ExperimentContext(config)
+    thresholds = ctx.config.fig7a_thresholds
+    curves = {}
+    for kind in ENSEMBLE_KINDS["dvfs"]:
+        fitted = ctx.fitted("dvfs", kind)
+        curves[(kind, "known")] = rejection_curve(fitted.entropy_test, thresholds)
+        curves[(kind, "unknown")] = rejection_curve(fitted.entropy_unknown, thresholds)
+    return Fig7aResult(thresholds=thresholds, curves=curves)
+
+
+@dataclass(frozen=True)
+class Fig7bResult:
+    """F1 of accepted predictions vs threshold, RF on both datasets."""
+
+    thresholds: tuple[float, ...]
+    dvfs_rows: tuple[dict, ...]
+    hpc_rows: tuple[dict, ...]
+
+    def final_f1(self, domain: str) -> float | None:
+        """F1 at the largest threshold (no rejection)."""
+        rows = self.dvfs_rows if domain == "dvfs" else self.hpc_rows
+        return rows[-1]["f1"]
+
+    def best_f1(self, domain: str) -> float:
+        """Best F1 over the sweep (ignoring None entries)."""
+        rows = self.dvfs_rows if domain == "dvfs" else self.hpc_rows
+        return max(r["f1"] for r in rows if r["f1"] is not None)
+
+    def as_text(self) -> str:
+        """Render both F1-vs-threshold series."""
+        rows = []
+        for r_dvfs, r_hpc in zip(self.dvfs_rows, self.hpc_rows):
+            rows.append(
+                [r_dvfs["threshold"], r_dvfs["f1"], r_dvfs["accepted_frac"],
+                 r_hpc["f1"], r_hpc["accepted_frac"]]
+            )
+        return "Fig. 7b — F1 of accepted predictions vs entropy threshold\n" + format_table(
+            ["threshold", "RF-DVFS f1", "dvfs acc-frac", "RF-HPC f1", "hpc acc-frac"],
+            rows,
+        )
+
+
+def run_fig7b(config: ExperimentConfig | None = None,
+              context: ExperimentContext | None = None) -> Fig7bResult:
+    """F1 of accepted predictions on the pooled test ∪ unknown data."""
+    ctx = context if context is not None else ExperimentContext(config)
+    thresholds = ctx.config.fig7b_thresholds
+    series = {}
+    for domain in ("dvfs", "hpc"):
+        ds = ctx.dataset(domain)
+        fitted = ctx.fitted(domain, "rf")
+        y_pool = np.concatenate([ds.test.y, ds.unknown.y])
+        pred_pool = np.concatenate(
+            [fitted.predictions_test, fitted.predictions_unknown]
+        )
+        ent_pool = np.concatenate([fitted.entropy_test, fitted.entropy_unknown])
+        series[domain] = tuple(
+            f1_vs_threshold(y_pool, pred_pool, ent_pool, thresholds)
+        )
+    return Fig7bResult(
+        thresholds=thresholds,
+        dvfs_rows=series["dvfs"],
+        hpc_rows=series["hpc"],
+    )

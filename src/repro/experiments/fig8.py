@@ -1,0 +1,134 @@
+"""Fig. 8 — t-SNE of the training + unknown data latent space.
+
+The paper's figure is visual; offline we report the embedding plus
+quantitative geometry metrics that capture its conclusion:
+
+* **DVFS** (Fig. 8a): benign and malware form disjoint clusters and the
+  unknown data sits away from the training data → high neighbourhood
+  purity, positive silhouette, low unknown-to-train affinity;
+* **HPC** (Fig. 8b): benign and malware overlap and the unknown data
+  falls inside the overlap → purity near the class prior, silhouette
+  near zero, unknown-to-train affinity comparable to test data.
+
+Exact t-SNE is O(n²), so embeddings are computed on a stratified
+subsample; the scalar geometry metrics use the same subsample for
+consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml.manifold import TSNE
+from ..ml.metrics import (
+    centroid_separation_ratio,
+    class_overlap_score,
+    neighborhood_purity,
+    silhouette_score,
+)
+from ..ml.validation import check_random_state
+from .common import ExperimentConfig, ExperimentContext, format_table
+
+__all__ = ["Fig8Result", "run_fig8"]
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """Embeddings + latent-space geometry metrics for both datasets."""
+
+    embeddings: dict    # {domain: (Y, labels, groups)} groups∈{benign,malware,unknown}
+    metrics: dict       # {domain: {metric: value}}
+
+    def rows(self) -> list[list]:
+        """One row per (domain, metric)."""
+        out = []
+        for domain in sorted(self.metrics):
+            for name, value in sorted(self.metrics[domain].items()):
+                out.append([domain, name, value])
+        return out
+
+    def as_text(self) -> str:
+        """Render the geometry metric table."""
+        table = format_table(["dataset", "metric", "value"], self.rows())
+        return (
+            "Fig. 8 — latent-space geometry (t-SNE + quantitative metrics)\n"
+            + table
+            + "\n(disjoint classes -> purity near 1, silhouette > 0; "
+            "overlap -> purity near prior, silhouette near 0)"
+        )
+
+
+def _stratified_subsample(
+    X: np.ndarray, y: np.ndarray, n_max: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Indices of a label-stratified subsample of at most ``n_max``."""
+    if len(y) <= n_max:
+        return np.arange(len(y))
+    idx_parts = []
+    labels = np.unique(y)
+    per_label = n_max // len(labels)
+    for label in labels:
+        members = np.flatnonzero(y == label)
+        take = min(per_label, len(members))
+        idx_parts.append(rng.choice(members, size=take, replace=False))
+    return np.concatenate(idx_parts)
+
+
+def run_fig8(
+    config: ExperimentConfig | None = None,
+    context: ExperimentContext | None = None,
+    *,
+    n_embed: int = 900,
+    tsne_iterations: int = 350,
+) -> Fig8Result:
+    """Embed train+unknown data and quantify class geometry."""
+    ctx = context if context is not None else ExperimentContext(config)
+    rng = check_random_state(ctx.config.seed)
+    embeddings = {}
+    metrics = {}
+    for domain in ("dvfs", "hpc"):
+        ds = ctx.dataset(domain)
+        X_train, _, X_unknown = ctx.scaled_splits(domain)
+
+        train_idx = _stratified_subsample(
+            X_train, ds.train.y, int(n_embed * 0.7), rng
+        )
+        unknown_idx = _stratified_subsample(
+            X_unknown, ds.unknown.y, n_embed - len(train_idx), rng
+        )
+        X_sub = np.vstack([X_train[train_idx], X_unknown[unknown_idx]])
+        y_sub = np.concatenate([ds.train.y[train_idx], ds.unknown.y[unknown_idx]])
+        groups = np.array(
+            ["benign" if label == 0 else "malware" for label in ds.train.y[train_idx]]
+            + ["unknown"] * len(unknown_idx)
+        )
+
+        perplexity = min(30.0, (len(X_sub) - 1) / 3.5)
+        tsne = TSNE(
+            perplexity=perplexity,
+            n_iter=tsne_iterations,
+            random_state=ctx.config.seed,
+        )
+        Y = tsne.fit_transform(X_sub)
+        embeddings[domain] = (Y, y_sub, groups)
+
+        train_mask = groups != "unknown"
+        Xt, yt = X_sub[train_mask], y_sub[train_mask]
+        n_neighbors = min(10, len(yt) - 1)
+        metrics[domain] = {
+            "train_neighborhood_purity": neighborhood_purity(
+                Xt, yt, n_neighbors=n_neighbors
+            ),
+            "train_class_overlap": class_overlap_score(
+                Xt, yt, n_neighbors=n_neighbors
+            ),
+            "train_silhouette": silhouette_score(Xt, yt),
+            "train_centroid_separation": centroid_separation_ratio(Xt, yt),
+            "embedding_purity": neighborhood_purity(
+                Y[train_mask], yt, n_neighbors=n_neighbors
+            ),
+            "tsne_kl_divergence": tsne.kl_divergence_,
+        }
+    return Fig8Result(embeddings=embeddings, metrics=metrics)

@@ -1,0 +1,128 @@
+"""Fig. 9 — ensemble-size convergence and HPC rejection curves.
+
+* **Fig. 9a**: mean predictive entropy of the DVFS RF ensemble as the
+  number of base classifiers grows 1→100, for known and unknown data.
+  Expected shape: both curves stabilise once M ≳ 20 (the paper's
+  guidance that more than ~20 members adds only overhead).
+* **Fig. 9b**: % rejected vs. threshold on the HPC dataset for RF and
+  LR.  Expected shape: known and unknown curves track each other — the
+  rejection mechanism cannot tell them apart because the uncertainty is
+  aleatoric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..uncertainty.rejection import rejection_curve
+from .common import ENSEMBLE_KINDS, ExperimentConfig, ExperimentContext, format_table
+
+__all__ = ["Fig9aResult", "Fig9bResult", "run_fig9a", "run_fig9b"]
+
+#: Ensemble sizes swept in Fig. 9a.
+FIG9A_SIZES = (1, 2, 3, 5, 7, 10, 15, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+
+
+@dataclass(frozen=True)
+class Fig9aResult:
+    """Mean entropy vs. ensemble size for known and unknown data."""
+
+    sizes: tuple[int, ...]
+    known: tuple[float, ...]
+    unknown: tuple[float, ...]
+
+    def rows(self) -> list[list]:
+        """One row per ensemble size."""
+        return [
+            [m, k, u] for m, k, u in zip(self.sizes, self.known, self.unknown)
+        ]
+
+    def stabilization_size(self, *, tolerance: float = 0.02) -> int:
+        """Smallest M whose mean entropy stays within ``tolerance`` of
+        the full-ensemble value for both curves (the paper's ≈20)."""
+        final_known, final_unknown = self.known[-1], self.unknown[-1]
+        for i, m in enumerate(self.sizes):
+            tail_known = np.asarray(self.known[i:])
+            tail_unknown = np.asarray(self.unknown[i:])
+            if (
+                np.all(np.abs(tail_known - final_known) <= tolerance)
+                and np.all(np.abs(tail_unknown - final_unknown) <= tolerance)
+            ):
+                return int(m)
+        return int(self.sizes[-1])
+
+    def as_text(self) -> str:
+        """Render the convergence table."""
+        table = format_table(
+            ["n_members", "mean entropy (known)", "mean entropy (unknown)"],
+            self.rows(),
+        )
+        return (
+            "Fig. 9a — average entropy vs # base-classifiers (RF, DVFS)\n"
+            + table
+            + f"\nstabilises at M ≈ {self.stabilization_size()}"
+        )
+
+
+def run_fig9a(config: ExperimentConfig | None = None,
+              context: ExperimentContext | None = None,
+              *, sizes: tuple[int, ...] = FIG9A_SIZES) -> Fig9aResult:
+    """Sweep the effective ensemble size of the fitted DVFS RF."""
+    ctx = context if context is not None else ExperimentContext(config)
+    fitted = ctx.fitted("dvfs", "rf")
+    max_m = len(fitted.ensemble.estimators_)
+    sizes = tuple(m for m in sizes if m <= max_m)
+    _, X_test, X_unknown = ctx.scaled_splits("dvfs")
+    known = fitted.estimator.entropy_vs_ensemble_size(X_test, sizes)
+    unknown = fitted.estimator.entropy_vs_ensemble_size(X_unknown, sizes)
+    return Fig9aResult(
+        sizes=sizes,
+        known=tuple(known[m] for m in sizes),
+        unknown=tuple(unknown[m] for m in sizes),
+    )
+
+
+@dataclass(frozen=True)
+class Fig9bResult:
+    """HPC rejection curves per (ensemble, split)."""
+
+    thresholds: tuple[float, ...]
+    curves: dict
+
+    def rows(self) -> list[list]:
+        """One row per threshold with all curve values."""
+        keys = sorted(self.curves)
+        return [
+            [t] + [float(self.curves[k][i]) for k in keys]
+            for i, t in enumerate(self.thresholds)
+        ]
+
+    def known_unknown_tracking_error(self, kind: str) -> float:
+        """Mean |known − unknown| rejection gap (% points) — small for
+        HPC, because the two populations are indistinguishable."""
+        known = np.asarray(self.curves[(kind, "known")])
+        unknown = np.asarray(self.curves[(kind, "unknown")])
+        return float(np.mean(np.abs(known - unknown)))
+
+    def as_text(self) -> str:
+        """Render the HPC rejection curves."""
+        keys = sorted(self.curves)
+        headers = ["threshold"] + [f"{k}-{s}" for k, s in keys]
+        return "Fig. 9b — HPC rejected inputs (%) vs entropy threshold\n" + format_table(
+            headers, self.rows()
+        )
+
+
+def run_fig9b(config: ExperimentConfig | None = None,
+              context: ExperimentContext | None = None) -> Fig9bResult:
+    """Sweep rejection thresholds over the HPC ensembles."""
+    ctx = context if context is not None else ExperimentContext(config)
+    thresholds = ctx.config.fig9b_thresholds
+    curves = {}
+    for kind in ENSEMBLE_KINDS["hpc"]:
+        fitted = ctx.fitted("hpc", kind)
+        curves[(kind, "known")] = rejection_curve(fitted.entropy_test, thresholds)
+        curves[(kind, "unknown")] = rejection_curve(fitted.entropy_unknown, thresholds)
+    return Fig9bResult(thresholds=thresholds, curves=curves)

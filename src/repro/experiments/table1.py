@@ -1,0 +1,64 @@
+"""Table I — dataset taxonomy (sample counts per split).
+
+Regenerates the paper's Table I:
+
+======  =====  ============  =======
+Split   DVFS   Split         HPC
+======  =====  ============  =======
+Train   2100   Train         44605
+Test    700    Test (Known)  6372
+Unknown 284    Unknown       12727
+======  =====  ============  =======
+
+At ``scale=1.0`` the builders match these counts exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.builders import DVFS_TABLE1, HPC_TABLE1
+from .common import ExperimentConfig, ExperimentContext, format_table
+
+__all__ = ["Table1Result", "run_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Measured vs. paper sample counts for both datasets."""
+
+    rows: tuple[tuple[str, str, int, int], ...]  # (dataset, split, measured, paper)
+    dvfs_scale: float
+    hpc_scale: float
+
+    def matches_paper(self) -> bool:
+        """True when every measured count equals the paper count."""
+        return all(measured == paper for _, _, measured, paper in self.rows)
+
+    def as_text(self) -> str:
+        """Render the taxonomy table."""
+        table = format_table(
+            ["dataset", "split", "measured", "paper"],
+            [list(row) for row in self.rows],
+        )
+        note = (
+            f"(dvfs_scale={self.dvfs_scale}, hpc_scale={self.hpc_scale}; "
+            "paper counts hold at scale=1.0)"
+        )
+        return f"Table I — dataset taxonomy\n{table}\n{note}"
+
+
+def run_table1(config: ExperimentConfig | None = None,
+               context: ExperimentContext | None = None) -> Table1Result:
+    """Build both datasets and report their split sizes."""
+    ctx = context if context is not None else ExperimentContext(config)
+    rows = []
+    for domain, paper_counts in (("dvfs", DVFS_TABLE1), ("hpc", HPC_TABLE1)):
+        taxonomy = ctx.dataset(domain).taxonomy()
+        for split in ("train", "test", "unknown"):
+            rows.append((domain, split, taxonomy[split], paper_counts[split]))
+    return Table1Result(
+        rows=tuple(rows),
+        dvfs_scale=ctx.config.dvfs_scale,
+        hpc_scale=ctx.config.hpc_scale,
+    )

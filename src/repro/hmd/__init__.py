@@ -1,0 +1,34 @@
+"""Hardware malware detector components (S9): application catalogues,
+feature extraction and detector pipelines."""
+
+from .apps import (
+    DVFS_KNOWN_BENIGN,
+    DVFS_KNOWN_MALWARE,
+    DVFS_UNKNOWN,
+    HPC_KNOWN_BENIGN,
+    HPC_KNOWN_MALWARE,
+    HPC_UNKNOWN,
+    dvfs_known_apps,
+    dvfs_unknown_apps,
+    hpc_known_apps,
+    hpc_unknown_apps,
+)
+from .features import DvfsFeatureExtractor, HpcFeatureExtractor
+from .pipeline import DvfsHmdFrontend, HpcHmdFrontend
+
+__all__ = [
+    "DvfsHmdFrontend",
+    "HpcHmdFrontend",
+    "DVFS_KNOWN_BENIGN",
+    "DVFS_KNOWN_MALWARE",
+    "DVFS_UNKNOWN",
+    "DvfsFeatureExtractor",
+    "HPC_KNOWN_BENIGN",
+    "HPC_KNOWN_MALWARE",
+    "HPC_UNKNOWN",
+    "HpcFeatureExtractor",
+    "dvfs_known_apps",
+    "dvfs_unknown_apps",
+    "hpc_known_apps",
+    "hpc_unknown_apps",
+]

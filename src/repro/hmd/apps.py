@@ -1,0 +1,482 @@
+"""Application catalogues for the two HMD domains (S10 support).
+
+Every entry is a :class:`repro.sim.workloads.WorkloadSpec`.  The split
+into *known* and *unknown* applications mirrors Fig. 6 of the paper: the
+known apps supply the train/test signatures, the unknown apps supply the
+out-of-training signatures used to evaluate zero-day behaviour.
+
+Geometry rationale (see DESIGN.md substitution note):
+
+* **DVFS domain** — benign Android apps are interactive: bursty CPU,
+  significant GPU compositing/rendering load, moderate I/O.  Malware
+  runs programmatic loops (steady mining, periodic encryption, low-duty
+  beaconing) with almost no GPU activity and rigid, timer-driven
+  cadences (small ``dwell_cv``).  The governor turns those dynamics into
+  cleanly distinct state-residency signatures, giving the well-separated
+  classes of Fig. 8a.  The unknown apps (video call, file sync,
+  benchmark, a new banking-trojan family) have dynamics unlike any
+  training app, landing out-of-distribution / in contested regions.
+* **HPC domain** — at the microarchitectural level malware is just
+  code.  The catalogue is built around *overlap clusters*: each cluster
+  pairs a benign application with a malware "twin" drawn from the same
+  instruction-mix / working-set / branch-entropy region, plus a set of
+  distinctive apps occupying clean regions.  The result is the
+  heterogeneous overlap the paper reports: ~84% accuracy overall, with
+  the errors and the predictive uncertainty concentrated in the overlap
+  clusters (Fig. 8b).  The unknown apps are parameterised *inside* the
+  overlap clusters, which is why they land in the contested region
+  rather than out-of-distribution (Section V.B).  Per-session jitter is
+  deliberately higher than in the DVFS domain, mimicking the noisy
+  multi-tenant testbed.
+"""
+
+from __future__ import annotations
+
+from ..sim.workloads import WorkloadPhase, WorkloadSpec
+
+__all__ = [
+    "DVFS_KNOWN_BENIGN",
+    "DVFS_KNOWN_MALWARE",
+    "DVFS_UNKNOWN",
+    "HPC_KNOWN_BENIGN",
+    "HPC_KNOWN_MALWARE",
+    "HPC_UNKNOWN",
+    "dvfs_known_apps",
+    "dvfs_unknown_apps",
+    "hpc_known_apps",
+    "hpc_unknown_apps",
+]
+
+#: Per-session parameter jitter used by all DVFS apps (small: one phone,
+#: controlled collection) and HPC apps (large: noisy desktop testbed).
+_DVFS_JITTER = 0.025
+_HPC_JITTER = 0.12
+
+
+# ----------------------------------------------------------------------
+# DVFS domain (Android-like SoC, Chawla et al. dataset analogue)
+# ----------------------------------------------------------------------
+
+DVFS_KNOWN_BENIGN: tuple[WorkloadSpec, ...] = (
+    WorkloadSpec(
+        name="browser",
+        label=0,
+        family="interactive",
+        phases=(
+            WorkloadPhase("idle_read", cpu_mean=0.10, cpu_std=0.03, gpu_mean=0.06,
+                          burst_prob=0.05, burst_height=0.25, io_rate=0.05,
+                          mean_duration_steps=50),
+            WorkloadPhase("scroll", cpu_mean=0.34, cpu_std=0.08, gpu_mean=0.22,
+                          burst_prob=0.22, burst_height=0.35, io_rate=0.15,
+                          mean_duration_steps=25),
+            WorkloadPhase("page_load", cpu_mean=0.78, cpu_std=0.10, gpu_mean=0.16,
+                          burst_prob=0.10, burst_height=0.20, io_rate=0.45,
+                          mean_duration_steps=8),
+        ),
+        transitions=((0.55, 0.30, 0.15), (0.35, 0.45, 0.20), (0.50, 0.40, 0.10)),
+        app_jitter=_DVFS_JITTER,
+    ),
+    WorkloadSpec(
+        name="video_stream",
+        label=0,
+        family="media",
+        phases=(
+            WorkloadPhase("decode", cpu_mean=0.40, cpu_std=0.05, gpu_mean=0.46,
+                          burst_prob=0.03, burst_height=0.15, io_rate=0.30,
+                          mean_duration_steps=120),
+            WorkloadPhase("buffer", cpu_mean=0.60, cpu_std=0.08, gpu_mean=0.25,
+                          burst_prob=0.05, burst_height=0.18, io_rate=0.60,
+                          mean_duration_steps=10),
+        ),
+        transitions=((0.92, 0.08), (0.70, 0.30)),
+        app_jitter=_DVFS_JITTER,
+    ),
+    WorkloadSpec(
+        name="music_player",
+        label=0,
+        family="media",
+        phases=(
+            WorkloadPhase("playback", cpu_mean=0.22, cpu_std=0.035, gpu_mean=0.12,
+                          burst_prob=0.05, burst_height=0.14, io_rate=0.14,
+                          mean_duration_steps=130),
+            WorkloadPhase("track_change", cpu_mean=0.33, cpu_std=0.06, gpu_mean=0.12,
+                          burst_prob=0.10, burst_height=0.15, io_rate=0.22,
+                          mean_duration_steps=5),
+        ),
+        transitions=((0.94, 0.06), (0.85, 0.15)),
+        app_jitter=_DVFS_JITTER,
+    ),
+    WorkloadSpec(
+        name="casual_game",
+        label=0,
+        family="game",
+        phases=(
+            WorkloadPhase("play", cpu_mean=0.64, cpu_std=0.09, gpu_mean=0.60,
+                          burst_prob=0.25, burst_height=0.22, io_rate=0.10,
+                          mean_duration_steps=80),
+            WorkloadPhase("menu", cpu_mean=0.28, cpu_std=0.06, gpu_mean=0.26,
+                          burst_prob=0.08, burst_height=0.20, io_rate=0.05,
+                          mean_duration_steps=15),
+        ),
+        transitions=((0.90, 0.10), (0.60, 0.40)),
+        app_jitter=_DVFS_JITTER,
+    ),
+    WorkloadSpec(
+        name="social_feed",
+        label=0,
+        family="interactive",
+        phases=(
+            WorkloadPhase("browse", cpu_mean=0.26, cpu_std=0.07, gpu_mean=0.18,
+                          burst_prob=0.18, burst_height=0.30, io_rate=0.25,
+                          mean_duration_steps=35),
+            WorkloadPhase("media_view", cpu_mean=0.52, cpu_std=0.08, gpu_mean=0.36,
+                          burst_prob=0.12, burst_height=0.25, io_rate=0.35,
+                          mean_duration_steps=12),
+            WorkloadPhase("idle", cpu_mean=0.08, cpu_std=0.02, gpu_mean=0.04,
+                          burst_prob=0.03, burst_height=0.15, io_rate=0.04,
+                          mean_duration_steps=35),
+        ),
+        transitions=((0.55, 0.25, 0.20), (0.55, 0.35, 0.10), (0.45, 0.15, 0.40)),
+        app_jitter=_DVFS_JITTER,
+    ),
+    WorkloadSpec(
+        name="email_client",
+        label=0,
+        family="productivity",
+        phases=(
+            WorkloadPhase("read", cpu_mean=0.19, cpu_std=0.045, gpu_mean=0.10,
+                          burst_prob=0.10, burst_height=0.22, io_rate=0.08,
+                          mean_duration_steps=45),
+            WorkloadPhase("sync", cpu_mean=0.46, cpu_std=0.08, gpu_mean=0.04,
+                          burst_prob=0.08, burst_height=0.18, io_rate=0.55,
+                          mean_duration_steps=7),
+        ),
+        transitions=((0.88, 0.12), (0.75, 0.25)),
+        app_jitter=_DVFS_JITTER,
+    ),
+    WorkloadSpec(
+        name="navigation",
+        label=0,
+        family="maps",
+        phases=(
+            WorkloadPhase("track", cpu_mean=0.46, cpu_std=0.07, gpu_mean=0.38,
+                          burst_prob=0.10, burst_height=0.20, io_rate=0.30,
+                          mean_duration_steps=90),
+            WorkloadPhase("reroute", cpu_mean=0.80, cpu_std=0.08, gpu_mean=0.30,
+                          burst_prob=0.15, burst_height=0.15, io_rate=0.40,
+                          mean_duration_steps=6),
+        ),
+        transitions=((0.93, 0.07), (0.80, 0.20)),
+        app_jitter=_DVFS_JITTER,
+    ),
+)
+
+DVFS_KNOWN_MALWARE: tuple[WorkloadSpec, ...] = (
+    WorkloadSpec(
+        name="ransomware",
+        label=1,
+        family="ransomware",
+        phases=(
+            WorkloadPhase("scan_fs", cpu_mean=0.22, cpu_std=0.05, burst_prob=0.05,
+                          burst_height=0.15, io_rate=0.70, mean_duration_steps=20),
+            WorkloadPhase("encrypt", cpu_mean=0.92, cpu_std=0.04, burst_prob=0.02,
+                          burst_height=0.06, io_rate=0.55, mean_duration_steps=55),
+        ),
+        transitions=((0.35, 0.65), (0.25, 0.75)),
+        app_jitter=_DVFS_JITTER,
+    ),
+    WorkloadSpec(
+        name="cryptominer",
+        label=1,
+        family="miner",
+        phases=(
+            WorkloadPhase("mine", cpu_mean=0.96, cpu_std=0.02, burst_prob=0.0,
+                          burst_height=0.0, io_rate=0.04, mean_duration_steps=300),
+            WorkloadPhase("share_submit", cpu_mean=0.85, cpu_std=0.05, burst_prob=0.05,
+                          burst_height=0.10, io_rate=0.20, mean_duration_steps=4),
+        ),
+        transitions=((0.97, 0.03), (0.90, 0.10)),
+        app_jitter=_DVFS_JITTER,
+    ),
+    WorkloadSpec(
+        name="spyware",
+        label=1,
+        family="spyware",
+        phases=(
+            WorkloadPhase("dormant", cpu_mean=0.04, cpu_std=0.015, burst_prob=0.01,
+                          burst_height=0.08, io_rate=0.02, mean_duration_steps=65),
+            WorkloadPhase("harvest", cpu_mean=0.38, cpu_std=0.05, burst_prob=0.06,
+                          burst_height=0.10, io_rate=0.45, mean_duration_steps=8),
+            WorkloadPhase("exfiltrate", cpu_mean=0.20, cpu_std=0.04, burst_prob=0.04,
+                          burst_height=0.10, io_rate=0.80, mean_duration_steps=6),
+        ),
+        transitions=((0.80, 0.15, 0.05), (0.30, 0.40, 0.30), (0.70, 0.10, 0.20)),
+        app_jitter=_DVFS_JITTER,
+    ),
+    WorkloadSpec(
+        name="adware",
+        label=1,
+        family="adware",
+        phases=(
+            WorkloadPhase("background", cpu_mean=0.08, cpu_std=0.015, burst_prob=0.02,
+                          burst_height=0.08, io_rate=0.10, mean_duration_steps=18,
+                          dwell_cv=0.08),
+            WorkloadPhase("ad_fetch_render", cpu_mean=0.66, cpu_std=0.035, gpu_mean=0.08,
+                          burst_prob=0.35, burst_height=0.20, io_rate=0.55,
+                          mean_duration_steps=8, dwell_cv=0.08),
+        ),
+        transitions=((0.70, 0.30), (0.45, 0.55)),
+        app_jitter=_DVFS_JITTER,
+    ),
+    WorkloadSpec(
+        name="botnet_client",
+        label=1,
+        family="botnet",
+        phases=(
+            WorkloadPhase("beacon_idle", cpu_mean=0.06, cpu_std=0.02, burst_prob=0.08,
+                          burst_height=0.12, io_rate=0.12, mean_duration_steps=70,
+                          dwell_cv=0.15),
+            WorkloadPhase("command_exec", cpu_mean=0.82, cpu_std=0.07, burst_prob=0.10,
+                          burst_height=0.12, io_rate=0.60, mean_duration_steps=12),
+        ),
+        transitions=((0.93, 0.07), (0.60, 0.40)),
+        app_jitter=_DVFS_JITTER,
+    ),
+    WorkloadSpec(
+        name="sms_fraud",
+        label=1,
+        family="fraud",
+        phases=(
+            WorkloadPhase("wait", cpu_mean=0.07, cpu_std=0.02, burst_prob=0.02,
+                          burst_height=0.08, io_rate=0.05, mean_duration_steps=40,
+                          dwell_cv=0.10),
+            WorkloadPhase("send_burst", cpu_mean=0.33, cpu_std=0.04, burst_prob=0.50,
+                          burst_height=0.12, io_rate=0.35, mean_duration_steps=6,
+                          dwell_cv=0.10),
+        ),
+        transitions=((0.82, 0.18), (0.70, 0.30)),
+        app_jitter=_DVFS_JITTER,
+    ),
+    WorkloadSpec(
+        name="keylogger",
+        label=1,
+        family="spyware",
+        phases=(
+            WorkloadPhase("hook_loop", cpu_mean=0.05, cpu_std=0.012, burst_prob=0.15,
+                          burst_height=0.05, io_rate=0.06, mean_duration_steps=110,
+                          dwell_cv=0.12),
+            WorkloadPhase("flush_log", cpu_mean=0.18, cpu_std=0.03, burst_prob=0.05,
+                          burst_height=0.08, io_rate=0.40, mean_duration_steps=4,
+                          dwell_cv=0.12),
+        ),
+        transitions=((0.95, 0.05), (0.90, 0.10)),
+        app_jitter=_DVFS_JITTER,
+    ),
+)
+
+DVFS_UNKNOWN: tuple[WorkloadSpec, ...] = (
+    WorkloadSpec(
+        name="video_call",
+        label=0,
+        family="unknown_benign",
+        phases=(
+            WorkloadPhase("call", cpu_mean=0.58, cpu_std=0.06, gpu_mean=0.50,
+                          burst_prob=0.35, burst_height=0.18, io_rate=0.65,
+                          mean_duration_steps=200),
+            WorkloadPhase("screen_share", cpu_mean=0.74, cpu_std=0.07, gpu_mean=0.42,
+                          burst_prob=0.25, burst_height=0.15, io_rate=0.75,
+                          mean_duration_steps=40),
+        ),
+        transitions=((0.90, 0.10), (0.80, 0.20)),
+        app_jitter=_DVFS_JITTER,
+    ),
+    WorkloadSpec(
+        name="file_sync",
+        label=0,
+        family="unknown_benign",
+        phases=(
+            WorkloadPhase("watch", cpu_mean=0.13, cpu_std=0.03, burst_prob=0.06,
+                          burst_height=0.10, io_rate=0.18, mean_duration_steps=25),
+            WorkloadPhase("bulk_transfer", cpu_mean=0.40, cpu_std=0.05, burst_prob=0.08,
+                          burst_height=0.12, io_rate=0.95, mean_duration_steps=20),
+            WorkloadPhase("hash_verify", cpu_mean=0.68, cpu_std=0.05, burst_prob=0.03,
+                          burst_height=0.08, io_rate=0.30, mean_duration_steps=12),
+        ),
+        transitions=((0.70, 0.20, 0.10), (0.30, 0.55, 0.15), (0.50, 0.25, 0.25)),
+        app_jitter=_DVFS_JITTER,
+    ),
+    WorkloadSpec(
+        name="benchmark_suite",
+        label=0,
+        family="unknown_benign",
+        phases=(
+            WorkloadPhase("compute_burn", cpu_mean=0.99, cpu_std=0.01, gpu_mean=0.10,
+                          burst_prob=0.0, burst_height=0.0, io_rate=0.02,
+                          mean_duration_steps=25),
+            WorkloadPhase("cooldown", cpu_mean=0.15, cpu_std=0.03, gpu_mean=0.04,
+                          burst_prob=0.02, burst_height=0.08, io_rate=0.05,
+                          mean_duration_steps=12),
+            WorkloadPhase("gpu_stress", cpu_mean=0.55, cpu_std=0.05, gpu_mean=0.85,
+                          burst_prob=0.05, burst_height=0.10, io_rate=0.10,
+                          mean_duration_steps=18),
+        ),
+        transitions=((0.55, 0.30, 0.15), (0.45, 0.20, 0.35), (0.35, 0.35, 0.30)),
+        app_jitter=_DVFS_JITTER,
+    ),
+    WorkloadSpec(
+        name="banking_trojan",
+        label=1,
+        family="unknown_malware",
+        phases=(
+            WorkloadPhase("overlay_wait", cpu_mean=0.12, cpu_std=0.030, gpu_mean=0.04,
+                          burst_prob=0.12, burst_height=0.22, io_rate=0.15,
+                          mean_duration_steps=28),
+            WorkloadPhase("credential_grab", cpu_mean=0.47, cpu_std=0.06, gpu_mean=0.18,
+                          burst_prob=0.22, burst_height=0.20, io_rate=0.40,
+                          mean_duration_steps=9),
+            WorkloadPhase("c2_sync", cpu_mean=0.30, cpu_std=0.05, burst_prob=0.10,
+                          burst_height=0.15, io_rate=0.85, mean_duration_steps=7),
+        ),
+        transitions=((0.66, 0.20, 0.14), (0.40, 0.35, 0.25), (0.60, 0.20, 0.20)),
+        app_jitter=_DVFS_JITTER,
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# HPC domain (desktop/server CPU, Zhou et al. dataset analogue)
+# ----------------------------------------------------------------------
+
+def _hpc_phases(
+    ws_kib: float,
+    branch_entropy: float,
+    mix: tuple[float, float, float, float],
+    io_rate: float,
+    util: float = 0.85,
+    util_low: float | None = None,
+) -> tuple[WorkloadPhase, ...]:
+    """Two-phase compute/housekeeping structure shared by HPC apps."""
+    low = util_low if util_low is not None else max(util - 0.35, 0.1)
+    return (
+        WorkloadPhase(
+            "compute",
+            cpu_mean=util,
+            cpu_std=0.06,
+            mix=mix,
+            working_set_kib=ws_kib,
+            working_set_sigma=0.45,
+            branch_entropy=branch_entropy,
+            io_rate=io_rate,
+            mean_duration_steps=80,
+        ),
+        WorkloadPhase(
+            "housekeeping",
+            cpu_mean=low,
+            cpu_std=0.07,
+            mix=(0.45, 0.20, 0.22, 0.13),
+            working_set_kib=ws_kib * 0.3,
+            working_set_sigma=0.5,
+            branch_entropy=min(branch_entropy + 0.1, 1.0),
+            io_rate=min(io_rate + 0.2, 1.0),
+            mean_duration_steps=25,
+        ),
+    )
+
+
+def _hpc_spec(name: str, label: int, family: str, phases) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name, label=label, family=family, phases=phases, app_jitter=_HPC_JITTER
+    )
+
+
+HPC_KNOWN_BENIGN: tuple[WorkloadSpec, ...] = (
+    # --- overlap clusters (shared parameter regions with malware) -----
+    _hpc_spec("compression_tool", 0, "compute",       # ~ pc_ransomware
+              _hpc_phases(9000, 0.35, (0.50, 0.12, 0.25, 0.13), 0.35, util=0.88)),
+    _hpc_spec("file_indexer", 0, "system",            # ~ pc_spyware
+              _hpc_phases(7800, 0.52, (0.40, 0.20, 0.27, 0.13), 0.75, util=0.50)),
+    _hpc_spec("web_server", 0, "server",              # ~ pc_banking_bot
+              _hpc_phases(14000, 0.60, (0.40, 0.24, 0.24, 0.12), 0.65, util=0.55)),
+    _hpc_spec("sci_simulation", 0, "compute",         # ~ pc_cryptominer
+              _hpc_phases(80000, 0.14, (0.60, 0.06, 0.24, 0.10), 0.09, util=0.95)),
+    _hpc_spec("compiler", 0, "compute",               # ~ pc_worm
+              _hpc_phases(16000, 0.56, (0.43, 0.22, 0.24, 0.11), 0.45, util=0.60)),
+    _hpc_spec("text_editor", 0, "office",             # ~ pc_keylogger
+              _hpc_phases(2600, 0.48, (0.48, 0.21, 0.21, 0.10), 0.15, util=0.30)),
+    _hpc_spec("antivirus_scan", 0, "system",          # ~ pc_ddos_bot
+              _hpc_phases(9500, 0.50, (0.44, 0.19, 0.25, 0.12), 0.72, util=0.70)),
+    # --- distinctive benign apps (clean regions) -----------------------
+    _hpc_spec("image_editor", 0, "compute",
+              _hpc_phases(48000, 0.25, (0.58, 0.08, 0.24, 0.10), 0.15, util=0.74)),
+    _hpc_spec("database_engine", 0, "server",
+              _hpc_phases(200000, 0.42, (0.36, 0.16, 0.32, 0.16), 0.55, util=0.68)),
+    _hpc_spec("spreadsheet", 0, "office",
+              _hpc_phases(4800, 0.30, (0.54, 0.14, 0.21, 0.11), 0.18, util=0.42)),
+    _hpc_spec("pdf_renderer", 0, "office",
+              _hpc_phases(26000, 0.36, (0.50, 0.13, 0.26, 0.11), 0.20, util=0.56)),
+    _hpc_spec("video_encoder", 0, "media",
+              _hpc_phases(22000, 0.10, (0.64, 0.05, 0.21, 0.10), 0.28, util=0.90)),
+)
+
+HPC_KNOWN_MALWARE: tuple[WorkloadSpec, ...] = (
+    # --- overlap clusters (twins of the benign apps above) -------------
+    _hpc_spec("pc_ransomware", 1, "ransomware",       # ~ compression_tool
+              _hpc_phases(10000, 0.37, (0.51, 0.11, 0.25, 0.13), 0.45, util=0.86)),
+    _hpc_spec("pc_spyware", 1, "spyware",             # ~ file_indexer
+              _hpc_phases(7200, 0.54, (0.41, 0.21, 0.26, 0.12), 0.70, util=0.48)),
+    _hpc_spec("pc_banking_bot", 1, "botnet",          # ~ web_server
+              _hpc_phases(13000, 0.62, (0.39, 0.24, 0.25, 0.12), 0.60, util=0.52)),
+    _hpc_spec("pc_cryptominer", 1, "miner",           # ~ sci_simulation
+              _hpc_phases(72000, 0.15, (0.60, 0.07, 0.23, 0.10), 0.10, util=0.94)),
+    _hpc_spec("pc_worm", 1, "worm",                   # ~ compiler
+              _hpc_phases(15500, 0.58, (0.42, 0.22, 0.24, 0.12), 0.50, util=0.58)),
+    _hpc_spec("pc_keylogger", 1, "spyware",           # ~ text_editor
+              _hpc_phases(3100, 0.50, (0.46, 0.21, 0.22, 0.11), 0.20, util=0.33)),
+    _hpc_spec("pc_ddos_bot", 1, "botnet",             # ~ antivirus_scan
+              _hpc_phases(8600, 0.53, (0.42, 0.20, 0.25, 0.13), 0.78, util=0.68)),
+    # --- distinctive malware (clean regions) ---------------------------
+    _hpc_spec("pc_rootkit", 1, "rootkit",
+              _hpc_phases(1200, 0.66, (0.40, 0.26, 0.22, 0.12), 0.35, util=0.22)),
+    _hpc_spec("pc_adware", 1, "adware",
+              _hpc_phases(38000, 0.62, (0.42, 0.23, 0.24, 0.11), 0.58, util=0.46)),
+    _hpc_spec("pc_packer_virus", 1, "virus",
+              _hpc_phases(55000, 0.44, (0.48, 0.16, 0.25, 0.11), 0.30, util=0.80)),
+)
+
+HPC_UNKNOWN: tuple[WorkloadSpec, ...] = (
+    # New applications / malware families parameterised INSIDE the
+    # overlap clusters above — they land in the contested region, not
+    # out-of-distribution (the paper's Section V.B finding).
+    _hpc_spec("archiver_new", 0, "unknown_benign",    # compression cluster
+              _hpc_phases(9600, 0.36, (0.50, 0.12, 0.25, 0.13), 0.40, util=0.87)),
+    _hpc_spec("game_engine", 0, "unknown_benign",     # compiler/worm cluster
+              _hpc_phases(15800, 0.57, (0.43, 0.22, 0.24, 0.11), 0.48, util=0.59)),
+    _hpc_spec("crypto_wallet", 0, "unknown_benign",   # text/keylogger cluster
+              _hpc_phases(2900, 0.49, (0.47, 0.21, 0.21, 0.11), 0.17, util=0.31)),
+    _hpc_spec("new_ransomware_family", 1, "unknown_malware",
+              _hpc_phases(9400, 0.38, (0.51, 0.12, 0.24, 0.13), 0.48, util=0.85)),
+    _hpc_spec("new_miner_family", 1, "unknown_malware",
+              _hpc_phases(76000, 0.14, (0.60, 0.07, 0.23, 0.10), 0.11, util=0.94)),
+    _hpc_spec("new_infostealer", 1, "unknown_malware",
+              _hpc_phases(7500, 0.53, (0.41, 0.20, 0.26, 0.13), 0.72, util=0.49)),
+)
+
+
+def dvfs_known_apps() -> tuple[WorkloadSpec, ...]:
+    """Known DVFS applications (benign + malware), Fig. 6 left bucket."""
+    return DVFS_KNOWN_BENIGN + DVFS_KNOWN_MALWARE
+
+
+def dvfs_unknown_apps() -> tuple[WorkloadSpec, ...]:
+    """Unknown DVFS applications, Fig. 6 right bucket."""
+    return DVFS_UNKNOWN
+
+
+def hpc_known_apps() -> tuple[WorkloadSpec, ...]:
+    """Known HPC applications (benign + malware)."""
+    return HPC_KNOWN_BENIGN + HPC_KNOWN_MALWARE
+
+
+def hpc_unknown_apps() -> tuple[WorkloadSpec, ...]:
+    """Unknown HPC applications."""
+    return HPC_UNKNOWN

@@ -1,0 +1,234 @@
+"""Feature extraction (S9): sensor traces → classifier feature vectors.
+
+This is the "Feature Extraction" box of the paper's HMD pipeline
+(Figs. 1-2):
+
+* :class:`DvfsFeatureExtractor` — one feature vector per *window* of the
+  DVFS state time-series: per-channel state residency histograms,
+  transition statistics and temperature telemetry.  Matches the style of
+  Chawla et al., where a signature summarises several seconds of DVFS
+  activity.
+* :class:`HpcFeatureExtractor` — one feature vector per *sampling
+  interval*: derived per-instruction/per-cycle rates (IPC, MPKI, ...)
+  plus log-scaled raw counts.  Matches Zhou et al., where every counter
+  sample is a data point (hence the much larger HPC dataset in Table I).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.trace import DvfsTrace, HpcTrace
+
+__all__ = ["DvfsFeatureExtractor", "HpcFeatureExtractor"]
+
+
+class DvfsFeatureExtractor:
+    """Summarise a DVFS window into a fixed-length feature vector.
+
+    Features per channel: state-residency histogram, normalised
+    frequency statistics, transition dynamics (rates, jump sizes, dwell
+    lengths), temporal structure (lag-1 autocorrelation, spectral band
+    energies) — the kind of time-series summary Chawla et al. derive
+    from DVFS state sequences.  Cross-channel correlations and
+    temperature telemetry complete the signature.
+    """
+
+    #: Number of spectral bands of the normalised frequency signal.
+    N_SPECTRAL_BANDS = 4
+
+    _CHANNEL_STATS = (
+        "mean_norm_freq",
+        "std_norm_freq",
+        "transition_rate",
+        "up_transition_rate",
+        "mean_abs_jump",
+        "max_jump",
+        "frac_max_state",
+        "frac_min_state",
+        "frac_low_half",
+        "mean_dwell",
+        "max_dwell_frac",
+        "lag1_autocorr",
+    )
+
+    def feature_names(self, trace: DvfsTrace) -> list[str]:
+        """Names matching :meth:`extract` output order."""
+        names: list[str] = []
+        for c, channel in enumerate(trace.channel_names):
+            for s in range(trace.n_states(c)):
+                names.append(f"{channel}_residency_{s}")
+            names.extend(f"{channel}_{stat}" for stat in self._CHANNEL_STATS)
+            names.extend(
+                f"{channel}_spectral_band_{b}" for b in range(self.N_SPECTRAL_BANDS)
+            )
+        for a in range(trace.n_channels):
+            for b in range(a + 1, trace.n_channels):
+                names.append(
+                    f"xcorr_{trace.channel_names[a]}_{trace.channel_names[b]}"
+                )
+        names.extend(["temp_mean", "temp_std", "temp_slope"])
+        return names
+
+    @staticmethod
+    def _dwell_stats(states: np.ndarray) -> tuple[float, float]:
+        """Mean run length and longest-run fraction of the state series."""
+        change_points = np.flatnonzero(np.diff(states) != 0)
+        boundaries = np.concatenate([[-1], change_points, [len(states) - 1]])
+        run_lengths = np.diff(boundaries).astype(float)
+        return float(run_lengths.mean()), float(run_lengths.max() / len(states))
+
+    def _spectral_bands(self, norm: np.ndarray) -> list[float]:
+        """Energy in N equal-width frequency bands of the signal."""
+        spectrum = np.abs(np.fft.rfft(norm - norm.mean())) ** 2
+        if len(spectrum) <= 1:
+            return [0.0] * self.N_SPECTRAL_BANDS
+        spectrum = spectrum[1:]  # drop DC
+        total = spectrum.sum()
+        if total <= 0:
+            return [0.0] * self.N_SPECTRAL_BANDS
+        bands = np.array_split(spectrum, self.N_SPECTRAL_BANDS)
+        return [float(band.sum() / total) for band in bands]
+
+    def extract(self, trace: DvfsTrace) -> np.ndarray:
+        """Feature vector for one DVFS window."""
+        feats: list[float] = []
+        norms = []
+        for c in range(trace.n_channels):
+            states = trace.states[:, c]
+            n_states = trace.n_states(c)
+            hist = np.bincount(states, minlength=n_states).astype(float)
+            hist /= len(states)
+            feats.extend(hist.tolist())
+
+            norm = states / max(n_states - 1, 1)
+            norms.append(norm)
+            diffs = np.diff(states)
+            transition_rate = float(np.mean(diffs != 0)) if len(diffs) else 0.0
+            up_rate = float(np.mean(diffs > 0)) if len(diffs) else 0.0
+            mean_jump = float(np.mean(np.abs(diffs))) if len(diffs) else 0.0
+            max_jump = float(np.max(np.abs(diffs))) if len(diffs) else 0.0
+            mean_dwell, max_dwell_frac = self._dwell_stats(states)
+            centered = norm - norm.mean()
+            var = float(centered @ centered)
+            if var > 1e-12 and len(norm) > 1:
+                autocorr = float(centered[:-1] @ centered[1:]) / var
+            else:
+                autocorr = 0.0
+            feats.extend(
+                [
+                    float(norm.mean()),
+                    float(norm.std()),
+                    transition_rate,
+                    up_rate,
+                    mean_jump,
+                    max_jump,
+                    float(np.mean(states == n_states - 1)),
+                    float(np.mean(states == 0)),
+                    float(np.mean(norm < 0.5)),
+                    mean_dwell,
+                    max_dwell_frac,
+                    autocorr,
+                ]
+            )
+            feats.extend(self._spectral_bands(norm))
+
+        for a in range(trace.n_channels):
+            for b in range(a + 1, trace.n_channels):
+                sa, sb = norms[a], norms[b]
+                if sa.std() > 1e-9 and sb.std() > 1e-9:
+                    feats.append(float(np.corrcoef(sa, sb)[0, 1]))
+                else:
+                    feats.append(0.0)
+
+        temp = trace.temperature_c
+        slope = float((temp[-1] - temp[0]) / max(len(temp) - 1, 1))
+        feats.extend([float(temp.mean()), float(temp.std()), slope])
+        return np.asarray(feats)
+
+    def extract_windows(self, trace: DvfsTrace, window_steps: int) -> np.ndarray:
+        """Split a long trace into windows and extract each.
+
+        Trailing steps that do not fill a whole window are dropped.
+        """
+        if window_steps < 2:
+            raise ValueError("window_steps must be >= 2.")
+        n_windows = trace.n_steps // window_steps
+        if n_windows == 0:
+            raise ValueError(
+                f"Trace of {trace.n_steps} steps shorter than one window "
+                f"({window_steps})."
+            )
+        rows = []
+        for w in range(n_windows):
+            sub = DvfsTrace(
+                states=trace.states[w * window_steps : (w + 1) * window_steps],
+                frequencies_mhz=trace.frequencies_mhz,
+                channel_names=trace.channel_names,
+                temperature_c=trace.temperature_c[w * window_steps : (w + 1) * window_steps],
+                dt=trace.dt,
+                name=trace.name,
+            )
+            rows.append(self.extract(sub))
+        return np.stack(rows)
+
+
+class HpcFeatureExtractor:
+    """Convert HPC counter intervals into per-sample feature vectors.
+
+    Every sampling interval becomes one sample (matching the HPC
+    dataset's per-interval granularity).  Features combine derived
+    architecture-independent rates with log-scaled raw counts.
+    """
+
+    #: Derived-rate feature names (computed from counter ratios).
+    RATE_FEATURES = (
+        "ipc",
+        "branch_miss_per_kinst",
+        "l1d_mpki",
+        "l2_mpki",
+        "llc_mpki",
+        "dtlb_mpki",
+        "itlb_mpki",
+        "branch_frac",
+        "load_frac",
+        "store_frac",
+        "frontend_stall_frac",
+        "backend_stall_frac",
+        "page_fault_rate",
+        "context_switch_rate",
+    )
+
+    def feature_names(self, trace: HpcTrace) -> list[str]:
+        """Names matching :meth:`extract` output order."""
+        return list(self.RATE_FEATURES) + [
+            f"log_{name}" for name in trace.counter_names
+        ]
+
+    def extract(self, trace: HpcTrace) -> np.ndarray:
+        """Feature matrix ``(n_intervals, n_features)`` for the trace."""
+        c = {name: trace.column(name) for name in trace.counter_names}
+        instructions = np.maximum(c["instructions"], 1.0)
+        cycles = np.maximum(c["cycles"], 1.0)
+        kinst = instructions / 1e3
+
+        rates = np.column_stack(
+            [
+                instructions / cycles,
+                c["branch_misses"] / kinst,
+                c["l1d_misses"] / kinst,
+                c["l2_misses"] / kinst,
+                c["llc_misses"] / kinst,
+                c["dtlb_misses"] / kinst,
+                c["itlb_misses"] / kinst,
+                c["branch_instructions"] / instructions,
+                c["loads"] / instructions,
+                c["stores"] / instructions,
+                c["stalled_cycles_frontend"] / cycles,
+                c["stalled_cycles_backend"] / cycles,
+                c["page_faults"] / trace.dt,
+                c["context_switches"] / trace.dt,
+            ]
+        )
+        logs = np.log1p(trace.counters)
+        return np.hstack([rates, logs])

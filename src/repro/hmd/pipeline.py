@@ -1,0 +1,98 @@
+"""Raw-signal HMD front-ends: sensor traces in, verdicts out (S9).
+
+The :mod:`repro.uncertainty` pipelines operate on *feature vectors*.
+These front-ends close the remaining gap to the hardware: they accept
+raw sensor traces (DVFS state sequences / HPC counter intervals),
+window them, extract features and delegate to a
+:class:`~repro.uncertainty.trust.TrustedHMD` — the full Fig. 2 chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.base import BaseEstimator
+from ..sim.trace import DvfsTrace, HpcTrace
+from ..uncertainty.trust import TrustedHMD, TrustedVerdict
+from .features import DvfsFeatureExtractor, HpcFeatureExtractor
+
+__all__ = ["DvfsHmdFrontend", "HpcHmdFrontend"]
+
+
+class DvfsHmdFrontend:
+    """DVFS-trace → window features → trusted verdicts.
+
+    Parameters
+    ----------
+    ensemble:
+        Unfitted ensemble prototype for the inner :class:`TrustedHMD`.
+    window_steps:
+        Governor samples per signature window.
+    threshold:
+        Entropy rejection threshold (bits).
+    """
+
+    def __init__(
+        self,
+        ensemble: BaseEstimator,
+        *,
+        window_steps: int = 240,
+        threshold: float = 0.40,
+    ):
+        if window_steps < 2:
+            raise ValueError("window_steps must be >= 2.")
+        self.window_steps = window_steps
+        self.extractor = DvfsFeatureExtractor()
+        self.hmd = TrustedHMD(ensemble, threshold=threshold)
+
+    def _featurize(self, traces: list[DvfsTrace]) -> np.ndarray:
+        rows = [
+            self.extractor.extract_windows(trace, self.window_steps)
+            for trace in traces
+        ]
+        return np.vstack(rows)
+
+    def fit(self, traces: list[DvfsTrace], labels: list[int]) -> "DvfsHmdFrontend":
+        """Fit from labelled traces; each trace's windows inherit its label."""
+        if len(traces) != len(labels):
+            raise ValueError("traces and labels lengths differ.")
+        if not traces:
+            raise ValueError("At least one trace is required.")
+        X_parts, y_parts = [], []
+        for trace, label in zip(traces, labels):
+            X = self.extractor.extract_windows(trace, self.window_steps)
+            X_parts.append(X)
+            y_parts.append(np.full(len(X), label))
+        self.hmd.fit(np.vstack(X_parts), np.concatenate(y_parts))
+        return self
+
+    def analyze(self, trace: DvfsTrace) -> TrustedVerdict:
+        """Screen every window of one trace."""
+        X = self.extractor.extract_windows(trace, self.window_steps)
+        return self.hmd.analyze(X)
+
+
+class HpcHmdFrontend:
+    """HPC counter trace → per-interval features → trusted verdicts."""
+
+    def __init__(self, ensemble: BaseEstimator, *, threshold: float = 0.40):
+        self.extractor = HpcFeatureExtractor()
+        self.hmd = TrustedHMD(ensemble, threshold=threshold)
+
+    def fit(self, traces: list[HpcTrace], labels: list[int]) -> "HpcHmdFrontend":
+        """Fit from labelled counter traces (per-interval samples)."""
+        if len(traces) != len(labels):
+            raise ValueError("traces and labels lengths differ.")
+        if not traces:
+            raise ValueError("At least one trace is required.")
+        X_parts, y_parts = [], []
+        for trace, label in zip(traces, labels):
+            X = self.extractor.extract(trace)
+            X_parts.append(X)
+            y_parts.append(np.full(len(X), label))
+        self.hmd.fit(np.vstack(X_parts), np.concatenate(y_parts))
+        return self
+
+    def analyze(self, trace: HpcTrace) -> TrustedVerdict:
+        """Screen every sampling interval of one counter trace."""
+        return self.hmd.analyze(self.extractor.extract(trace))

@@ -1,0 +1,73 @@
+"""From-scratch ML substrate (systems S1-S6 in DESIGN.md).
+
+Implements the subset of a classical ML toolkit that the paper's
+evaluation framework obtains from scikit-learn: estimator API, bagging
+ensembles with accessible base classifiers, Random Forest / Logistic
+Regression / SVM base learners, preprocessing, PCA, t-SNE, metrics,
+model selection, and Platt calibration.
+"""
+
+from .base import BaseEstimator, ClassifierMixin, TransformerMixin, clone
+from .boosting import AdaBoostClassifier, ExtraTreesClassifier
+from .calibration import CalibratedClassifier, PlattScaler
+from .cluster import KMeans
+from .decomposition import PCA
+from .ensemble import BaggingClassifier, RandomForestClassifier, VotingClassifier
+from .feature_selection import (
+    SelectKBest,
+    VarianceThreshold,
+    f_classif,
+    mutual_info_classif,
+)
+from .exceptions import (
+    ConvergenceError,
+    ConvergenceWarning,
+    DataDimensionError,
+    NotFittedError,
+)
+from .linear import LogisticRegression, Perceptron
+from .manifold import TSNE
+from .naive_bayes import GaussianNB
+from .neighbors import KNeighborsClassifier
+from .pipeline import Pipeline, make_pipeline
+from .preprocessing import LabelEncoder, MinMaxScaler, RobustScaler, StandardScaler
+from .svm import SVC, LinearSVC
+from .tree import DecisionTreeClassifier
+
+__all__ = [
+    "AdaBoostClassifier",
+    "BaseEstimator",
+    "BaggingClassifier",
+    "CalibratedClassifier",
+    "ClassifierMixin",
+    "ConvergenceError",
+    "ConvergenceWarning",
+    "DataDimensionError",
+    "DecisionTreeClassifier",
+    "ExtraTreesClassifier",
+    "GaussianNB",
+    "KMeans",
+    "KNeighborsClassifier",
+    "LabelEncoder",
+    "LinearSVC",
+    "LogisticRegression",
+    "MinMaxScaler",
+    "NotFittedError",
+    "PCA",
+    "Perceptron",
+    "Pipeline",
+    "PlattScaler",
+    "RandomForestClassifier",
+    "RobustScaler",
+    "SVC",
+    "SelectKBest",
+    "StandardScaler",
+    "TSNE",
+    "TransformerMixin",
+    "VarianceThreshold",
+    "VotingClassifier",
+    "clone",
+    "f_classif",
+    "make_pipeline",
+    "mutual_info_classif",
+]

@@ -1,0 +1,286 @@
+"""Boosting ensembles: AdaBoost (SAMME) and extremely-randomised trees.
+
+The HMD literature the paper builds on (EnsembleHMD, Sayadi et al.)
+uses boosted ensembles to raise accuracy.  Boosting, however, trains
+its members *sequentially on reweighted data* — they are deliberately
+correlated, which makes their vote dispersion a poor uncertainty
+signal.  :class:`AdaBoostClassifier` exists here so the ablation suite
+can demonstrate that contrast against bagging; it exposes the same
+``decisions`` interface so the uncertainty estimator accepts it.
+
+:class:`ExtraTreesClassifier` goes the other way: *more* randomisation
+than a random forest (random split thresholds, no bootstrap by
+default), producing higher member diversity — a useful upper-contrast
+point in the diversity ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, ClassifierMixin, clone
+from .tree import DecisionTreeClassifier
+from .validation import check_random_state, check_X_y
+
+__all__ = ["AdaBoostClassifier", "ExtraTreesClassifier"]
+
+
+class AdaBoostClassifier(BaseEstimator, ClassifierMixin):
+    """Discrete AdaBoost (SAMME) over shallow decision trees.
+
+    Parameters
+    ----------
+    estimator:
+        Base learner prototype (default: depth-1 decision stump).
+    n_estimators:
+        Maximum number of boosting rounds.
+    learning_rate:
+        Shrinkage applied to each member's weight.
+    """
+
+    def __init__(
+        self,
+        estimator: BaseEstimator | None = None,
+        *,
+        n_estimators: int = 50,
+        learning_rate: float = 1.0,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        self.estimator = estimator
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "AdaBoostClassifier":
+        """Run SAMME boosting rounds with weighted resampling.
+
+        Our base learners accept integer repetition weights only, so
+        each round trains on a weighted bootstrap resample — the
+        classic 'boosting by resampling' variant.
+        """
+        X, y = check_X_y(X, y)
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1.")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive.")
+        self.classes_ = np.unique(y)
+        n_classes = len(self.classes_)
+        if n_classes < 2:
+            raise ValueError("AdaBoost needs at least 2 classes.")
+        self.n_features_in_ = X.shape[1]
+
+        rng = check_random_state(self.random_state)
+        n = len(y)
+        weights = np.full(n, 1.0 / n)
+        self.estimators_: list[BaseEstimator] = []
+        self.estimator_weights_: list[float] = []
+        self.estimator_errors_: list[float] = []
+
+        for _ in range(self.n_estimators):
+            prototype = (
+                clone(self.estimator)
+                if self.estimator is not None
+                else DecisionTreeClassifier(max_depth=1)
+            )
+            if "random_state" in prototype.get_params():
+                prototype.set_params(random_state=int(rng.integers(2**32)))
+            sample_idx = rng.choice(n, size=n, replace=True, p=weights)
+            # Guarantee all classes survive the resample.
+            if len(np.unique(y[sample_idx])) < n_classes:
+                continue
+            prototype.fit(X[sample_idx], y[sample_idx])
+            pred = prototype.predict(X)
+            miss = pred != y
+            error = float(np.sum(weights * miss))
+
+            if error >= 1.0 - 1.0 / n_classes:
+                continue  # worse than chance: skip the round
+            if error <= 0:
+                # Perfect member: give it a large but finite weight.
+                alpha = self.learning_rate * 10.0
+                self.estimators_.append(prototype)
+                self.estimator_weights_.append(alpha)
+                self.estimator_errors_.append(error)
+                break
+            alpha = self.learning_rate * (
+                np.log((1.0 - error) / error) + np.log(n_classes - 1.0)
+            )
+            self.estimators_.append(prototype)
+            self.estimator_weights_.append(float(alpha))
+            self.estimator_errors_.append(error)
+
+            weights *= np.exp(alpha * miss)
+            weights /= weights.sum()
+
+        if not self.estimators_:
+            raise ValueError(
+                "AdaBoost could not fit any base learner better than chance."
+            )
+        return self
+
+    def decisions(self, X) -> np.ndarray:
+        """Per-member hard votes (unweighted), shape ``(n, M)``."""
+        X = self._check_predict_input(X)
+        votes = np.empty((X.shape[0], len(self.estimators_)), dtype=self.classes_.dtype)
+        for m, member in enumerate(self.estimators_):
+            votes[:, m] = member.predict(X)
+        return votes
+
+    def decision_scores(self, X) -> np.ndarray:
+        """Weighted class scores, shape ``(n, n_classes)``."""
+        X = self._check_predict_input(X)
+        scores = np.zeros((X.shape[0], len(self.classes_)))
+        for member, alpha in zip(self.estimators_, self.estimator_weights_):
+            pred = member.predict(X)
+            for k, cls in enumerate(self.classes_):
+                scores[:, k] += alpha * (pred == cls)
+        return scores
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Normalised weighted vote scores."""
+        scores = self.decision_scores(X)
+        totals = scores.sum(axis=1, keepdims=True)
+        totals[totals == 0.0] = 1.0
+        return scores / totals
+
+    def predict(self, X) -> np.ndarray:
+        """Weighted-majority class labels."""
+        return self.classes_[np.argmax(self.decision_scores(X), axis=1)]
+
+
+class _ExtraTreeClassifier(DecisionTreeClassifier):
+    """Decision tree with fully random split thresholds.
+
+    Overrides the split search: instead of scanning all cut positions,
+    a single random threshold per candidate feature is drawn and the
+    best of those is kept (Geurts et al., 2006).
+    """
+
+    def _best_split(
+        self,
+        X,
+        onehot,
+        indices,
+        counts,
+        node_impurity,
+        n_candidate_features,
+        rng,
+        criterion,
+    ):
+        n_node = len(indices)
+        n_features = X.shape[1]
+        if n_candidate_features < n_features:
+            feats = rng.choice(n_features, size=n_candidate_features, replace=False)
+        else:
+            feats = np.arange(n_features)
+
+        Xn = X[np.ix_(indices, feats)]
+        lo = Xn.min(axis=0)
+        hi = Xn.max(axis=0)
+        usable = hi > lo
+        if not usable.any():
+            return None
+        thresholds = lo + rng.random(len(feats)) * (hi - lo)
+
+        best = None
+        for j in np.flatnonzero(usable):
+            go_left = Xn[:, j] <= thresholds[j]
+            n_left = int(go_left.sum())
+            n_right = n_node - n_left
+            if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                continue
+            left_counts = onehot[indices[go_left]].sum(axis=0)
+            right_counts = counts - left_counts
+            from .tree import _impurity
+
+            child = (
+                n_left * _impurity(left_counts, criterion)
+                + n_right * _impurity(right_counts, criterion)
+            ) / n_node
+            gain = node_impurity - float(child)
+            if gain > 1e-12 and (best is None or gain > best[2]):
+                best = (int(feats[j]), float(thresholds[j]), gain)
+        return best
+
+
+class ExtraTreesClassifier(BaseEstimator, ClassifierMixin):
+    """Ensemble of extremely-randomised trees (no bootstrap by default)."""
+
+    def __init__(
+        self,
+        *,
+        n_estimators: int = 100,
+        criterion: str = "gini",
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = "sqrt",
+        bootstrap: bool = False,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        self.n_estimators = n_estimators
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "ExtraTreesClassifier":
+        """Fit ``n_estimators`` extremely-randomised trees."""
+        X, y = check_X_y(X, y)
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1.")
+        rng = check_random_state(self.random_state)
+        n = len(y)
+        self.classes_ = np.unique(y)
+        self.n_features_in_ = X.shape[1]
+        self.estimators_: list[_ExtraTreeClassifier] = []
+        while len(self.estimators_) < self.n_estimators:
+            if self.bootstrap:
+                idx = rng.integers(0, n, size=n)
+                if len(np.unique(y[idx])) < len(self.classes_):
+                    continue
+            else:
+                idx = np.arange(n)
+            tree = _ExtraTreeClassifier(
+                criterion=self.criterion,
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(2**32)),
+            )
+            tree.fit(X[idx], y[idx])
+            self.estimators_.append(tree)
+        return self
+
+    def decisions(self, X) -> np.ndarray:
+        """Per-tree hard votes, shape ``(n, n_estimators)``."""
+        X = self._check_predict_input(X)
+        votes = np.empty((X.shape[0], len(self.estimators_)), dtype=self.classes_.dtype)
+        for m, tree in enumerate(self.estimators_):
+            votes[:, m] = tree.predict(X)
+        return votes
+
+    def vote_distribution(self, X) -> np.ndarray:
+        """Vote-fraction distribution over classes."""
+        votes = self.decisions(X)
+        distribution = np.zeros((votes.shape[0], len(self.classes_)))
+        for k, cls in enumerate(self.classes_):
+            distribution[:, k] = np.mean(votes == cls, axis=1)
+        return distribution
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Mean per-tree leaf probabilities."""
+        X = self._check_predict_input(X)
+        proba = np.zeros((X.shape[0], len(self.classes_)))
+        for tree in self.estimators_:
+            proba += tree.predict_proba(X)
+        return proba / len(self.estimators_)
+
+    def predict(self, X) -> np.ndarray:
+        """Majority-vote labels."""
+        distribution = self.vote_distribution(X)
+        return self.classes_[np.argmax(distribution, axis=1)]

@@ -1,0 +1,128 @@
+"""Clustering: k-means (Lloyd's algorithm with k-means++ seeding).
+
+Used by the forensic-triage extension: signatures flagged as uncertain
+by the Trusted HMD are clustered so a security analyst can label novel
+workload *groups* instead of individual windows — one label per new
+malware family rather than thousands of per-sample decisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, TransformerMixin
+from .metrics.pairwise import squared_euclidean_distances
+from .validation import check_array, check_is_fitted, check_random_state
+
+__all__ = ["KMeans"]
+
+
+class KMeans(BaseEstimator, TransformerMixin):
+    """Lloyd's k-means with k-means++ initialisation.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of centroids k.
+    n_init:
+        Independent restarts; the lowest-inertia run is kept.
+    max_iter:
+        Lloyd iterations per restart.
+    tol:
+        Relative centroid-shift tolerance for convergence.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        *,
+        n_init: int = 4,
+        max_iter: int = 200,
+        tol: float = 1e-6,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.random_state = random_state
+
+    def _kmeanspp(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding: spread the initial centroids."""
+        n = X.shape[0]
+        centers = np.empty((self.n_clusters, X.shape[1]))
+        centers[0] = X[rng.integers(n)]
+        closest = squared_euclidean_distances(X, centers[:1]).ravel()
+        for k in range(1, self.n_clusters):
+            total = closest.sum()
+            if total <= 0:
+                centers[k] = X[rng.integers(n)]
+                continue
+            probs = closest / total
+            centers[k] = X[rng.choice(n, p=probs)]
+            distances = squared_euclidean_distances(X, centers[k : k + 1]).ravel()
+            closest = np.minimum(closest, distances)
+        return centers
+
+    def _lloyd(self, X: np.ndarray, centers: np.ndarray) -> tuple[np.ndarray, np.ndarray, float]:
+        """Run Lloyd iterations from the given centroids."""
+        for _ in range(self.max_iter):
+            distances = squared_euclidean_distances(X, centers)
+            labels = np.argmin(distances, axis=1)
+            new_centers = centers.copy()
+            for k in range(self.n_clusters):
+                members = X[labels == k]
+                if len(members):
+                    new_centers[k] = members.mean(axis=0)
+            shift = float(np.linalg.norm(new_centers - centers))
+            centers = new_centers
+            if shift <= self.tol * (1.0 + float(np.linalg.norm(centers))):
+                break
+        distances = squared_euclidean_distances(X, centers)
+        labels = np.argmin(distances, axis=1)
+        inertia = float(distances[np.arange(len(labels)), labels].sum())
+        return centers, labels, inertia
+
+    def fit(self, X, y=None) -> "KMeans":
+        """Fit centroids; keeps the best of ``n_init`` restarts."""
+        X = check_array(X)
+        if self.n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1.")
+        if X.shape[0] < self.n_clusters:
+            raise ValueError(
+                f"n_samples={X.shape[0]} < n_clusters={self.n_clusters}."
+            )
+        if self.n_init < 1:
+            raise ValueError("n_init must be >= 1.")
+        rng = check_random_state(self.random_state)
+
+        best = None
+        for _ in range(self.n_init):
+            centers = self._kmeanspp(X, rng)
+            centers, labels, inertia = self._lloyd(X, centers)
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia)
+        self.cluster_centers_, self.labels_, self.inertia_ = best
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Nearest-centroid assignment."""
+        check_is_fitted(self, "cluster_centers_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"Expected {self.n_features_in_} features, got {X.shape[1]}."
+            )
+        distances = squared_euclidean_distances(X, self.cluster_centers_)
+        return np.argmin(distances, axis=1)
+
+    def transform(self, X) -> np.ndarray:
+        """Distances to every centroid (cluster-space embedding)."""
+        check_is_fitted(self, "cluster_centers_")
+        X = check_array(X)
+        return np.sqrt(squared_euclidean_distances(X, self.cluster_centers_))
+
+    def fit_predict(self, X, y=None) -> np.ndarray:
+        """Fit and return the training-point labels."""
+        return self.fit(X).labels_

@@ -1,0 +1,348 @@
+"""Ensemble classifiers: bagging, random forest, and voting.
+
+The paper's uncertainty estimator is built directly on top of
+:class:`BaggingClassifier`: bagging draws bootstrap replicates of the
+training set (Breiman 1996), fits one base classifier per replicate, and
+— crucially for the paper — exposes the fitted base classifiers via the
+``estimators_`` attribute so the Uncertainty Estimator module can form
+the *frequency distribution of their individual decisions* (Fig. 2,
+Eq. 3-4 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, ClassifierMixin, clone
+from .exceptions import ConvergenceError
+from .tree import DecisionTreeClassifier
+from .validation import check_random_state, check_X_y
+
+__all__ = ["BaggingClassifier", "RandomForestClassifier", "VotingClassifier"]
+
+
+def _resolve_count(value: int | float, total: int, name: str) -> int:
+    """Interpret an int (absolute) or float (fraction) sampling size."""
+    if isinstance(value, float):
+        if not 0.0 < value <= 1.0:
+            raise ValueError(f"{name} fraction must be in (0, 1]; got {value}.")
+        return max(1, int(round(value * total)))
+    count = int(value)
+    if not 1 <= count <= total:
+        raise ValueError(f"{name}={value} out of range [1, {total}].")
+    return count
+
+
+class BaggingClassifier(BaseEstimator, ClassifierMixin):
+    """Bootstrap-aggregating ensemble over an arbitrary base classifier.
+
+    Parameters
+    ----------
+    estimator:
+        Prototype base classifier; one unfitted clone is trained per
+        bootstrap replicate.  Defaults to a decision tree.
+    n_estimators:
+        Ensemble size M.  The paper finds entropy estimates stabilise
+        for M ≳ 20 (Fig. 9a) and uses M = 100 for headline results.
+    max_samples:
+        Bootstrap replicate size (int or fraction of n).
+    max_features:
+        Feature subsample per replicate (int or fraction).
+    bootstrap:
+        Sample with replacement (True = classic bagging).
+    on_base_failure:
+        What to do when a base classifier raises
+        :class:`ConvergenceError` during fit: ``"raise"`` (default)
+        propagates — this is how the HPC/SVM "failed to converge"
+        observation from Section V.B surfaces — while ``"skip"`` drops
+        the replicate (at least one must survive).
+    """
+
+    def __init__(
+        self,
+        estimator: BaseEstimator | None = None,
+        *,
+        n_estimators: int = 10,
+        max_samples: int | float = 1.0,
+        max_features: int | float = 1.0,
+        bootstrap: bool = True,
+        on_base_failure: str = "raise",
+        random_state: int | np.random.Generator | None = None,
+    ):
+        self.estimator = estimator
+        self.n_estimators = n_estimators
+        self.max_samples = max_samples
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.on_base_failure = on_base_failure
+        self.random_state = random_state
+
+    def _make_base(self) -> BaseEstimator:
+        prototype = self.estimator
+        if prototype is None:
+            prototype = DecisionTreeClassifier()
+        return clone(prototype)
+
+    def fit(self, X, y) -> "BaggingClassifier":
+        """Fit ``n_estimators`` clones on bootstrap replicates."""
+        X, y = check_X_y(X, y)
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1.")
+        if self.on_base_failure not in ("raise", "skip"):
+            raise ValueError(
+                f"on_base_failure must be 'raise' or 'skip'; got {self.on_base_failure!r}."
+            )
+        rng = check_random_state(self.random_state)
+        n_samples, n_features = X.shape
+        n_draw = _resolve_count(self.max_samples, n_samples, "max_samples")
+        n_feats = _resolve_count(self.max_features, n_features, "max_features")
+
+        self.classes_ = np.unique(y)
+        self.n_features_in_ = n_features
+        self.estimators_: list[BaseEstimator] = []
+        self.estimators_features_: list[np.ndarray] = []
+        self.estimators_samples_: list[np.ndarray] = []
+
+        attempts = 0
+        max_attempts = self.n_estimators * 3
+        while len(self.estimators_) < self.n_estimators:
+            attempts += 1
+            if attempts > max_attempts:
+                raise ConvergenceError(
+                    f"Unable to fit {self.n_estimators} base classifiers after "
+                    f"{max_attempts} attempts (too many ConvergenceErrors)."
+                )
+            if self.bootstrap:
+                sample_idx = rng.integers(0, n_samples, size=n_draw)
+            else:
+                sample_idx = rng.permutation(n_samples)[:n_draw]
+            # Guarantee both classes appear in the replicate so every base
+            # classifier sees the full label set.
+            if len(np.unique(y[sample_idx])) < len(self.classes_):
+                continue
+            if n_feats < n_features:
+                feature_idx = np.sort(rng.choice(n_features, size=n_feats, replace=False))
+            else:
+                feature_idx = np.arange(n_features)
+
+            base = self._make_base()
+            if "random_state" in base.get_params():
+                base.set_params(random_state=int(rng.integers(2**32)))
+            try:
+                base.fit(X[np.ix_(sample_idx, feature_idx)], y[sample_idx])
+            except ConvergenceError:
+                if self.on_base_failure == "raise":
+                    raise
+                continue
+            self.estimators_.append(base)
+            self.estimators_features_.append(feature_idx)
+            self.estimators_samples_.append(sample_idx)
+        return self
+
+    def decisions(self, X) -> np.ndarray:
+        """Matrix of per-member hard votes, shape ``(n_samples, M)``.
+
+        This is the raw material of the paper's Uncertainty Estimator:
+        column ``m`` holds the class predicted by base classifier ``m``.
+        """
+        X = self._check_predict_input(X)
+        votes = np.empty((X.shape[0], len(self.estimators_)), dtype=self.classes_.dtype)
+        for m, (base, feats) in enumerate(
+            zip(self.estimators_, self.estimators_features_)
+        ):
+            votes[:, m] = base.predict(X[:, feats])
+        return votes
+
+    def vote_distribution(self, X) -> np.ndarray:
+        """Frequency distribution of member decisions over classes.
+
+        Shape ``(n_samples, n_classes)``; rows sum to 1.  Approximates
+        the predictive posterior of Eq. 3.
+        """
+        votes = self.decisions(X)
+        n_classes = len(self.classes_)
+        distribution = np.zeros((votes.shape[0], n_classes))
+        for k, cls in enumerate(self.classes_):
+            distribution[:, k] = np.mean(votes == cls, axis=1)
+        return distribution
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Ensemble probability = member vote fractions."""
+        return self.vote_distribution(X)
+
+    def predict(self, X) -> np.ndarray:
+        """Majority vote of the base classifiers."""
+        distribution = self.vote_distribution(X)
+        return self.classes_[np.argmax(distribution, axis=1)]
+
+
+class RandomForestClassifier(BaseEstimator, ClassifierMixin):
+    """Random forest = bagged CART trees with per-split feature subsampling.
+
+    Exposes the same ``estimators_`` / ``decisions`` interface as
+    :class:`BaggingClassifier` so the uncertainty estimator treats both
+    uniformly.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_estimators: int = 100,
+        criterion: str = "gini",
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = "sqrt",
+        bootstrap: bool = True,
+        max_samples: int | float = 1.0,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        self.n_estimators = n_estimators
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.max_samples = max_samples
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        """Fit ``n_estimators`` randomised trees on bootstrap replicates."""
+        X, y = check_X_y(X, y)
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1.")
+        rng = check_random_state(self.random_state)
+        n_samples = X.shape[0]
+        n_draw = _resolve_count(self.max_samples, n_samples, "max_samples")
+
+        self.classes_ = np.unique(y)
+        self.n_features_in_ = X.shape[1]
+        self.estimators_: list[DecisionTreeClassifier] = []
+        self.estimators_samples_: list[np.ndarray] = []
+        while len(self.estimators_) < self.n_estimators:
+            if self.bootstrap:
+                sample_idx = rng.integers(0, n_samples, size=n_draw)
+            else:
+                sample_idx = rng.permutation(n_samples)[:n_draw]
+            if len(np.unique(y[sample_idx])) < len(self.classes_):
+                continue
+            tree = DecisionTreeClassifier(
+                criterion=self.criterion,
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(2**32)),
+            )
+            tree.fit(X[sample_idx], y[sample_idx])
+            self.estimators_.append(tree)
+            self.estimators_samples_.append(sample_idx)
+        return self
+
+    def decisions(self, X) -> np.ndarray:
+        """Per-tree hard votes, shape ``(n_samples, n_estimators)``."""
+        X = self._check_predict_input(X)
+        votes = np.empty((X.shape[0], len(self.estimators_)), dtype=self.classes_.dtype)
+        for m, tree in enumerate(self.estimators_):
+            votes[:, m] = tree.predict(X)
+        return votes
+
+    def vote_distribution(self, X) -> np.ndarray:
+        """Vote-fraction distribution over classes (rows sum to 1)."""
+        votes = self.decisions(X)
+        distribution = np.zeros((votes.shape[0], len(self.classes_)))
+        for k, cls in enumerate(self.classes_):
+            distribution[:, k] = np.mean(votes == cls, axis=1)
+        return distribution
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Mean of per-tree leaf probability estimates."""
+        X = self._check_predict_input(X)
+        proba = np.zeros((X.shape[0], len(self.classes_)))
+        for tree in self.estimators_:
+            proba += tree.predict_proba(X)
+        return proba / len(self.estimators_)
+
+    def predict(self, X) -> np.ndarray:
+        """Majority-vote class labels."""
+        distribution = self.vote_distribution(X)
+        return self.classes_[np.argmax(distribution, axis=1)]
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Mean impurity-decrease importances across trees."""
+        importances = np.zeros(self.n_features_in_)
+        for tree in self.estimators_:
+            importances += tree.feature_importances_
+        total = importances.sum()
+        return importances / total if total > 0 else importances
+
+
+class VotingClassifier(BaseEstimator, ClassifierMixin):
+    """Hard/soft voting over heterogeneous, named estimators.
+
+    Used in the diversity ablation: a vote over *different model
+    families* is an alternative ensemble construction to bagging one
+    family.
+    """
+
+    def __init__(
+        self,
+        estimators: list[tuple[str, BaseEstimator]],
+        *,
+        voting: str = "hard",
+    ):
+        self.estimators = estimators
+        self.voting = voting
+
+    def fit(self, X, y) -> "VotingClassifier":
+        """Fit every named estimator on the full data."""
+        X, y = check_X_y(X, y)
+        if not self.estimators:
+            raise ValueError("estimators list is empty.")
+        if self.voting not in ("hard", "soft"):
+            raise ValueError(f"voting must be 'hard' or 'soft'; got {self.voting!r}.")
+        self.classes_ = np.unique(y)
+        self.n_features_in_ = X.shape[1]
+        self.named_estimators_ = {}
+        self.estimators_ = []
+        for name, prototype in self.estimators:
+            model = clone(prototype)
+            model.fit(X, y)
+            self.named_estimators_[name] = model
+            self.estimators_.append(model)
+        return self
+
+    def decisions(self, X) -> np.ndarray:
+        """Per-member hard votes, shape ``(n_samples, n_members)``."""
+        X = self._check_predict_input(X)
+        votes = np.empty((X.shape[0], len(self.estimators_)), dtype=self.classes_.dtype)
+        for m, model in enumerate(self.estimators_):
+            votes[:, m] = model.predict(X)
+        return votes
+
+    def vote_distribution(self, X) -> np.ndarray:
+        """Vote-fraction distribution over classes (rows sum to 1)."""
+        votes = self.decisions(X)
+        distribution = np.zeros((votes.shape[0], len(self.classes_)))
+        for k, cls in enumerate(self.classes_):
+            distribution[:, k] = np.mean(votes == cls, axis=1)
+        return distribution
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Soft voting: mean member probabilities (requires voting='soft')."""
+        if self.voting != "soft":
+            raise ValueError("predict_proba requires voting='soft'.")
+        X = self._check_predict_input(X)
+        proba = np.zeros((X.shape[0], len(self.classes_)))
+        for model in self.estimators_:
+            proba += model.predict_proba(X)
+        return proba / len(self.estimators_)
+
+    def predict(self, X) -> np.ndarray:
+        """Majority (hard) or highest-mean-probability (soft) labels."""
+        if self.voting == "soft":
+            return self.classes_[np.argmax(self.predict_proba(X), axis=1)]
+        distribution = self.vote_distribution(X)
+        return self.classes_[np.argmax(distribution, axis=1)]

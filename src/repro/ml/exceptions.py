@@ -1,0 +1,24 @@
+"""Exceptions and warnings used across the :mod:`repro.ml` substrate."""
+
+from __future__ import annotations
+
+
+class NotFittedError(ValueError, AttributeError):
+    """Raised when an estimator is used before :meth:`fit` was called.
+
+    Inherits from both :class:`ValueError` and :class:`AttributeError`
+    so that callers that guard with either exception type keep working.
+    """
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when an iterative solver fails to converge and the caller
+    requested strict behaviour (``on_no_convergence="raise"``)."""
+
+
+class ConvergenceWarning(UserWarning):
+    """Emitted when an iterative solver exhausts its iteration budget."""
+
+
+class DataDimensionError(ValueError):
+    """Raised when input arrays have incompatible or unsupported shapes."""

@@ -1,0 +1,155 @@
+"""t-SNE embedding (exact, O(n²)) for latent-space visualisation.
+
+Fig. 8 of the paper uses t-SNE to show that the DVFS training classes
+are disjoint while the HPC classes overlap.  This implementation follows
+van der Maaten & Hinton (2008): per-point perplexity calibration by
+bisection, early exaggeration, and momentum gradient descent on the KL
+divergence between the high- and low-dimensional affinities.
+
+Exact t-SNE is quadratic in n, so the Fig. 8 experiment subsamples to
+≲1500 points — the geometric conclusion (disjoint vs. overlapping) is
+unchanged, and :mod:`repro.ml.metrics` provides quantitative overlap
+scores computed on the full data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator
+from .metrics.pairwise import squared_euclidean_distances
+from .validation import check_array, check_random_state
+
+__all__ = ["TSNE"]
+
+_MACHINE_EPSILON = np.finfo(np.float64).eps
+
+
+def _binary_search_perplexity(
+    distances_sq: np.ndarray, perplexity: float, *, tol: float = 1e-5, max_iter: int = 50
+) -> np.ndarray:
+    """Per-row conditional Gaussian affinities with the target perplexity.
+
+    For every point the precision ``beta`` is tuned by bisection until
+    the Shannon entropy of the conditional distribution matches
+    ``log(perplexity)``.
+    """
+    n = distances_sq.shape[0]
+    target_entropy = np.log(perplexity)
+    P = np.zeros_like(distances_sq)
+
+    for i in range(n):
+        beta, beta_min, beta_max = 1.0, -np.inf, np.inf
+        d_i = np.delete(distances_sq[i], i)
+        for _ in range(max_iter):
+            p_i = np.exp(-d_i * beta)
+            sum_p = max(p_i.sum(), _MACHINE_EPSILON)
+            entropy = np.log(sum_p) + beta * float(d_i @ p_i) / sum_p
+            diff = entropy - target_entropy
+            if abs(diff) < tol:
+                break
+            if diff > 0:  # entropy too high -> sharpen
+                beta_min = beta
+                beta = beta * 2.0 if not np.isfinite(beta_max) else (beta + beta_max) / 2.0
+            else:
+                beta_max = beta
+                beta = beta / 2.0 if not np.isfinite(beta_min) else (beta + beta_min) / 2.0
+        p_i = np.exp(-d_i * beta)
+        p_i /= max(p_i.sum(), _MACHINE_EPSILON)
+        P[i, np.arange(n) != i] = p_i
+    return P
+
+
+class TSNE(BaseEstimator):
+    """Exact t-distributed stochastic neighbour embedding.
+
+    Parameters
+    ----------
+    n_components:
+        Embedding dimensionality (2 for the Fig. 8 reproduction).
+    perplexity:
+        Effective neighbour count; must be < (n_samples - 1) / 3.
+    learning_rate:
+        Gradient-descent step size.
+    n_iter:
+        Total optimisation iterations (early exaggeration occupies the
+        first quarter, capped at 250).
+    early_exaggeration:
+        Multiplier applied to P during the exaggeration phase.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_components: int = 2,
+        perplexity: float = 30.0,
+        learning_rate: float = 200.0,
+        n_iter: int = 500,
+        early_exaggeration: float = 12.0,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        self.n_components = n_components
+        self.perplexity = perplexity
+        self.learning_rate = learning_rate
+        self.n_iter = n_iter
+        self.early_exaggeration = early_exaggeration
+        self.random_state = random_state
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        """Embed ``X``; returns the ``(n_samples, n_components)`` layout."""
+        X = check_array(X)
+        n = X.shape[0]
+        if n < 5:
+            raise ValueError(f"t-SNE needs at least 5 samples; got {n}.")
+        max_perplexity = (n - 1) / 3.0
+        if self.perplexity >= max_perplexity:
+            raise ValueError(
+                f"perplexity={self.perplexity} too large for n={n}; "
+                f"must be < {max_perplexity:.1f}."
+            )
+        rng = check_random_state(self.random_state)
+
+        distances_sq = squared_euclidean_distances(X)
+        P_conditional = _binary_search_perplexity(distances_sq, self.perplexity)
+        P = (P_conditional + P_conditional.T) / (2.0 * n)
+        np.maximum(P, _MACHINE_EPSILON, out=P)
+
+        Y = rng.normal(scale=1e-4, size=(n, self.n_components))
+        velocity = np.zeros_like(Y)
+        gains = np.ones_like(Y)
+
+        exaggeration_iters = min(250, self.n_iter // 4)
+        P_run = P * self.early_exaggeration
+
+        for iteration in range(self.n_iter):
+            if iteration == exaggeration_iters:
+                P_run = P
+
+            d2 = squared_euclidean_distances(Y)
+            student = 1.0 / (1.0 + d2)
+            np.fill_diagonal(student, 0.0)
+            Q = student / max(student.sum(), _MACHINE_EPSILON)
+            np.maximum(Q, _MACHINE_EPSILON, out=Q)
+
+            # Gradient of KL(P||Q): 4 * sum_j (p - q) * student * (y_i - y_j)
+            PQd = (P_run - Q) * student
+            grad = 4.0 * (
+                np.diag(PQd.sum(axis=1)) @ Y - PQd @ Y
+            )
+
+            momentum = 0.5 if iteration < exaggeration_iters else 0.8
+            same_sign = np.sign(grad) == np.sign(velocity)
+            gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+            np.maximum(gains, 0.01, out=gains)
+            velocity = momentum * velocity - self.learning_rate * gains * grad
+            Y = Y + velocity
+            Y = Y - Y.mean(axis=0)
+
+        d2 = squared_euclidean_distances(Y)
+        student = 1.0 / (1.0 + d2)
+        np.fill_diagonal(student, 0.0)
+        Q = student / max(student.sum(), _MACHINE_EPSILON)
+        np.maximum(Q, _MACHINE_EPSILON, out=Q)
+        self.kl_divergence_ = float(np.sum(P * np.log(P / Q)))
+        self.embedding_ = Y
+        return Y

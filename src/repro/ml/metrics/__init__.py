@@ -1,0 +1,65 @@
+"""Metrics for the from-scratch ML substrate (S1 in DESIGN.md)."""
+
+from ._classification import (
+    ClassificationReport,
+    accuracy_score,
+    balanced_accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    fbeta_score,
+    matthews_corrcoef,
+    precision_recall_fscore_support,
+    precision_score,
+    recall_score,
+)
+from ._cluster import (
+    centroid_separation_ratio,
+    class_overlap_score,
+    neighborhood_purity,
+    silhouette_samples,
+    silhouette_score,
+)
+from ._ranking import (
+    average_precision_score,
+    precision_recall_curve,
+    roc_auc_score,
+    roc_curve,
+)
+from .pairwise import (
+    euclidean_distances,
+    linear_kernel,
+    manhattan_distances,
+    polynomial_kernel,
+    rbf_kernel,
+    squared_euclidean_distances,
+)
+
+__all__ = [
+    "ClassificationReport",
+    "accuracy_score",
+    "average_precision_score",
+    "balanced_accuracy_score",
+    "centroid_separation_ratio",
+    "class_overlap_score",
+    "classification_report",
+    "confusion_matrix",
+    "euclidean_distances",
+    "f1_score",
+    "fbeta_score",
+    "linear_kernel",
+    "manhattan_distances",
+    "matthews_corrcoef",
+    "neighborhood_purity",
+    "polynomial_kernel",
+    "precision_recall_curve",
+    "precision_recall_fscore_support",
+    "precision_score",
+    "rbf_kernel",
+    "recall_score",
+    "roc_auc_score",
+    "roc_curve",
+    "silhouette_samples",
+    "silhouette_score",
+    "squared_euclidean_distances",
+]

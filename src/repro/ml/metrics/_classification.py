@@ -1,0 +1,264 @@
+"""Classification metrics: confusion matrix, precision/recall/F1, accuracy.
+
+These power the paper's headline numbers — the F1-vs-threshold sweep in
+Fig. 7b and the precision/recall trade-off discussed for the HPC dataset
+in Section V.B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..validation import check_consistent_length, column_or_1d, unique_labels
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "fbeta_score",
+    "precision_recall_fscore_support",
+    "balanced_accuracy_score",
+    "matthews_corrcoef",
+    "classification_report",
+    "ClassificationReport",
+]
+
+
+def _validate_pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = column_or_1d(y_true, name="y_true")
+    y_pred = column_or_1d(y_pred, name="y_pred")
+    check_consistent_length(y_true, y_pred)
+    if y_true.size == 0:
+        raise ValueError("y_true is empty.")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exactly matching labels."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, *, labels=None) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = samples of class ``labels[i]``
+    predicted as ``labels[j]``.
+
+    ``labels`` defaults to the sorted union of labels observed in either
+    array, so a degenerate prediction vector still yields a square matrix.
+    """
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    if labels is None:
+        labels = unique_labels(np.concatenate([y_true, y_pred]))
+    else:
+        labels = np.asarray(labels)
+    index = {label: i for i, label in enumerate(labels.tolist())}
+    n = len(labels)
+    matrix = np.zeros((n, n), dtype=np.int64)
+    for t, p in zip(y_true.tolist(), y_pred.tolist()):
+        if t in index and p in index:
+            matrix[index[t], index[p]] += 1
+    return matrix
+
+
+def _binary_counts(y_true, y_pred, pos_label) -> tuple[int, int, int, int]:
+    """(tp, fp, fn, tn) for a binary problem with the given positive label."""
+    true_pos_mask = y_true == pos_label
+    pred_pos_mask = y_pred == pos_label
+    tp = int(np.sum(true_pos_mask & pred_pos_mask))
+    fp = int(np.sum(~true_pos_mask & pred_pos_mask))
+    fn = int(np.sum(true_pos_mask & ~pred_pos_mask))
+    tn = int(np.sum(~true_pos_mask & ~pred_pos_mask))
+    return tp, fp, fn, tn
+
+
+def precision_recall_fscore_support(
+    y_true,
+    y_pred,
+    *,
+    beta: float = 1.0,
+    labels=None,
+    average: str | None = None,
+    zero_division: float = 0.0,
+):
+    """Per-class (or averaged) precision, recall, F-beta and support.
+
+    ``average`` may be ``None`` (per-class arrays), ``"binary"`` (the
+    positive class is the larger label, matching the benign=0 / malware=1
+    convention used throughout the reproduction), ``"macro"``,
+    ``"micro"`` or ``"weighted"``.
+    """
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    if labels is None:
+        labels = unique_labels(np.concatenate([y_true, y_pred]))
+    else:
+        labels = np.asarray(labels)
+
+    if average == "binary":
+        if len(labels) > 2:
+            raise ValueError(
+                f"average='binary' requires at most 2 labels; got {len(labels)}."
+            )
+        pos_label = labels[-1]
+        tp, fp, fn, _ = _binary_counts(y_true, y_pred, pos_label)
+        precision = tp / (tp + fp) if (tp + fp) else zero_division
+        recall = tp / (tp + fn) if (tp + fn) else zero_division
+        beta2 = beta * beta
+        denom = beta2 * precision + recall
+        fscore = (1 + beta2) * precision * recall / denom if denom else zero_division
+        support = int(np.sum(y_true == pos_label))
+        return float(precision), float(recall), float(fscore), support
+
+    precisions, recalls, fscores, supports = [], [], [], []
+    for label in labels:
+        tp, fp, fn, _ = _binary_counts(y_true, y_pred, label)
+        p = tp / (tp + fp) if (tp + fp) else zero_division
+        r = tp / (tp + fn) if (tp + fn) else zero_division
+        beta2 = beta * beta
+        denom = beta2 * p + r
+        f = (1 + beta2) * p * r / denom if denom else zero_division
+        precisions.append(p)
+        recalls.append(r)
+        fscores.append(f)
+        supports.append(int(np.sum(y_true == label)))
+
+    precisions = np.asarray(precisions)
+    recalls = np.asarray(recalls)
+    fscores = np.asarray(fscores)
+    supports = np.asarray(supports)
+
+    if average is None:
+        return precisions, recalls, fscores, supports
+    if average == "macro":
+        return (
+            float(precisions.mean()),
+            float(recalls.mean()),
+            float(fscores.mean()),
+            int(supports.sum()),
+        )
+    if average == "weighted":
+        total = supports.sum()
+        weights = supports / total if total else np.zeros_like(supports, dtype=float)
+        return (
+            float(precisions @ weights),
+            float(recalls @ weights),
+            float(fscores @ weights),
+            int(total),
+        )
+    if average == "micro":
+        tp_total = fp_total = fn_total = 0
+        for label in labels:
+            tp, fp, fn, _ = _binary_counts(y_true, y_pred, label)
+            tp_total += tp
+            fp_total += fp
+            fn_total += fn
+        p = tp_total / (tp_total + fp_total) if (tp_total + fp_total) else zero_division
+        r = tp_total / (tp_total + fn_total) if (tp_total + fn_total) else zero_division
+        beta2 = beta * beta
+        denom = beta2 * p + r
+        f = (1 + beta2) * p * r / denom if denom else zero_division
+        return float(p), float(r), float(f), int(supports.sum())
+    raise ValueError(f"Unknown average: {average!r}.")
+
+
+def precision_score(y_true, y_pred, *, average: str = "binary", zero_division: float = 0.0) -> float:
+    """Precision = tp / (tp + fp)."""
+    p, _, _, _ = precision_recall_fscore_support(
+        y_true, y_pred, average=average, zero_division=zero_division
+    )
+    return p
+
+
+def recall_score(y_true, y_pred, *, average: str = "binary", zero_division: float = 0.0) -> float:
+    """Recall = tp / (tp + fn)."""
+    _, r, _, _ = precision_recall_fscore_support(
+        y_true, y_pred, average=average, zero_division=zero_division
+    )
+    return r
+
+
+def f1_score(y_true, y_pred, *, average: str = "binary", zero_division: float = 0.0) -> float:
+    """F1 = harmonic mean of precision and recall."""
+    _, _, f, _ = precision_recall_fscore_support(
+        y_true, y_pred, average=average, zero_division=zero_division
+    )
+    return f
+
+
+def fbeta_score(
+    y_true, y_pred, *, beta: float, average: str = "binary", zero_division: float = 0.0
+) -> float:
+    """F-beta score with recall weighted ``beta`` times precision."""
+    _, _, f, _ = precision_recall_fscore_support(
+        y_true, y_pred, beta=beta, average=average, zero_division=zero_division
+    )
+    return f
+
+
+def balanced_accuracy_score(y_true, y_pred) -> float:
+    """Mean of per-class recalls; robust to class imbalance."""
+    _, recalls, _, _ = precision_recall_fscore_support(y_true, y_pred, average=None)
+    return float(np.mean(recalls))
+
+
+def matthews_corrcoef(y_true, y_pred) -> float:
+    """Matthews correlation coefficient for binary problems."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    labels = unique_labels(np.concatenate([y_true, y_pred]))
+    if len(labels) > 2:
+        raise ValueError("matthews_corrcoef supports binary problems only.")
+    pos = labels[-1]
+    tp, fp, fn, tn = _binary_counts(y_true, y_pred, pos)
+    denom = np.sqrt(
+        float(tp + fp) * float(tp + fn) * float(tn + fp) * float(tn + fn)
+    )
+    if denom == 0:
+        return 0.0
+    return float((tp * tn - fp * fn) / denom)
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Structured per-class report plus macro/weighted averages."""
+
+    labels: tuple
+    precision: tuple[float, ...]
+    recall: tuple[float, ...]
+    f1: tuple[float, ...]
+    support: tuple[int, ...]
+    accuracy: float
+
+    def as_text(self) -> str:
+        """Render a fixed-width text table (mirrors sklearn's report)."""
+        header = f"{'':>12} {'precision':>9} {'recall':>9} {'f1-score':>9} {'support':>9}"
+        lines = [header, ""]
+        for i, label in enumerate(self.labels):
+            lines.append(
+                f"{str(label):>12} {self.precision[i]:>9.3f} {self.recall[i]:>9.3f} "
+                f"{self.f1[i]:>9.3f} {self.support[i]:>9d}"
+            )
+        lines.append("")
+        lines.append(f"{'accuracy':>12} {'':>9} {'':>9} {self.accuracy:>9.3f} "
+                     f"{sum(self.support):>9d}")
+        return "\n".join(lines)
+
+
+def classification_report(y_true, y_pred, *, labels=None) -> ClassificationReport:
+    """Build a :class:`ClassificationReport` for ``(y_true, y_pred)``."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    if labels is None:
+        labels = unique_labels(np.concatenate([y_true, y_pred]))
+    precisions, recalls, fscores, supports = precision_recall_fscore_support(
+        y_true, y_pred, labels=labels, average=None
+    )
+    return ClassificationReport(
+        labels=tuple(np.asarray(labels).tolist()),
+        precision=tuple(float(v) for v in precisions),
+        recall=tuple(float(v) for v in recalls),
+        f1=tuple(float(v) for v in fscores),
+        support=tuple(int(v) for v in supports),
+        accuracy=accuracy_score(y_true, y_pred),
+    )

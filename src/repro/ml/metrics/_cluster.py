@@ -1,0 +1,111 @@
+"""Latent-space geometry metrics.
+
+Fig. 8 of the paper is a *visual* t-SNE argument: DVFS classes look
+disjoint, HPC classes overlap.  Offline we cannot render scatter plots,
+so these metrics quantify the same geometry:
+
+* :func:`silhouette_score` — classic cluster-separation score in [-1, 1];
+* :func:`neighborhood_purity` — fraction of k nearest neighbours sharing
+  the query's label (≈1 for disjoint classes, ≈max class prior for fully
+  overlapping ones);
+* :func:`class_overlap_score` — 1 − purity, the headline "overlap" number
+  reported in EXPERIMENTS.md for Fig. 8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..validation import check_X_y
+from .pairwise import squared_euclidean_distances
+
+__all__ = [
+    "silhouette_score",
+    "silhouette_samples",
+    "neighborhood_purity",
+    "class_overlap_score",
+    "centroid_separation_ratio",
+]
+
+
+def silhouette_samples(X, labels) -> np.ndarray:
+    """Per-sample silhouette coefficient ``(b - a) / max(a, b)``."""
+    X, labels = check_X_y(X, labels)
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        raise ValueError("silhouette requires at least 2 labels.")
+    distances = np.sqrt(squared_euclidean_distances(X))
+    n = len(labels)
+    scores = np.zeros(n)
+    masks = {label: labels == label for label in unique}
+    for i in range(n):
+        own = masks[labels[i]].copy()
+        own[i] = False
+        n_own = own.sum()
+        a = distances[i, own].mean() if n_own else 0.0
+        b = np.inf
+        for label in unique:
+            if label == labels[i]:
+                continue
+            other = masks[label]
+            if other.any():
+                b = min(b, distances[i, other].mean())
+        denom = max(a, b)
+        scores[i] = 0.0 if denom == 0 or not np.isfinite(b) else (b - a) / denom
+    return scores
+
+
+def silhouette_score(X, labels) -> float:
+    """Mean silhouette coefficient over all samples."""
+    return float(silhouette_samples(X, labels).mean())
+
+
+def neighborhood_purity(X, labels, *, n_neighbors: int = 10) -> float:
+    """Mean fraction of each sample's k nearest neighbours sharing its label.
+
+    Close to 1.0 for well-separated classes; approaches the majority
+    class prior when classes fully overlap.
+    """
+    X, labels = check_X_y(X, labels)
+    if n_neighbors < 1:
+        raise ValueError("n_neighbors must be >= 1.")
+    n = len(labels)
+    if n_neighbors >= n:
+        raise ValueError(
+            f"n_neighbors={n_neighbors} must be < n_samples={n}."
+        )
+    d2 = squared_euclidean_distances(X)
+    np.fill_diagonal(d2, np.inf)
+    neighbor_idx = np.argpartition(d2, n_neighbors, axis=1)[:, :n_neighbors]
+    same = labels[neighbor_idx] == labels[:, None]
+    return float(same.mean())
+
+
+def class_overlap_score(X, labels, *, n_neighbors: int = 10) -> float:
+    """1 − neighborhood purity: ~0 for disjoint classes, large for overlap."""
+    return 1.0 - neighborhood_purity(X, labels, n_neighbors=n_neighbors)
+
+
+def centroid_separation_ratio(X, labels) -> float:
+    """Inter-centroid distance divided by mean intra-class spread.
+
+    Large values (≫1) indicate cleanly separated classes; values near or
+    below 1 indicate overlap.  Defined for binary labels; multi-class
+    input uses the minimum pairwise centroid distance.
+    """
+    X, labels = check_X_y(X, labels)
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        raise ValueError("centroid separation requires at least 2 labels.")
+    centroids = np.stack([X[labels == label].mean(axis=0) for label in unique])
+    spreads = [
+        np.sqrt(((X[labels == label] - centroids[i]) ** 2).sum(axis=1)).mean()
+        for i, label in enumerate(unique)
+    ]
+    d2 = squared_euclidean_distances(centroids)
+    np.fill_diagonal(d2, np.inf)
+    min_dist = float(np.sqrt(d2.min()))
+    mean_spread = float(np.mean(spreads))
+    if mean_spread == 0:
+        return np.inf
+    return min_dist / mean_spread

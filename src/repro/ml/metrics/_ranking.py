@@ -1,0 +1,98 @@
+"""Ranking metrics: ROC curves and AUC.
+
+Used by the ablation benchmarks (A1 in DESIGN.md) to compare the
+discriminative power of ensemble entropy vs. Platt-scaled probabilities
+for separating known from unknown workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..validation import check_consistent_length, column_or_1d
+
+__all__ = ["roc_curve", "roc_auc_score", "precision_recall_curve", "average_precision_score"]
+
+
+def _validate_scores(y_true, y_score) -> tuple[np.ndarray, np.ndarray]:
+    y_true = column_or_1d(y_true, name="y_true")
+    y_score = column_or_1d(np.asarray(y_score, dtype=float), name="y_score")
+    check_consistent_length(y_true, y_score)
+    labels = np.unique(y_true)
+    if len(labels) != 2:
+        raise ValueError(
+            f"ROC analysis requires exactly 2 classes; got {len(labels)}."
+        )
+    # Positive class is the larger label (benign=0 / malware=1 convention).
+    y_binary = (y_true == labels[-1]).astype(int)
+    return y_binary, y_score
+
+
+def roc_curve(y_true, y_score) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """False-positive rate, true-positive rate and thresholds.
+
+    Thresholds are the distinct scores in decreasing order, prefixed by
+    ``inf`` so the curve starts at (0, 0).
+    """
+    y_true, y_score = _validate_scores(y_true, y_score)
+    order = np.argsort(-y_score, kind="stable")
+    y_sorted = y_true[order]
+    scores_sorted = y_score[order]
+
+    # Indices where the score changes — candidate thresholds.
+    distinct = np.where(np.diff(scores_sorted))[0]
+    threshold_idx = np.concatenate([distinct, [len(y_sorted) - 1]])
+
+    tps = np.cumsum(y_sorted)[threshold_idx].astype(float)
+    fps = (threshold_idx + 1) - tps
+
+    total_pos = float(y_true.sum())
+    total_neg = float(len(y_true) - total_pos)
+
+    tpr = tps / total_pos if total_pos else np.zeros_like(tps)
+    fpr = fps / total_neg if total_neg else np.zeros_like(fps)
+
+    thresholds = scores_sorted[threshold_idx]
+    fpr = np.concatenate([[0.0], fpr])
+    tpr = np.concatenate([[0.0], tpr])
+    thresholds = np.concatenate([[np.inf], thresholds])
+    return fpr, tpr, thresholds
+
+
+def roc_auc_score(y_true, y_score) -> float:
+    """Area under the ROC curve via trapezoidal integration."""
+    fpr, tpr, _ = roc_curve(y_true, y_score)
+    return float(np.trapezoid(tpr, fpr))
+
+
+def precision_recall_curve(y_true, y_score) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precision/recall pairs for decreasing score thresholds."""
+    y_true, y_score = _validate_scores(y_true, y_score)
+    order = np.argsort(-y_score, kind="stable")
+    y_sorted = y_true[order]
+    scores_sorted = y_score[order]
+
+    distinct = np.where(np.diff(scores_sorted))[0]
+    threshold_idx = np.concatenate([distinct, [len(y_sorted) - 1]])
+
+    tps = np.cumsum(y_sorted)[threshold_idx].astype(float)
+    predicted_pos = (threshold_idx + 1).astype(float)
+    total_pos = float(y_true.sum())
+
+    precision = np.divide(
+        tps, predicted_pos, out=np.zeros_like(tps), where=predicted_pos > 0
+    )
+    recall = tps / total_pos if total_pos else np.zeros_like(tps)
+
+    # Append the (1, 0) endpoint, reversing to increasing-recall order.
+    precision = np.concatenate([precision[::-1], [1.0]])
+    recall = np.concatenate([recall[::-1], [0.0]])
+    thresholds = scores_sorted[threshold_idx][::-1]
+    return precision, recall, thresholds
+
+
+def average_precision_score(y_true, y_score) -> float:
+    """Average precision (step-wise area under the PR curve)."""
+    precision, recall, _ = precision_recall_curve(y_true, y_score)
+    # recall is decreasing after our concatenation order; integrate steps.
+    return float(-np.sum(np.diff(recall) * precision[:-1]))

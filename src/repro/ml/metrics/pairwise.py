@@ -1,0 +1,86 @@
+"""Pairwise distance and kernel computations.
+
+Shared by the kernel SVM (RBF kernel), t-SNE (squared Euclidean
+affinities), k-NN and the latent-space overlap metrics used to quantify
+Fig. 8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..validation import check_array
+
+__all__ = [
+    "euclidean_distances",
+    "squared_euclidean_distances",
+    "manhattan_distances",
+    "rbf_kernel",
+    "linear_kernel",
+    "polynomial_kernel",
+]
+
+
+def _as_pair(X, Y):
+    X = check_array(X)
+    Y = X if Y is None else check_array(Y)
+    if X.shape[1] != Y.shape[1]:
+        raise ValueError(
+            f"X and Y have different feature counts: {X.shape[1]} vs {Y.shape[1]}."
+        )
+    return X, Y
+
+
+def squared_euclidean_distances(X, Y=None) -> np.ndarray:
+    """Matrix of squared Euclidean distances between rows of X and Y.
+
+    Uses the expansion ``|x - y|^2 = |x|^2 - 2 x.y + |y|^2`` and clamps
+    tiny negative values produced by floating-point cancellation.
+    """
+    X, Y = _as_pair(X, Y)
+    x_sq = np.einsum("ij,ij->i", X, X)[:, None]
+    y_sq = np.einsum("ij,ij->i", Y, Y)[None, :]
+    d2 = x_sq + y_sq - 2.0 * (X @ Y.T)
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def euclidean_distances(X, Y=None) -> np.ndarray:
+    """Matrix of Euclidean distances between rows of X and Y."""
+    return np.sqrt(squared_euclidean_distances(X, Y))
+
+
+def manhattan_distances(X, Y=None) -> np.ndarray:
+    """Matrix of L1 distances between rows of X and Y."""
+    X, Y = _as_pair(X, Y)
+    return np.abs(X[:, None, :] - Y[None, :, :]).sum(axis=2)
+
+
+def linear_kernel(X, Y=None) -> np.ndarray:
+    """Gram matrix ``X @ Y.T``."""
+    X, Y = _as_pair(X, Y)
+    return X @ Y.T
+
+
+def rbf_kernel(X, Y=None, *, gamma: float | None = None) -> np.ndarray:
+    """Gaussian kernel ``exp(-gamma * |x - y|^2)``.
+
+    ``gamma`` defaults to ``1 / n_features`` (sklearn's ``gamma='scale'``
+    without the variance factor is applied by the SVM itself).
+    """
+    X, Y = _as_pair(X, Y)
+    if gamma is None:
+        gamma = 1.0 / X.shape[1]
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive; got {gamma}.")
+    return np.exp(-gamma * squared_euclidean_distances(X, Y))
+
+
+def polynomial_kernel(
+    X, Y=None, *, degree: int = 3, gamma: float | None = None, coef0: float = 1.0
+) -> np.ndarray:
+    """Polynomial kernel ``(gamma * x.y + coef0) ** degree``."""
+    X, Y = _as_pair(X, Y)
+    if gamma is None:
+        gamma = 1.0 / X.shape[1]
+    return (gamma * (X @ Y.T) + coef0) ** degree

@@ -1,0 +1,78 @@
+"""Gaussian Naive Bayes — a cheap probabilistic base classifier.
+
+Not used in the paper's headline figures, but valuable in the ablation
+benchmarks (ensemble-diversity study) and as a sanity baseline in tests:
+it trains in closed form, so expected behaviour is easy to verify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, ClassifierMixin
+from .validation import check_X_y
+
+__all__ = ["GaussianNB"]
+
+
+class GaussianNB(BaseEstimator, ClassifierMixin):
+    """Gaussian Naive Bayes with per-class diagonal covariance.
+
+    ``var_smoothing`` adds a fraction of the largest feature variance to
+    every variance estimate for numerical stability (as in sklearn).
+    """
+
+    def __init__(self, *, var_smoothing: float = 1e-9):
+        self.var_smoothing = var_smoothing
+
+    def fit(self, X, y, sample_weight=None) -> "GaussianNB":
+        """Estimate per-class means, variances and priors."""
+        X, y = check_X_y(X, y)
+        if sample_weight is not None:
+            weights = np.round(np.asarray(sample_weight)).astype(int)
+            if np.any(weights < 0):
+                raise ValueError("sample_weight must be non-negative.")
+            X = np.repeat(X, weights, axis=0)
+            y = np.repeat(y, weights, axis=0)
+        self.classes_ = np.unique(y)
+        self.n_features_in_ = X.shape[1]
+        n_classes = len(self.classes_)
+        self.theta_ = np.zeros((n_classes, X.shape[1]))
+        self.var_ = np.zeros((n_classes, X.shape[1]))
+        self.class_prior_ = np.zeros(n_classes)
+        epsilon = self.var_smoothing * X.var(axis=0).max()
+        for i, cls in enumerate(self.classes_):
+            members = X[y == cls]
+            if len(members) == 0:
+                raise ValueError(f"Class {cls!r} has no samples.")
+            self.theta_[i] = members.mean(axis=0)
+            self.var_[i] = members.var(axis=0) + epsilon
+            self.class_prior_[i] = len(members) / len(y)
+        self.var_[self.var_ == 0.0] = max(epsilon, 1e-12)
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        log_prior = np.log(self.class_prior_)
+        # (n_samples, n_classes): sum over features of log N(x; mu, var)
+        diff = X[:, None, :] - self.theta_[None, :, :]
+        log_lik = -0.5 * np.sum(
+            np.log(2.0 * np.pi * self.var_)[None, :, :] + diff**2 / self.var_[None, :, :],
+            axis=2,
+        )
+        return log_lik + log_prior[None, :]
+
+    def predict_log_proba(self, X) -> np.ndarray:
+        """Log posterior probabilities per class."""
+        X = self._check_predict_input(X)
+        jll = self._joint_log_likelihood(X)
+        log_norm = np.logaddexp.reduce(jll, axis=1, keepdims=True)
+        return jll - log_norm
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Posterior probabilities per class."""
+        return np.exp(self.predict_log_proba(X))
+
+    def predict(self, X) -> np.ndarray:
+        """Maximum-posterior class labels."""
+        X = self._check_predict_input(X)
+        return self.classes_[np.argmax(self._joint_log_likelihood(X), axis=1)]

@@ -1,0 +1,89 @@
+"""k-nearest-neighbour classifier.
+
+Used (a) as an additional base classifier in diversity ablations and
+(b) by the latent-space overlap metrics that quantify the paper's Fig. 8
+t-SNE argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, ClassifierMixin
+from .metrics.pairwise import squared_euclidean_distances
+from .validation import check_X_y
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
+    """Brute-force k-NN with uniform or distance weighting.
+
+    Brute force is appropriate here: HMD feature matrices are a few
+    thousand rows by a few dozen columns, where a vectorised distance
+    matrix beats tree indexes in NumPy.
+    """
+
+    def __init__(self, *, n_neighbors: int = 5, weights: str = "uniform"):
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+
+    def fit(self, X, y, sample_weight=None) -> "KNeighborsClassifier":
+        """Memorise the training set."""
+        X, y = check_X_y(X, y)
+        if sample_weight is not None:
+            weights = np.round(np.asarray(sample_weight)).astype(int)
+            if np.any(weights < 0):
+                raise ValueError("sample_weight must be non-negative.")
+            X = np.repeat(X, weights, axis=0)
+            y = np.repeat(y, weights, axis=0)
+        if self.n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1.")
+        if self.n_neighbors > len(y):
+            raise ValueError(
+                f"n_neighbors={self.n_neighbors} > n_samples={len(y)}."
+            )
+        if self.weights not in ("uniform", "distance"):
+            raise ValueError(f"Unknown weights {self.weights!r}.")
+        self.classes_, self._y_encoded = np.unique(y, return_inverse=True)
+        self.n_features_in_ = X.shape[1]
+        self._fit_X = X
+        return self
+
+    def _neighbor_votes(self, X: np.ndarray) -> np.ndarray:
+        d2 = squared_euclidean_distances(X, self._fit_X)
+        k = self.n_neighbors
+        neighbor_idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        labels = self._y_encoded[neighbor_idx]  # (n, k)
+        n_classes = len(self.classes_)
+        if self.weights == "uniform":
+            w = np.ones_like(labels, dtype=float)
+        else:
+            rows = np.arange(X.shape[0])[:, None]
+            dist = np.sqrt(d2[rows, neighbor_idx])
+            w = 1.0 / np.maximum(dist, 1e-12)
+        votes = np.zeros((X.shape[0], n_classes))
+        for cls in range(n_classes):
+            votes[:, cls] = np.sum(w * (labels == cls), axis=1)
+        return votes
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Vote fractions over the k nearest neighbours."""
+        X = self._check_predict_input(X)
+        votes = self._neighbor_votes(X)
+        return votes / votes.sum(axis=1, keepdims=True)
+
+    def predict(self, X) -> np.ndarray:
+        """Majority-vote class labels."""
+        X = self._check_predict_input(X)
+        votes = self._neighbor_votes(X)
+        return self.classes_[np.argmax(votes, axis=1)]
+
+    def kneighbors(self, X, n_neighbors: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Distances and indices of the k nearest training points."""
+        X = self._check_predict_input(X)
+        k = n_neighbors or self.n_neighbors
+        d2 = squared_euclidean_distances(X, self._fit_X)
+        idx = np.argsort(d2, axis=1)[:, :k]
+        rows = np.arange(X.shape[0])[:, None]
+        return np.sqrt(d2[rows, idx]), idx

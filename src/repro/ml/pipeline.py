@@ -1,0 +1,120 @@
+"""Transformer/estimator pipeline composition.
+
+A minimal counterpart of sklearn's ``Pipeline``: a sequence of named
+transformers followed by a final estimator, presented as a single
+estimator (so it can be cloned, grid-searched and used as a bagging
+base).  The HMD processing chain of Fig. 2 — scaling, dimensionality
+reduction, classification — is exactly this shape.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .base import BaseEstimator, ClassifierMixin, clone
+from .validation import check_is_fitted
+
+__all__ = ["Pipeline", "make_pipeline"]
+
+
+class Pipeline(BaseEstimator, ClassifierMixin):
+    """Chain of ``(name, transformer)`` steps ending in an estimator.
+
+    Every step except the last must expose ``fit``/``transform``; the
+    last step may be any estimator (classifier or transformer).
+    """
+
+    def __init__(self, steps: list[tuple[str, BaseEstimator]]):
+        self.steps = steps
+
+    def _validate_steps(self) -> None:
+        if not self.steps:
+            raise ValueError("Pipeline needs at least one step.")
+        names = [name for name, _ in self.steps]
+        if len(set(names)) != len(names):
+            raise ValueError(f"Step names must be unique; got {names}.")
+        for name, step in self.steps[:-1]:
+            if not hasattr(step, "transform"):
+                raise ValueError(
+                    f"Intermediate step {name!r} must implement transform."
+                )
+
+    @property
+    def named_steps(self) -> dict[str, Any]:
+        """Mapping of step name to the (fitted, if fit was called) step."""
+        fitted = getattr(self, "steps_", None)
+        source = fitted if fitted is not None else self.steps
+        return dict(source)
+
+    def fit(self, X, y=None) -> "Pipeline":
+        """Fit each transformer on the running representation, then the
+        final estimator."""
+        self._validate_steps()
+        self.steps_: list[tuple[str, BaseEstimator]] = []
+        Z = np.asarray(X)
+        for name, step in self.steps[:-1]:
+            fitted = clone(step)
+            Z = fitted.fit(Z, y).transform(Z) if _wants_y(fitted) else fitted.fit(Z).transform(Z)
+            self.steps_.append((name, fitted))
+        final_name, final_step = self.steps[-1]
+        final = clone(final_step)
+        if y is not None:
+            final.fit(Z, y)
+        else:
+            final.fit(Z)
+        self.steps_.append((final_name, final))
+        if hasattr(final, "classes_"):
+            self.classes_ = final.classes_
+        self.n_features_in_ = np.asarray(X).shape[1]
+        return self
+
+    def _transform_through(self, X) -> np.ndarray:
+        check_is_fitted(self, "steps_")
+        Z = np.asarray(X)
+        for _, step in self.steps_[:-1]:
+            Z = step.transform(Z)
+        return Z
+
+    def transform(self, X) -> np.ndarray:
+        """Apply every step's transform (final step must transform too)."""
+        Z = self._transform_through(X)
+        final = self.steps_[-1][1]
+        if not hasattr(final, "transform"):
+            raise AttributeError("Final step does not implement transform.")
+        return final.transform(Z)
+
+    def predict(self, X) -> np.ndarray:
+        """Transform through the chain and predict with the final step."""
+        return self.steps_[-1][1].predict(self._transform_through(X))
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Transform through the chain and predict probabilities."""
+        return self.steps_[-1][1].predict_proba(self._transform_through(X))
+
+    def decisions(self, X) -> np.ndarray:
+        """Expose ensemble member votes when the final step has them."""
+        final = self.steps_[-1][1]
+        if not hasattr(final, "decisions"):
+            raise AttributeError("Final step does not expose decisions().")
+        return final.decisions(self._transform_through(X))
+
+
+def _wants_y(step: BaseEstimator) -> bool:
+    """Whether a transformer's fit accepts a label argument."""
+    import inspect
+
+    try:
+        params = inspect.signature(step.fit).parameters
+    except (TypeError, ValueError):
+        return False
+    return "y" in params
+
+
+def make_pipeline(*steps: BaseEstimator) -> Pipeline:
+    """Build a Pipeline with auto-generated step names."""
+    named = [
+        (f"{type(step).__name__.lower()}_{i}", step) for i, step in enumerate(steps)
+    ]
+    return Pipeline(named)

@@ -1,0 +1,404 @@
+"""CART decision-tree classifier (from scratch, NumPy-vectorised).
+
+This is the base learner behind both the Random Forest and the bagging
+ensembles used throughout the paper.  The implementation favours the
+array-based layout used by mature tree libraries:
+
+* the fitted tree lives in flat arrays (``feature``, ``threshold``,
+  ``children_left``, ``children_right``, ``value``) rather than node
+  objects, which makes prediction a vectorised level-by-level routing
+  loop instead of a per-sample Python walk;
+* split search at each node is vectorised across *all* candidate
+  features and split positions simultaneously via cumulative class
+  counts over per-feature argsorts.
+
+Supported criteria: ``"gini"`` (default) and ``"entropy"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .base import BaseEstimator, ClassifierMixin
+from .validation import check_random_state, check_X_y
+
+__all__ = ["DecisionTreeClassifier", "TreeStructure"]
+
+_NO_FEATURE = -1
+
+
+@dataclass
+class TreeStructure:
+    """Flat-array storage for a fitted binary decision tree.
+
+    ``feature[i] == -1`` marks node ``i`` as a leaf.  ``value[i]`` holds
+    the class-count distribution of training samples that reached the
+    node; prediction normalises it into probabilities.
+    """
+
+    feature: list[int] = field(default_factory=list)
+    threshold: list[float] = field(default_factory=list)
+    children_left: list[int] = field(default_factory=list)
+    children_right: list[int] = field(default_factory=list)
+    value: list[np.ndarray] = field(default_factory=list)
+    impurity: list[float] = field(default_factory=list)
+    n_node_samples: list[int] = field(default_factory=list)
+
+    def add_node(self, value: np.ndarray, impurity: float, n_samples: int) -> int:
+        """Append a (provisional leaf) node; returns its index."""
+        self.feature.append(_NO_FEATURE)
+        self.threshold.append(0.0)
+        self.children_left.append(-1)
+        self.children_right.append(-1)
+        self.value.append(value)
+        self.impurity.append(impurity)
+        self.n_node_samples.append(n_samples)
+        return len(self.feature) - 1
+
+    def finalize(self) -> None:
+        """Convert the per-node lists into contiguous arrays."""
+        self.feature = np.asarray(self.feature, dtype=np.int64)
+        self.threshold = np.asarray(self.threshold, dtype=np.float64)
+        self.children_left = np.asarray(self.children_left, dtype=np.int64)
+        self.children_right = np.asarray(self.children_right, dtype=np.int64)
+        self.value = np.asarray(self.value, dtype=np.float64)
+        self.impurity = np.asarray(self.impurity, dtype=np.float64)
+        self.n_node_samples = np.asarray(self.n_node_samples, dtype=np.int64)
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes (internal + leaves)."""
+        return len(self.feature)
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaf nodes."""
+        return int(np.sum(np.asarray(self.feature) == _NO_FEATURE))
+
+    def max_depth(self) -> int:
+        """Depth of the deepest leaf (root = depth 0)."""
+        depth = np.zeros(self.node_count, dtype=int)
+        for i in range(self.node_count):
+            left, right = self.children_left[i], self.children_right[i]
+            if left >= 0:
+                depth[left] = depth[i] + 1
+                depth[right] = depth[i] + 1
+        return int(depth.max()) if self.node_count else 0
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Route each row of ``X`` to its leaf index (vectorised)."""
+        n = X.shape[0]
+        node = np.zeros(n, dtype=np.int64)
+        feature = self.feature
+        while True:
+            node_feature = feature[node]
+            internal = node_feature >= 0
+            if not internal.any():
+                return node
+            idx = np.flatnonzero(internal)
+            f = node_feature[idx]
+            thr = self.threshold[node[idx]]
+            go_left = X[idx, f] <= thr
+            next_node = np.where(
+                go_left,
+                self.children_left[node[idx]],
+                self.children_right[node[idx]],
+            )
+            node[idx] = next_node
+
+
+def _impurity(counts: np.ndarray, criterion: str) -> np.ndarray:
+    """Impurity of class-count vectors along the last axis."""
+    totals = counts.sum(axis=-1, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p = np.where(totals > 0, counts / totals, 0.0)
+    if criterion == "gini":
+        return 1.0 - np.sum(p * p, axis=-1)
+    if criterion == "entropy":
+        with np.errstate(divide="ignore", invalid="ignore"):
+            logp = np.where(p > 0, np.log2(np.where(p > 0, p, 1.0)), 0.0)
+        return -np.sum(p * logp, axis=-1)
+    raise ValueError(f"Unknown criterion {criterion!r}; use 'gini' or 'entropy'.")
+
+
+class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
+    """CART classifier with axis-aligned binary splits.
+
+    Parameters
+    ----------
+    criterion:
+        ``"gini"`` or ``"entropy"`` split quality.
+    max_depth:
+        Maximum tree depth; ``None`` grows until purity/limits.
+    min_samples_split:
+        Minimum samples required to attempt a split.
+    min_samples_leaf:
+        Minimum samples in each child of a split.
+    max_features:
+        Features examined per split: ``None`` (all), ``"sqrt"``,
+        ``"log2"``, an int, or a float fraction.  Random Forest passes
+        ``"sqrt"``.
+    min_impurity_decrease:
+        Minimum weighted impurity decrease required for a split.
+    random_state:
+        Seed for the per-split feature subsampling.
+    """
+
+    def __init__(
+        self,
+        *,
+        criterion: str = "gini",
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = None,
+        min_impurity_decrease: float = 0.0,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.min_impurity_decrease = min_impurity_decrease
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+
+    def _resolve_max_features(self, n_features: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return n_features
+        if mf == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if mf == "log2":
+            return max(1, int(np.log2(n_features)))
+        if isinstance(mf, float):
+            if not 0.0 < mf <= 1.0:
+                raise ValueError(f"max_features fraction must be in (0, 1]; got {mf}.")
+            return max(1, int(mf * n_features))
+        if isinstance(mf, (int, np.integer)):
+            if not 1 <= mf <= n_features:
+                raise ValueError(
+                    f"max_features={mf} out of range [1, {n_features}]."
+                )
+            return int(mf)
+        raise ValueError(f"Unsupported max_features: {mf!r}.")
+
+    def fit(self, X, y, sample_weight=None) -> "DecisionTreeClassifier":
+        """Grow the tree on ``(X, y)``.
+
+        ``sample_weight`` is accepted for API compatibility with the
+        bagging ensemble but only integer repetition weights are
+        supported (they are applied by replication before growth).
+        """
+        X, y = check_X_y(X, y)
+        if sample_weight is not None:
+            weights = np.asarray(sample_weight)
+            if np.any(weights < 0) or not np.allclose(weights, np.round(weights)):
+                raise ValueError(
+                    "Only non-negative integer sample weights are supported."
+                )
+            repeat = np.round(weights).astype(int)
+            X = np.repeat(X, repeat, axis=0)
+            y = np.repeat(y, repeat, axis=0)
+            if len(y) == 0:
+                raise ValueError("All sample weights are zero.")
+
+        self.classes_, y_encoded = np.unique(y, return_inverse=True)
+        self.n_classes_ = len(self.classes_)
+        self.n_features_in_ = X.shape[1]
+        if self.min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2.")
+        if self.min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1.")
+
+        rng = check_random_state(self.random_state)
+        n_candidate_features = self._resolve_max_features(self.n_features_in_)
+        tree = TreeStructure()
+        criterion = self.criterion
+        max_depth = np.inf if self.max_depth is None else self.max_depth
+        if max_depth < 0:
+            raise ValueError("max_depth must be >= 0 or None.")
+
+        onehot = np.eye(self.n_classes_, dtype=np.float64)[y_encoded]
+
+        # Depth-first growth; each stack entry is (sample_indices, depth,
+        # parent_node, is_left_child).  Parent linkage patched after child
+        # creation.
+        root_counts = onehot.sum(axis=0)
+        root = tree.add_node(root_counts, float(_impurity(root_counts, criterion)), len(y))
+        stack: list[tuple[np.ndarray, int, int]] = [(np.arange(len(y)), 0, root)]
+
+        while stack:
+            indices, depth, node_id = stack.pop()
+            n_node = len(indices)
+            counts = tree.value[node_id]
+            node_impurity = tree.impurity[node_id]
+
+            if (
+                depth >= max_depth
+                or n_node < self.min_samples_split
+                or n_node < 2 * self.min_samples_leaf
+                or node_impurity <= 1e-12
+            ):
+                continue  # stays a leaf
+
+            split = self._best_split(
+                X, onehot, indices, counts, node_impurity,
+                n_candidate_features, rng, criterion,
+            )
+            if split is None:
+                continue
+            feature_idx, threshold, gain = split
+            if gain * n_node / len(y) < self.min_impurity_decrease:
+                continue
+
+            go_left = X[indices, feature_idx] <= threshold
+            left_indices = indices[go_left]
+            right_indices = indices[~go_left]
+            if (
+                len(left_indices) < self.min_samples_leaf
+                or len(right_indices) < self.min_samples_leaf
+            ):
+                continue
+
+            left_counts = onehot[left_indices].sum(axis=0)
+            right_counts = counts - left_counts
+            left_id = tree.add_node(
+                left_counts, float(_impurity(left_counts, criterion)), len(left_indices)
+            )
+            right_id = tree.add_node(
+                right_counts, float(_impurity(right_counts, criterion)), len(right_indices)
+            )
+            tree.feature[node_id] = feature_idx
+            tree.threshold[node_id] = threshold
+            tree.children_left[node_id] = left_id
+            tree.children_right[node_id] = right_id
+            stack.append((right_indices, depth + 1, right_id))
+            stack.append((left_indices, depth + 1, left_id))
+
+        tree.finalize()
+        self.tree_ = tree
+        return self
+
+    def _best_split(
+        self,
+        X: np.ndarray,
+        onehot: np.ndarray,
+        indices: np.ndarray,
+        counts: np.ndarray,
+        node_impurity: float,
+        n_candidate_features: int,
+        rng: np.random.Generator,
+        criterion: str,
+    ) -> tuple[int, float, float] | None:
+        """Best (feature, threshold, impurity_gain) over a feature subset.
+
+        Vectorised: for the chosen features, all node samples are sorted
+        per feature, class counts are accumulated with prefix sums and
+        the impurity of every admissible split position is evaluated at
+        once.
+        """
+        n_node = len(indices)
+        n_features = X.shape[1]
+        if n_candidate_features < n_features:
+            feats = rng.choice(n_features, size=n_candidate_features, replace=False)
+        else:
+            feats = np.arange(n_features)
+
+        Xn = X[np.ix_(indices, feats)]              # (n_node, n_feats)
+        order = np.argsort(Xn, axis=0, kind="stable")
+        Xs = np.take_along_axis(Xn, order, axis=0)   # sorted values
+
+        yn = onehot[indices]                         # (n_node, n_classes)
+        # sorted class indicators per feature: (n_node, n_feats, n_classes)
+        ys = yn[order]
+        left_counts = np.cumsum(ys, axis=0)          # counts left of each cut
+        total = counts[None, None, :]
+        right_counts = total - left_counts
+
+        # Split after position i uses threshold between Xs[i] and Xs[i+1].
+        # Admissible cuts: value actually changes and both sides satisfy
+        # min_samples_leaf.
+        cuts = slice(self.min_samples_leaf - 1, n_node - self.min_samples_leaf)
+        lc = left_counts[cuts]                       # (n_cuts, n_feats, k)
+        rc = right_counts[cuts]
+        if lc.shape[0] == 0:
+            return None
+        value_changes = Xs[cuts.start + 1 : cuts.stop + 1] > Xs[cuts]
+
+        n_left = lc.sum(axis=-1)
+        n_right = rc.sum(axis=-1)
+        child_impurity = (
+            n_left * _impurity(lc, criterion) + n_right * _impurity(rc, criterion)
+        ) / n_node
+        gain = node_impurity - child_impurity
+        gain = np.where(value_changes, gain, -np.inf)
+
+        best_flat = int(np.argmax(gain))
+        best_cut, best_feat_pos = np.unravel_index(best_flat, gain.shape)
+        best_gain = gain[best_cut, best_feat_pos]
+        if not np.isfinite(best_gain) or best_gain <= 1e-12:
+            return None
+
+        row = cuts.start + best_cut
+        lo = Xs[row, best_feat_pos]
+        hi = Xs[row + 1, best_feat_pos]
+        threshold = float(lo + (hi - lo) / 2.0)
+        if threshold == hi:  # guard midpoint rounding into the right side
+            threshold = float(lo)
+        return int(feats[best_feat_pos]), threshold, float(best_gain)
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities = normalised class counts at the leaf."""
+        X = self._check_predict_input(X)
+        leaves = self.tree_.apply(X)
+        counts = self.tree_.value[leaves]
+        totals = counts.sum(axis=1, keepdims=True)
+        return counts / totals
+
+    def predict(self, X) -> np.ndarray:
+        """Most probable class per sample."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def apply(self, X) -> np.ndarray:
+        """Leaf index for each sample."""
+        X = self._check_predict_input(X)
+        return self.tree_.apply(X)
+
+    def get_depth(self) -> int:
+        """Depth of the fitted tree."""
+        return self.tree_.max_depth()
+
+    def get_n_leaves(self) -> int:
+        """Number of leaves in the fitted tree."""
+        return self.tree_.n_leaves
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Impurity-decrease importances, normalised to sum to 1."""
+        tree = self.tree_
+        importances = np.zeros(self.n_features_in_)
+        for i in range(tree.node_count):
+            if tree.feature[i] < 0:
+                continue
+            left, right = tree.children_left[i], tree.children_right[i]
+            n = tree.n_node_samples[i]
+            n_l = tree.n_node_samples[left]
+            n_r = tree.n_node_samples[right]
+            decrease = n * tree.impurity[i] - (
+                n_l * tree.impurity[left] + n_r * tree.impurity[right]
+            )
+            importances[tree.feature[i]] += decrease
+        total = importances.sum()
+        return importances / total if total > 0 else importances

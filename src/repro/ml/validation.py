@@ -1,0 +1,139 @@
+"""Input validation helpers shared by every estimator in :mod:`repro.ml`.
+
+These mirror the small subset of scikit-learn's ``utils.validation`` that
+the reproduction needs: array coercion, shape checks, fitted-state checks
+and RNG normalisation.  Keeping them in one module means every estimator
+fails with the same, predictable error messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from .exceptions import DataDimensionError, NotFittedError
+
+__all__ = [
+    "check_array",
+    "check_X_y",
+    "check_is_fitted",
+    "check_random_state",
+    "column_or_1d",
+    "check_consistent_length",
+    "unique_labels",
+]
+
+
+def check_random_state(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Normalise ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for a fresh nondeterministic generator, an ``int`` seed,
+        or an existing generator (returned unchanged).
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(
+        f"random_state must be None, an int, or a numpy Generator; got {type(seed).__name__}"
+    )
+
+
+def check_array(
+    X: Any,
+    *,
+    dtype: type | None = np.float64,
+    ensure_2d: bool = True,
+    allow_empty: bool = False,
+    name: str = "X",
+) -> np.ndarray:
+    """Coerce ``X`` to a validated :class:`numpy.ndarray`.
+
+    Rejects NaN/inf values, enforces two-dimensionality when requested
+    and (by default) refuses empty inputs.
+    """
+    arr = np.asarray(X, dtype=dtype)
+    if ensure_2d:
+        if arr.ndim == 1:
+            raise DataDimensionError(
+                f"{name} must be 2-dimensional (n_samples, n_features); got a "
+                f"1-d array of shape {arr.shape}. Reshape with X.reshape(-1, 1) "
+                "for a single feature or X.reshape(1, -1) for a single sample."
+            )
+        if arr.ndim != 2:
+            raise DataDimensionError(
+                f"{name} must be 2-dimensional; got {arr.ndim} dimensions."
+            )
+    if not allow_empty and arr.size == 0:
+        raise ValueError(f"{name} is empty; at least one sample is required.")
+    if arr.dtype.kind == "f" and not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite values.")
+    return arr
+
+
+def column_or_1d(y: Any, *, name: str = "y") -> np.ndarray:
+    """Ravel ``y`` into a 1-d array, accepting column vectors."""
+    arr = np.asarray(y)
+    if arr.ndim == 2 and arr.shape[1] == 1:
+        arr = arr.ravel()
+    if arr.ndim != 1:
+        raise DataDimensionError(
+            f"{name} must be 1-dimensional; got shape {arr.shape}."
+        )
+    return arr
+
+
+def check_consistent_length(*arrays: Sequence | np.ndarray) -> None:
+    """Raise if the first dimensions of ``arrays`` differ."""
+    lengths = {len(a) for a in arrays if a is not None}
+    if len(lengths) > 1:
+        raise ValueError(
+            f"Inconsistent numbers of samples: {sorted(lengths)}."
+        )
+
+
+def check_X_y(
+    X: Any,
+    y: Any,
+    *,
+    dtype: type | None = np.float64,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix / label vector pair."""
+    X = check_array(X, dtype=dtype)
+    y = column_or_1d(y)
+    check_consistent_length(X, y)
+    return X, y
+
+
+def check_is_fitted(estimator: Any, attributes: Iterable[str] | str | None = None) -> None:
+    """Raise :class:`NotFittedError` unless ``estimator`` looks fitted.
+
+    An estimator is considered fitted when it exposes at least one
+    attribute ending in an underscore (the convention used throughout
+    :mod:`repro.ml`), or when the explicitly named ``attributes`` exist.
+    """
+    if attributes is not None:
+        if isinstance(attributes, str):
+            attributes = [attributes]
+        fitted = all(hasattr(estimator, attr) for attr in attributes)
+    else:
+        fitted = any(
+            attr.endswith("_") and not attr.startswith("__")
+            for attr in vars(estimator)
+        )
+    if not fitted:
+        raise NotFittedError(
+            f"This {type(estimator).__name__} instance is not fitted yet. "
+            "Call 'fit' with appropriate arguments first."
+        )
+
+
+def unique_labels(y: np.ndarray) -> np.ndarray:
+    """Sorted unique labels of ``y`` (stable across dtypes)."""
+    return np.unique(np.asarray(y))

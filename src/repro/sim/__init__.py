@@ -1,0 +1,49 @@
+"""Hardware substrates (systems S7-S8 in DESIGN.md).
+
+* :mod:`repro.sim.workloads` — parametric application archetypes and
+  activity-trace generation;
+* :mod:`repro.sim.power` — SoC DVFS governor + thermal simulator
+  producing frequency-state traces;
+* :mod:`repro.sim.cpu` — analytic CPU microarchitecture model producing
+  hardware performance counter samples.
+"""
+
+from .cpu import DEFAULT_CPU, HPC_COUNTERS, CpuConfig, HpcSimulator
+from .em import EmConfig, EmFeatureExtractor, EmSimulator, EmSpectrum
+from .power import (
+    DEFAULT_SOC,
+    ConservativeGovernor,
+    DvfsChannelConfig,
+    OndemandGovernor,
+    PerformanceGovernor,
+    SocConfig,
+    SocSimulator,
+)
+from .trace import INSTRUCTION_KINDS, ActivityTrace, DvfsTrace, HpcTrace
+from .workloads import WorkloadGenerator, WorkloadPhase, WorkloadSpec, blend_specs
+
+__all__ = [
+    "ActivityTrace",
+    "ConservativeGovernor",
+    "CpuConfig",
+    "DEFAULT_CPU",
+    "DEFAULT_SOC",
+    "DvfsChannelConfig",
+    "DvfsTrace",
+    "EmConfig",
+    "EmFeatureExtractor",
+    "EmSimulator",
+    "EmSpectrum",
+    "HPC_COUNTERS",
+    "HpcSimulator",
+    "HpcTrace",
+    "INSTRUCTION_KINDS",
+    "OndemandGovernor",
+    "PerformanceGovernor",
+    "SocConfig",
+    "SocSimulator",
+    "WorkloadGenerator",
+    "WorkloadPhase",
+    "WorkloadSpec",
+    "blend_specs",
+]

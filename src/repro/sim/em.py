@@ -1,0 +1,217 @@
+"""Electromagnetic side-channel substrate (extension: third HMD family).
+
+The paper's introduction lists three hardware signal families used for
+HMDs: performance counters, power-management (DVFS) signatures, and
+**electromagnetic emissions** (EDDIE, Nazari et al. ISCA'17).  The main
+evaluation covers the first two; this module supplies the third so the
+framework can be exercised on it (extension experiment E1).
+
+Physical model — EM emission of a CPU is dominated by:
+
+* a **clock-harmonic carrier** at the core frequency and its
+  harmonics, whose amplitude scales with switching activity;
+* **amplitude modulation** by program activity: loops with period T
+  produce sidebands at ±1/T around each carrier (this is the
+  modulation EDDIE keys on);
+* broadband **memory-access noise** proportional to cache-miss traffic.
+
+The simulator produces per-window RF spectra (power in dB over a
+frequency grid); the feature extractor summarises band energies and
+sideband structure.  Code with rigid, timer-driven loops (malware
+archetypes) yields sharp, stable sidebands; interactive software
+smears them — the same geometry mechanism as the DVFS domain, observed
+through a different physical channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml.validation import check_random_state
+from .trace import ActivityTrace
+
+__all__ = ["EmConfig", "EmSpectrum", "EmSimulator", "EmFeatureExtractor"]
+
+
+@dataclass(frozen=True)
+class EmConfig:
+    """Parameters of the EM emission model.
+
+    Frequencies are normalised to the sampling Nyquist band [0, 1];
+    the carrier sits well inside the band so two harmonics fit.
+    """
+
+    carrier_freq: float = 0.2          # normalised clock fundamental
+    n_harmonics: int = 3
+    harmonic_rolloff_db: float = 8.0   # per-harmonic amplitude decay
+    spectrum_bins: int = 256
+    noise_floor_db: float = -80.0
+    measurement_noise_db: float = 1.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.carrier_freq < 0.5:
+            raise ValueError("carrier_freq must be in (0, 0.5).")
+        if self.n_harmonics < 1:
+            raise ValueError("n_harmonics must be >= 1.")
+        if self.carrier_freq * self.n_harmonics >= 1.0:
+            raise ValueError("Harmonics exceed the Nyquist band.")
+        if self.spectrum_bins < 32:
+            raise ValueError("spectrum_bins must be >= 32.")
+
+
+@dataclass
+class EmSpectrum:
+    """One EM measurement window: power spectrum in dB."""
+
+    power_db: np.ndarray      # (spectrum_bins,)
+    frequencies: np.ndarray   # normalised frequency grid
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.power_db.shape != self.frequencies.shape:
+            raise ValueError("power_db and frequencies shapes differ.")
+
+    @property
+    def n_bins(self) -> int:
+        """Number of spectral bins."""
+        return len(self.power_db)
+
+
+class EmSimulator:
+    """Maps an :class:`ActivityTrace` window to an EM power spectrum.
+
+    The activity trace's temporal structure enters through its FFT:
+    periodic activity concentrates modulation energy at discrete
+    offsets, which is copied as sidebands around each clock harmonic.
+    """
+
+    def __init__(
+        self,
+        config: EmConfig = EmConfig(),
+        *,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        self.config = config
+        self.rng = check_random_state(random_state)
+
+    def run(self, activity: ActivityTrace) -> EmSpectrum:
+        """Produce the emission spectrum for one activity window."""
+        cfg = self.config
+        rng = self.rng
+        freqs = np.linspace(0.0, 1.0, cfg.spectrum_bins, endpoint=False)
+        power = np.full(cfg.spectrum_bins, 10.0 ** (cfg.noise_floor_db / 10.0))
+
+        # Modulation spectrum of the switching activity.
+        signal = activity.cpu_demand - activity.cpu_demand.mean()
+        mod = np.abs(np.fft.rfft(signal)) ** 2
+        if mod.sum() > 0:
+            mod = mod / mod.sum()
+        mod_freqs = np.fft.rfftfreq(activity.n_steps)  # in [0, 0.5]
+
+        mean_activity = float(activity.cpu_demand.mean())
+        miss_noise = float(
+            np.mean(activity.working_set_kib) / (np.mean(activity.working_set_kib) + 4096.0)
+        )
+
+        for h in range(1, cfg.n_harmonics + 1):
+            carrier = cfg.carrier_freq * h
+            carrier_power = (
+                (0.05 + mean_activity)
+                * 10.0 ** (-(h - 1) * cfg.harmonic_rolloff_db / 10.0)
+            )
+            # Carrier line.
+            idx = int(round(carrier * cfg.spectrum_bins))
+            if idx < cfg.spectrum_bins:
+                power[idx] += carrier_power
+            # Sidebands: modulation spectrum mirrored around the carrier.
+            for sign in (-1.0, +1.0):
+                positions = carrier + sign * mod_freqs[1:]
+                bins = np.round(positions * cfg.spectrum_bins).astype(int)
+                valid = (bins >= 0) & (bins < cfg.spectrum_bins)
+                np.add.at(
+                    power,
+                    bins[valid],
+                    0.3 * carrier_power * mod[1:][valid],
+                )
+
+        # Broadband memory noise raises the floor between harmonics.
+        power += miss_noise * 10.0 ** ((cfg.noise_floor_db + 25.0) / 10.0)
+
+        power_db = 10.0 * np.log10(np.maximum(power, 1e-30))
+        power_db += rng.normal(scale=cfg.measurement_noise_db, size=cfg.spectrum_bins)
+        return EmSpectrum(power_db=power_db, frequencies=freqs, name=activity.name)
+
+
+class EmFeatureExtractor:
+    """Summarise an EM spectrum into a fixed-length feature vector.
+
+    Features: per-band mean/max power (8 bands), carrier-harmonic
+    amplitudes, sideband-to-carrier ratios and spectral flatness — the
+    kind of descriptors EM-based monitoring systems derive.
+    """
+
+    N_BANDS = 8
+
+    def __init__(self, config: EmConfig = EmConfig()):
+        self.config = config
+
+    def feature_names(self) -> list[str]:
+        """Names matching :meth:`extract` output order."""
+        names = []
+        for b in range(self.N_BANDS):
+            names.extend([f"band{b}_mean_db", f"band{b}_max_db"])
+        for h in range(1, self.config.n_harmonics + 1):
+            names.append(f"harmonic{h}_db")
+            names.append(f"harmonic{h}_sideband_ratio")
+        names.extend(["spectral_flatness", "total_power_db"])
+        return names
+
+    def extract(self, spectrum: EmSpectrum) -> np.ndarray:
+        """Feature vector for one spectrum."""
+        cfg = self.config
+        power_db = spectrum.power_db
+        feats: list[float] = []
+        for band in np.array_split(power_db, self.N_BANDS):
+            feats.append(float(band.mean()))
+            feats.append(float(band.max()))
+
+        n = spectrum.n_bins
+        linear = 10.0 ** (power_db / 10.0)
+        for h in range(1, cfg.n_harmonics + 1):
+            idx = int(round(cfg.carrier_freq * h * n))
+            idx = min(idx, n - 1)
+            carrier_db = float(power_db[idx])
+            lo, hi = max(idx - 8, 0), min(idx + 9, n)
+            sideband = np.concatenate(
+                [linear[lo:idx], linear[idx + 1 : hi]]
+            )
+            ratio = float(sideband.mean() / max(linear[idx], 1e-30))
+            feats.append(carrier_db)
+            feats.append(ratio)
+
+        geometric = float(np.exp(np.mean(np.log(np.maximum(linear, 1e-30)))))
+        arithmetic = float(linear.mean())
+        feats.append(geometric / max(arithmetic, 1e-30))
+        feats.append(float(10.0 * np.log10(max(linear.sum(), 1e-30))))
+        return np.asarray(feats)
+
+    def extract_windows(
+        self,
+        activity: ActivityTrace,
+        window_steps: int,
+        *,
+        simulator: EmSimulator,
+    ) -> np.ndarray:
+        """Split an activity trace into windows, one spectrum each."""
+        if window_steps < 8:
+            raise ValueError("window_steps must be >= 8.")
+        n_windows = activity.n_steps // window_steps
+        if n_windows == 0:
+            raise ValueError("Trace shorter than one window.")
+        rows = []
+        for w in range(n_windows):
+            sub = activity.slice(w * window_steps, (w + 1) * window_steps)
+            rows.append(self.extract(simulator.run(sub)))
+        return np.stack(rows)

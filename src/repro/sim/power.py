@@ -1,0 +1,332 @@
+"""SoC power-management substrate: DVFS governors and state traces (S7b).
+
+The DVFS-based HMD of Chawla et al. observes the sequence of Dynamic
+Voltage and Frequency Scaling states that the OS governor selects while
+an application runs.  This module reproduces that signal chain:
+
+``ActivityTrace`` (what the app demands)
+    → per-channel utilisation (demand routed to CPU clusters / GPU,
+      plus background system load)
+    → governor policy (ondemand / conservative / performance)
+    → thermal model (power ∝ C·V²·f, throttling caps the state)
+    → :class:`DvfsTrace` of state indices per channel.
+
+The governor's non-linear, hysteretic response is what makes DVFS
+signatures so application-discriminative: bursty interactive apps pull
+rapid max-frequency jumps followed by step-downs, steady compute pins
+the top states, and low-duty beaconing malware hovers in the low states.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml.validation import check_random_state
+from .trace import ActivityTrace, DvfsTrace
+
+__all__ = [
+    "DvfsChannelConfig",
+    "SocConfig",
+    "OndemandGovernor",
+    "ConservativeGovernor",
+    "PerformanceGovernor",
+    "SocSimulator",
+    "DEFAULT_SOC",
+]
+
+
+@dataclass(frozen=True)
+class DvfsChannelConfig:
+    """One DVFS domain (CPU cluster or GPU).
+
+    Attributes
+    ----------
+    name:
+        Channel label (e.g. "cpu_big").
+    frequencies_mhz:
+        Ascending operating-point frequency table.
+    voltages_v:
+        Per-state supply voltage (same length as the frequency table).
+    demand_share:
+        Fraction of the workload's CPU demand routed to this channel.
+    background_util:
+        Mean background (OS/system services) utilisation added on top.
+    capacitance_nf:
+        Effective switched capacitance for the power model.
+    """
+
+    name: str
+    frequencies_mhz: tuple[float, ...]
+    voltages_v: tuple[float, ...]
+    demand_share: float
+    background_util: float = 0.03
+    capacitance_nf: float = 1.0
+
+    def __post_init__(self) -> None:
+        if len(self.frequencies_mhz) != len(self.voltages_v):
+            raise ValueError("frequencies_mhz and voltages_v lengths differ.")
+        if len(self.frequencies_mhz) < 2:
+            raise ValueError("At least 2 frequency states are required.")
+        freqs = np.asarray(self.frequencies_mhz)
+        if np.any(np.diff(freqs) <= 0):
+            raise ValueError("frequencies_mhz must be strictly ascending.")
+        if not 0.0 <= self.demand_share <= 1.0:
+            raise ValueError(f"demand_share must be in [0, 1]; got {self.demand_share}.")
+
+    @property
+    def n_states(self) -> int:
+        """Number of operating points."""
+        return len(self.frequencies_mhz)
+
+
+@dataclass(frozen=True)
+class SocConfig:
+    """Whole-SoC configuration: channels plus the thermal envelope."""
+
+    channels: tuple[DvfsChannelConfig, ...]
+    ambient_c: float = 30.0
+    thermal_resistance: float = 18.0   # °C per Watt at steady state
+    thermal_tau_s: float = 4.0         # thermal RC time constant
+    throttle_temp_c: float = 75.0      # above this the max state is capped
+    throttle_cap_states: int = 2       # how many top states throttling removes
+
+    def __post_init__(self) -> None:
+        if not self.channels:
+            raise ValueError("At least one DVFS channel is required.")
+
+
+# A Snapdragon-like big.LITTLE SoC with a GPU domain: the three DVFS
+# channels whose state time-series form the HMD signature.
+DEFAULT_SOC = SocConfig(
+    channels=(
+        DvfsChannelConfig(
+            name="cpu_big",
+            frequencies_mhz=(300, 652, 1036, 1401, 1766, 2016, 2150, 2457),
+            voltages_v=(0.57, 0.62, 0.69, 0.76, 0.83, 0.90, 0.95, 1.05),
+            demand_share=0.60,
+            background_util=0.02,
+            capacitance_nf=1.3,
+        ),
+        DvfsChannelConfig(
+            name="cpu_little",
+            frequencies_mhz=(300, 576, 748, 998, 1209, 1516, 1708),
+            voltages_v=(0.55, 0.58, 0.62, 0.67, 0.73, 0.80, 0.86),
+            demand_share=0.40,
+            background_util=0.04,
+            capacitance_nf=0.7,
+        ),
+        DvfsChannelConfig(
+            name="gpu",
+            frequencies_mhz=(180, 267, 355, 430, 504, 585),
+            voltages_v=(0.60, 0.64, 0.70, 0.76, 0.82, 0.90),
+            demand_share=0.05,
+            background_util=0.06,
+            capacitance_nf=1.8,
+        ),
+    ),
+)
+
+
+class OndemandGovernor:
+    """The classic Linux ``ondemand`` policy.
+
+    If utilisation exceeds ``up_threshold`` the governor jumps straight
+    to the highest state; otherwise it picks the lowest state whose
+    capacity covers the demand with margin, stepping down at most
+    gradually (hysteresis via ``down_differential``).
+    """
+
+    def __init__(self, *, up_threshold: float = 0.80, down_differential: float = 0.10):
+        if not 0.0 < up_threshold <= 1.0:
+            raise ValueError(f"up_threshold must be in (0, 1]; got {up_threshold}.")
+        if not 0.0 <= down_differential < up_threshold:
+            raise ValueError(
+                "down_differential must be in [0, up_threshold)."
+            )
+        self.up_threshold = up_threshold
+        self.down_differential = down_differential
+
+    def next_state(
+        self, state: int, utilization: float, channel: DvfsChannelConfig
+    ) -> int:
+        """One governor decision given current state and utilisation.
+
+        Implemented with :mod:`bisect` on the plain frequency tuple —
+        this method runs once per step per channel, so it must stay free
+        of NumPy per-call overhead.
+        """
+        n = channel.n_states
+        freqs = channel.frequencies_mhz
+        if utilization > self.up_threshold:
+            return n - 1
+        # Utilisation is measured relative to current capacity; convert
+        # to absolute demand and find the smallest adequate state.
+        demand = utilization * freqs[state]
+        target_capacity = demand / max(self.up_threshold - self.down_differential, 1e-9)
+        target = bisect_left(freqs, target_capacity)
+        if target >= n:
+            target = n - 1
+        # Never step down more than one state per decision (hysteresis).
+        if target < state - 1:
+            target = state - 1
+        return target
+
+
+class ConservativeGovernor:
+    """Linux ``conservative`` policy: single-state steps up and down."""
+
+    def __init__(self, *, up_threshold: float = 0.75, down_threshold: float = 0.35):
+        if not 0.0 <= down_threshold < up_threshold <= 1.0:
+            raise ValueError(
+                "Require 0 <= down_threshold < up_threshold <= 1."
+            )
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+
+    def next_state(
+        self, state: int, utilization: float, channel: DvfsChannelConfig
+    ) -> int:
+        """Step at most one state per decision."""
+        if utilization > self.up_threshold:
+            return min(state + 1, channel.n_states - 1)
+        if utilization < self.down_threshold:
+            return max(state - 1, 0)
+        return state
+
+
+class PerformanceGovernor:
+    """Pins the maximum state (used in ablations — it destroys the
+    DVFS signature, illustrating why the sensor choice matters)."""
+
+    def next_state(
+        self, state: int, utilization: float, channel: DvfsChannelConfig
+    ) -> int:
+        """Always select the top state."""
+        return channel.n_states - 1
+
+
+class SocSimulator:
+    """Simulates governor decisions and thermals for a workload trace.
+
+    Parameters
+    ----------
+    config:
+        SoC description (channels, thermal envelope).
+    governor:
+        Policy object with a ``next_state(state, util, channel)`` method;
+        one independent instance of state per channel is maintained here.
+    noise:
+        Std-dev of multiplicative utilisation measurement noise.
+    random_state:
+        Seed / generator for reproducibility.
+    """
+
+    def __init__(
+        self,
+        config: SocConfig = DEFAULT_SOC,
+        *,
+        governor=None,
+        noise: float = 0.04,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        self.config = config
+        self.governor = governor if governor is not None else OndemandGovernor()
+        self.noise = noise
+        self.rng = check_random_state(random_state)
+
+    def run(self, activity: ActivityTrace) -> DvfsTrace:
+        """Produce the DVFS state trace for one workload activity trace.
+
+        All stochastic inputs (background load, measurement noise) are
+        drawn vectorised up front; the remaining sequential loop — the
+        governor's state feedback and the thermal RC — uses plain Python
+        scalars, keeping full-dataset generation fast.
+        """
+        config = self.config
+        n_steps = activity.n_steps
+        channels = config.channels
+        n_channels = len(channels)
+        rng = self.rng
+
+        # Vectorised pre-computation of the measured utilisation demand.
+        demand = activity.cpu_demand[:, None] * np.array(
+            [c.demand_share for c in channels]
+        )
+        for c, channel in enumerate(channels):
+            if channel.name == "cpu_little":
+                # I/O and housekeeping threads land on the little cluster.
+                demand[:, c] += 0.25 * activity.io_rate
+            elif channel.name == "gpu":
+                # The GPU domain serves rendering/media demand directly.
+                demand[:, c] += activity.gpu_demand
+        background = np.array([c.background_util for c in channels])
+        demand += background[None, :] * rng.exponential(size=(n_steps, n_channels))
+        demand *= 1.0 + rng.normal(scale=self.noise, size=(n_steps, n_channels))
+        measured = np.clip(demand, 0.0, 1.0)
+        measured_list = measured.tolist()
+
+        # Per-channel lookup tables as plain Python objects.
+        freq_tables = [c.frequencies_mhz for c in channels]
+        inv_fmax = [1.0 / c.frequencies_mhz[-1] for c in channels]
+        # Power per (channel, state) at unit activity: C * V^2 * f.
+        power_tables = [
+            [
+                c.capacitance_nf * v * v * (f / 1000.0)
+                for f, v in zip(c.frequencies_mhz, c.voltages_v)
+            ]
+            for c in channels
+        ]
+        throttle_caps = [
+            max(c.n_states - 1 - config.throttle_cap_states, 0) for c in channels
+        ]
+
+        states = np.zeros((n_steps, n_channels), dtype=np.int64)
+        states_list = states.tolist()
+        temperature = [0.0] * n_steps
+        temp = config.ambient_c + 5.0
+        alpha = activity.dt / config.thermal_tau_s
+        ambient = config.ambient_c
+        thermal_r = config.thermal_resistance
+        throttle_temp = config.throttle_temp_c
+        governor_step = self.governor.next_state
+
+        current = [0] * n_channels
+        for t in range(n_steps):
+            total_power = 0.0
+            row_measured = measured_list[t]
+            row_states = states_list[t]
+            throttled = temp > throttle_temp
+            for c in range(n_channels):
+                m = row_measured[c]
+                # Utilisation relative to the *current* state's capacity.
+                cap_ratio = freq_tables[c][current[c]] * inv_fmax[c]
+                utilization = m / cap_ratio
+                if utilization > 1.0:
+                    utilization = 1.0
+                next_state = governor_step(current[c], utilization, channels[c])
+                if throttled and next_state > throttle_caps[c]:
+                    next_state = throttle_caps[c]
+                current[c] = next_state
+                row_states[c] = next_state
+                activity_factor = m if m > 0.05 else 0.05
+                total_power += power_tables[c][next_state] * activity_factor
+
+            # First-order thermal RC update.
+            steady = ambient + thermal_r * total_power
+            temp += alpha * (steady - temp)
+            temperature[t] = temp
+
+        states = np.asarray(states_list, dtype=np.int64)
+        temperature = np.asarray(temperature)
+
+        return DvfsTrace(
+            states=states,
+            frequencies_mhz=tuple(c.frequencies_mhz for c in config.channels),
+            channel_names=tuple(c.name for c in config.channels),
+            temperature_c=temperature,
+            dt=activity.dt,
+            name=activity.name,
+        )

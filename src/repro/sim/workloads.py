@@ -1,0 +1,338 @@
+"""Synthetic workload archetypes and activity-trace generation (S7a).
+
+The paper's datasets were collected by running real Android applications
+and malware samples (DVFS dataset, Chawla et al.) and desktop
+benign/malware binaries (HPC dataset, Zhou et al.).  Offline we replace
+those with *parametric workload archetypes*: each application is a small
+Markov machine over behavioural phases, each phase specifying the
+demands the application places on the hardware (CPU utilisation
+dynamics, instruction mix, memory working set, branch predictability,
+I/O).  Running the machine produces an :class:`ActivityTrace` that the
+DVFS and HPC substrates turn into sensor signatures.
+
+Per-application *individuality* comes from two levels of randomness:
+
+* every application instance draws a persistent parameter offset
+  (``app_jitter``) once, making e.g. two browsing sessions similar but
+  not identical;
+* every step adds observation noise.
+
+This mirrors the paper's setting where signatures cluster per
+application, and lets the dataset builder place whole *applications*
+(not samples) into the known/unknown buckets exactly as in Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..ml.validation import check_random_state
+from .trace import INSTRUCTION_KINDS, ActivityTrace
+
+__all__ = ["WorkloadPhase", "WorkloadSpec", "WorkloadGenerator", "blend_specs"]
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """One behavioural phase of an application.
+
+    Attributes
+    ----------
+    name:
+        Phase label (for debugging and trace inspection).
+    cpu_mean / cpu_std:
+        Mean and standard deviation of CPU demand in [0, 1].
+    gpu_mean:
+        Mean GPU demand in [0, 1] (rendering, video decode, UI
+        compositing); most malware archetypes leave this near zero.
+    burst_prob / burst_height:
+        Per-step probability of a short demand burst and its amplitude —
+        bursts are what distinguish interactive apps from steady
+        compute loops in the DVFS signal.
+    mix:
+        Instruction-mix fractions over (alu, branch, load, store);
+        normalised at generation time.
+    working_set_kib:
+        Log-mean of the active working set in KiB.
+    working_set_sigma:
+        Log-space standard deviation of the working set.
+    branch_entropy:
+        Branch-outcome unpredictability in [0, 1].
+    io_rate:
+        Relative I/O intensity in [0, 1].
+    mean_duration_steps:
+        Mean dwell time before the Markov machine may leave the phase.
+    dwell_cv:
+        Coefficient of variation of the dwell time.  ``None`` (default)
+        uses a geometric distribution — the memoryless, human-driven
+        case.  A small value (e.g. 0.05) makes dwells nearly
+        deterministic, modelling timer-driven malware behaviour (ad
+        popups, C2 beacons, SMS bursts) whose rigid cadence is exactly
+        the "invariant functionality" HMDs key on.
+    """
+
+    name: str
+    cpu_mean: float
+    cpu_std: float = 0.05
+    gpu_mean: float = 0.0
+    burst_prob: float = 0.0
+    burst_height: float = 0.0
+    mix: tuple[float, float, float, float] = (0.55, 0.15, 0.20, 0.10)
+    working_set_kib: float = 512.0
+    working_set_sigma: float = 0.25
+    branch_entropy: float = 0.3
+    io_rate: float = 0.1
+    mean_duration_steps: int = 40
+    dwell_cv: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cpu_mean <= 1.0:
+            raise ValueError(f"cpu_mean must be in [0, 1]; got {self.cpu_mean}.")
+        if len(self.mix) != len(INSTRUCTION_KINDS):
+            raise ValueError(
+                f"mix must have {len(INSTRUCTION_KINDS)} entries; got {len(self.mix)}."
+            )
+        if any(m < 0 for m in self.mix) or sum(self.mix) <= 0:
+            raise ValueError(f"mix fractions must be non-negative and not all zero.")
+        if self.mean_duration_steps < 1:
+            raise ValueError("mean_duration_steps must be >= 1.")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A complete application archetype.
+
+    Attributes
+    ----------
+    name:
+        Application name (unique within a dataset).
+    label:
+        0 = benign, 1 = malware.
+    family:
+        Malware family or benign category (used for reporting).
+    phases:
+        The behavioural phases.
+    transitions:
+        Row-stochastic phase transition matrix (rows/cols follow
+        ``phases`` order); ``None`` means uniform transitions.
+    app_jitter:
+        Scale of the per-instance persistent parameter offset: each
+        generated trace perturbs phase means by a random factor drawn
+        once, modelling device/app-session variation.
+    """
+
+    name: str
+    label: int
+    family: str
+    phases: tuple[WorkloadPhase, ...]
+    transitions: tuple[tuple[float, ...], ...] | None = None
+    app_jitter: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.label not in (0, 1):
+            raise ValueError(f"label must be 0 (benign) or 1 (malware); got {self.label}.")
+        if not self.phases:
+            raise ValueError("At least one phase is required.")
+        if self.transitions is not None:
+            n = len(self.phases)
+            matrix = np.asarray(self.transitions, dtype=float)
+            if matrix.shape != (n, n):
+                raise ValueError(
+                    f"transitions must be {n}x{n}; got {matrix.shape}."
+                )
+            if np.any(matrix < 0) or not np.allclose(matrix.sum(axis=1), 1.0, atol=1e-6):
+                raise ValueError("transitions rows must be non-negative and sum to 1.")
+
+    def transition_matrix(self) -> np.ndarray:
+        """Return the (possibly default-uniform) transition matrix."""
+        n = len(self.phases)
+        if self.transitions is None:
+            return np.full((n, n), 1.0 / n)
+        return np.asarray(self.transitions, dtype=float)
+
+
+class WorkloadGenerator:
+    """Turns a :class:`WorkloadSpec` into :class:`ActivityTrace` windows.
+
+    Parameters
+    ----------
+    dt:
+        Seconds per step.
+    random_state:
+        Seed / generator for reproducible traces.
+    """
+
+    def __init__(self, *, dt: float = 0.05, random_state: int | np.random.Generator | None = None):
+        if dt <= 0:
+            raise ValueError(f"dt must be positive; got {dt}.")
+        self.dt = dt
+        self.rng = check_random_state(random_state)
+
+    def _phase_sequence(self, spec: WorkloadSpec, n_steps: int) -> np.ndarray:
+        """Run the Markov phase machine and return per-step phase ids.
+
+        Only the (few) phase *transitions* are generated in a Python
+        loop; dwell times are geometric, so a window of hundreds of
+        steps typically costs a handful of iterations.
+        """
+        rng = self.rng
+        n_phases = len(spec.phases)
+        transition = spec.transition_matrix()
+        means = np.array([p.mean_duration_steps for p in spec.phases], dtype=float)
+
+        dwell_cvs = [p.dwell_cv for p in spec.phases]
+
+        segments: list[np.ndarray] = []
+        total = 0
+        phase_idx = int(rng.integers(n_phases))
+        while total < n_steps:
+            cv = dwell_cvs[phase_idx]
+            if cv is None:
+                dwell = int(rng.geometric(1.0 / means[phase_idx]))
+            else:
+                dwell = max(
+                    1,
+                    int(round(rng.normal(means[phase_idx], cv * means[phase_idx]))),
+                )
+            dwell = min(dwell, n_steps - total)
+            segments.append(np.full(dwell, phase_idx, dtype=np.int64))
+            total += dwell
+            phase_idx = int(rng.choice(n_phases, p=transition[phase_idx]))
+        return np.concatenate(segments)
+
+    def generate(self, spec: WorkloadSpec, n_steps: int) -> ActivityTrace:
+        """Simulate ``n_steps`` of the application's phase machine.
+
+        Per-step sampling is fully vectorised; only phase transitions
+        run in Python.
+        """
+        if n_steps < 1:
+            raise ValueError(f"n_steps must be >= 1; got {n_steps}.")
+        rng = self.rng
+        phase_ids = self._phase_sequence(spec, n_steps)
+
+        # Persistent per-instance offsets (the "session personality").
+        cpu_offset = rng.normal(scale=spec.app_jitter)
+        ws_offset = rng.normal(scale=spec.app_jitter)
+        mix_offset = rng.normal(scale=spec.app_jitter, size=len(INSTRUCTION_KINDS))
+
+        # Per-phase parameter tables, indexed by the phase sequence.
+        cpu_mean = np.array([p.cpu_mean for p in spec.phases])
+        cpu_std = np.array([p.cpu_std for p in spec.phases])
+        gpu_mean = np.array([p.gpu_mean for p in spec.phases])
+        burst_prob = np.array([p.burst_prob for p in spec.phases])
+        burst_height = np.array([p.burst_height for p in spec.phases])
+        ws_log_mean = np.log([p.working_set_kib for p in spec.phases])
+        ws_sigma = np.array([p.working_set_sigma for p in spec.phases])
+        be_mean = np.array([p.branch_entropy for p in spec.phases])
+        io_mean = np.array([p.io_rate for p in spec.phases])
+        mix_table = np.array([p.mix for p in spec.phases], dtype=float)
+        mix_table = mix_table * np.exp(mix_offset * 0.5)[None, :]
+        mix_table = np.maximum(mix_table, 1e-6)
+        mix_table /= mix_table.sum(axis=1, keepdims=True)
+
+        cpu = cpu_mean[phase_ids] + cpu_offset + rng.normal(size=n_steps) * cpu_std[phase_ids]
+        bursts = rng.random(n_steps) < burst_prob[phase_ids]
+        cpu = np.clip(cpu + bursts * burst_height[phase_ids], 0.0, 1.0)
+
+        gpu = gpu_mean[phase_ids] + 0.5 * cpu_offset + rng.normal(scale=0.03, size=n_steps)
+        gpu = np.clip(gpu, 0.0, 1.0)
+
+        mix = mix_table[phase_ids]
+
+        working_set = np.exp(
+            ws_log_mean[phase_ids] + ws_offset + rng.normal(size=n_steps) * ws_sigma[phase_ids]
+        )
+        branch_entropy = np.clip(be_mean[phase_ids] + rng.normal(scale=0.03, size=n_steps), 0.0, 1.0)
+        io_rate = np.clip(io_mean[phase_ids] + rng.normal(scale=0.03, size=n_steps), 0.0, 1.0)
+
+        return ActivityTrace(
+            cpu_demand=cpu,
+            gpu_demand=gpu,
+            instr_mix=mix,
+            working_set_kib=working_set,
+            branch_entropy=branch_entropy,
+            io_rate=io_rate,
+            phase_id=phase_ids,
+            dt=self.dt,
+            name=spec.name,
+        )
+
+    def generate_windows(
+        self, spec: WorkloadSpec, n_windows: int, window_steps: int
+    ) -> list[ActivityTrace]:
+        """Generate ``n_windows`` independent windows of the application.
+
+        Each window re-draws the session personality, modelling separate
+        runs / devices contributing signatures for the same app.
+        """
+        if n_windows < 1:
+            raise ValueError(f"n_windows must be >= 1; got {n_windows}.")
+        return [self.generate(spec, window_steps) for _ in range(n_windows)]
+
+
+def scaled_phase(phase: WorkloadPhase, **overrides) -> WorkloadPhase:
+    """Convenience helper: copy ``phase`` with field overrides."""
+    return replace(phase, **overrides)
+
+
+def blend_specs(
+    malware: WorkloadSpec,
+    benign: WorkloadSpec,
+    stealth: float,
+    *,
+    name: str | None = None,
+) -> WorkloadSpec:
+    """Build a mimicry variant: malware interleaving benign-like phases.
+
+    Models the evasion strategy studied by the adversarial-HMD
+    literature (Khasawneh et al. ICCAD'18; Kuruvila et al.): the
+    malicious payload still has to run, but the binary pads its
+    schedule with phases imitating a benign application.
+
+    Parameters
+    ----------
+    malware / benign:
+        Source archetypes (labels 1 and 0 respectively).
+    stealth:
+        Fraction of time spent in the mimicked benign phases, in
+        [0, 1).  0 = plain malware; 0.9 = payload squeezed into 10% of
+        the schedule.
+    name:
+        Optional name for the blended spec.
+
+    Returns
+    -------
+    A new spec labelled **malware** (the payload is still there) whose
+    phase machine spends ``stealth`` of its time in the benign phases.
+    """
+    if malware.label != 1 or benign.label != 0:
+        raise ValueError("blend_specs expects (malware, benign) source specs.")
+    if not 0.0 <= stealth < 1.0:
+        raise ValueError(f"stealth must be in [0, 1); got {stealth}.")
+
+    phases = malware.phases + benign.phases
+    n_mal = len(malware.phases)
+    n_ben = len(benign.phases)
+    mal_matrix = malware.transition_matrix()
+    ben_matrix = benign.transition_matrix()
+
+    n = n_mal + n_ben
+    matrix = np.zeros((n, n))
+    # Within-group dynamics preserved; cross-group mass set by stealth.
+    matrix[:n_mal, :n_mal] = (1.0 - stealth) * mal_matrix
+    matrix[:n_mal, n_mal:] = stealth / n_ben
+    matrix[n_mal:, n_mal:] = stealth * ben_matrix
+    matrix[n_mal:, :n_mal] = (1.0 - stealth) / n_mal
+    matrix /= matrix.sum(axis=1, keepdims=True)
+
+    return WorkloadSpec(
+        name=name if name is not None else f"{malware.name}_mimic_{benign.name}",
+        label=1,
+        family=f"mimicry_{malware.family}",
+        phases=phases,
+        transitions=tuple(tuple(row) for row in matrix),
+        app_jitter=malware.app_jitter,
+    )

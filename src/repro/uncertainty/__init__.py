@@ -1,0 +1,75 @@
+"""The paper's core contribution (S11-S12): ensemble-based predictive
+uncertainty estimation, rejection, trusted-HMD pipeline and the online
+monitoring loop."""
+
+from .decomposition import (
+    UncertaintyDecomposition,
+    decompose_uncertainty,
+    member_probabilities,
+)
+from .drift import DriftState, EntropyDriftMonitor, PageHinkleyDetector
+from .entropy import (
+    shannon_entropy,
+    variation_ratio,
+    vote_entropy,
+    vote_margin,
+    votes_to_distribution,
+)
+from .estimator import EnsembleUncertaintyEstimator, UncertaintyReport
+from .online import (
+    FlaggedSample,
+    ForensicQueue,
+    MonitorStats,
+    OnlineMonitor,
+    RetrainingLoop,
+    TriageCluster,
+    triage_queue,
+)
+from .rejection import RejectionPolicy, RejectionResult, f1_vs_threshold, rejection_curve
+from .thresholds import (
+    ThresholdReport,
+    calibrate_threshold_by_budget,
+    calibrate_threshold_by_f1,
+)
+from .reliability import (
+    ReliabilityDiagram,
+    expected_calibration_error,
+    reliability_diagram,
+)
+from .trust import TrustedHMD, TrustedVerdict, UntrustedHMD
+
+__all__ = [
+    "DriftState",
+    "EnsembleUncertaintyEstimator",
+    "EntropyDriftMonitor",
+    "FlaggedSample",
+    "ForensicQueue",
+    "MonitorStats",
+    "OnlineMonitor",
+    "PageHinkleyDetector",
+    "RejectionPolicy",
+    "RejectionResult",
+    "ReliabilityDiagram",
+    "RetrainingLoop",
+    "ThresholdReport",
+    "TriageCluster",
+    "TrustedHMD",
+    "TrustedVerdict",
+    "UncertaintyDecomposition",
+    "UncertaintyReport",
+    "UntrustedHMD",
+    "calibrate_threshold_by_budget",
+    "calibrate_threshold_by_f1",
+    "decompose_uncertainty",
+    "expected_calibration_error",
+    "f1_vs_threshold",
+    "member_probabilities",
+    "rejection_curve",
+    "reliability_diagram",
+    "shannon_entropy",
+    "triage_queue",
+    "variation_ratio",
+    "vote_entropy",
+    "vote_margin",
+    "votes_to_distribution",
+]

@@ -1,0 +1,105 @@
+"""Uncertainty measures over ensemble decisions (Eq. 4 of the paper).
+
+The paper quantifies predictive uncertainty as the Shannon entropy of
+the frequency distribution of the base classifiers' decisions (the
+approximated predictive posterior of Eq. 3).  This module implements
+that measure plus the standard alternatives used in the ablations
+(vote margin, variation ratio).
+
+Entropies default to **base 2** so the binary-classification maximum is
+exactly 1.0 bit, matching the 0–1 threshold axes of Figs. 4, 5, 7, 9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "shannon_entropy",
+    "votes_to_distribution",
+    "vote_entropy",
+    "vote_margin",
+    "variation_ratio",
+]
+
+
+def shannon_entropy(distribution: np.ndarray, *, base: float = 2.0) -> np.ndarray:
+    """Entropy of one or many categorical distributions.
+
+    Parameters
+    ----------
+    distribution:
+        Probability vector(s); the last axis must sum to 1.
+    base:
+        Logarithm base (2 → bits, e → nats).
+
+    Returns
+    -------
+    Array of entropies with the last axis reduced (scalar array for a
+    single distribution).
+    """
+    p = np.asarray(distribution, dtype=float)
+    if p.ndim == 0:
+        raise ValueError("distribution must have at least 1 dimension.")
+    if np.any(p < -1e-9):
+        raise ValueError("Probabilities must be non-negative.")
+    sums = p.sum(axis=-1)
+    if not np.allclose(sums, 1.0, atol=1e-6):
+        raise ValueError("Distributions must sum to 1 along the last axis.")
+    if base <= 1.0:
+        raise ValueError(f"base must be > 1; got {base}.")
+    p = np.clip(p, 1e-15, 1.0)
+    return -(p * (np.log(p) / np.log(base))).sum(axis=-1)
+
+
+def votes_to_distribution(votes: np.ndarray, classes: np.ndarray) -> np.ndarray:
+    """Frequency distribution of member decisions over ``classes``.
+
+    Parameters
+    ----------
+    votes:
+        ``(n_samples, n_members)`` matrix of hard per-member decisions —
+        the output of an ensemble's ``decisions``.
+    classes:
+        Class labels defining the column order of the result.
+
+    Returns
+    -------
+    ``(n_samples, n_classes)`` row-stochastic matrix (Eq. 3).
+    """
+    votes = np.asarray(votes)
+    if votes.ndim != 2:
+        raise ValueError(f"votes must be 2-d; got shape {votes.shape}.")
+    classes = np.asarray(classes)
+    distribution = np.zeros((votes.shape[0], len(classes)))
+    for k, cls in enumerate(classes):
+        distribution[:, k] = np.mean(votes == cls, axis=1)
+    if not np.allclose(distribution.sum(axis=1), 1.0, atol=1e-9):
+        raise ValueError(
+            "votes contain labels outside the provided classes."
+        )
+    return distribution
+
+
+def vote_entropy(votes: np.ndarray, classes: np.ndarray, *, base: float = 2.0) -> np.ndarray:
+    """Entropy of the member-vote distribution (the paper's estimator)."""
+    return shannon_entropy(votes_to_distribution(votes, classes), base=base)
+
+
+def vote_margin(votes: np.ndarray, classes: np.ndarray) -> np.ndarray:
+    """Difference between the top-2 vote fractions (1 = unanimous).
+
+    Low margin ⇔ high disagreement; used as an alternative uncertainty
+    score in ablation A3.
+    """
+    distribution = votes_to_distribution(votes, classes)
+    if distribution.shape[1] < 2:
+        return np.ones(distribution.shape[0])
+    part = np.partition(distribution, -2, axis=1)
+    return part[:, -1] - part[:, -2]
+
+
+def variation_ratio(votes: np.ndarray, classes: np.ndarray) -> np.ndarray:
+    """1 − (fraction of members voting for the modal class)."""
+    distribution = votes_to_distribution(votes, classes)
+    return 1.0 - distribution.max(axis=1)

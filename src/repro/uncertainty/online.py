@@ -1,0 +1,259 @@
+"""Online uncertainty-aware malware monitoring (S12).
+
+The paper's title promises *online* uncertainty estimation, and its
+introduction sketches the operational loop: uncertain predictions are
+withheld, forensic data is collected, a security specialist labels the
+flagged workloads, and the model is retrained on the new class of
+malware.  This module implements that loop:
+
+* :class:`ForensicQueue` — bounded queue of withheld signatures with
+  analyst labelling hooks;
+* :class:`OnlineMonitor` — streams signature windows through a
+  :class:`TrustedHMD`, maintaining detection statistics and feeding the
+  queue;
+* :class:`RetrainingLoop` — drains analyst-labelled signatures into the
+  training set and refits, demonstrating the uncertainty drop on
+  previously-unknown workloads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .trust import TrustedHMD, TrustedVerdict
+
+__all__ = ["ForensicQueue", "FlaggedSample", "OnlineMonitor", "MonitorStats", "RetrainingLoop", "TriageCluster", "triage_queue"]
+
+
+@dataclass(frozen=True)
+class FlaggedSample:
+    """One signature withheld by the trusted HMD."""
+
+    features: np.ndarray
+    prediction: int
+    entropy: float
+    step: int
+
+
+class ForensicQueue:
+    """Bounded FIFO of flagged signatures awaiting analyst review."""
+
+    def __init__(self, maxlen: int = 10_000):
+        if maxlen < 1:
+            raise ValueError("maxlen must be >= 1.")
+        self._queue: deque[FlaggedSample] = deque(maxlen=maxlen)
+        self.total_flagged = 0
+
+    def push(self, sample: FlaggedSample) -> None:
+        """Add a flagged signature (oldest dropped when full)."""
+        self._queue.append(sample)
+        self.total_flagged += 1
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def drain(self, n: int | None = None) -> list[FlaggedSample]:
+        """Remove and return up to ``n`` samples (all by default)."""
+        if n is None:
+            n = len(self._queue)
+        drained = []
+        for _ in range(min(n, len(self._queue))):
+            drained.append(self._queue.popleft())
+        return drained
+
+    def peek_entropies(self) -> np.ndarray:
+        """Entropies of currently queued samples (no removal)."""
+        return np.array([s.entropy for s in self._queue])
+
+
+@dataclass
+class MonitorStats:
+    """Running counters of the online monitor."""
+
+    n_seen: int = 0
+    n_accepted: int = 0
+    n_flagged: int = 0
+    n_malware_alerts: int = 0
+    entropy_sum: float = 0.0
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of seen windows flagged as uncertain."""
+        return self.n_flagged / self.n_seen if self.n_seen else 0.0
+
+    @property
+    def mean_entropy(self) -> float:
+        """Mean predictive entropy over all seen windows."""
+        return self.entropy_sum / self.n_seen if self.n_seen else 0.0
+
+
+class OnlineMonitor:
+    """Stream signatures through a trusted HMD with forensic capture.
+
+    Parameters
+    ----------
+    hmd:
+        A *fitted* :class:`TrustedHMD`.
+    queue:
+        Forensic queue receiving the withheld signatures.
+    """
+
+    def __init__(self, hmd: TrustedHMD, *, queue: ForensicQueue | None = None):
+        if not hasattr(hmd, "estimator_"):
+            raise ValueError("hmd must be fitted before monitoring.")
+        self.hmd = hmd
+        self.queue = queue if queue is not None else ForensicQueue()
+        self.stats = MonitorStats()
+        self._step = 0
+
+    def observe(self, X) -> TrustedVerdict:
+        """Process a batch of signature windows.
+
+        Accepted malware predictions raise alerts (counted in stats);
+        uncertain windows go to the forensic queue.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        verdict = self.hmd.analyze(X)
+        for i in range(len(verdict.predictions)):
+            self._step += 1
+            self.stats.n_seen += 1
+            self.stats.entropy_sum += float(verdict.entropy[i])
+            if verdict.accepted[i]:
+                self.stats.n_accepted += 1
+                if verdict.predictions[i] == 1:
+                    self.stats.n_malware_alerts += 1
+            else:
+                self.stats.n_flagged += 1
+                self.queue.push(
+                    FlaggedSample(
+                        features=X[i].copy(),
+                        prediction=int(verdict.predictions[i]),
+                        entropy=float(verdict.entropy[i]),
+                        step=self._step,
+                    )
+                )
+        return verdict
+
+
+class RetrainingLoop:
+    """Close the loop: analyst labels flagged samples → model refits.
+
+    Parameters
+    ----------
+    hmd:
+        Fitted :class:`TrustedHMD` to be refreshed.
+    X_train / y_train:
+        The current training set; retraining appends analyst-labelled
+        forensic samples to it.
+    min_batch:
+        Minimum number of labelled samples required to trigger a refit.
+    """
+
+    def __init__(self, hmd: TrustedHMD, X_train, y_train, *, min_batch: int = 20):
+        if min_batch < 1:
+            raise ValueError("min_batch must be >= 1.")
+        self.hmd = hmd
+        self.X_train = np.asarray(X_train, dtype=float)
+        self.y_train = np.asarray(y_train)
+        self.min_batch = min_batch
+        self.n_retrains = 0
+
+    def incorporate(self, samples: list[FlaggedSample], labels) -> bool:
+        """Add analyst-labelled samples; refit when enough accumulated.
+
+        Parameters
+        ----------
+        samples:
+            Flagged samples drained from the forensic queue.
+        labels:
+            Ground-truth labels supplied by the analyst (same order).
+
+        Returns
+        -------
+        True when a retrain occurred.
+        """
+        labels = np.asarray(labels)
+        if len(samples) != len(labels):
+            raise ValueError("samples and labels lengths differ.")
+        if len(samples) == 0:
+            return False
+        X_new = np.stack([s.features for s in samples])
+        self.X_train = np.vstack([self.X_train, X_new])
+        self.y_train = np.concatenate([self.y_train, labels])
+        if len(samples) < self.min_batch:
+            return False
+        self.hmd.fit(self.X_train, self.y_train)
+        self.n_retrains += 1
+        return True
+
+
+@dataclass(frozen=True)
+class TriageCluster:
+    """One group of flagged signatures proposed to the analyst."""
+
+    samples: tuple[FlaggedSample, ...]
+    centroid: np.ndarray
+    mean_entropy: float
+    majority_prediction: int
+
+    @property
+    def size(self) -> int:
+        """Number of flagged signatures in the cluster."""
+        return len(self.samples)
+
+
+def triage_queue(
+    queue: ForensicQueue,
+    *,
+    n_clusters: int | None = None,
+    random_state: int | np.random.Generator | None = 0,
+) -> list[TriageCluster]:
+    """Group the forensic queue into candidate novel-workload clusters.
+
+    Instead of presenting thousands of flagged windows one by one, the
+    queue is k-means-clustered in feature space; each cluster is a
+    candidate *new application or malware family* the analyst labels
+    once.  The queue itself is not modified (drain it after labelling).
+
+    Parameters
+    ----------
+    queue:
+        The forensic queue to triage.
+    n_clusters:
+        Number of groups; default ``max(1, round(sqrt(n / 2)))``.
+    random_state:
+        Seed for the clustering.
+    """
+    from ..ml.cluster import KMeans
+
+    samples = list(queue._queue)
+    if not samples:
+        return []
+    X = np.stack([s.features for s in samples])
+    n = len(samples)
+    if n_clusters is None:
+        n_clusters = max(1, int(round(np.sqrt(n / 2.0))))
+    n_clusters = min(n_clusters, n)
+
+    model = KMeans(n_clusters=n_clusters, random_state=random_state).fit(X)
+    clusters: list[TriageCluster] = []
+    for k in range(n_clusters):
+        members = [s for s, label in zip(samples, model.labels_) if label == k]
+        if not members:
+            continue
+        entropies = np.array([s.entropy for s in members])
+        predictions = np.array([s.prediction for s in members])
+        counts = np.bincount(predictions, minlength=2)
+        clusters.append(
+            TriageCluster(
+                samples=tuple(members),
+                centroid=model.cluster_centers_[k],
+                mean_entropy=float(entropies.mean()),
+                majority_prediction=int(np.argmax(counts)),
+            )
+        )
+    clusters.sort(key=lambda c: -c.size)
+    return clusters

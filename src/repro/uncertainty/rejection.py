@@ -1,0 +1,117 @@
+"""Entropy-threshold rejection (the decision layer of the Trusted HMD).
+
+"If the entropy of a particular prediction goes beyond the threshold,
+we reject that decision citing the uncertainty in the prediction."
+(Section V.A.)  This module implements that policy and the two sweep
+curves of Fig. 7 / Fig. 9b:
+
+* :func:`rejection_curve` — % of inputs rejected vs. threshold;
+* :func:`f1_vs_threshold` — F1 of the *accepted* predictions vs.
+  threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml.metrics import f1_score, precision_score, recall_score
+
+__all__ = ["RejectionPolicy", "RejectionResult", "rejection_curve", "f1_vs_threshold"]
+
+
+@dataclass(frozen=True)
+class RejectionResult:
+    """Outcome of applying a rejection policy to a batch."""
+
+    accepted: np.ndarray          # boolean mask
+    predictions: np.ndarray       # all predictions (accepted or not)
+    entropy: np.ndarray
+    threshold: float
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of inputs rejected."""
+        return float(1.0 - self.accepted.mean()) if len(self.accepted) else 0.0
+
+    @property
+    def n_rejected(self) -> int:
+        """Number of rejected inputs."""
+        return int((~self.accepted).sum())
+
+    def accepted_predictions(self) -> np.ndarray:
+        """Predictions of the accepted subset only."""
+        return self.predictions[self.accepted]
+
+
+class RejectionPolicy:
+    """Reject predictions whose entropy exceeds ``threshold``."""
+
+    def __init__(self, threshold: float):
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0; got {threshold}.")
+        self.threshold = float(threshold)
+
+    def apply(self, predictions: np.ndarray, entropy: np.ndarray) -> RejectionResult:
+        """Partition a batch into accepted / rejected by entropy."""
+        predictions = np.asarray(predictions)
+        entropy = np.asarray(entropy, dtype=float)
+        if len(predictions) != len(entropy):
+            raise ValueError(
+                f"predictions ({len(predictions)}) and entropy "
+                f"({len(entropy)}) lengths differ."
+            )
+        accepted = entropy <= self.threshold
+        return RejectionResult(
+            accepted=accepted,
+            predictions=predictions,
+            entropy=entropy,
+            threshold=self.threshold,
+        )
+
+
+def rejection_curve(entropy: np.ndarray, thresholds) -> np.ndarray:
+    """Percentage of inputs rejected at each threshold (Fig. 7a / 9b)."""
+    entropy = np.asarray(entropy, dtype=float)
+    thresholds = np.asarray(thresholds, dtype=float)
+    if entropy.size == 0:
+        raise ValueError("entropy is empty.")
+    return np.array([100.0 * np.mean(entropy > t) for t in thresholds])
+
+
+def f1_vs_threshold(
+    y_true: np.ndarray,
+    predictions: np.ndarray,
+    entropy: np.ndarray,
+    thresholds,
+    *,
+    min_accepted: int = 5,
+) -> list[dict]:
+    """F1/precision/recall of accepted predictions per threshold (Fig. 7b).
+
+    Thresholds accepting fewer than ``min_accepted`` samples (or only
+    one class) yield ``None`` metrics rather than misleading scores.
+    """
+    y_true = np.asarray(y_true)
+    predictions = np.asarray(predictions)
+    entropy = np.asarray(entropy, dtype=float)
+    if not (len(y_true) == len(predictions) == len(entropy)):
+        raise ValueError("y_true, predictions and entropy lengths differ.")
+
+    rows = []
+    for t in np.asarray(thresholds, dtype=float):
+        accepted = entropy <= t
+        row: dict = {
+            "threshold": float(t),
+            "accepted_frac": float(accepted.mean()),
+        }
+        yt, yp = y_true[accepted], predictions[accepted]
+        if accepted.sum() >= min_accepted and len(np.unique(yt)) == 2:
+            row["f1"] = f1_score(yt, yp)
+            row["precision"] = precision_score(yt, yp)
+            row["recall"] = recall_score(yt, yp)
+        else:
+            row["f1"] = row["precision"] = row["recall"] = None
+        rows.append(row)
+    return rows

@@ -1,0 +1,125 @@
+"""Reliability analysis of the ensemble's vote fractions.
+
+A trustworthy detector's confidence should be *calibrated*: among
+inputs where the ensemble votes 80/20, roughly 80% should actually
+belong to the majority class.  This module quantifies that with the
+standard reliability diagram and Expected Calibration Error (ECE) —
+complementing the paper's entropy analysis with the calibration lens
+the broader uncertainty literature (Guo et al. 2017) uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ReliabilityDiagram", "reliability_diagram", "expected_calibration_error"]
+
+
+@dataclass(frozen=True)
+class ReliabilityDiagram:
+    """Binned confidence-vs-accuracy summary."""
+
+    bin_edges: np.ndarray       # (n_bins + 1,)
+    bin_confidence: np.ndarray  # mean max-vote-fraction per bin (NaN if empty)
+    bin_accuracy: np.ndarray    # empirical accuracy per bin (NaN if empty)
+    bin_counts: np.ndarray      # samples per bin
+
+    @property
+    def n_bins(self) -> int:
+        """Number of confidence bins."""
+        return len(self.bin_counts)
+
+    def ece(self) -> float:
+        """Expected calibration error: count-weighted |conf − acc|."""
+        total = self.bin_counts.sum()
+        if total == 0:
+            return 0.0
+        mask = self.bin_counts > 0
+        gaps = np.abs(self.bin_confidence[mask] - self.bin_accuracy[mask])
+        return float(np.sum(gaps * self.bin_counts[mask]) / total)
+
+    def max_gap(self) -> float:
+        """Maximum calibration error over the populated bins."""
+        mask = self.bin_counts > 0
+        if not mask.any():
+            return 0.0
+        return float(
+            np.max(np.abs(self.bin_confidence[mask] - self.bin_accuracy[mask]))
+        )
+
+    def as_text(self) -> str:
+        """Render the diagram as a fixed-width table."""
+        lines = ["confidence bin   mean conf  accuracy  count"]
+        for b in range(self.n_bins):
+            lo, hi = self.bin_edges[b], self.bin_edges[b + 1]
+            if self.bin_counts[b] == 0:
+                lines.append(f"[{lo:.2f}, {hi:.2f})        -         -      0")
+            else:
+                lines.append(
+                    f"[{lo:.2f}, {hi:.2f})     {self.bin_confidence[b]:.3f}     "
+                    f"{self.bin_accuracy[b]:.3f}  {int(self.bin_counts[b]):5d}"
+                )
+        lines.append(f"ECE = {self.ece():.4f}  (max gap {self.max_gap():.4f})")
+        return "\n".join(lines)
+
+
+def reliability_diagram(
+    y_true,
+    distribution,
+    classes,
+    *,
+    n_bins: int = 10,
+) -> ReliabilityDiagram:
+    """Bin predictions by max vote fraction and compare to accuracy.
+
+    Parameters
+    ----------
+    y_true:
+        Ground-truth labels.
+    distribution:
+        ``(n, n_classes)`` vote-fraction rows (Eq. 3 output).
+    classes:
+        Class labels matching the distribution columns.
+    n_bins:
+        Equal-width confidence bins over [1/k, 1].
+    """
+    y_true = np.asarray(y_true)
+    distribution = np.asarray(distribution, dtype=float)
+    classes = np.asarray(classes)
+    if distribution.ndim != 2 or distribution.shape[1] != len(classes):
+        raise ValueError("distribution must be (n, n_classes).")
+    if len(y_true) != len(distribution):
+        raise ValueError("y_true and distribution lengths differ.")
+    if n_bins < 2:
+        raise ValueError("n_bins must be >= 2.")
+
+    confidence = distribution.max(axis=1)
+    predictions = classes[np.argmax(distribution, axis=1)]
+    correct = (predictions == y_true).astype(float)
+
+    floor = 1.0 / len(classes)
+    edges = np.linspace(floor, 1.0, n_bins + 1)
+    bin_idx = np.clip(np.searchsorted(edges, confidence, side="right") - 1, 0, n_bins - 1)
+
+    bin_confidence = np.full(n_bins, np.nan)
+    bin_accuracy = np.full(n_bins, np.nan)
+    bin_counts = np.zeros(n_bins, dtype=int)
+    for b in range(n_bins):
+        mask = bin_idx == b
+        bin_counts[b] = int(mask.sum())
+        if bin_counts[b]:
+            bin_confidence[b] = float(confidence[mask].mean())
+            bin_accuracy[b] = float(correct[mask].mean())
+    return ReliabilityDiagram(
+        bin_edges=edges,
+        bin_confidence=bin_confidence,
+        bin_accuracy=bin_accuracy,
+        bin_counts=bin_counts,
+    )
+
+
+def expected_calibration_error(y_true, distribution, classes, *, n_bins: int = 10) -> float:
+    """Convenience wrapper: the ECE of the reliability diagram."""
+    return reliability_diagram(y_true, distribution, classes, n_bins=n_bins).ece()

@@ -1,0 +1,145 @@
+"""Operating-threshold calibration for the rejection policy.
+
+The paper picks its DVFS threshold (0.40) by inspecting Fig. 7a.  In
+deployment the threshold must come from data the operator actually
+has: the entropy distribution of *held-out known* traffic.  Two
+calibration rules are provided:
+
+* :func:`calibrate_threshold_by_budget` — largest threshold whose
+  known-rejection rate stays within a false-alarm budget (the paper's
+  "<5% of known workloads" criterion);
+* :func:`calibrate_threshold_by_f1` — threshold maximising F1 of the
+  accepted predictions on a labelled validation set (the Fig. 7b
+  criterion).
+
+Both return a :class:`ThresholdReport` documenting the expected
+operating characteristics, so the decision is auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .rejection import f1_vs_threshold
+
+__all__ = [
+    "ThresholdReport",
+    "calibrate_threshold_by_budget",
+    "calibrate_threshold_by_f1",
+]
+
+
+@dataclass(frozen=True)
+class ThresholdReport:
+    """Chosen threshold plus its validation-set characteristics."""
+
+    threshold: float
+    known_rejection_rate: float
+    criterion: str
+    details: dict
+
+    def as_text(self) -> str:
+        """Render a one-paragraph audit record."""
+        extras = ", ".join(f"{k}={v:.3f}" for k, v in sorted(self.details.items()))
+        return (
+            f"threshold={self.threshold:.3f} ({self.criterion}); expected "
+            f"known-rejection={self.known_rejection_rate:.1%}"
+            + (f"; {extras}" if extras else "")
+        )
+
+
+def calibrate_threshold_by_budget(
+    entropy_known,
+    *,
+    budget: float = 0.05,
+    grid: int = 200,
+) -> ThresholdReport:
+    """Largest threshold keeping known-rejection within ``budget``.
+
+    Equivalently: the (1 − budget) quantile of the known entropies —
+    but computed over an explicit grid so the report can state the
+    achieved rate exactly.
+
+    Parameters
+    ----------
+    entropy_known:
+        Entropies of held-out known (in-distribution) traffic.
+    budget:
+        Maximum tolerated fraction of known traffic rejected.
+    grid:
+        Number of candidate thresholds between 0 and max entropy.
+    """
+    entropy_known = np.asarray(entropy_known, dtype=float)
+    if entropy_known.size == 0:
+        raise ValueError("entropy_known is empty.")
+    if not 0.0 < budget < 1.0:
+        raise ValueError(f"budget must be in (0, 1); got {budget}.")
+    if grid < 2:
+        raise ValueError("grid must be >= 2.")
+
+    candidates = np.linspace(0.0, float(entropy_known.max()) + 1e-9, grid)
+    best = None
+    for t in candidates:
+        rate = float(np.mean(entropy_known > t))
+        if rate <= budget:
+            best = (float(t), rate)
+            break
+    if best is None:  # even the max threshold rejects too much (degenerate)
+        best = (float(candidates[-1]), float(np.mean(entropy_known > candidates[-1])))
+    threshold, rate = best
+    return ThresholdReport(
+        threshold=threshold,
+        known_rejection_rate=rate,
+        criterion=f"budget<={budget:.2%}",
+        details={"budget": budget},
+    )
+
+
+def calibrate_threshold_by_f1(
+    y_true,
+    predictions,
+    entropy,
+    *,
+    thresholds=None,
+    min_accepted_frac: float = 0.2,
+) -> ThresholdReport:
+    """Threshold maximising accepted-subset F1 on a validation set.
+
+    Parameters
+    ----------
+    y_true / predictions / entropy:
+        Labelled validation traffic with the model's predictions and
+        uncertainties.
+    thresholds:
+        Candidate grid (default 0→1 step 0.05).
+    min_accepted_frac:
+        Candidates accepting less than this fraction are excluded (a
+        detector that rejects everything is useless).
+    """
+    entropy = np.asarray(entropy, dtype=float)
+    if thresholds is None:
+        thresholds = np.round(np.arange(0.0, 1.01, 0.05), 2)
+    rows = f1_vs_threshold(y_true, predictions, entropy, thresholds)
+    candidates = [
+        r for r in rows
+        if r["f1"] is not None and r["accepted_frac"] >= min_accepted_frac
+    ]
+    if not candidates:
+        raise ValueError(
+            "No threshold satisfies the acceptance constraint; lower "
+            "min_accepted_frac."
+        )
+    best = max(candidates, key=lambda r: r["f1"])
+    return ThresholdReport(
+        threshold=float(best["threshold"]),
+        known_rejection_rate=float(1.0 - best["accepted_frac"]),
+        criterion="max-f1",
+        details={
+            "f1": float(best["f1"]),
+            "precision": float(best["precision"]),
+            "recall": float(best["recall"]),
+            "min_accepted_frac": min_accepted_frac,
+        },
+    )

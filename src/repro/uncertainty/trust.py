@@ -1,0 +1,180 @@
+"""Trusted vs. Untrusted HMD pipelines (Fig. 1 of the paper).
+
+* :class:`UntrustedHMD` — the conventional black-box pipeline: feature
+  scaling → (optional) dimensionality reduction → classifier → binary
+  benign/malware decision, emitted unconditionally.
+* :class:`TrustedHMD` — the proposed pipeline: the classifier is a
+  bagging ensemble, an :class:`EnsembleUncertaintyEstimator` measures
+  the dispersion of the member decisions, and a
+  :class:`RejectionPolicy` withholds decisions whose entropy exceeds
+  the operating threshold, flagging them for forensic analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml.base import BaseEstimator, clone
+from ..ml.decomposition import PCA
+from ..ml.preprocessing import StandardScaler
+from ..ml.validation import check_X_y
+from .estimator import EnsembleUncertaintyEstimator
+from .rejection import RejectionPolicy, RejectionResult
+
+__all__ = ["UntrustedHMD", "TrustedHMD", "TrustedVerdict"]
+
+
+class UntrustedHMD(BaseEstimator):
+    """Conventional HMD: always emits a binary decision.
+
+    Parameters
+    ----------
+    model:
+        Any classifier following the :mod:`repro.ml` estimator API.
+    n_components:
+        Optional PCA dimensionality (``None`` disables reduction).
+    """
+
+    def __init__(self, model: BaseEstimator, *, n_components: int | float | None = None):
+        self.model = model
+        self.n_components = n_components
+
+    def fit(self, X, y) -> "UntrustedHMD":
+        """Fit scaler → (PCA) → classifier."""
+        X, y = check_X_y(X, y)
+        self.scaler_ = StandardScaler().fit(X)
+        Z = self.scaler_.transform(X)
+        if self.n_components is not None:
+            self.pca_ = PCA(n_components=self.n_components).fit(Z)
+            Z = self.pca_.transform(Z)
+        else:
+            self.pca_ = None
+        self.model_ = clone(self.model)
+        self.model_.fit(Z, y)
+        self.classes_ = self.model_.classes_
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def _transform(self, X) -> np.ndarray:
+        Z = self.scaler_.transform(np.asarray(X, dtype=float))
+        if self.pca_ is not None:
+            Z = self.pca_.transform(Z)
+        return Z
+
+    def predict(self, X) -> np.ndarray:
+        """Unconditional benign/malware decisions."""
+        return self.model_.predict(self._transform(X))
+
+
+@dataclass(frozen=True)
+class TrustedVerdict:
+    """Output of the trusted HMD for a batch of signatures."""
+
+    predictions: np.ndarray     # benign/malware labels for ALL inputs
+    entropy: np.ndarray         # predictive uncertainty per input
+    accepted: np.ndarray        # False = withheld for forensic analysis
+    threshold: float
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of withheld decisions."""
+        return float(1.0 - self.accepted.mean()) if len(self.accepted) else 0.0
+
+    def flagged_indices(self) -> np.ndarray:
+        """Indices of inputs routed to the security analyst."""
+        return np.flatnonzero(~self.accepted)
+
+
+class TrustedHMD(BaseEstimator):
+    """Uncertainty-aware HMD (the paper's proposed framework).
+
+    Parameters
+    ----------
+    ensemble:
+        *Unfitted* ensemble prototype exposing per-member ``decisions``
+        after fit (e.g. ``BaggingClassifier``/``RandomForestClassifier``).
+    threshold:
+        Entropy rejection threshold (bits).  The paper's DVFS operating
+        point is 0.40 for the RF ensemble.
+    n_components:
+        Optional PCA dimensionality applied after scaling.
+    """
+
+    def __init__(
+        self,
+        ensemble: BaseEstimator,
+        *,
+        threshold: float = 0.40,
+        n_components: int | float | None = None,
+    ):
+        self.ensemble = ensemble
+        self.threshold = threshold
+        self.n_components = n_components
+
+    def fit(self, X, y) -> "TrustedHMD":
+        """Fit the pipeline and attach the uncertainty estimator."""
+        X, y = check_X_y(X, y)
+        self.scaler_ = StandardScaler().fit(X)
+        Z = self.scaler_.transform(X)
+        if self.n_components is not None:
+            self.pca_ = PCA(n_components=self.n_components).fit(Z)
+            Z = self.pca_.transform(Z)
+        else:
+            self.pca_ = None
+        self.ensemble_ = clone(self.ensemble)
+        self.ensemble_.fit(Z, y)
+        self.estimator_ = EnsembleUncertaintyEstimator(self.ensemble_)
+        self.policy_ = RejectionPolicy(self.threshold)
+        self.classes_ = self.ensemble_.classes_
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def _transform(self, X) -> np.ndarray:
+        Z = self.scaler_.transform(np.asarray(X, dtype=float))
+        if self.pca_ is not None:
+            Z = self.pca_.transform(Z)
+        return Z
+
+    def predict(self, X) -> np.ndarray:
+        """Majority-vote labels (ignoring the rejection policy)."""
+        return self.estimator_.predict(self._transform(X))
+
+    def predictive_entropy(self, X) -> np.ndarray:
+        """Uncertainty score per input (Eq. 4)."""
+        return self.estimator_.predictive_entropy(self._transform(X))
+
+    def analyze(self, X) -> TrustedVerdict:
+        """Predictions + uncertainty + accept/withhold decision."""
+        labels, entropy = self.estimator_.predict_with_uncertainty(
+            self._transform(X)
+        )
+        result: RejectionResult = self.policy_.apply(labels, entropy)
+        return TrustedVerdict(
+            predictions=labels,
+            entropy=entropy,
+            accepted=result.accepted,
+            threshold=self.policy_.threshold,
+        )
+
+    def with_threshold(self, threshold: float) -> "TrustedHMD":
+        """Return self with a new operating threshold (fitted state kept)."""
+        self.threshold = float(threshold)
+        self.policy_ = RejectionPolicy(self.threshold)
+        return self
+
+    def calibrate_threshold(self, X_validation, *, budget: float = 0.05) -> float:
+        """Set the threshold from held-out known traffic (budget rule).
+
+        Picks the largest threshold whose rejection rate on
+        ``X_validation`` stays within ``budget`` (the paper's "<5% of
+        known workloads" criterion) and installs it as the operating
+        point.  Returns the chosen threshold.
+        """
+        from .thresholds import calibrate_threshold_by_budget
+
+        entropy = self.predictive_entropy(X_validation)
+        report = calibrate_threshold_by_budget(entropy, budget=budget)
+        self.with_threshold(report.threshold)
+        return report.threshold

@@ -1,0 +1,172 @@
+"""Terminal-friendly plotting: ASCII boxplots, line charts, histograms.
+
+The offline environment has no graphics stack, so the experiment
+reports render their figures as text.  These helpers produce compact,
+deterministic ASCII renderings used by ``as_text``-style reports and
+the examples; they are intentionally simple (no colors, fixed-width
+output) so diffs of benchmark logs stay readable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_boxplot", "ascii_line_chart", "ascii_histogram"]
+
+
+def _scale_position(value: float, lo: float, hi: float, width: int) -> int:
+    """Map ``value`` in [lo, hi] onto a column index in [0, width-1]."""
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return int(round(np.clip(frac, 0.0, 1.0) * (width - 1)))
+
+
+def ascii_boxplot(
+    groups: dict[str, np.ndarray],
+    *,
+    width: int = 60,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """Horizontal boxplots, one row per named group.
+
+    Rendering per row: ``|--[  :  ]--|`` = whiskers, quartile box and
+    median, on a shared axis.
+
+    Parameters
+    ----------
+    groups:
+        Mapping of label → 1-d samples.
+    width:
+        Plot width in characters (excluding labels).
+    lo / hi:
+        Optional shared axis limits (default: data range).
+    """
+    if not groups:
+        raise ValueError("groups is empty.")
+    arrays = {name: np.asarray(v, dtype=float) for name, v in groups.items()}
+    for name, arr in arrays.items():
+        if arr.size == 0:
+            raise ValueError(f"Group {name!r} is empty.")
+    if width < 20:
+        raise ValueError("width must be >= 20.")
+
+    all_values = np.concatenate(list(arrays.values()))
+    axis_lo = float(all_values.min()) if lo is None else lo
+    axis_hi = float(all_values.max()) if hi is None else hi
+    if axis_hi <= axis_lo:
+        axis_hi = axis_lo + 1.0
+
+    label_width = max(len(name) for name in arrays)
+    lines = []
+    for name, values in arrays.items():
+        q1, median, q3 = np.percentile(values, [25, 50, 75])
+        iqr = q3 - q1
+        whisker_lo = float(values[values >= q1 - 1.5 * iqr].min())
+        whisker_hi = float(values[values <= q3 + 1.5 * iqr].max())
+
+        row = [" "] * width
+        c_lo = _scale_position(whisker_lo, axis_lo, axis_hi, width)
+        c_hi = _scale_position(whisker_hi, axis_lo, axis_hi, width)
+        c_q1 = _scale_position(float(q1), axis_lo, axis_hi, width)
+        c_q3 = _scale_position(float(q3), axis_lo, axis_hi, width)
+        c_med = _scale_position(float(median), axis_lo, axis_hi, width)
+        for c in range(c_lo, c_hi + 1):
+            row[c] = "-"
+        for c in range(c_q1, c_q3 + 1):
+            row[c] = "="
+        row[c_lo] = "|"
+        row[c_hi] = "|"
+        if c_q1 != c_lo:
+            row[c_q1] = "["
+        if c_q3 != c_hi:
+            row[c_q3] = "]"
+        row[c_med] = ":"
+        lines.append(f"{name:>{label_width}} {''.join(row)}")
+
+    axis = f"{'':>{label_width}} {axis_lo:<10.3f}{'':^{max(width - 20, 0)}}{axis_hi:>10.3f}"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def ascii_line_chart(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    *,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    Parameters
+    ----------
+    series:
+        Mapping of label → (x, y) arrays. Each series is drawn with its
+        own marker character (``*+o#@%`` in order).
+    width / height:
+        Grid dimensions in characters.
+    """
+    if not series:
+        raise ValueError("series is empty.")
+    if width < 20 or height < 5:
+        raise ValueError("Require width >= 20 and height >= 5.")
+    markers = "*+o#@%"
+    if len(series) > len(markers):
+        raise ValueError(f"At most {len(markers)} series supported.")
+
+    xs = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    if xs.size == 0:
+        raise ValueError("series contain no points.")
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (label, (x, y)) in zip(markers, series.items()):
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if len(x) != len(y):
+            raise ValueError(f"Series {label!r} x/y lengths differ.")
+        for xi, yi in zip(x, y):
+            col = _scale_position(float(xi), x_lo, x_hi, width)
+            row = height - 1 - _scale_position(float(yi), y_lo, y_hi, height)
+            grid[row][col] = marker
+
+    lines = [f"{y_hi:>9.3f} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 9 + " |" + "".join(row))
+    lines.append(f"{y_lo:>9.3f} +" + "".join(grid[-1]))
+    lines.append(" " * 11 + f"{x_lo:<12.3f}{'':^{max(width - 24, 0)}}{x_hi:>12.3f}")
+    legend = "   ".join(
+        f"{marker}={label}" for marker, label in zip(markers, series.keys())
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    values,
+    *,
+    n_bins: int = 12,
+    width: int = 50,
+    label: str = "",
+) -> str:
+    """Vertical-bar histogram rendered as horizontal rows of '#'."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("values is empty.")
+    if n_bins < 2:
+        raise ValueError("n_bins must be >= 2.")
+    counts, edges = np.histogram(values, bins=n_bins)
+    peak = max(int(counts.max()), 1)
+    lines = [label] if label else []
+    for b in range(n_bins):
+        bar = "#" * int(round(counts[b] / peak * width))
+        lines.append(
+            f"[{edges[b]:8.3f}, {edges[b + 1]:8.3f})  {bar} {counts[b]}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Tests for the dataset builders (Table I reproduction)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DVFS_TABLE1,
+    HPC_TABLE1,
+    build_dvfs_dataset,
+    build_hpc_dataset,
+)
+from repro.data.builders import _allocate
+
+
+class TestAllocate:
+    def test_exact_total(self):
+        assert sum(_allocate(284, 4)) == 284
+
+    def test_parts_differ_by_at_most_one(self):
+        parts = _allocate(100, 7)
+        assert max(parts) - min(parts) <= 1
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            _allocate(2, 5)
+        with pytest.raises(ValueError):
+            _allocate(5, 0)
+
+
+class TestDvfsBuilder:
+    def test_scaled_counts_proportional(self, dvfs_small):
+        taxonomy = dvfs_small.taxonomy()
+        assert taxonomy["train"] == pytest.approx(DVFS_TABLE1["train"] * 0.1, rel=0.15)
+        assert taxonomy["test"] == pytest.approx(DVFS_TABLE1["test"] * 0.1, rel=0.15)
+
+    def test_all_known_apps_in_both_splits(self, dvfs_small):
+        assert set(dvfs_small.train.app_counts()) == set(
+            dvfs_small.test.app_counts()
+        )
+        assert len(dvfs_small.train.app_counts()) == 14
+
+    def test_unknown_apps_not_in_train(self, dvfs_small):
+        train_apps = set(dvfs_small.train.app_counts())
+        unknown_apps = set(dvfs_small.unknown.app_counts())
+        assert not train_apps & unknown_apps
+
+    def test_labels_balanced_in_known(self, dvfs_small):
+        counts = dvfs_small.train.class_counts()
+        assert counts[0] == counts[1]
+
+    def test_features_finite(self, dvfs_small):
+        for split in (dvfs_small.train, dvfs_small.test, dvfs_small.unknown):
+            assert np.all(np.isfinite(split.X))
+
+    def test_deterministic_given_seed(self):
+        from repro.data import clear_dataset_cache
+
+        a = build_dvfs_dataset(seed=11, scale=0.02)
+        clear_dataset_cache()
+        b = build_dvfs_dataset(seed=11, scale=0.02)
+        np.testing.assert_allclose(a.train.X, b.train.X)
+
+    def test_cache_returns_same_object(self):
+        a = build_dvfs_dataset(seed=7, scale=0.1)
+        b = build_dvfs_dataset(seed=7, scale=0.1)
+        assert a is b
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            build_dvfs_dataset(scale=0.0)
+
+    def test_metadata_records_apps(self, dvfs_small):
+        assert len(dvfs_small.metadata["known_apps"]) == 14
+        assert len(dvfs_small.metadata["unknown_apps"]) == 4
+
+
+class TestHpcBuilder:
+    def test_scaled_counts_proportional(self, hpc_small):
+        taxonomy = hpc_small.taxonomy()
+        assert taxonomy["train"] == pytest.approx(HPC_TABLE1["train"] * 0.02, rel=0.05)
+        assert taxonomy["unknown"] == pytest.approx(
+            HPC_TABLE1["unknown"] * 0.02, rel=0.05
+        )
+
+    def test_app_coverage(self, hpc_small):
+        assert len(hpc_small.train.app_counts()) == 22
+        assert len(hpc_small.unknown.app_counts()) == 6
+
+    def test_unknown_disjoint_from_train(self, hpc_small):
+        assert not set(hpc_small.train.app_counts()) & set(
+            hpc_small.unknown.app_counts()
+        )
+
+    def test_features_finite(self, hpc_small):
+        for split in (hpc_small.train, hpc_small.test, hpc_small.unknown):
+            assert np.all(np.isfinite(split.X))
+
+    def test_feature_names_match_width(self, hpc_small):
+        assert hpc_small.train.X.shape[1] == hpc_small.n_features
+
+
+@pytest.mark.slow
+class TestFullScaleCounts:
+    """Exact Table I counts — exercised at full scale (slower)."""
+
+    def test_dvfs_table1_exact(self):
+        ds = build_dvfs_dataset(seed=7, scale=1.0)
+        assert ds.taxonomy() == DVFS_TABLE1
+
+    def test_hpc_table1_exact(self):
+        ds = build_hpc_dataset(seed=7, scale=1.0)
+        assert ds.taxonomy() == HPC_TABLE1
+
+
+class TestEmBuilder:
+    def test_builds_and_shapes(self):
+        from repro.data import build_em_dataset
+
+        ds = build_em_dataset(seed=7, scale=0.1)
+        assert ds.name == "em"
+        assert ds.train.n_samples > 0
+        assert ds.train.X.shape[1] == ds.n_features
+        assert len(ds.train.app_counts()) == 14
+
+    def test_unknown_disjoint(self):
+        from repro.data import build_em_dataset
+
+        ds = build_em_dataset(seed=7, scale=0.1)
+        assert not set(ds.train.app_counts()) & set(ds.unknown.app_counts())
+
+    def test_cache(self):
+        from repro.data import build_em_dataset
+
+        assert build_em_dataset(seed=7, scale=0.1) is build_em_dataset(
+            seed=7, scale=0.1
+        )
+
+
+class TestGovernorVariant:
+    def test_governor_recorded_and_distinct(self):
+        from repro.data import build_dvfs_dataset
+        from repro.sim import PerformanceGovernor
+
+        base = build_dvfs_dataset(seed=7, scale=0.05)
+        pinned = build_dvfs_dataset(
+            seed=7, scale=0.05, governor=PerformanceGovernor()
+        )
+        assert base.metadata["governor"] == "ondemand"
+        assert pinned.metadata["governor"] == "PerformanceGovernor"
+        assert base is not pinned
+        # Pinned-frequency signatures differ from ondemand ones.
+        assert not np.allclose(base.train.X, pinned.train.X)

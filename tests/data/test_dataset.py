@@ -1,0 +1,73 @@
+"""Tests for the dataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataSplit, HmdDataset
+
+
+def _split(n=10, n_features=3, label=0, app="app"):
+    return DataSplit(
+        X=np.zeros((n, n_features)),
+        y=np.full(n, label),
+        apps=np.full(n, app),
+    )
+
+
+class TestDataSplit:
+    def test_counts(self):
+        split = DataSplit(
+            X=np.zeros((4, 2)),
+            y=np.array([0, 0, 1, 1]),
+            apps=np.array(["a", "a", "b", "b"]),
+        )
+        assert split.n_samples == 4
+        assert split.class_counts() == {0: 2, 1: 2}
+        assert split.app_counts() == {"a": 2, "b": 2}
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DataSplit(X=np.zeros((3, 2)), y=np.zeros(2), apps=np.zeros(3))
+
+    def test_subset(self):
+        split = DataSplit(
+            X=np.arange(8).reshape(4, 2).astype(float),
+            y=np.array([0, 1, 0, 1]),
+            apps=np.array(["a", "b", "a", "b"]),
+        )
+        sub = split.subset(split.y == 1)
+        assert sub.n_samples == 2
+        assert set(sub.apps) == {"b"}
+
+    def test_subset_bad_mask(self):
+        with pytest.raises(ValueError):
+            _split(5).subset(np.ones(3, dtype=bool))
+
+
+class TestHmdDataset:
+    def _dataset(self):
+        return HmdDataset(
+            name="toy",
+            train=_split(8),
+            test=_split(4),
+            unknown=_split(2, label=1, app="unk"),
+            feature_names=("f0", "f1", "f2"),
+        )
+
+    def test_taxonomy(self):
+        ds = self._dataset()
+        assert ds.taxonomy() == {"train": 8, "test": 4, "unknown": 2}
+
+    def test_feature_count_checked(self):
+        with pytest.raises(ValueError):
+            HmdDataset(
+                name="bad",
+                train=_split(4, n_features=2),
+                test=_split(2, n_features=2),
+                unknown=_split(2, n_features=2),
+                feature_names=("f0", "f1", "f2"),
+            )
+
+    def test_summary_renders(self):
+        text = self._dataset().summary()
+        assert "train" in text and "unknown" in text

@@ -1,0 +1,89 @@
+"""Tests for the shared experiment infrastructure."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentContext,
+    boxplot_stats,
+    format_table,
+    make_ensemble,
+)
+from repro.ml import BaggingClassifier, RandomForestClassifier
+
+
+class TestMakeEnsemble:
+    def test_kinds(self):
+        assert isinstance(make_ensemble("rf"), RandomForestClassifier)
+        assert isinstance(make_ensemble("lr"), BaggingClassifier)
+        assert isinstance(make_ensemble("svm"), BaggingClassifier)
+
+    def test_n_estimators_forwarded(self):
+        assert make_ensemble("rf", n_estimators=7).n_estimators == 7
+        assert make_ensemble("lr", n_estimators=7).n_estimators == 7
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_ensemble("xgboost")
+
+
+class TestExperimentContext:
+    def test_datasets_cached(self, small_context):
+        assert small_context.dataset("dvfs") is small_context.dataset("dvfs")
+
+    def test_unknown_domain(self, small_context):
+        with pytest.raises(ValueError):
+            small_context.dataset("emf")
+
+    def test_scaled_splits_standardised(self, small_context):
+        X_train, X_test, X_unknown = small_context.scaled_splits("dvfs")
+        np.testing.assert_allclose(X_train.mean(axis=0), 0.0, atol=1e-9)
+        assert X_test.shape[1] == X_train.shape[1] == X_unknown.shape[1]
+
+    def test_fitted_cached(self, small_context):
+        a = small_context.fitted("dvfs", "rf")
+        b = small_context.fitted("dvfs", "rf")
+        assert a is b
+
+    def test_fitted_has_entropies(self, small_context):
+        fitted = small_context.fitted("dvfs", "rf")
+        ds = small_context.dataset("dvfs")
+        assert len(fitted.entropy_test) == ds.test.n_samples
+        assert len(fitted.entropy_unknown) == ds.unknown.n_samples
+
+    def test_config_smaller(self):
+        config = ExperimentConfig().smaller(0.1)
+        assert config.dvfs_scale == pytest.approx(0.1)
+        assert config.n_estimators >= 10
+
+
+class TestBoxplotStats:
+    def test_five_number_summary(self):
+        values = np.arange(1.0, 101.0)
+        stats = boxplot_stats(values)
+        assert stats["median"] == pytest.approx(50.5)
+        assert stats["q1"] == pytest.approx(25.75)
+        assert stats["q3"] == pytest.approx(75.25)
+        assert stats["min"] == 1.0 and stats["max"] == 100.0
+
+    def test_whiskers_clip_outliers(self):
+        values = np.concatenate([np.random.default_rng(0).normal(size=200), [50.0]])
+        stats = boxplot_stats(values)
+        assert stats["whisker_high"] < 50.0
+        assert stats["max"] == 50.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            boxplot_stats(np.array([]))
+
+
+class TestFormatTable:
+    def test_renders_rows(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", None]])
+        assert "a" in text and "2.500" in text and "-" in text
+
+    def test_alignment_consistent(self):
+        text = format_table(["col"], [["value"]])
+        lines = text.splitlines()
+        assert len(lines) == 3

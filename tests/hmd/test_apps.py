@@ -1,0 +1,75 @@
+"""Tests for the application catalogues."""
+
+import numpy as np
+
+from repro.hmd import (
+    DVFS_KNOWN_BENIGN,
+    DVFS_KNOWN_MALWARE,
+    DVFS_UNKNOWN,
+    HPC_KNOWN_BENIGN,
+    HPC_KNOWN_MALWARE,
+    HPC_UNKNOWN,
+    dvfs_known_apps,
+    dvfs_unknown_apps,
+    hpc_known_apps,
+    hpc_unknown_apps,
+)
+
+
+class TestCatalogueStructure:
+    def test_labels_consistent(self):
+        assert all(s.label == 0 for s in DVFS_KNOWN_BENIGN + HPC_KNOWN_BENIGN)
+        assert all(s.label == 1 for s in DVFS_KNOWN_MALWARE + HPC_KNOWN_MALWARE)
+
+    def test_names_unique_within_domain(self):
+        dvfs_names = [s.name for s in dvfs_known_apps() + dvfs_unknown_apps()]
+        hpc_names = [s.name for s in hpc_known_apps() + hpc_unknown_apps()]
+        assert len(set(dvfs_names)) == len(dvfs_names)
+        assert len(set(hpc_names)) == len(hpc_names)
+
+    def test_known_unknown_disjoint(self):
+        known = {s.name for s in dvfs_known_apps()}
+        unknown = {s.name for s in dvfs_unknown_apps()}
+        assert not known & unknown
+
+    def test_unknown_contains_both_labels(self):
+        # The unknown bucket mixes new benign apps and new malware
+        # families (Fig. 6).
+        assert {s.label for s in DVFS_UNKNOWN} == {0, 1}
+        assert {s.label for s in HPC_UNKNOWN} == {0, 1}
+
+    def test_balanced_dvfs_known_classes(self):
+        assert len(DVFS_KNOWN_BENIGN) == len(DVFS_KNOWN_MALWARE)
+
+    def test_transition_matrices_valid(self):
+        for spec in dvfs_known_apps() + dvfs_unknown_apps() + hpc_known_apps():
+            matrix = spec.transition_matrix()
+            np.testing.assert_allclose(matrix.sum(axis=1), 1.0, atol=1e-9)
+            assert np.all(matrix >= 0)
+
+
+class TestGeometryIntent:
+    def test_dvfs_malware_low_gpu(self):
+        # Adware legitimately renders ads; all other malware leaves the
+        # GPU essentially idle — the catalogue invariant behind the DVFS
+        # class separation story.
+        for spec in DVFS_KNOWN_MALWARE:
+            if spec.name == "adware":
+                continue
+            assert max(p.gpu_mean for p in spec.phases) <= 0.05
+
+    def test_dvfs_benign_have_gpu_activity(self):
+        for spec in DVFS_KNOWN_BENIGN:
+            assert max(p.gpu_mean for p in spec.phases) >= 0.04
+
+    def test_hpc_parameter_ranges_overlap(self):
+        # HPC benign and malware working sets are drawn from the same
+        # ranges (the overlap mechanism).
+        benign_ws = [p.working_set_kib for s in HPC_KNOWN_BENIGN for p in s.phases]
+        malware_ws = [p.working_set_kib for s in HPC_KNOWN_MALWARE for p in s.phases]
+        assert min(benign_ws) < np.median(malware_ws) < max(benign_ws)
+
+    def test_hpc_jitter_larger_than_dvfs(self):
+        dvfs_jitter = {s.app_jitter for s in dvfs_known_apps()}
+        hpc_jitter = {s.app_jitter for s in hpc_known_apps()}
+        assert max(dvfs_jitter) < min(hpc_jitter)

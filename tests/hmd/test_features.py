@@ -1,0 +1,133 @@
+"""Tests for DVFS and HPC feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.hmd import DvfsFeatureExtractor, HpcFeatureExtractor
+from repro.sim import (
+    ActivityTrace,
+    DvfsTrace,
+    HpcSimulator,
+    SocSimulator,
+    WorkloadGenerator,
+)
+from repro.hmd.apps import DVFS_KNOWN_BENIGN
+
+
+def _dvfs_trace(n=240, seed=0):
+    spec = DVFS_KNOWN_BENIGN[0]
+    activity = WorkloadGenerator(random_state=seed).generate(spec, n)
+    return SocSimulator(random_state=seed).run(activity)
+
+
+class TestDvfsFeatures:
+    def test_vector_matches_names(self):
+        trace = _dvfs_trace()
+        extractor = DvfsFeatureExtractor()
+        names = extractor.feature_names(trace)
+        vector = extractor.extract(trace)
+        assert len(names) == len(vector)
+
+    def test_residency_sums_to_one_per_channel(self):
+        trace = _dvfs_trace()
+        extractor = DvfsFeatureExtractor()
+        names = extractor.feature_names(trace)
+        vector = extractor.extract(trace)
+        for channel in trace.channel_names:
+            idx = [i for i, n in enumerate(names) if n.startswith(f"{channel}_residency_")]
+            assert np.isclose(vector[idx].sum(), 1.0)
+
+    def test_features_finite(self):
+        vector = DvfsFeatureExtractor().extract(_dvfs_trace(seed=3))
+        assert np.all(np.isfinite(vector))
+
+    def test_constant_trace_degenerate_features(self):
+        trace = DvfsTrace(
+            states=np.zeros((100, 1), dtype=int),
+            frequencies_mhz=((100.0, 200.0),),
+            channel_names=("cpu",),
+            temperature_c=np.full(100, 40.0),
+        )
+        extractor = DvfsFeatureExtractor()
+        vector = extractor.extract(trace)
+        names = extractor.feature_names(trace)
+        lookup = dict(zip(names, vector))
+        assert lookup["cpu_residency_0"] == 1.0
+        assert lookup["cpu_transition_rate"] == 0.0
+        assert lookup["cpu_mean_dwell"] == 100.0
+        assert lookup["cpu_max_dwell_frac"] == 1.0
+
+    def test_alternating_states_high_transition_rate(self):
+        states = np.tile([0, 1], 50)[:, None]
+        trace = DvfsTrace(
+            states=states,
+            frequencies_mhz=((100.0, 200.0),),
+            channel_names=("cpu",),
+            temperature_c=np.full(100, 40.0),
+        )
+        extractor = DvfsFeatureExtractor()
+        lookup = dict(zip(extractor.feature_names(trace), extractor.extract(trace)))
+        assert lookup["cpu_transition_rate"] == pytest.approx(1.0)
+        # A 2-step oscillation concentrates energy in the top band.
+        assert lookup["cpu_spectral_band_3"] > 0.9
+
+    def test_extract_windows_shape(self):
+        trace = _dvfs_trace(n=720)
+        X = DvfsFeatureExtractor().extract_windows(trace, 240)
+        assert X.shape[0] == 3
+
+    def test_extract_windows_trailing_dropped(self):
+        trace = _dvfs_trace(n=500)
+        X = DvfsFeatureExtractor().extract_windows(trace, 240)
+        assert X.shape[0] == 2
+
+    def test_extract_windows_too_short_raises(self):
+        trace = _dvfs_trace(n=100)
+        with pytest.raises(ValueError):
+            DvfsFeatureExtractor().extract_windows(trace, 240)
+
+
+def _hpc_trace(n_steps=400, seed=0):
+    spec = DVFS_KNOWN_BENIGN[0]
+    activity = WorkloadGenerator(random_state=seed).generate(spec, n_steps)
+    return HpcSimulator(random_state=seed).run(activity)
+
+
+class TestHpcFeatures:
+    def test_one_row_per_interval(self):
+        trace = _hpc_trace()
+        X = HpcFeatureExtractor().extract(trace)
+        assert X.shape[0] == trace.n_intervals
+
+    def test_vector_matches_names(self):
+        trace = _hpc_trace()
+        extractor = HpcFeatureExtractor()
+        assert X_cols(extractor, trace) == extractor.extract(trace).shape[1]
+
+    def test_features_finite(self):
+        X = HpcFeatureExtractor().extract(_hpc_trace(seed=2))
+        assert np.all(np.isfinite(X))
+
+    def test_rate_features_physical(self):
+        trace = _hpc_trace(seed=3)
+        extractor = HpcFeatureExtractor()
+        names = extractor.feature_names(trace)
+        X = extractor.extract(trace)
+        lookup = {n: X[:, i] for i, n in enumerate(names)}
+        assert np.all(lookup["ipc"] > 0)
+        assert np.all(lookup["branch_frac"] <= 1.0)
+        assert np.all(lookup["frontend_stall_frac"] <= 1.0)
+
+    def test_log_counts_match_raw(self):
+        trace = _hpc_trace(seed=4)
+        extractor = HpcFeatureExtractor()
+        names = extractor.feature_names(trace)
+        X = extractor.extract(trace)
+        i = names.index("log_instructions")
+        np.testing.assert_allclose(
+            X[:, i], np.log1p(trace.column("instructions"))
+        )
+
+
+def X_cols(extractor, trace):
+    return len(extractor.feature_names(trace))

@@ -1,0 +1,88 @@
+"""Tests for the raw-trace HMD front-ends."""
+
+import numpy as np
+import pytest
+
+from repro.hmd import DvfsHmdFrontend, HpcHmdFrontend
+from repro.hmd.apps import DVFS_KNOWN_BENIGN, DVFS_KNOWN_MALWARE, HPC_KNOWN_BENIGN, HPC_KNOWN_MALWARE
+from repro.ml import RandomForestClassifier
+from repro.sim import HpcSimulator, SocSimulator, WorkloadGenerator
+
+
+def _dvfs_traces(specs, n_steps, seed):
+    generator = WorkloadGenerator(random_state=seed)
+    soc = SocSimulator(random_state=seed)
+    return [soc.run(generator.generate(spec, n_steps)) for spec in specs]
+
+
+def _hpc_traces(specs, n_steps, seed):
+    generator = WorkloadGenerator(random_state=seed)
+    sim = HpcSimulator(random_state=seed)
+    return [sim.run(generator.generate(spec, n_steps)) for spec in specs]
+
+
+@pytest.fixture(scope="module")
+def dvfs_frontend():
+    specs = DVFS_KNOWN_BENIGN[:3] + DVFS_KNOWN_MALWARE[:3]
+    labels = [s.label for s in specs]
+    # 8 windows per app at 240 steps each.
+    traces = _dvfs_traces(specs, 240 * 8, seed=0)
+    frontend = DvfsHmdFrontend(
+        RandomForestClassifier(n_estimators=15, random_state=0),
+        window_steps=240,
+        threshold=0.4,
+    )
+    return frontend.fit(traces, labels)
+
+
+class TestDvfsFrontend:
+    def test_fit_and_analyze(self, dvfs_frontend):
+        spec = DVFS_KNOWN_BENIGN[0]
+        trace = _dvfs_traces([spec], 240 * 4, seed=1)[0]
+        verdict = dvfs_frontend.analyze(trace)
+        assert len(verdict.predictions) == 4  # one verdict per window
+
+    def test_known_app_classified_correctly(self, dvfs_frontend):
+        benign_trace = _dvfs_traces([DVFS_KNOWN_BENIGN[0]], 240 * 6, seed=2)[0]
+        malware_trace = _dvfs_traces([DVFS_KNOWN_MALWARE[1]], 240 * 6, seed=2)[0]
+        benign_verdict = dvfs_frontend.analyze(benign_trace)
+        malware_verdict = dvfs_frontend.analyze(malware_trace)
+        accepted_b = benign_verdict.accepted
+        accepted_m = malware_verdict.accepted
+        if accepted_b.any():
+            assert np.mean(benign_verdict.predictions[accepted_b] == 0) > 0.6
+        if accepted_m.any():
+            assert np.mean(malware_verdict.predictions[accepted_m] == 1) > 0.6
+
+    def test_length_mismatch_raises(self):
+        frontend = DvfsHmdFrontend(RandomForestClassifier(n_estimators=3))
+        with pytest.raises(ValueError):
+            frontend.fit([], [0])
+
+    def test_empty_traces_raise(self):
+        frontend = DvfsHmdFrontend(RandomForestClassifier(n_estimators=3))
+        with pytest.raises(ValueError):
+            frontend.fit([], [])
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            DvfsHmdFrontend(RandomForestClassifier(), window_steps=1)
+
+
+class TestHpcFrontend:
+    def test_fit_and_analyze(self):
+        specs = HPC_KNOWN_BENIGN[:3] + HPC_KNOWN_MALWARE[:3]
+        labels = [s.label for s in specs]
+        traces = _hpc_traces(specs, 600, seed=3)
+        frontend = HpcHmdFrontend(
+            RandomForestClassifier(n_estimators=10, random_state=0),
+            threshold=0.5,
+        ).fit(traces, labels)
+        probe = _hpc_traces([HPC_KNOWN_BENIGN[0]], 200, seed=4)[0]
+        verdict = frontend.analyze(probe)
+        assert len(verdict.predictions) == probe.n_intervals
+
+    def test_length_mismatch_raises(self):
+        frontend = HpcHmdFrontend(RandomForestClassifier(n_estimators=3))
+        with pytest.raises(ValueError):
+            frontend.fit([], [1])

@@ -1,0 +1,119 @@
+"""Tests for the estimator base classes (get_params/set_params/clone)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    BaggingClassifier,
+    DecisionTreeClassifier,
+    LogisticRegression,
+    NotFittedError,
+    RandomForestClassifier,
+    clone,
+)
+from repro.ml.base import BaseEstimator
+
+
+class _Dummy(BaseEstimator):
+    def __init__(self, alpha=1.0, beta="x", nested=None):
+        self.alpha = alpha
+        self.beta = beta
+        self.nested = nested
+
+
+class TestGetParams:
+    def test_returns_constructor_params(self):
+        d = _Dummy(alpha=2.5, beta="y")
+        params = d.get_params()
+        assert params["alpha"] == 2.5
+        assert params["beta"] == "y"
+
+    def test_deep_includes_nested_estimator_params(self):
+        d = _Dummy(nested=_Dummy(alpha=9.0))
+        params = d.get_params(deep=True)
+        assert params["nested__alpha"] == 9.0
+
+    def test_shallow_excludes_nested_params(self):
+        d = _Dummy(nested=_Dummy(alpha=9.0))
+        params = d.get_params(deep=False)
+        assert "nested__alpha" not in params
+
+    def test_real_estimator_params(self):
+        tree = DecisionTreeClassifier(max_depth=3, criterion="entropy")
+        params = tree.get_params()
+        assert params["max_depth"] == 3
+        assert params["criterion"] == "entropy"
+
+
+class TestSetParams:
+    def test_sets_simple_param(self):
+        d = _Dummy()
+        d.set_params(alpha=7.0)
+        assert d.alpha == 7.0
+
+    def test_sets_nested_param(self):
+        d = _Dummy(nested=_Dummy())
+        d.set_params(nested__alpha=3.0)
+        assert d.nested.alpha == 3.0
+
+    def test_unknown_param_raises(self):
+        with pytest.raises(ValueError, match="Invalid parameter"):
+            _Dummy().set_params(gamma=1)
+
+    def test_nested_on_non_estimator_raises(self):
+        d = _Dummy(nested=42)
+        with pytest.raises(ValueError, match="not an estimator"):
+            d.set_params(nested__alpha=1)
+
+    def test_empty_call_is_noop(self):
+        d = _Dummy(alpha=5.0)
+        assert d.set_params() is d
+        assert d.alpha == 5.0
+
+
+class TestClone:
+    def test_clone_copies_params(self):
+        tree = DecisionTreeClassifier(max_depth=4, min_samples_leaf=3)
+        copy = clone(tree)
+        assert copy.max_depth == 4
+        assert copy.min_samples_leaf == 3
+
+    def test_clone_is_unfitted(self, blobs_split):
+        X_train, X_test, y_train, _ = blobs_split
+        tree = DecisionTreeClassifier(max_depth=3).fit(X_train, y_train)
+        copy = clone(tree)
+        with pytest.raises(NotFittedError):
+            copy.predict(X_test)
+
+    def test_clone_deep_copies_mutable_params(self):
+        proto = LogisticRegression()
+        bag = BaggingClassifier(proto, n_estimators=3)
+        copy = clone(bag)
+        assert copy.estimator is not proto
+        assert isinstance(copy.estimator, LogisticRegression)
+
+    def test_clone_rejects_non_estimator(self):
+        with pytest.raises(TypeError):
+            clone(42)
+
+
+class TestRepr:
+    def test_repr_contains_params(self):
+        tree = DecisionTreeClassifier(max_depth=5)
+        assert "max_depth=5" in repr(tree)
+
+
+class TestClassifierMixin:
+    def test_score_is_accuracy(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        model = LogisticRegression().fit(X_train, y_train)
+        manual = np.mean(model.predict(X_test) == y_test)
+        assert model.score(X_test, y_test) == pytest.approx(manual)
+
+    def test_predict_wrong_feature_count_raises(self, blobs_split):
+        X_train, X_test, y_train, _ = blobs_split
+        model = RandomForestClassifier(n_estimators=3, random_state=0).fit(
+            X_train, y_train
+        )
+        with pytest.raises(ValueError, match="features"):
+            model.predict(X_test[:, :2])

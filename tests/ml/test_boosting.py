@@ -1,0 +1,120 @@
+"""Tests for AdaBoost and ExtraTrees."""
+
+import numpy as np
+import pytest
+
+from repro.ml import AdaBoostClassifier, DecisionTreeClassifier, ExtraTreesClassifier
+from repro.uncertainty import EnsembleUncertaintyEstimator
+from tests.conftest import make_blobs
+
+
+class TestAdaBoost:
+    def test_stumps_combine_beyond_single_stump(self):
+        # A single axis-aligned stump cannot solve this diagonal
+        # problem well; boosted stumps can.
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, size=(400, 2))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        stump = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        boosted = AdaBoostClassifier(n_estimators=40, random_state=0).fit(X, y)
+        assert boosted.score(X, y) > stump.score(X, y) + 0.05
+
+    def test_blobs_accuracy(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        model = AdaBoostClassifier(n_estimators=25, random_state=0).fit(
+            X_train, y_train
+        )
+        assert model.score(X_test, y_test) > 0.95
+
+    def test_estimator_weights_positive(self, blobs):
+        X, y = blobs
+        model = AdaBoostClassifier(n_estimators=10, random_state=0).fit(X, y)
+        assert all(w > 0 for w in model.estimator_weights_)
+        assert len(model.estimator_weights_) == len(model.estimators_)
+
+    def test_decisions_interface_for_uncertainty(self, blobs):
+        X, y = blobs
+        model = AdaBoostClassifier(n_estimators=12, random_state=0).fit(X, y)
+        estimator = EnsembleUncertaintyEstimator(model)
+        entropy = estimator.predictive_entropy(X[:20])
+        assert np.all((entropy >= 0) & (entropy <= 1 + 1e-9))
+
+    def test_proba_normalised(self, blobs_split):
+        X_train, X_test, y_train, _ = blobs_split
+        model = AdaBoostClassifier(n_estimators=10, random_state=0).fit(
+            X_train, y_train
+        )
+        proba = model.predict_proba(X_test)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_custom_base_estimator(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        model = AdaBoostClassifier(
+            DecisionTreeClassifier(max_depth=3),
+            n_estimators=8,
+            random_state=0,
+        ).fit(X_train, y_train)
+        assert model.score(X_test, y_test) > 0.95
+
+    def test_invalid_params(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(n_estimators=0).fit(X, y)
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(learning_rate=0.0).fit(X, y)
+
+    def test_single_class_rejected(self):
+        X = np.random.default_rng(0).normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            AdaBoostClassifier().fit(X, np.zeros(10))
+
+
+class TestExtraTrees:
+    def test_blobs_accuracy(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        model = ExtraTreesClassifier(n_estimators=20, random_state=0).fit(
+            X_train, y_train
+        )
+        assert model.score(X_test, y_test) > 0.95
+
+    def test_boundary_points_contested(self):
+        # Random thresholds still produce substantial member
+        # disagreement on saddle points while agreeing in-distribution.
+        X, y = make_blobs(n_per_class=150, separation=3.0, seed=42)
+        boundary = np.zeros((50, X.shape[1]))
+        et = ExtraTreesClassifier(n_estimators=20, random_state=0).fit(X, y)
+
+        def disagreement(votes):
+            frac = np.mean(votes == votes[:, :1], axis=1)
+            return float(1.0 - frac.mean())
+
+        assert disagreement(et.decisions(boundary)) > 0.15
+        assert disagreement(et.decisions(X)) < disagreement(et.decisions(boundary))
+
+    def test_vote_distribution_rows_sum(self, blobs_split):
+        X_train, X_test, y_train, _ = blobs_split
+        model = ExtraTreesClassifier(n_estimators=10, random_state=0).fit(
+            X_train, y_train
+        )
+        dist = model.vote_distribution(X_test)
+        np.testing.assert_allclose(dist.sum(axis=1), 1.0)
+
+    def test_bootstrap_mode(self, blobs):
+        X, y = blobs
+        model = ExtraTreesClassifier(
+            n_estimators=5, bootstrap=True, random_state=0
+        ).fit(X, y)
+        assert len(model.estimators_) == 5
+
+    def test_max_depth_respected(self, blobs):
+        X, y = blobs
+        model = ExtraTreesClassifier(
+            n_estimators=5, max_depth=3, random_state=0
+        ).fit(X, y)
+        assert all(t.get_depth() <= 3 for t in model.estimators_)
+
+    def test_deterministic_with_seed(self, blobs_split):
+        X_train, X_test, y_train, _ = blobs_split
+        a = ExtraTreesClassifier(n_estimators=5, random_state=9).fit(X_train, y_train)
+        b = ExtraTreesClassifier(n_estimators=5, random_state=9).fit(X_train, y_train)
+        np.testing.assert_array_equal(a.predict(X_test), b.predict(X_test))

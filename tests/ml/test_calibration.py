@@ -1,0 +1,76 @@
+"""Tests for Platt scaling and the calibrated classifier wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.ml import CalibratedClassifier, LinearSVC, LogisticRegression, PlattScaler
+from tests.conftest import make_blobs
+
+
+class TestPlattScaler:
+    def test_monotone_in_score(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=400)
+        y = (scores + 0.3 * rng.normal(size=400) > 0).astype(int)
+        scaler = PlattScaler().fit(scores, y)
+        p = scaler.predict_proba(np.array([-2.0, 0.0, 2.0]))[:, 1]
+        assert p[0] < p[1] < p[2]
+
+    def test_probabilities_valid(self):
+        rng = np.random.default_rng(1)
+        scores = rng.normal(size=200)
+        y = (scores > 0).astype(int)
+        proba = PlattScaler().fit(scores, y).predict_proba(scores)
+        assert np.all((proba >= 0) & (proba <= 1))
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_informative_scores_calibrate_well(self):
+        rng = np.random.default_rng(2)
+        # True model: p = sigmoid(2s); generate labels accordingly.
+        scores = rng.normal(size=4000)
+        p_true = 1.0 / (1.0 + np.exp(-2.0 * scores))
+        y = (rng.random(4000) < p_true).astype(int)
+        scaler = PlattScaler().fit(scores, y)
+        assert scaler.a_ == pytest.approx(2.0, abs=0.3)
+        assert scaler.b_ == pytest.approx(0.0, abs=0.2)
+
+    def test_requires_binary(self):
+        with pytest.raises(ValueError):
+            PlattScaler().fit([0.1, 0.2, 0.3], [0, 1, 2])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            PlattScaler().fit([0.1, 0.2], [0])
+
+
+class TestCalibratedClassifier:
+    def test_accuracy_preserved(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        model = CalibratedClassifier(LinearSVC(), random_state=0).fit(X_train, y_train)
+        assert model.score(X_test, y_test) > 0.95
+
+    def test_confidence_in_unit_interval(self, blobs_split):
+        X_train, X_test, y_train, _ = blobs_split
+        model = CalibratedClassifier(LinearSVC(), random_state=0).fit(X_train, y_train)
+        conf = model.confidence(X_test)
+        assert np.all((conf >= 0.5 - 1e-9) & (conf <= 1.0 + 1e-9))
+
+    def test_works_with_proba_models(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        model = CalibratedClassifier(LogisticRegression(), random_state=0).fit(
+            X_train, y_train
+        )
+        assert model.score(X_test, y_test) > 0.95
+
+    def test_overconfident_on_far_ood(self, blobs_split):
+        # The paper's warning: Platt confidence stays HIGH on inputs far
+        # from the training data.
+        X_train, _, y_train, _ = blobs_split
+        model = CalibratedClassifier(LinearSVC(), random_state=0).fit(X_train, y_train)
+        X_far = np.full((10, X_train.shape[1]), 50.0)
+        assert model.confidence(X_far).mean() > 0.9
+
+    def test_invalid_fraction(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            CalibratedClassifier(LinearSVC(), calibration_fraction=1.5).fit(X, y)

@@ -1,0 +1,79 @@
+"""Tests for k-means clustering."""
+
+import numpy as np
+import pytest
+
+from repro.ml import KMeans
+
+
+def _three_blobs(seed=0, n=60, spread=0.3):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[-5.0, 0.0], [0.0, 5.0], [5.0, 0.0]])
+    X = np.vstack([rng.normal(c, spread, size=(n, 2)) for c in centers])
+    truth = np.repeat([0, 1, 2], n)
+    return X, truth, centers
+
+
+class TestKMeans:
+    def test_recovers_well_separated_clusters(self):
+        X, truth, centers = _three_blobs()
+        km = KMeans(n_clusters=3, random_state=0).fit(X)
+        # Each found centroid is near one true center.
+        distances = np.sqrt(
+            ((km.cluster_centers_[:, None, :] - centers[None, :, :]) ** 2).sum(-1)
+        )
+        assert distances.min(axis=1).max() < 0.5
+
+    def test_labels_consistent_with_truth(self):
+        X, truth, _ = _three_blobs(seed=1)
+        labels = KMeans(n_clusters=3, random_state=0).fit_predict(X)
+        # Perfect clustering up to permutation: each true cluster maps to
+        # exactly one label.
+        for t in np.unique(truth):
+            assert len(np.unique(labels[truth == t])) == 1
+
+    def test_predict_nearest_centroid(self):
+        X, _, centers = _three_blobs(seed=2)
+        km = KMeans(n_clusters=3, random_state=0).fit(X)
+        probes = centers + 0.01
+        labels = km.predict(probes)
+        assert len(np.unique(labels)) == 3
+
+    def test_inertia_decreases_with_more_clusters(self):
+        X, _, _ = _three_blobs(seed=3)
+        inertia_2 = KMeans(n_clusters=2, random_state=0).fit(X).inertia_
+        inertia_3 = KMeans(n_clusters=3, random_state=0).fit(X).inertia_
+        assert inertia_3 < inertia_2
+
+    def test_transform_shape(self):
+        X, _, _ = _three_blobs(seed=4)
+        km = KMeans(n_clusters=3, random_state=0).fit(X)
+        D = km.transform(X[:10])
+        assert D.shape == (10, 3)
+        assert np.all(D >= 0)
+
+    def test_single_cluster(self):
+        X, _, _ = _three_blobs(seed=5)
+        km = KMeans(n_clusters=1, random_state=0).fit(X)
+        np.testing.assert_allclose(km.cluster_centers_[0], X.mean(axis=0), atol=1e-6)
+
+    def test_deterministic_with_seed(self):
+        X, _, _ = _three_blobs(seed=6)
+        a = KMeans(n_clusters=3, random_state=7).fit(X)
+        b = KMeans(n_clusters=3, random_state=7).fit(X)
+        np.testing.assert_allclose(a.cluster_centers_, b.cluster_centers_)
+
+    def test_validation(self):
+        X, _, _ = _three_blobs()
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0).fit(X)
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=10**6).fit(X)
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=2, n_init=0).fit(X)
+
+    def test_predict_feature_mismatch(self):
+        X, _, _ = _three_blobs(seed=8)
+        km = KMeans(n_clusters=2, random_state=0).fit(X)
+        with pytest.raises(ValueError):
+            km.predict(X[:, :1])

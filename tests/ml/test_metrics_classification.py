@@ -1,0 +1,152 @@
+"""Tests for classification metrics against hand-computed values."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy_score,
+    balanced_accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    fbeta_score,
+    matthews_corrcoef,
+    precision_recall_fscore_support,
+    precision_score,
+    recall_score,
+)
+
+Y_TRUE = np.array([0, 0, 0, 0, 1, 1, 1, 1, 1, 1])
+Y_PRED = np.array([0, 0, 1, 1, 1, 1, 1, 1, 0, 1])
+# tp=5, fp=2, fn=1, tn=2 for positive class 1.
+
+
+class TestAccuracy:
+    def test_hand_computed(self):
+        assert accuracy_score(Y_TRUE, Y_PRED) == pytest.approx(0.7)
+
+    def test_perfect(self):
+        assert accuracy_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_all_wrong(self):
+        assert accuracy_score([1, 1], [0, 0]) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestConfusionMatrix:
+    def test_hand_computed(self):
+        cm = confusion_matrix(Y_TRUE, Y_PRED)
+        np.testing.assert_array_equal(cm, [[2, 2], [1, 5]])
+
+    def test_explicit_labels_order(self):
+        cm = confusion_matrix([0, 1], [1, 0], labels=[1, 0])
+        np.testing.assert_array_equal(cm, [[0, 1], [1, 0]])
+
+    def test_degenerate_prediction_stays_square(self):
+        cm = confusion_matrix([0, 1, 1], [0, 0, 0])
+        assert cm.shape == (2, 2)
+        assert cm[1, 0] == 2
+
+    def test_rows_sum_to_class_counts(self):
+        cm = confusion_matrix(Y_TRUE, Y_PRED)
+        np.testing.assert_array_equal(cm.sum(axis=1), [4, 6])
+
+
+class TestPrecisionRecallF1:
+    def test_precision_hand_computed(self):
+        assert precision_score(Y_TRUE, Y_PRED) == pytest.approx(5 / 7)
+
+    def test_recall_hand_computed(self):
+        assert recall_score(Y_TRUE, Y_PRED) == pytest.approx(5 / 6)
+
+    def test_f1_is_harmonic_mean(self):
+        p, r = 5 / 7, 5 / 6
+        assert f1_score(Y_TRUE, Y_PRED) == pytest.approx(2 * p * r / (p + r))
+
+    def test_zero_division_default(self):
+        # No positive predictions at all.
+        assert precision_score([0, 1], [0, 0]) == 0.0
+
+    def test_macro_average(self):
+        p_macro = precision_score(Y_TRUE, Y_PRED, average="macro")
+        p0 = 2 / 3  # class 0: tp=2 (pred 0 & true 0), fp=1
+        p1 = 5 / 7
+        assert p_macro == pytest.approx((p0 + p1) / 2)
+
+    def test_micro_average_equals_accuracy_binary(self):
+        f_micro = f1_score(Y_TRUE, Y_PRED, average="micro")
+        assert f_micro == pytest.approx(accuracy_score(Y_TRUE, Y_PRED))
+
+    def test_weighted_average(self):
+        _, r_w, _, _ = precision_recall_fscore_support(
+            Y_TRUE, Y_PRED, average="weighted"
+        )
+        r0, r1 = 2 / 4, 5 / 6
+        assert r_w == pytest.approx(0.4 * r0 + 0.6 * r1)
+
+    def test_per_class_arrays(self):
+        p, r, f, s = precision_recall_fscore_support(Y_TRUE, Y_PRED)
+        assert len(p) == len(r) == len(f) == len(s) == 2
+        np.testing.assert_array_equal(s, [4, 6])
+
+    def test_binary_requires_two_labels(self):
+        with pytest.raises(ValueError):
+            precision_score([0, 1, 2], [0, 1, 2], average="binary")
+
+    def test_unknown_average_raises(self):
+        with pytest.raises(ValueError):
+            f1_score(Y_TRUE, Y_PRED, average="bogus")
+
+
+class TestFbeta:
+    def test_beta_one_equals_f1(self):
+        assert fbeta_score(Y_TRUE, Y_PRED, beta=1.0) == pytest.approx(
+            f1_score(Y_TRUE, Y_PRED)
+        )
+
+    def test_large_beta_approaches_recall(self):
+        f = fbeta_score(Y_TRUE, Y_PRED, beta=100.0)
+        assert f == pytest.approx(recall_score(Y_TRUE, Y_PRED), abs=1e-3)
+
+    def test_small_beta_approaches_precision(self):
+        f = fbeta_score(Y_TRUE, Y_PRED, beta=0.01)
+        assert f == pytest.approx(precision_score(Y_TRUE, Y_PRED), abs=1e-3)
+
+
+class TestBalancedAccuracy:
+    def test_hand_computed(self):
+        expected = (2 / 4 + 5 / 6) / 2
+        assert balanced_accuracy_score(Y_TRUE, Y_PRED) == pytest.approx(expected)
+
+    def test_imbalance_insensitive(self):
+        # Majority-class prediction: balanced accuracy = 0.5.
+        y_true = [0] * 95 + [1] * 5
+        y_pred = [0] * 100
+        assert balanced_accuracy_score(y_true, y_pred) == pytest.approx(0.5)
+
+
+class TestMatthews:
+    def test_perfect_is_one(self):
+        assert matthews_corrcoef([0, 1, 0, 1], [0, 1, 0, 1]) == pytest.approx(1.0)
+
+    def test_inverted_is_minus_one(self):
+        assert matthews_corrcoef([0, 1, 0, 1], [1, 0, 1, 0]) == pytest.approx(-1.0)
+
+    def test_degenerate_is_zero(self):
+        assert matthews_corrcoef([0, 1], [0, 0]) == 0.0
+
+
+class TestClassificationReport:
+    def test_report_fields(self):
+        report = classification_report(Y_TRUE, Y_PRED)
+        assert report.labels == (0, 1)
+        assert report.accuracy == pytest.approx(0.7)
+        assert report.support == (4, 6)
+
+    def test_as_text_renders(self):
+        text = classification_report(Y_TRUE, Y_PRED).as_text()
+        assert "precision" in text
+        assert "accuracy" in text

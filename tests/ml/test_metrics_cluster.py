@@ -1,0 +1,70 @@
+"""Tests for latent-space geometry metrics (Fig. 8 quantification)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    centroid_separation_ratio,
+    class_overlap_score,
+    neighborhood_purity,
+    silhouette_samples,
+    silhouette_score,
+)
+from tests.conftest import make_blobs
+
+
+class TestSilhouette:
+    def test_separated_blobs_high(self):
+        X, y = make_blobs(n_per_class=40, separation=8.0, seed=0)
+        assert silhouette_score(X, y) > 0.5
+
+    def test_overlapping_blobs_low(self):
+        X, y = make_blobs(n_per_class=40, separation=0.3, seed=1)
+        assert silhouette_score(X, y) < 0.1
+
+    def test_samples_in_range(self):
+        X, y = make_blobs(n_per_class=25, seed=2)
+        s = silhouette_samples(X, y)
+        assert np.all(s >= -1.0) and np.all(s <= 1.0)
+
+    def test_single_label_raises(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((5, 2)), np.zeros(5))
+
+
+class TestNeighborhoodPurity:
+    def test_separated_near_one(self):
+        X, y = make_blobs(n_per_class=50, separation=8.0, seed=3)
+        assert neighborhood_purity(X, y, n_neighbors=5) > 0.97
+
+    def test_overlap_near_half(self):
+        X, y = make_blobs(n_per_class=200, separation=0.05, seed=4)
+        purity = neighborhood_purity(X, y, n_neighbors=10)
+        assert purity == pytest.approx(0.5, abs=0.1)
+
+    def test_overlap_score_is_complement(self):
+        X, y = make_blobs(n_per_class=30, seed=5)
+        assert class_overlap_score(X, y) == pytest.approx(
+            1.0 - neighborhood_purity(X, y)
+        )
+
+    def test_invalid_neighbors(self):
+        X, y = make_blobs(n_per_class=5, seed=6)
+        with pytest.raises(ValueError):
+            neighborhood_purity(X, y, n_neighbors=0)
+        with pytest.raises(ValueError):
+            neighborhood_purity(X, y, n_neighbors=100)
+
+
+class TestCentroidSeparation:
+    def test_separated_much_greater_than_one(self):
+        X, y = make_blobs(n_per_class=60, separation=10.0, seed=7)
+        assert centroid_separation_ratio(X, y) > 2.0
+
+    def test_overlap_below_one(self):
+        X, y = make_blobs(n_per_class=60, separation=0.1, seed=8)
+        assert centroid_separation_ratio(X, y) < 1.0
+
+    def test_requires_two_classes(self):
+        with pytest.raises(ValueError):
+            centroid_separation_ratio(np.zeros((4, 2)), np.zeros(4))

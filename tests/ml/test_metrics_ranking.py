@@ -1,0 +1,84 @@
+"""Tests for ROC / PR curve metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    average_precision_score,
+    precision_recall_curve,
+    roc_auc_score,
+    roc_curve,
+)
+
+
+class TestRocCurve:
+    def test_perfect_separation(self):
+        y = [0, 0, 1, 1]
+        scores = [0.1, 0.2, 0.8, 0.9]
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert roc_auc_score(y, scores) == pytest.approx(1.0)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+    def test_inverted_scores_auc_zero(self):
+        y = [0, 0, 1, 1]
+        scores = [0.9, 0.8, 0.2, 0.1]
+        assert roc_auc_score(y, scores) == pytest.approx(0.0)
+
+    def test_random_scores_auc_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=4000)
+        scores = rng.random(4000)
+        assert roc_auc_score(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_monotonic_curve(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, size=200)
+        scores = rng.random(200)
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_ties_handled(self):
+        y = [0, 1, 0, 1]
+        scores = [0.5, 0.5, 0.5, 0.5]
+        assert roc_auc_score(y, scores) == pytest.approx(0.5)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError, match="2 classes"):
+            roc_curve([1, 1, 1], [0.1, 0.2, 0.3])
+
+    def test_thresholds_start_at_inf(self):
+        _, _, thresholds = roc_curve([0, 1], [0.3, 0.7])
+        assert thresholds[0] == np.inf
+
+
+class TestPrecisionRecallCurve:
+    def test_perfect_separation(self):
+        precision, recall, _ = precision_recall_curve([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9])
+        # First entry is full coverage (precision = base rate), last is the
+        # (1, 0) endpoint.
+        assert precision[0] == pytest.approx(0.5)
+        assert precision[-1] == pytest.approx(1.0)
+        assert average_precision_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == pytest.approx(1.0)
+
+    def test_endpoint_convention(self):
+        precision, recall, _ = precision_recall_curve([0, 1], [0.4, 0.6])
+        assert precision[-1] == 1.0
+        assert recall[-1] == 0.0
+
+    def test_ap_bounded(self):
+        rng = np.random.default_rng(2)
+        y = rng.integers(0, 2, size=300)
+        s = rng.random(300)
+        ap = average_precision_score(y, s)
+        assert 0.0 <= ap <= 1.0
+
+    def test_ap_better_for_informative_scores(self):
+        rng = np.random.default_rng(3)
+        y = rng.integers(0, 2, size=500)
+        informative = y + 0.5 * rng.random(500)
+        random_scores = rng.random(500)
+        assert average_precision_score(y, informative) > average_precision_score(
+            y, random_scores
+        )

@@ -1,0 +1,93 @@
+"""Tests for GaussianNB and KNeighborsClassifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml import GaussianNB, KNeighborsClassifier
+from tests.conftest import make_blobs
+
+
+class TestGaussianNB:
+    def test_closed_form_means(self):
+        X = np.array([[0.0], [2.0], [10.0], [12.0]])
+        y = np.array([0, 0, 1, 1])
+        nb = GaussianNB().fit(X, y)
+        np.testing.assert_allclose(nb.theta_[:, 0], [1.0, 11.0])
+
+    def test_priors_from_frequencies(self):
+        X = np.random.default_rng(0).normal(size=(10, 2))
+        y = np.array([0] * 7 + [1] * 3)
+        nb = GaussianNB().fit(X, y)
+        np.testing.assert_allclose(nb.class_prior_, [0.7, 0.3])
+
+    def test_blobs_accuracy(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        nb = GaussianNB().fit(X_train, y_train)
+        assert nb.score(X_test, y_test) > 0.97
+
+    def test_proba_normalised(self, blobs_split):
+        X_train, X_test, y_train, _ = blobs_split
+        nb = GaussianNB().fit(X_train, y_train)
+        proba = nb.predict_proba(X_test)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_log_proba_consistent(self, blobs_split):
+        X_train, X_test, y_train, _ = blobs_split
+        nb = GaussianNB().fit(X_train, y_train)
+        np.testing.assert_allclose(
+            np.exp(nb.predict_log_proba(X_test)), nb.predict_proba(X_test)
+        )
+
+    def test_constant_feature_no_crash(self):
+        X = np.column_stack([np.ones(20), np.arange(20.0)])
+        y = np.array([0] * 10 + [1] * 10)
+        nb = GaussianNB().fit(X, y)
+        assert np.all(np.isfinite(nb.predict_proba(X)))
+
+    def test_three_classes(self):
+        rng = np.random.default_rng(1)
+        X = np.vstack([rng.normal(c, 0.5, size=(40, 2)) for c in (-4, 0, 4)])
+        y = np.repeat([0, 1, 2], 40)
+        nb = GaussianNB().fit(X, y)
+        assert nb.score(X, y) > 0.95
+
+
+class TestKNN:
+    def test_one_neighbor_memorises(self, blobs):
+        X, y = blobs
+        knn = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        np.testing.assert_array_equal(knn.predict(X), y)
+
+    def test_blobs_accuracy(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        knn = KNeighborsClassifier(n_neighbors=5).fit(X_train, y_train)
+        assert knn.score(X_test, y_test) > 0.95
+
+    def test_distance_weighting(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        knn = KNeighborsClassifier(n_neighbors=7, weights="distance").fit(
+            X_train, y_train
+        )
+        assert knn.score(X_test, y_test) > 0.95
+
+    def test_proba_rows_sum(self, blobs_split):
+        X_train, X_test, y_train, _ = blobs_split
+        knn = KNeighborsClassifier(n_neighbors=5).fit(X_train, y_train)
+        np.testing.assert_allclose(knn.predict_proba(X_test).sum(axis=1), 1.0)
+
+    def test_kneighbors_returns_sorted_distances(self, blobs_split):
+        X_train, X_test, y_train, _ = blobs_split
+        knn = KNeighborsClassifier(n_neighbors=4).fit(X_train, y_train)
+        distances, indices = knn.kneighbors(X_test[:3])
+        assert distances.shape == (3, 4)
+        assert np.all(np.diff(distances, axis=1) >= 0)
+        assert indices.max() < len(X_train)
+
+    def test_invalid_params(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=0).fit(X, y)
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=10**6).fit(X, y)
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(weights="kernel").fit(X, y)

@@ -1,0 +1,150 @@
+"""Numerical-correctness tests: gradient checks and KKT conditions.
+
+These verify the *optimisation mathematics* of the from-scratch
+solvers, independent of downstream accuracy: analytic gradients match
+finite differences, and the SMO solution satisfies the SVM
+Karush-Kuhn-Tucker conditions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml import SVC, LinearSVC, LogisticRegression, PlattScaler
+from tests.conftest import make_blobs
+
+
+def _finite_difference_gradient(objective, w, eps=1e-6):
+    """Central-difference gradient of a scalar objective."""
+    grad = np.zeros_like(w)
+    for i in range(len(w)):
+        w_plus = w.copy()
+        w_minus = w.copy()
+        w_plus[i] += eps
+        w_minus[i] -= eps
+        grad[i] = (objective(w_plus)[0] - objective(w_minus)[0]) / (2 * eps)
+    return grad
+
+
+class TestLogisticGradient:
+    def _objective(self, X, y_signed, C):
+        """Rebuild the exact objective LogisticRegression minimises."""
+        n = len(y_signed)
+        alpha = 1.0 / (C * n)
+
+        def fn(w_full):
+            w, b = w_full[:-1], w_full[-1]
+            margins = y_signed * (X @ w + b)
+            loss = np.mean(np.logaddexp(0.0, -margins)) + 0.5 * alpha * (w @ w)
+            s = 1.0 / (1.0 + np.exp(margins))
+            grad_w = -(X.T @ (y_signed * s)) / n + alpha * w
+            grad_b = -np.mean(y_signed * s)
+            return loss, np.concatenate([grad_w, [grad_b]])
+
+        return fn
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_analytic_matches_finite_difference(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(40, 3))
+        y_signed = np.where(rng.random(40) > 0.5, 1.0, -1.0)
+        objective = self._objective(X, y_signed, C=1.0)
+        w = rng.normal(size=4)
+        _, analytic = objective(w)
+        numeric = _finite_difference_gradient(objective, w)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-7)
+
+    def test_fitted_solution_is_stationary(self, blobs):
+        X, y = blobs
+        model = LogisticRegression(C=1.0, max_iter=500, tol=1e-10).fit(X, y)
+        y_signed = np.where(y == model.classes_[1], 1.0, -1.0)
+        objective = self._objective(X, y_signed, C=1.0)
+        w_full = np.concatenate([model.coef_[0], model.intercept_])
+        _, grad = objective(w_full)
+        assert np.linalg.norm(grad) < 1e-3
+
+
+class TestLinearSvcGradient:
+    def _objective(self, X, y_signed, C):
+        n = len(y_signed)
+        alpha = 1.0 / (C * n)
+
+        def fn(w_full):
+            w, b = w_full[:-1], w_full[-1]
+            margins = y_signed * (X @ w + b)
+            slack = np.maximum(0.0, 1.0 - margins)
+            loss = np.mean(slack**2) + 0.5 * alpha * (w @ w)
+            coeff = -2.0 * y_signed * slack / n
+            grad_w = X.T @ coeff + alpha * w
+            return loss, np.concatenate([grad_w, [coeff.sum()]])
+
+        return fn
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_analytic_matches_finite_difference(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(30, 4))
+        y_signed = np.where(rng.random(30) > 0.5, 1.0, -1.0)
+        objective = self._objective(X, y_signed, C=0.5)
+        w = rng.normal(size=5)
+        _, analytic = objective(w)
+        numeric = _finite_difference_gradient(objective, w)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+
+class TestSmoKkt:
+    def test_kkt_conditions_on_separable_data(self):
+        X, y = make_blobs(n_per_class=60, separation=4.0, seed=10)
+        C = 1.0
+        model = SVC(C=C, kernel="rbf", gamma=0.5, max_iter=200,
+                    max_passes=10, tol=1e-4, random_state=0)
+        model.fit(X, y)
+
+        decision = model.decision_function(X)
+        y_signed = np.where(y == model.classes_[1], 1.0, -1.0)
+        margins = y_signed * decision
+
+        # Reconstruct per-sample alphas from the stored support set.
+        alphas = np.zeros(len(y))
+        alphas[model.support_] = np.abs(model.dual_coef_)
+
+        tol = 0.05
+        # Non-support vectors must satisfy the margin.
+        non_sv = alphas < 1e-8
+        assert np.all(margins[non_sv] >= 1.0 - tol)
+        # Free support vectors must lie on the margin.
+        free = (alphas > 1e-6) & (alphas < C - 1e-6)
+        if free.any():
+            np.testing.assert_allclose(margins[free], 1.0, atol=0.1)
+        # Bound support vectors sit inside the margin (or on it).
+        bound = alphas >= C - 1e-6
+        assert np.all(margins[bound] <= 1.0 + tol)
+
+    def test_dual_sum_constraint(self):
+        X, y = make_blobs(n_per_class=50, separation=3.0, seed=11)
+        model = SVC(C=1.0, max_iter=100, random_state=0).fit(X, y)
+        # sum_i alpha_i y_i = 0 is preserved by every SMO pair update.
+        assert abs(model.dual_coef_.sum()) < 1e-8
+
+
+class TestPlattGradient:
+    def test_fitted_sigmoid_is_stationary(self):
+        rng = np.random.default_rng(12)
+        scores = rng.normal(size=500)
+        y = (scores + 0.5 * rng.normal(size=500) > 0).astype(int)
+        scaler = PlattScaler().fit(scores, y)
+
+        n_pos = int(np.sum(y == 1))
+        n_neg = len(y) - n_pos
+        t = np.where(y == 1, (n_pos + 1.0) / (n_pos + 2.0), 1.0 / (n_neg + 2.0))
+
+        def objective(params):
+            a, b = params
+            z = a * scores + b
+            loss = np.mean(np.logaddexp(0.0, z) - t * z)
+            p = 1.0 / (1.0 + np.exp(-z))
+            return loss, np.array(
+                [np.mean((p - t) * scores), np.mean(p - t)]
+            )
+
+        _, grad = objective(np.array([scaler.a_, scaler.b_]))
+        assert np.linalg.norm(grad) < 1e-4

@@ -1,0 +1,85 @@
+"""Tests for pairwise distances and kernels."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    euclidean_distances,
+    linear_kernel,
+    manhattan_distances,
+    polynomial_kernel,
+    rbf_kernel,
+    squared_euclidean_distances,
+)
+
+
+class TestEuclidean:
+    def test_hand_computed(self):
+        X = np.array([[0.0, 0.0], [3.0, 4.0]])
+        d = euclidean_distances(X)
+        assert d[0, 1] == pytest.approx(5.0)
+        assert d[0, 0] == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        X = np.random.default_rng(0).normal(size=(10, 4))
+        d = euclidean_distances(X)
+        np.testing.assert_allclose(d, d.T, atol=1e-12)
+
+    def test_non_negative_despite_cancellation(self):
+        # Nearly identical large-magnitude rows stress the expansion.
+        X = np.full((2, 3), 1e8)
+        X[1, 0] += 1e-4
+        d2 = squared_euclidean_distances(X)
+        assert np.all(d2 >= 0)
+
+    def test_rectangular(self):
+        X = np.zeros((3, 2))
+        Y = np.ones((5, 2))
+        d = euclidean_distances(X, Y)
+        assert d.shape == (3, 5)
+        np.testing.assert_allclose(d, np.sqrt(2.0))
+
+    def test_feature_mismatch_raises(self):
+        with pytest.raises(ValueError, match="feature"):
+            euclidean_distances(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+class TestManhattan:
+    def test_hand_computed(self):
+        X = np.array([[0.0, 0.0], [1.0, 2.0]])
+        d = manhattan_distances(X)
+        assert d[0, 1] == pytest.approx(3.0)
+
+    def test_dominates_euclidean(self):
+        X = np.random.default_rng(1).normal(size=(8, 5))
+        assert np.all(manhattan_distances(X) >= euclidean_distances(X) - 1e-12)
+
+
+class TestKernels:
+    def test_linear_kernel_is_gram(self):
+        X = np.random.default_rng(2).normal(size=(6, 3))
+        np.testing.assert_allclose(linear_kernel(X), X @ X.T)
+
+    def test_rbf_diagonal_is_one(self):
+        X = np.random.default_rng(3).normal(size=(7, 4))
+        K = rbf_kernel(X, gamma=0.5)
+        np.testing.assert_allclose(np.diag(K), 1.0)
+
+    def test_rbf_bounded(self):
+        X = np.random.default_rng(4).normal(size=(9, 4))
+        K = rbf_kernel(X, gamma=1.0)
+        assert np.all(K > 0) and np.all(K <= 1.0 + 1e-12)
+
+    def test_rbf_decays_with_distance(self):
+        X = np.array([[0.0], [1.0], [10.0]])
+        K = rbf_kernel(X, gamma=1.0)
+        assert K[0, 1] > K[0, 2]
+
+    def test_rbf_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            rbf_kernel(np.zeros((2, 2)), gamma=0.0)
+
+    def test_polynomial_hand_computed(self):
+        X = np.array([[1.0, 1.0]])
+        K = polynomial_kernel(X, degree=2, gamma=1.0, coef0=1.0)
+        assert K[0, 0] == pytest.approx(9.0)  # (2 + 1)^2

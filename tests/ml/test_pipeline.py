@@ -1,0 +1,133 @@
+"""Tests for the Pipeline composite."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    PCA,
+    LogisticRegression,
+    Pipeline,
+    RandomForestClassifier,
+    SelectKBest,
+    StandardScaler,
+    clone,
+    make_pipeline,
+)
+from repro.ml.model_selection import GridSearchCV
+
+
+class TestPipelineBasics:
+    def test_fit_predict(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        pipe = Pipeline(
+            [("scale", StandardScaler()), ("clf", LogisticRegression())]
+        ).fit(X_train, y_train)
+        assert np.mean(pipe.predict(X_test) == y_test) > 0.95
+
+    def test_three_stage_chain(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        pipe = Pipeline(
+            [
+                ("scale", StandardScaler()),
+                ("pca", PCA(n_components=3)),
+                ("clf", LogisticRegression()),
+            ]
+        ).fit(X_train, y_train)
+        assert np.mean(pipe.predict(X_test) == y_test) > 0.9
+
+    def test_supervised_transformer_in_chain(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        pipe = Pipeline(
+            [("select", SelectKBest(k=4)), ("clf", LogisticRegression())]
+        ).fit(X_train, y_train)
+        assert np.mean(pipe.predict(X_test) == y_test) > 0.9
+
+    def test_predict_proba_delegates(self, blobs_split):
+        X_train, X_test, y_train, _ = blobs_split
+        pipe = Pipeline(
+            [("scale", StandardScaler()), ("clf", LogisticRegression())]
+        ).fit(X_train, y_train)
+        proba = pipe.predict_proba(X_test)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_decisions_delegates_to_ensemble(self, blobs_split):
+        X_train, X_test, y_train, _ = blobs_split
+        pipe = Pipeline(
+            [
+                ("scale", StandardScaler()),
+                ("rf", RandomForestClassifier(n_estimators=7, random_state=0)),
+            ]
+        ).fit(X_train, y_train)
+        assert pipe.decisions(X_test).shape == (len(X_test), 7)
+
+    def test_decisions_raises_without_ensemble(self, blobs_split):
+        X_train, X_test, y_train, _ = blobs_split
+        pipe = Pipeline(
+            [("scale", StandardScaler()), ("clf", LogisticRegression())]
+        ).fit(X_train, y_train)
+        with pytest.raises(AttributeError):
+            pipe.decisions(X_test)
+
+    def test_original_steps_not_mutated(self, blobs_split):
+        X_train, _, y_train, _ = blobs_split
+        scaler = StandardScaler()
+        pipe = Pipeline([("scale", scaler), ("clf", LogisticRegression())])
+        pipe.fit(X_train, y_train)
+        assert not hasattr(scaler, "mean_")  # the clone was fitted, not this
+
+    def test_named_steps_access(self, blobs_split):
+        X_train, _, y_train, _ = blobs_split
+        pipe = Pipeline(
+            [("scale", StandardScaler()), ("clf", LogisticRegression())]
+        ).fit(X_train, y_train)
+        assert hasattr(pipe.named_steps["scale"], "mean_")
+
+    def test_transform_only_chain(self, blobs):
+        X, _ = blobs
+        pipe = Pipeline(
+            [("scale", StandardScaler()), ("pca", PCA(n_components=2))]
+        ).fit(X)
+        assert pipe.transform(X).shape == (len(X), 2)
+
+
+class TestPipelineValidation:
+    def test_empty_steps(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            Pipeline([]).fit(X, y)
+
+    def test_duplicate_names(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError, match="unique"):
+            Pipeline(
+                [("a", StandardScaler()), ("a", LogisticRegression())]
+            ).fit(X, y)
+
+    def test_intermediate_must_transform(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError, match="transform"):
+            Pipeline(
+                [("clf", LogisticRegression()), ("clf2", LogisticRegression())]
+            ).fit(X, y)
+
+
+class TestPipelineComposition:
+    def test_clonable(self, blobs_split):
+        X_train, X_test, y_train, _ = blobs_split
+        pipe = Pipeline([("scale", StandardScaler()), ("clf", LogisticRegression())])
+        copy = clone(pipe)
+        copy.fit(X_train, y_train)
+        assert copy.predict(X_test).shape == (len(X_test),)
+
+    def test_grid_search_over_pipeline(self, blobs):
+        X, y = blobs
+        pipe = Pipeline([("scale", StandardScaler()), ("clf", LogisticRegression())])
+        # GridSearch clones the pipeline per parameter combination.
+        search = GridSearchCV(pipe, {"steps": [pipe.steps]}, cv=3)
+        search.fit(X, y)
+        assert search.best_score_ > 0.9
+
+    def test_make_pipeline_names(self):
+        pipe = make_pipeline(StandardScaler(), LogisticRegression())
+        names = [name for name, _ in pipe.steps]
+        assert names == ["standardscaler_0", "logisticregression_1"]

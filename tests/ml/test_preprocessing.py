@@ -1,0 +1,123 @@
+"""Tests for scalers and label encoding."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LabelEncoder, MinMaxScaler, NotFittedError, RobustScaler, StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        X = np.random.default_rng(0).normal(loc=5, scale=3, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_maps_to_zero(self):
+        X = np.column_stack([np.full(10, 7.0), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z[:, 0], 0.0)
+
+    def test_inverse_roundtrip(self):
+        X = np.random.default_rng(1).normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_uses_train_stats(self):
+        X_train = np.zeros((5, 2)) + [[1.0, 2.0]]
+        X_train[0] = [3.0, 4.0]
+        scaler = StandardScaler().fit(X_train)
+        Z_new = scaler.transform([[1.0, 2.0]])
+        expected = ([1.0, 2.0] - scaler.mean_) / scaler.scale_
+        np.testing.assert_allclose(Z_new[0], expected)
+
+    def test_without_mean(self):
+        X = np.random.default_rng(2).normal(loc=10, size=(30, 2))
+        Z = StandardScaler(with_mean=False).fit_transform(X)
+        assert Z.mean() > 1.0  # mean not removed
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform([[1.0]])
+
+    def test_feature_count_mismatch(self):
+        scaler = StandardScaler().fit(np.zeros((4, 3)) + np.arange(3))
+        with pytest.raises(ValueError, match="features"):
+            scaler.transform(np.zeros((2, 2)))
+
+
+class TestMinMaxScaler:
+    def test_range_default(self):
+        X = np.random.default_rng(3).normal(size=(40, 3))
+        Z = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(Z.max(axis=0), 1.0, atol=1e-12)
+
+    def test_custom_range(self):
+        X = np.random.default_rng(4).normal(size=(40, 2))
+        Z = MinMaxScaler(feature_range=(-1.0, 1.0)).fit_transform(X)
+        np.testing.assert_allclose(Z.min(axis=0), -1.0, atol=1e-12)
+        np.testing.assert_allclose(Z.max(axis=0), 1.0, atol=1e-12)
+
+    def test_inverse_roundtrip(self):
+        X = np.random.default_rng(5).normal(size=(30, 2))
+        scaler = MinMaxScaler().fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X, atol=1e-12
+        )
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_range=(1.0, 0.0)).fit(np.zeros((3, 1)) + np.arange(3)[:, None])
+
+    def test_constant_feature_no_nan(self):
+        X = np.full((5, 1), 2.0)
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+
+
+class TestRobustScaler:
+    def test_median_removed(self):
+        X = np.random.default_rng(6).normal(loc=100, size=(101, 3))
+        Z = RobustScaler().fit_transform(X)
+        np.testing.assert_allclose(np.median(Z, axis=0), 0.0, atol=1e-10)
+
+    def test_outlier_resistant(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(200, 1))
+        X_outlier = X.copy()
+        X_outlier[0] = 1e6
+        s1 = RobustScaler().fit(X).scale_
+        s2 = RobustScaler().fit(X_outlier).scale_
+        assert s2[0] == pytest.approx(s1[0], rel=0.2)
+
+    def test_invalid_quantiles(self):
+        with pytest.raises(ValueError):
+            RobustScaler(quantile_range=(80.0, 20.0)).fit(np.zeros((5, 1)) + np.arange(5)[:, None])
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        y = np.array(["malware", "benign", "malware", "benign"])
+        enc = LabelEncoder().fit(y)
+        codes = enc.transform(y)
+        np.testing.assert_array_equal(enc.inverse_transform(codes), y)
+
+    def test_codes_are_sorted_order(self):
+        enc = LabelEncoder().fit([3, 1, 2])
+        np.testing.assert_array_equal(enc.classes_, [1, 2, 3])
+        np.testing.assert_array_equal(enc.transform([1, 2, 3]), [0, 1, 2])
+
+    def test_unseen_label_raises(self):
+        enc = LabelEncoder().fit([0, 1])
+        with pytest.raises(ValueError, match="unseen"):
+            enc.transform([2])
+
+    def test_out_of_range_code_raises(self):
+        enc = LabelEncoder().fit([0, 1])
+        with pytest.raises(ValueError):
+            enc.inverse_transform([5])
+
+    def test_fit_transform(self):
+        codes = LabelEncoder().fit_transform(["b", "a", "b"])
+        np.testing.assert_array_equal(codes, [1, 0, 1])

@@ -1,0 +1,111 @@
+"""Tests for LinearSVC and the SMO-based kernel SVC."""
+
+import numpy as np
+import pytest
+
+from repro.ml import SVC, ConvergenceError, LinearSVC
+from tests.conftest import make_blobs
+
+
+class TestLinearSVC:
+    def test_separable_high_accuracy(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        model = LinearSVC().fit(X_train, y_train)
+        assert model.score(X_test, y_test) > 0.97
+
+    def test_margin_orientation(self):
+        X = np.array([[-2.0, 0.0], [-1.5, 0.1], [1.5, -0.1], [2.0, 0.0]])
+        y = np.array([0, 0, 1, 1])
+        model = LinearSVC().fit(X, y)
+        assert model.coef_[0, 0] > 0  # positive class on positive x side
+
+    def test_convexity_gives_stable_solution(self, blobs):
+        # Two different random inits must land on (nearly) the same
+        # hyperplane — the mechanism behind the paper's SVM diversity
+        # failure.
+        X, y = blobs
+        a = LinearSVC(random_state=0).fit(X, y)
+        b = LinearSVC(random_state=123).fit(X, y)
+        cos = float(
+            (a.coef_ @ b.coef_.T).item()
+            / (np.linalg.norm(a.coef_) * np.linalg.norm(b.coef_))
+        )
+        assert cos > 0.999
+
+    def test_multiclass_rejected(self):
+        X = np.random.default_rng(0).normal(size=(9, 2))
+        y = np.repeat([0, 1, 2], 3)
+        with pytest.raises(ValueError, match="binary"):
+            LinearSVC().fit(X, y)
+
+    def test_invalid_c(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            LinearSVC(C=-1.0).fit(X, y)
+
+
+class TestKernelSVC:
+    def test_rbf_solves_xor(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(200, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        model = SVC(kernel="rbf", gamma=1.0, max_iter=60, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_linear_kernel_on_blobs(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        model = SVC(kernel="linear", max_iter=60, random_state=0).fit(
+            X_train, y_train
+        )
+        assert model.score(X_test, y_test) > 0.95
+
+    def test_poly_kernel_runs(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        model = SVC(kernel="poly", degree=2, max_iter=40, random_state=0).fit(
+            X_train, y_train
+        )
+        assert model.score(X_test, y_test) > 0.9
+
+    def test_support_vectors_subset_of_train(self, blobs):
+        X, y = blobs
+        model = SVC(max_iter=40, random_state=0).fit(X, y)
+        assert 0 < len(model.support_) <= len(y)
+        np.testing.assert_array_equal(model.support_vectors_, X[model.support_])
+
+    def test_dual_coefs_bounded_by_c(self, blobs):
+        X, y = blobs
+        C = 0.7
+        model = SVC(C=C, max_iter=40, random_state=0).fit(X, y)
+        assert np.all(np.abs(model.dual_coef_) <= C + 1e-6)
+
+    def test_convergence_error_mode(self):
+        # Heavily overlapping data + tiny sweep budget cannot converge.
+        X, y = make_blobs(n_per_class=300, separation=0.05, seed=4)
+        with pytest.raises(ConvergenceError):
+            SVC(max_iter=1, max_passes=50, tol=1e-9,
+                on_no_convergence="raise", random_state=0).fit(X, y)
+
+    def test_warn_mode_still_usable(self):
+        X, y = make_blobs(n_per_class=100, separation=0.3, seed=5)
+        with pytest.warns(UserWarning):
+            model = SVC(max_iter=1, max_passes=50, tol=1e-9,
+                        on_no_convergence="warn", random_state=0).fit(X, y)
+        assert model.predict(X).shape == y.shape
+
+    def test_unknown_kernel_raises(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError, match="kernel"):
+            SVC(kernel="sigmoid").fit(X, y)
+
+    def test_gamma_scale_and_auto(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        for gamma in ("scale", "auto", 0.2):
+            model = SVC(gamma=gamma, max_iter=40, random_state=0).fit(
+                X_train, y_train
+            )
+            assert model.score(X_test, y_test) > 0.9
+
+    def test_invalid_gamma(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            SVC(gamma=-1.0).fit(X, y)

@@ -1,0 +1,127 @@
+"""Tests for the shared input-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.exceptions import DataDimensionError, NotFittedError
+from repro.ml.validation import (
+    check_array,
+    check_consistent_length,
+    check_is_fitted,
+    check_random_state,
+    check_X_y,
+    column_or_1d,
+    unique_labels,
+)
+
+
+class TestCheckRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = check_random_state(42).random(5)
+        b = check_random_state(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert check_random_state(gen) is gen
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            check_random_state("seed")
+
+
+class TestCheckArray:
+    def test_coerces_to_float64(self):
+        arr = check_array([[1, 2], [3, 4]])
+        assert arr.dtype == np.float64
+
+    def test_1d_raises_with_hint(self):
+        with pytest.raises(DataDimensionError, match="reshape"):
+            check_array([1.0, 2.0])
+
+    def test_3d_raises(self):
+        with pytest.raises(DataDimensionError):
+            check_array(np.zeros((2, 2, 2)))
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_array([[1.0, np.nan]])
+
+    def test_inf_raises(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_array([[np.inf, 1.0]])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_array(np.zeros((0, 3)))
+
+    def test_empty_allowed_when_requested(self):
+        arr = check_array(np.zeros((0, 3)), allow_empty=True)
+        assert arr.shape == (0, 3)
+
+
+class TestColumnOr1d:
+    def test_accepts_1d(self):
+        np.testing.assert_array_equal(column_or_1d([1, 2, 3]), [1, 2, 3])
+
+    def test_ravels_column_vector(self):
+        np.testing.assert_array_equal(column_or_1d([[1], [2]]), [1, 2])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(DataDimensionError):
+            column_or_1d([[1, 2], [3, 4]])
+
+
+class TestCheckConsistentLength:
+    def test_consistent_ok(self):
+        check_consistent_length([1, 2], [3, 4], None)
+
+    def test_inconsistent_raises(self):
+        with pytest.raises(ValueError, match="Inconsistent"):
+            check_consistent_length([1, 2], [3])
+
+
+class TestCheckXy:
+    def test_returns_validated_pair(self):
+        X, y = check_X_y([[1.0, 2.0]], [1])
+        assert X.shape == (1, 2)
+        assert y.shape == (1,)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            check_X_y([[1.0], [2.0]], [1])
+
+
+class TestCheckIsFitted:
+    def test_unfitted_raises(self):
+        class M:
+            pass
+
+        with pytest.raises(NotFittedError):
+            check_is_fitted(M())
+
+    def test_trailing_underscore_counts_as_fitted(self):
+        class M:
+            pass
+
+        m = M()
+        m.coef_ = np.array([1.0])
+        check_is_fitted(m)
+
+    def test_explicit_attributes(self):
+        class M:
+            pass
+
+        m = M()
+        m.a_ = 1
+        check_is_fitted(m, "a_")
+        with pytest.raises(NotFittedError):
+            check_is_fitted(m, ["a_", "b_"])
+
+
+class TestUniqueLabels:
+    def test_sorted_unique(self):
+        np.testing.assert_array_equal(unique_labels(np.array([2, 0, 2, 1])), [0, 1, 2])

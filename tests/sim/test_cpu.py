@@ -1,0 +1,114 @@
+"""Tests for the HPC counter simulator."""
+
+import numpy as np
+import pytest
+
+from repro.sim import HPC_COUNTERS, ActivityTrace, CpuConfig, HpcSimulator
+
+
+def _activity(n=100, *, util=0.8, ws=512.0, be=0.3, io=0.1, mix=(0.5, 0.2, 0.2, 0.1)):
+    return ActivityTrace(
+        cpu_demand=np.full(n, util),
+        gpu_demand=np.zeros(n),
+        instr_mix=np.tile(mix, (n, 1)),
+        working_set_kib=np.full(n, ws),
+        branch_entropy=np.full(n, be),
+        io_rate=np.full(n, io),
+        phase_id=np.zeros(n, dtype=int),
+        dt=0.05,
+        name="t",
+    )
+
+
+class TestConfigValidation:
+    def test_cache_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            CpuConfig(l1d_size_kib=1024.0, l2_size_kib=512.0)
+
+    def test_positive_frequency(self):
+        with pytest.raises(ValueError):
+            CpuConfig(freq_ghz=0.0)
+
+
+class TestHpcSimulator:
+    def test_output_shape_and_names(self):
+        sim = HpcSimulator(random_state=0)
+        trace = sim.run(_activity(200))
+        assert trace.counters.shape == (100, len(HPC_COUNTERS))  # dt ratio 2
+        assert trace.counter_names == HPC_COUNTERS
+
+    def test_counters_nonnegative_finite(self):
+        trace = HpcSimulator(random_state=1).run(_activity(300))
+        assert np.all(trace.counters >= 0)
+        assert np.all(np.isfinite(trace.counters))
+
+    def test_instructions_below_cycles_times_width(self):
+        trace = HpcSimulator(random_state=2).run(_activity(200))
+        # base CPI 0.45 => IPC <= ~2.2 before noise; noise is bounded.
+        ipc = trace.column("instructions") / np.maximum(trace.column("cycles"), 1)
+        assert ipc.mean() < 4.0
+
+    def test_higher_util_more_cycles(self):
+        lo = HpcSimulator(random_state=3).run(_activity(200, util=0.2))
+        hi = HpcSimulator(random_state=3).run(_activity(200, util=0.9))
+        assert hi.column("cycles").mean() > lo.column("cycles").mean()
+
+    def test_bigger_working_set_more_cache_misses(self):
+        small = HpcSimulator(random_state=4).run(_activity(200, ws=64.0))
+        large = HpcSimulator(random_state=4).run(_activity(200, ws=65536.0))
+        small_mpki = small.column("llc_misses") / small.column("instructions")
+        large_mpki = large.column("llc_misses") / large.column("instructions")
+        assert large_mpki.mean() > small_mpki.mean() * 5
+
+    def test_branch_entropy_drives_mispredictions(self):
+        predictable = HpcSimulator(random_state=5).run(_activity(200, be=0.05))
+        random_branches = HpcSimulator(random_state=5).run(_activity(200, be=0.9))
+        rate_p = predictable.column("branch_misses") / predictable.column(
+            "branch_instructions"
+        )
+        rate_r = random_branches.column("branch_misses") / random_branches.column(
+            "branch_instructions"
+        )
+        assert rate_r.mean() > rate_p.mean() * 3
+
+    def test_io_drives_os_events(self):
+        quiet = HpcSimulator(random_state=6).run(_activity(200, io=0.02))
+        noisy = HpcSimulator(random_state=6).run(_activity(200, io=0.9))
+        assert noisy.column("page_faults").mean() > quiet.column("page_faults").mean()
+        assert (
+            noisy.column("context_switches").mean()
+            > quiet.column("context_switches").mean()
+        )
+
+    def test_memory_mix_drives_cache_accesses(self):
+        compute = HpcSimulator(random_state=7).run(
+            _activity(200, mix=(0.85, 0.05, 0.05, 0.05))
+        )
+        memory = HpcSimulator(random_state=7).run(
+            _activity(200, mix=(0.2, 0.1, 0.5, 0.2))
+        )
+        compute_rate = compute.column("l1d_accesses") / compute.column("instructions")
+        memory_rate = memory.column("l1d_accesses") / memory.column("instructions")
+        assert memory_rate.mean() > compute_rate.mean() * 2
+
+    def test_stall_decomposition_bounded(self):
+        trace = HpcSimulator(random_state=8).run(_activity(300, ws=32768.0, be=0.8))
+        total_stalls = trace.column("stalled_cycles_frontend") + trace.column(
+            "stalled_cycles_backend"
+        )
+        assert np.all(total_stalls <= 1.9 * trace.column("cycles"))
+
+    def test_deterministic_given_seed(self):
+        a = HpcSimulator(random_state=9).run(_activity(100))
+        b = HpcSimulator(random_state=9).run(_activity(100))
+        np.testing.assert_array_equal(a.counters, b.counters)
+
+    def test_interval_rounding_exact(self):
+        # Regression: float truncation used to drop the last interval.
+        for n_steps in (374, 400, 1000):
+            trace = HpcSimulator(random_state=10).run(_activity(n_steps))
+            assert trace.n_intervals == round(n_steps * 0.05 / 0.1)
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            HpcSimulator(dt=0.0)

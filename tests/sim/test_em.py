@@ -1,0 +1,100 @@
+"""Tests for the EM side-channel substrate."""
+
+import numpy as np
+import pytest
+
+from repro.hmd.apps import DVFS_KNOWN_BENIGN, DVFS_KNOWN_MALWARE
+from repro.sim import EmConfig, EmFeatureExtractor, EmSimulator, WorkloadGenerator
+from repro.sim.em import EmSpectrum
+
+
+def _activity(spec, n=256, seed=0):
+    return WorkloadGenerator(random_state=seed).generate(spec, n)
+
+
+class TestEmConfig:
+    def test_carrier_bounds(self):
+        with pytest.raises(ValueError):
+            EmConfig(carrier_freq=0.6)
+        with pytest.raises(ValueError):
+            EmConfig(carrier_freq=0.0)
+
+    def test_harmonics_must_fit(self):
+        with pytest.raises(ValueError):
+            EmConfig(carrier_freq=0.4, n_harmonics=3)
+
+    def test_min_bins(self):
+        with pytest.raises(ValueError):
+            EmConfig(spectrum_bins=8)
+
+
+class TestEmSimulator:
+    def test_spectrum_shape(self):
+        sim = EmSimulator(random_state=0)
+        spectrum = sim.run(_activity(DVFS_KNOWN_BENIGN[0]))
+        assert spectrum.n_bins == sim.config.spectrum_bins
+        assert np.all(np.isfinite(spectrum.power_db))
+
+    def test_carrier_peaks_visible(self):
+        config = EmConfig(measurement_noise_db=0.0)
+        sim = EmSimulator(config, random_state=0)
+        spectrum = sim.run(_activity(DVFS_KNOWN_MALWARE[1]))  # cryptominer
+        n = spectrum.n_bins
+        carrier_idx = int(round(config.carrier_freq * n))
+        # The fundamental stands well above the local floor.
+        floor = np.median(spectrum.power_db)
+        assert spectrum.power_db[carrier_idx] > floor + 10.0
+
+    def test_activity_scales_carrier(self):
+        config = EmConfig(measurement_noise_db=0.0)
+        idle = _activity(DVFS_KNOWN_MALWARE[6], seed=1)     # keylogger (quiet)
+        busy = _activity(DVFS_KNOWN_MALWARE[1], seed=1)     # cryptominer (busy)
+        sim_idle = EmSimulator(config, random_state=2).run(idle)
+        sim_busy = EmSimulator(config, random_state=2).run(busy)
+        idx = int(round(config.carrier_freq * config.spectrum_bins))
+        assert sim_busy.power_db[idx] > sim_idle.power_db[idx]
+
+    def test_deterministic_given_seed(self):
+        activity = _activity(DVFS_KNOWN_BENIGN[0], seed=3)
+        a = EmSimulator(random_state=5).run(activity)
+        b = EmSimulator(random_state=5).run(activity)
+        np.testing.assert_array_equal(a.power_db, b.power_db)
+
+    def test_spectrum_validation(self):
+        with pytest.raises(ValueError):
+            EmSpectrum(power_db=np.zeros(4), frequencies=np.zeros(5))
+
+
+class TestEmFeatureExtractor:
+    def test_names_match_vector(self):
+        extractor = EmFeatureExtractor()
+        spectrum = EmSimulator(random_state=0).run(_activity(DVFS_KNOWN_BENIGN[0]))
+        assert len(extractor.extract(spectrum)) == len(extractor.feature_names())
+
+    def test_features_finite(self):
+        extractor = EmFeatureExtractor()
+        spectrum = EmSimulator(random_state=1).run(_activity(DVFS_KNOWN_MALWARE[0]))
+        assert np.all(np.isfinite(extractor.extract(spectrum)))
+
+    def test_flatness_in_unit_interval(self):
+        extractor = EmFeatureExtractor()
+        spectrum = EmSimulator(random_state=2).run(_activity(DVFS_KNOWN_BENIGN[2]))
+        names = extractor.feature_names()
+        value = extractor.extract(spectrum)[names.index("spectral_flatness")]
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_extract_windows(self):
+        extractor = EmFeatureExtractor()
+        sim = EmSimulator(random_state=3)
+        activity = _activity(DVFS_KNOWN_BENIGN[0], n=512, seed=4)
+        X = extractor.extract_windows(activity, 128, simulator=sim)
+        assert X.shape == (4, len(extractor.feature_names()))
+
+    def test_extract_windows_validation(self):
+        extractor = EmFeatureExtractor()
+        sim = EmSimulator(random_state=5)
+        activity = _activity(DVFS_KNOWN_BENIGN[0], n=64, seed=6)
+        with pytest.raises(ValueError):
+            extractor.extract_windows(activity, 4, simulator=sim)
+        with pytest.raises(ValueError):
+            extractor.extract_windows(activity, 128, simulator=sim)

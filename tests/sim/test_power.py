@@ -1,0 +1,175 @@
+"""Tests for the DVFS governor / SoC power simulator."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    DEFAULT_SOC,
+    ActivityTrace,
+    ConservativeGovernor,
+    DvfsChannelConfig,
+    OndemandGovernor,
+    PerformanceGovernor,
+    SocConfig,
+    SocSimulator,
+)
+
+
+def _activity(cpu, gpu=None, io=None, n=None, dt=0.05):
+    cpu = np.asarray(cpu, dtype=float)
+    n = len(cpu) if n is None else n
+    return ActivityTrace(
+        cpu_demand=cpu,
+        gpu_demand=np.zeros(n) if gpu is None else np.asarray(gpu, dtype=float),
+        instr_mix=np.tile([0.5, 0.2, 0.2, 0.1], (n, 1)),
+        working_set_kib=np.full(n, 512.0),
+        branch_entropy=np.full(n, 0.3),
+        io_rate=np.zeros(n) if io is None else np.asarray(io, dtype=float),
+        phase_id=np.zeros(n, dtype=int),
+        dt=dt,
+        name="t",
+    )
+
+
+_CHANNEL = DvfsChannelConfig(
+    name="cpu_big",
+    frequencies_mhz=(100, 200, 400, 800),
+    voltages_v=(0.5, 0.6, 0.7, 0.9),
+    demand_share=1.0,
+)
+
+
+class TestChannelConfig:
+    def test_frequency_table_must_ascend(self):
+        with pytest.raises(ValueError, match="ascending"):
+            DvfsChannelConfig("x", (200, 100), (0.5, 0.6), 0.5)
+
+    def test_voltage_length_checked(self):
+        with pytest.raises(ValueError):
+            DvfsChannelConfig("x", (100, 200), (0.5,), 0.5)
+
+    def test_needs_two_states(self):
+        with pytest.raises(ValueError):
+            DvfsChannelConfig("x", (100,), (0.5,), 0.5)
+
+    def test_demand_share_range(self):
+        with pytest.raises(ValueError):
+            DvfsChannelConfig("x", (100, 200), (0.5, 0.6), 1.5)
+
+
+class TestOndemandGovernor:
+    def test_high_util_jumps_to_max(self):
+        gov = OndemandGovernor(up_threshold=0.8)
+        assert gov.next_state(0, 0.95, _CHANNEL) == _CHANNEL.n_states - 1
+
+    def test_low_util_steps_down_one(self):
+        gov = OndemandGovernor()
+        # From the top state with near-zero utilisation: hysteresis
+        # limits the step-down to one state per decision.
+        assert gov.next_state(3, 0.01, _CHANNEL) == 2
+
+    def test_medium_util_picks_adequate_state(self):
+        gov = OndemandGovernor(up_threshold=0.8, down_differential=0.1)
+        # utilization 0.5 at state 1 (200 MHz) => demand 100 MHz;
+        # target capacity 100/0.7 ≈ 143 => state 1 (200 MHz).
+        assert gov.next_state(1, 0.5, _CHANNEL) == 1
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            OndemandGovernor(up_threshold=1.5)
+        with pytest.raises(ValueError):
+            OndemandGovernor(up_threshold=0.5, down_differential=0.6)
+
+
+class TestConservativeGovernor:
+    def test_steps_up_one(self):
+        gov = ConservativeGovernor()
+        assert gov.next_state(1, 0.9, _CHANNEL) == 2
+
+    def test_steps_down_one(self):
+        gov = ConservativeGovernor()
+        assert gov.next_state(2, 0.1, _CHANNEL) == 1
+
+    def test_holds_in_band(self):
+        gov = ConservativeGovernor(up_threshold=0.75, down_threshold=0.35)
+        assert gov.next_state(2, 0.5, _CHANNEL) == 2
+
+    def test_clamps_at_bounds(self):
+        gov = ConservativeGovernor()
+        assert gov.next_state(3, 0.99, _CHANNEL) == 3
+        assert gov.next_state(0, 0.0, _CHANNEL) == 0
+
+
+class TestPerformanceGovernor:
+    def test_always_max(self):
+        gov = PerformanceGovernor()
+        for state in range(4):
+            assert gov.next_state(state, 0.0, _CHANNEL) == 3
+
+
+class TestSocSimulator:
+    def test_output_shapes(self):
+        sim = SocSimulator(random_state=0)
+        trace = sim.run(_activity(np.full(100, 0.5)))
+        assert trace.states.shape == (100, len(DEFAULT_SOC.channels))
+        assert trace.temperature_c.shape == (100,)
+
+    def test_states_within_tables(self):
+        sim = SocSimulator(random_state=1)
+        trace = sim.run(_activity(np.random.default_rng(0).random(300)))
+        for c in range(trace.n_channels):
+            assert trace.states[:, c].min() >= 0
+            assert trace.states[:, c].max() < trace.n_states(c)
+
+    def test_idle_stays_low_busy_goes_high(self):
+        sim = SocSimulator(random_state=2)
+        idle = sim.run(_activity(np.full(200, 0.02)))
+        busy = SocSimulator(random_state=2).run(_activity(np.full(200, 0.97)))
+        assert idle.states[:, 0].mean() < busy.states[:, 0].mean()
+        # Sustained high demand pins the big cluster near the top state.
+        assert busy.states[50:, 0].mean() > busy.n_states(0) - 2
+
+    def test_gpu_channel_follows_gpu_demand(self):
+        sim = SocSimulator(random_state=3)
+        no_gpu = sim.run(_activity(np.full(200, 0.3)))
+        with_gpu = SocSimulator(random_state=3).run(
+            _activity(np.full(200, 0.3), gpu=np.full(200, 0.8))
+        )
+        gpu_idx = list(no_gpu.channel_names).index("gpu")
+        assert with_gpu.states[:, gpu_idx].mean() > no_gpu.states[:, gpu_idx].mean() + 1.0
+
+    def test_io_loads_little_cluster(self):
+        sim = SocSimulator(random_state=4)
+        quiet = sim.run(_activity(np.full(300, 0.1)))
+        io_heavy = SocSimulator(random_state=4).run(
+            _activity(np.full(300, 0.1), io=np.full(300, 0.9))
+        )
+        little = list(quiet.channel_names).index("cpu_little")
+        assert io_heavy.states[:, little].mean() > quiet.states[:, little].mean()
+
+    def test_temperature_rises_under_load(self):
+        sim = SocSimulator(random_state=5)
+        trace = sim.run(_activity(np.full(400, 0.95)))
+        assert trace.temperature_c[-1] > trace.temperature_c[0]
+
+    def test_thermal_throttling_caps_states(self):
+        config = SocConfig(
+            channels=DEFAULT_SOC.channels,
+            throttle_temp_c=31.0,  # throttle almost immediately
+            throttle_cap_states=3,
+        )
+        sim = SocSimulator(config, random_state=6)
+        trace = sim.run(_activity(np.full(500, 1.0)))
+        cap = trace.n_states(0) - 1 - 3
+        assert trace.states[100:, 0].max() <= cap
+
+    def test_deterministic_given_seed(self):
+        a = SocSimulator(random_state=7).run(_activity(np.full(100, 0.5)))
+        b = SocSimulator(random_state=7).run(_activity(np.full(100, 0.5)))
+        np.testing.assert_array_equal(a.states, b.states)
+
+    def test_custom_governor_used(self):
+        sim = SocSimulator(governor=PerformanceGovernor(), random_state=8)
+        trace = sim.run(_activity(np.full(50, 0.01)))
+        # Performance governor pins max states regardless of demand.
+        assert trace.states[:, 0].min() == trace.n_states(0) - 1

@@ -1,0 +1,98 @@
+"""Property-based tests for the hardware substrates."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    ActivityTrace,
+    ConservativeGovernor,
+    DvfsChannelConfig,
+    HpcSimulator,
+    OndemandGovernor,
+    SocSimulator,
+    WorkloadGenerator,
+    WorkloadPhase,
+    WorkloadSpec,
+)
+
+_CHANNEL = DvfsChannelConfig(
+    name="cpu_big",
+    frequencies_mhz=(100, 250, 500, 1000, 2000),
+    voltages_v=(0.5, 0.6, 0.7, 0.8, 1.0),
+    demand_share=1.0,
+)
+
+
+class TestGovernorProperties:
+    @given(
+        state=st.integers(0, 4),
+        utilization=st.floats(0.0, 1.0, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_ondemand_state_always_valid(self, state, utilization):
+        gov = OndemandGovernor()
+        next_state = gov.next_state(state, utilization, _CHANNEL)
+        assert 0 <= next_state < _CHANNEL.n_states
+
+    @given(
+        state=st.integers(0, 4),
+        utilization=st.floats(0.0, 1.0, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_ondemand_never_drops_more_than_one(self, state, utilization):
+        gov = OndemandGovernor()
+        next_state = gov.next_state(state, utilization, _CHANNEL)
+        assert next_state >= state - 1
+
+    @given(
+        state=st.integers(0, 4),
+        utilization=st.floats(0.0, 1.0, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_conservative_moves_at_most_one(self, state, utilization):
+        gov = ConservativeGovernor()
+        next_state = gov.next_state(state, utilization, _CHANNEL)
+        assert abs(next_state - state) <= 1
+        assert 0 <= next_state < _CHANNEL.n_states
+
+
+@st.composite
+def workload_specs(draw):
+    """Random two-phase workload specs."""
+    cpu1 = draw(st.floats(0.0, 1.0, allow_nan=False))
+    cpu2 = draw(st.floats(0.0, 1.0, allow_nan=False))
+    duration = draw(st.integers(1, 50))
+    return WorkloadSpec(
+        name="prop",
+        label=draw(st.integers(0, 1)),
+        family="prop",
+        phases=(
+            WorkloadPhase("a", cpu_mean=cpu1, mean_duration_steps=duration),
+            WorkloadPhase("b", cpu_mean=cpu2, mean_duration_steps=duration),
+        ),
+    )
+
+
+class TestWorkloadProperties:
+    @given(spec=workload_specs(), n_steps=st.integers(1, 300), seed=st.integers(0, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_trace_invariants(self, spec, n_steps, seed):
+        trace = WorkloadGenerator(random_state=seed).generate(spec, n_steps)
+        assert trace.n_steps == n_steps
+        assert np.all((trace.cpu_demand >= 0) & (trace.cpu_demand <= 1))
+        assert np.all((trace.branch_entropy >= 0) & (trace.branch_entropy <= 1))
+        assert np.all(trace.working_set_kib > 0)
+        np.testing.assert_allclose(trace.instr_mix.sum(axis=1), 1.0, atol=1e-9)
+
+    @given(spec=workload_specs(), seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_simulators_accept_any_trace(self, spec, seed):
+        trace = WorkloadGenerator(random_state=seed).generate(spec, 60)
+        dvfs = SocSimulator(random_state=seed).run(trace)
+        assert dvfs.states.min() >= 0
+        for c in range(dvfs.n_channels):
+            assert dvfs.states[:, c].max() < dvfs.n_states(c)
+        hpc = HpcSimulator(random_state=seed).run(trace)
+        assert np.all(hpc.counters >= 0)
+        assert np.all(np.isfinite(hpc.counters))

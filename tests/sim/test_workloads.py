@@ -1,0 +1,195 @@
+"""Tests for workload archetypes and trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.sim import WorkloadGenerator, WorkloadPhase, WorkloadSpec
+
+
+def _spec(dwell_cv=None, jitter=0.05):
+    return WorkloadSpec(
+        name="toy",
+        label=0,
+        family="test",
+        phases=(
+            WorkloadPhase("low", cpu_mean=0.1, mean_duration_steps=10, dwell_cv=dwell_cv),
+            WorkloadPhase("high", cpu_mean=0.9, mean_duration_steps=10, dwell_cv=dwell_cv),
+        ),
+        transitions=((0.2, 0.8), (0.8, 0.2)),
+        app_jitter=jitter,
+    )
+
+
+class TestWorkloadPhaseValidation:
+    def test_cpu_mean_range(self):
+        with pytest.raises(ValueError):
+            WorkloadPhase("bad", cpu_mean=1.5)
+
+    def test_mix_length(self):
+        with pytest.raises(ValueError):
+            WorkloadPhase("bad", cpu_mean=0.5, mix=(1.0, 0.0))
+
+    def test_mix_nonnegative(self):
+        with pytest.raises(ValueError):
+            WorkloadPhase("bad", cpu_mean=0.5, mix=(-0.1, 0.5, 0.4, 0.2))
+
+    def test_duration_positive(self):
+        with pytest.raises(ValueError):
+            WorkloadPhase("bad", cpu_mean=0.5, mean_duration_steps=0)
+
+
+class TestWorkloadSpecValidation:
+    def test_label_checked(self):
+        with pytest.raises(ValueError, match="label"):
+            WorkloadSpec("x", 2, "f", (WorkloadPhase("p", cpu_mean=0.5),))
+
+    def test_needs_phases(self):
+        with pytest.raises(ValueError, match="phase"):
+            WorkloadSpec("x", 0, "f", ())
+
+    def test_transition_shape_checked(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                "x", 0, "f",
+                (WorkloadPhase("a", cpu_mean=0.5), WorkloadPhase("b", cpu_mean=0.5)),
+                transitions=((1.0,),),
+            )
+
+    def test_transition_rows_stochastic(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                "x", 0, "f",
+                (WorkloadPhase("a", cpu_mean=0.5), WorkloadPhase("b", cpu_mean=0.5)),
+                transitions=((0.5, 0.4), (0.5, 0.5)),
+            )
+
+    def test_default_transitions_uniform(self):
+        spec = WorkloadSpec(
+            "x", 0, "f",
+            (WorkloadPhase("a", cpu_mean=0.5), WorkloadPhase("b", cpu_mean=0.5)),
+        )
+        np.testing.assert_allclose(spec.transition_matrix(), 0.5)
+
+
+class TestGeneration:
+    def test_trace_length_and_bounds(self):
+        gen = WorkloadGenerator(random_state=0)
+        trace = gen.generate(_spec(), 200)
+        assert trace.n_steps == 200
+        assert np.all((trace.cpu_demand >= 0) & (trace.cpu_demand <= 1))
+        assert np.all((trace.gpu_demand >= 0) & (trace.gpu_demand <= 1))
+        assert np.all((trace.io_rate >= 0) & (trace.io_rate <= 1))
+        assert np.all(trace.working_set_kib > 0)
+
+    def test_mix_rows_sum_to_one(self):
+        trace = WorkloadGenerator(random_state=1).generate(_spec(), 100)
+        np.testing.assert_allclose(trace.instr_mix.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_phase_ids_valid(self):
+        trace = WorkloadGenerator(random_state=2).generate(_spec(), 150)
+        assert set(np.unique(trace.phase_id)) <= {0, 1}
+
+    def test_both_phases_visited_eventually(self):
+        trace = WorkloadGenerator(random_state=3).generate(_spec(), 500)
+        assert len(np.unique(trace.phase_id)) == 2
+
+    def test_phase_means_respected(self):
+        trace = WorkloadGenerator(random_state=4).generate(_spec(jitter=0.001), 3000)
+        low = trace.cpu_demand[trace.phase_id == 0]
+        high = trace.cpu_demand[trace.phase_id == 1]
+        assert abs(low.mean() - 0.1) < 0.05
+        assert abs(high.mean() - 0.9) < 0.05
+
+    def test_deterministic_with_seed(self):
+        a = WorkloadGenerator(random_state=5).generate(_spec(), 100)
+        b = WorkloadGenerator(random_state=5).generate(_spec(), 100)
+        np.testing.assert_array_equal(a.cpu_demand, b.cpu_demand)
+
+    def test_session_personality_differs_between_windows(self):
+        gen = WorkloadGenerator(random_state=6)
+        w1 = gen.generate(_spec(jitter=0.2), 200)
+        w2 = gen.generate(_spec(jitter=0.2), 200)
+        assert abs(w1.cpu_demand.mean() - w2.cpu_demand.mean()) > 1e-3
+
+    def test_low_dwell_cv_gives_regular_cadence(self):
+        # Timer-driven (dwell_cv small) phases produce much more regular
+        # run lengths than geometric dwells.
+        def run_length_cv(trace):
+            changes = np.flatnonzero(np.diff(trace.phase_id) != 0)
+            bounds = np.concatenate([[-1], changes, [trace.n_steps - 1]])
+            runs = np.diff(bounds)
+            return runs.std() / runs.mean()
+
+        regular = WorkloadGenerator(random_state=7).generate(_spec(dwell_cv=0.05), 2000)
+        geometric = WorkloadGenerator(random_state=7).generate(_spec(), 2000)
+        assert run_length_cv(regular) < run_length_cv(geometric)
+
+    def test_generate_windows_count(self):
+        gen = WorkloadGenerator(random_state=8)
+        windows = gen.generate_windows(_spec(), 5, 50)
+        assert len(windows) == 5
+        assert all(w.n_steps == 50 for w in windows)
+
+    def test_invalid_args(self):
+        gen = WorkloadGenerator(random_state=9)
+        with pytest.raises(ValueError):
+            gen.generate(_spec(), 0)
+        with pytest.raises(ValueError):
+            gen.generate_windows(_spec(), 0, 10)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(dt=-1.0)
+
+
+class TestBlendSpecs:
+    def _sources(self):
+        from repro.hmd.apps import DVFS_KNOWN_BENIGN, DVFS_KNOWN_MALWARE
+
+        return DVFS_KNOWN_MALWARE[0], DVFS_KNOWN_BENIGN[0]
+
+    def test_blended_spec_valid(self):
+        from repro.sim import blend_specs
+
+        malware, benign = self._sources()
+        blended = blend_specs(malware, benign, 0.5)
+        assert blended.label == 1
+        assert len(blended.phases) == len(malware.phases) + len(benign.phases)
+        np.testing.assert_allclose(blended.transition_matrix().sum(axis=1), 1.0)
+
+    def test_stealth_controls_benign_residency(self):
+        from repro.sim import blend_specs
+
+        malware, benign = self._sources()
+        n_mal = len(malware.phases)
+
+        def benign_fraction(stealth, seed=0):
+            spec = blend_specs(malware, benign, stealth)
+            trace = WorkloadGenerator(random_state=seed).generate(spec, 4000)
+            return float(np.mean(trace.phase_id >= n_mal))
+
+        low = benign_fraction(0.2)
+        high = benign_fraction(0.8)
+        assert high > low + 0.3
+
+    def test_zero_stealth_is_malware_like(self):
+        from repro.sim import blend_specs
+
+        malware, benign = self._sources()
+        blended = blend_specs(malware, benign, 0.0)
+        trace = WorkloadGenerator(random_state=1).generate(blended, 2000)
+        # Starting phase may be benign, but residency stays malware-side.
+        assert float(np.mean(trace.phase_id < len(malware.phases))) > 0.9
+
+    def test_validation(self):
+        from repro.sim import blend_specs
+
+        malware, benign = self._sources()
+        with pytest.raises(ValueError):
+            blend_specs(benign, malware, 0.5)  # labels swapped
+        with pytest.raises(ValueError):
+            blend_specs(malware, benign, 1.0)
+
+    def test_custom_name(self):
+        from repro.sim import blend_specs
+
+        malware, benign = self._sources()
+        assert blend_specs(malware, benign, 0.5, name="evil").name == "evil"

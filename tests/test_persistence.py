@@ -1,0 +1,96 @@
+"""Pickle round-trip tests for deployment persistence.
+
+A deployed HMD must survive serialisation: the operator trains once,
+ships the model to devices, and loads it there.  Every public estimator
+(and the full TrustedHMD pipeline) must pickle and produce identical
+predictions after loading.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    PCA,
+    AdaBoostClassifier,
+    BaggingClassifier,
+    DecisionTreeClassifier,
+    ExtraTreesClassifier,
+    GaussianNB,
+    KMeans,
+    KNeighborsClassifier,
+    LinearSVC,
+    LogisticRegression,
+    Pipeline,
+    RandomForestClassifier,
+    SVC,
+    StandardScaler,
+)
+from repro.uncertainty import TrustedHMD
+from tests.conftest import make_blobs
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_blobs(n_per_class=80, seed=90)
+
+
+ESTIMATORS = [
+    DecisionTreeClassifier(max_depth=4, random_state=0),
+    RandomForestClassifier(n_estimators=8, random_state=0),
+    ExtraTreesClassifier(n_estimators=6, random_state=0),
+    BaggingClassifier(n_estimators=5, random_state=0),
+    AdaBoostClassifier(n_estimators=6, random_state=0),
+    LogisticRegression(),
+    LinearSVC(),
+    SVC(max_iter=30, random_state=0),
+    GaussianNB(),
+    KNeighborsClassifier(n_neighbors=3),
+]
+
+
+@pytest.mark.parametrize(
+    "estimator", ESTIMATORS, ids=[type(e).__name__ for e in ESTIMATORS]
+)
+def test_classifier_pickle_roundtrip(estimator, data):
+    X, y = data
+    estimator.fit(X, y)
+    loaded = pickle.loads(pickle.dumps(estimator))
+    np.testing.assert_array_equal(loaded.predict(X), estimator.predict(X))
+
+
+def test_transformer_pickle_roundtrip(data):
+    X, _ = data
+    for transformer in (StandardScaler().fit(X), PCA(n_components=2).fit(X)):
+        loaded = pickle.loads(pickle.dumps(transformer))
+        np.testing.assert_allclose(loaded.transform(X), transformer.transform(X))
+
+
+def test_kmeans_pickle_roundtrip(data):
+    X, _ = data
+    km = KMeans(n_clusters=2, random_state=0).fit(X)
+    loaded = pickle.loads(pickle.dumps(km))
+    np.testing.assert_array_equal(loaded.predict(X), km.predict(X))
+
+
+def test_pipeline_pickle_roundtrip(data):
+    X, y = data
+    pipe = Pipeline(
+        [("scale", StandardScaler()), ("clf", LogisticRegression())]
+    ).fit(X, y)
+    loaded = pickle.loads(pickle.dumps(pipe))
+    np.testing.assert_array_equal(loaded.predict(X), pipe.predict(X))
+
+
+def test_trusted_hmd_pickle_roundtrip(data):
+    X, y = data
+    hmd = TrustedHMD(
+        RandomForestClassifier(n_estimators=10, random_state=0), threshold=0.4
+    ).fit(X, y)
+    loaded = pickle.loads(pickle.dumps(hmd))
+    original = hmd.analyze(X)
+    restored = loaded.analyze(X)
+    np.testing.assert_array_equal(restored.predictions, original.predictions)
+    np.testing.assert_allclose(restored.entropy, original.entropy)
+    np.testing.assert_array_equal(restored.accepted, original.accepted)

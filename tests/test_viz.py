@@ -1,0 +1,92 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import ascii_boxplot, ascii_histogram, ascii_line_chart
+
+
+class TestAsciiBoxplot:
+    def test_renders_all_groups(self):
+        rng = np.random.default_rng(0)
+        text = ascii_boxplot(
+            {"known": rng.random(50) * 0.2, "unknown": 0.5 + rng.random(50) * 0.4}
+        )
+        assert "known" in text and "unknown" in text
+
+    def test_median_marker_present(self):
+        text = ascii_boxplot({"g": np.array([0.0, 0.5, 1.0])})
+        assert ":" in text
+
+    def test_shifted_groups_render_apart(self):
+        text = ascii_boxplot(
+            {"lo": np.full(20, 0.1), "hi": np.full(20, 0.9)}, width=40
+        )
+        lines = text.splitlines()
+        lo_col = lines[0].index(":")
+        hi_col = lines[1].index(":")
+        assert hi_col > lo_col + 10
+
+    def test_shared_axis_limits(self):
+        text = ascii_boxplot({"g": np.array([0.2, 0.4])}, lo=0.0, hi=1.0)
+        assert "0.000" in text and "1.000" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_boxplot({})
+        with pytest.raises(ValueError):
+            ascii_boxplot({"g": np.array([])})
+        with pytest.raises(ValueError):
+            ascii_boxplot({"g": np.array([1.0])}, width=5)
+
+
+class TestAsciiLineChart:
+    def test_marker_per_series(self):
+        x = np.arange(10.0)
+        text = ascii_line_chart({"a": (x, x), "b": (x, x[::-1])})
+        assert "*=a" in text and "+=b" in text
+        assert "*" in text and "+" in text
+
+    def test_axis_labels(self):
+        x = np.linspace(0, 5, 20)
+        text = ascii_line_chart({"s": (x, np.sin(x))})
+        assert "0.000" in text and "5.000" in text
+
+    def test_monotone_series_renders_diagonal(self):
+        x = np.arange(8.0)
+        text = ascii_line_chart({"up": (x, x)}, width=24, height=8)
+        lines = text.splitlines()
+        first_marker_cols = [
+            line.find("*") for line in lines if "*" in line and "=" not in line
+        ]
+        # Higher rows (earlier lines) hold larger y -> larger x columns.
+        assert first_marker_cols == sorted(first_marker_cols, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({})
+        with pytest.raises(ValueError):
+            ascii_line_chart({"a": (np.arange(3.0), np.arange(2.0))})
+        with pytest.raises(ValueError):
+            ascii_line_chart({"a": (np.arange(3.0), np.arange(3.0))}, width=4)
+
+
+class TestAsciiHistogram:
+    def test_counts_reported(self):
+        text = ascii_histogram(np.zeros(10), n_bins=2)
+        assert "10" in text
+
+    def test_peak_bar_full_width(self):
+        rng = np.random.default_rng(1)
+        text = ascii_histogram(rng.normal(size=500), n_bins=8, width=30)
+        assert "#" * 30 in text
+
+    def test_label_included(self):
+        text = ascii_histogram(np.arange(10.0), label="entropies")
+        assert text.startswith("entropies")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_histogram(np.array([]))
+        with pytest.raises(ValueError):
+            ascii_histogram(np.arange(5.0), n_bins=1)

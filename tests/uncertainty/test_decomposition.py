@@ -1,0 +1,82 @@
+"""Tests for aleatoric/epistemic uncertainty decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.ml import BaggingClassifier, LinearSVC, LogisticRegression, RandomForestClassifier
+from repro.uncertainty import decompose_uncertainty, member_probabilities
+from tests.conftest import make_blobs
+
+
+class TestMemberProbabilities:
+    def test_shape(self):
+        X, y = make_blobs(n_per_class=50, seed=50)
+        rf = RandomForestClassifier(n_estimators=8, random_state=0).fit(X, y)
+        probs = member_probabilities(rf, X[:10])
+        assert probs.shape == (8, 10, 2)
+        np.testing.assert_allclose(probs.sum(axis=2), 1.0)
+
+    def test_hard_members_give_onehot(self):
+        X, y = make_blobs(n_per_class=50, seed=51)
+        bag = BaggingClassifier(LinearSVC(), n_estimators=4, random_state=0).fit(X, y)
+        probs = member_probabilities(bag, X[:6])
+        assert set(np.unique(probs)) <= {0.0, 1.0}
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ValueError):
+            member_probabilities(RandomForestClassifier(), np.zeros((2, 2)))
+
+    def test_feature_subsampled_bagging(self):
+        X, y = make_blobs(n_per_class=60, n_features=8, seed=52)
+        bag = BaggingClassifier(
+            LogisticRegression(), n_estimators=5, max_features=0.5, random_state=0
+        ).fit(X, y)
+        probs = member_probabilities(bag, X[:4])
+        assert probs.shape == (5, 4, 2)
+
+
+class TestDecomposition:
+    def test_total_equals_aleatoric_plus_epistemic(self):
+        X, y = make_blobs(n_per_class=80, seed=53)
+        rf = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        dec = decompose_uncertainty(rf, X[:30])
+        np.testing.assert_allclose(
+            dec.total, dec.aleatoric + dec.epistemic, atol=1e-9
+        )
+
+    def test_all_components_nonnegative(self):
+        X, y = make_blobs(n_per_class=80, separation=0.8, seed=54)
+        rf = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        dec = decompose_uncertainty(rf, X)
+        assert np.all(dec.total >= 0)
+        assert np.all(dec.aleatoric >= 0)
+        assert np.all(dec.epistemic >= 0)
+
+    def test_ood_is_epistemic_dominated(self):
+        X, y = make_blobs(n_per_class=100, separation=6.0, seed=55)
+        rf = RandomForestClassifier(
+            n_estimators=20, min_samples_leaf=2, random_state=0
+        ).fit(X, y)
+        rng = np.random.default_rng(0)
+        # OOD samples orthogonal to the blob axis.
+        X_ood = rng.normal(size=(40, X.shape[1])) * 0.3
+        X_ood[:, -1] += 25.0
+        dec_ood = decompose_uncertainty(rf, X_ood)
+        dec_in = decompose_uncertainty(rf, X)
+        assert dec_ood.epistemic.mean() > dec_in.epistemic.mean()
+
+    def test_overlap_is_aleatoric_dominated(self):
+        X, y = make_blobs(n_per_class=300, separation=0.3, seed=56)
+        rf = RandomForestClassifier(
+            n_estimators=15, min_samples_leaf=20, random_state=0
+        ).fit(X, y)
+        dec = decompose_uncertainty(rf, X)
+        assert dec.aleatoric.mean() > dec.epistemic.mean()
+
+    def test_dominant_source_labels(self):
+        X, y = make_blobs(n_per_class=60, seed=57)
+        rf = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        dec = decompose_uncertainty(rf, X[:10])
+        labels = dec.dominant_source()
+        assert set(labels.tolist()) <= {"aleatoric", "epistemic"}
+        assert len(dec) == 10

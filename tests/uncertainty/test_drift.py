@@ -1,0 +1,118 @@
+"""Tests for dataset-shift detection on entropy streams."""
+
+import numpy as np
+import pytest
+
+from repro.uncertainty import EntropyDriftMonitor, PageHinkleyDetector
+
+
+class TestPageHinkley:
+    def test_stationary_stream_no_alarm(self):
+        rng = np.random.default_rng(0)
+        detector = PageHinkleyDetector(delta=0.05, threshold=3.0)
+        for value in rng.normal(0.1, 0.02, size=500):
+            assert not detector.update(value)
+
+    def test_step_change_detected(self):
+        rng = np.random.default_rng(1)
+        detector = PageHinkleyDetector(delta=0.02, threshold=1.0)
+        for value in rng.normal(0.1, 0.02, size=200):
+            detector.update(value)
+        fired = False
+        for value in rng.normal(0.8, 0.02, size=100):
+            if detector.update(value):
+                fired = True
+                break
+        assert fired
+
+    def test_reset_clears_state(self):
+        detector = PageHinkleyDetector(delta=0.0, threshold=0.5)
+        for value in (0.0, 0.0, 1.0, 1.0, 1.0):
+            detector.update(value)
+        detector.reset()
+        assert detector.statistic == 0.0
+        assert not detector.drift_detected
+
+    def test_statistic_nonnegative(self):
+        rng = np.random.default_rng(2)
+        detector = PageHinkleyDetector()
+        for value in rng.random(100):
+            detector.update(value)
+            assert detector.statistic >= 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PageHinkleyDetector(delta=-1.0)
+        with pytest.raises(ValueError):
+            PageHinkleyDetector(threshold=0.0)
+        with pytest.raises(ValueError):
+            PageHinkleyDetector(alpha=0.0)
+
+
+class TestEntropyDriftMonitor:
+    def _reference(self, seed=0):
+        return np.random.default_rng(seed).uniform(0.0, 0.15, size=200)
+
+    def test_stable_regime(self):
+        monitor = EntropyDriftMonitor(self._reference(), window=20)
+        state = monitor.observe(np.full(40, 0.08))
+        assert state.status == "stable"
+        assert not state.is_drifting
+
+    def test_warning_before_drift(self):
+        monitor = EntropyDriftMonitor(
+            self._reference(),
+            window=20,
+            detector=PageHinkleyDetector(delta=0.02, threshold=50.0),  # hard to trip
+        )
+        state = monitor.observe(np.full(20, 0.2))
+        assert state.status == "warning"
+
+    def test_sustained_shift_is_drift(self):
+        monitor = EntropyDriftMonitor(self._reference(), window=20)
+        state = monitor.observe(np.full(80, 0.9))
+        assert state.status == "drift"
+
+    def test_recent_mean_tracked(self):
+        monitor = EntropyDriftMonitor(self._reference(), window=10)
+        state = monitor.observe(np.full(10, 0.5))
+        assert state.recent_mean == pytest.approx(0.5)
+
+    def test_reset(self):
+        monitor = EntropyDriftMonitor(self._reference(), window=10)
+        monitor.observe(np.full(50, 0.9))
+        monitor.reset()
+        assert monitor.n_observed == 0
+        state = monitor.observe(np.full(5, 0.05))
+        assert state.status == "stable"
+
+    def test_scalar_observation(self):
+        monitor = EntropyDriftMonitor(self._reference(), window=5)
+        state = monitor.observe(0.05)
+        assert monitor.n_observed == 1
+        assert state.status == "stable"
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            EntropyDriftMonitor([0.1, 0.2])  # too few references
+        with pytest.raises(ValueError):
+            EntropyDriftMonitor(self._reference(), window=1)
+        with pytest.raises(ValueError):
+            EntropyDriftMonitor(self._reference(), warning_quantile=0.3)
+
+    def test_integration_with_hmd_entropies(self, dvfs_small):
+        from repro.ml import RandomForestClassifier
+        from repro.uncertainty import TrustedHMD
+
+        hmd = TrustedHMD(
+            RandomForestClassifier(n_estimators=20, random_state=0)
+        ).fit(dvfs_small.train.X, dvfs_small.train.y)
+        reference = hmd.predictive_entropy(dvfs_small.test.X)
+        monitor = EntropyDriftMonitor(reference, window=20)
+        # Known traffic: stable.
+        state = monitor.observe(reference)
+        assert state.status in ("stable", "warning")
+        # A flood of unknown-app signatures: drift.
+        unknown_entropy = hmd.predictive_entropy(dvfs_small.unknown.X)
+        state = monitor.observe(np.tile(unknown_entropy, 4))
+        assert state.status in ("warning", "drift")

@@ -1,0 +1,132 @@
+"""Tests for uncertainty measures (Eq. 4 and alternatives)."""
+
+import numpy as np
+import pytest
+
+from repro.uncertainty import (
+    shannon_entropy,
+    variation_ratio,
+    vote_entropy,
+    vote_margin,
+    votes_to_distribution,
+)
+
+
+class TestShannonEntropy:
+    def test_uniform_binary_is_one_bit(self):
+        assert shannon_entropy(np.array([0.5, 0.5])) == pytest.approx(1.0)
+
+    def test_certain_is_zero(self):
+        assert shannon_entropy(np.array([1.0, 0.0])) == pytest.approx(0.0)
+
+    def test_uniform_k_classes_is_log_k(self):
+        for k in (2, 3, 4, 8):
+            dist = np.full(k, 1.0 / k)
+            assert shannon_entropy(dist) == pytest.approx(np.log2(k))
+
+    def test_batch_shape(self):
+        dists = np.array([[0.5, 0.5], [1.0, 0.0], [0.25, 0.75]])
+        ent = shannon_entropy(dists)
+        assert ent.shape == (3,)
+        assert ent[0] == pytest.approx(1.0)
+        assert ent[1] == pytest.approx(0.0)
+
+    def test_natural_log_base(self):
+        ent = shannon_entropy(np.array([0.5, 0.5]), base=np.e)
+        assert ent == pytest.approx(np.log(2.0))
+
+    def test_hand_computed(self):
+        # H(0.9, 0.1) = 0.469 bits
+        assert shannon_entropy(np.array([0.9, 0.1])) == pytest.approx(0.469, abs=1e-3)
+
+    def test_not_a_distribution_raises(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            shannon_entropy(np.array([0.5, 0.3]))
+
+    def test_negative_probability_raises(self):
+        with pytest.raises(ValueError):
+            shannon_entropy(np.array([1.2, -0.2]))
+
+    def test_invalid_base_raises(self):
+        with pytest.raises(ValueError):
+            shannon_entropy(np.array([0.5, 0.5]), base=1.0)
+
+    def test_symmetric(self):
+        assert shannon_entropy(np.array([0.3, 0.7])) == pytest.approx(
+            shannon_entropy(np.array([0.7, 0.3]))
+        )
+
+
+class TestVotesToDistribution:
+    def test_unanimous(self):
+        votes = np.zeros((3, 10), dtype=int)
+        dist = votes_to_distribution(votes, np.array([0, 1]))
+        np.testing.assert_allclose(dist, [[1.0, 0.0]] * 3)
+
+    def test_split_votes(self):
+        votes = np.array([[0, 0, 1, 1]])
+        dist = votes_to_distribution(votes, np.array([0, 1]))
+        np.testing.assert_allclose(dist, [[0.5, 0.5]])
+
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        votes = rng.integers(0, 3, size=(20, 15))
+        dist = votes_to_distribution(votes, np.array([0, 1, 2]))
+        np.testing.assert_allclose(dist.sum(axis=1), 1.0)
+
+    def test_unknown_labels_raise(self):
+        votes = np.array([[0, 5]])
+        with pytest.raises(ValueError, match="outside"):
+            votes_to_distribution(votes, np.array([0, 1]))
+
+    def test_1d_votes_rejected(self):
+        with pytest.raises(ValueError):
+            votes_to_distribution(np.array([0, 1]), np.array([0, 1]))
+
+
+class TestVoteEntropy:
+    def test_max_disagreement(self):
+        votes = np.array([[0, 1] * 10])
+        assert vote_entropy(votes, np.array([0, 1]))[0] == pytest.approx(1.0)
+
+    def test_unanimity(self):
+        votes = np.ones((1, 20), dtype=int)
+        assert vote_entropy(votes, np.array([0, 1]))[0] == pytest.approx(0.0)
+
+    def test_monotone_in_disagreement(self):
+        classes = np.array([0, 1])
+        previous = -1.0
+        for n_dissent in range(0, 11):
+            votes = np.array([[1] * (20 - n_dissent) + [0] * n_dissent])
+            ent = vote_entropy(votes, classes)[0]
+            assert ent > previous
+            previous = ent
+
+
+class TestMarginAndVariationRatio:
+    def test_margin_unanimous_is_one(self):
+        votes = np.zeros((2, 8), dtype=int)
+        np.testing.assert_allclose(vote_margin(votes, np.array([0, 1])), 1.0)
+
+    def test_margin_split_is_zero(self):
+        votes = np.array([[0, 0, 1, 1]])
+        assert vote_margin(votes, np.array([0, 1]))[0] == pytest.approx(0.0)
+
+    def test_variation_ratio_unanimous_zero(self):
+        votes = np.ones((3, 9), dtype=int)
+        np.testing.assert_allclose(variation_ratio(votes, np.array([0, 1])), 0.0)
+
+    def test_variation_ratio_split_half(self):
+        votes = np.array([[0, 0, 1, 1]])
+        assert variation_ratio(votes, np.array([0, 1]))[0] == pytest.approx(0.5)
+
+    def test_all_measures_agree_on_ordering(self):
+        classes = np.array([0, 1])
+        confident = np.array([[1] * 19 + [0]])
+        uncertain = np.array([[1] * 11 + [0] * 9])
+        assert vote_entropy(confident, classes)[0] < vote_entropy(uncertain, classes)[0]
+        assert vote_margin(confident, classes)[0] > vote_margin(uncertain, classes)[0]
+        assert (
+            variation_ratio(confident, classes)[0]
+            < variation_ratio(uncertain, classes)[0]
+        )

@@ -1,0 +1,170 @@
+"""Tests for the online monitoring and retraining loop."""
+
+import numpy as np
+import pytest
+
+from repro.ml import RandomForestClassifier
+from repro.uncertainty import (
+    FlaggedSample,
+    ForensicQueue,
+    OnlineMonitor,
+    RetrainingLoop,
+    TrustedHMD,
+)
+from tests.conftest import make_blobs
+
+
+def _fitted_hmd(X, y, threshold=0.4):
+    return TrustedHMD(
+        RandomForestClassifier(n_estimators=20, random_state=0),
+        threshold=threshold,
+    ).fit(X, y)
+
+
+@pytest.fixture()
+def monitor_setup():
+    X, y = make_blobs(n_per_class=120, separation=4.0, seed=70)
+    hmd = _fitted_hmd(X, y)
+    return X, y, hmd
+
+
+class TestForensicQueue:
+    def _sample(self, entropy=0.9, step=0):
+        return FlaggedSample(
+            features=np.zeros(3), prediction=1, entropy=entropy, step=step
+        )
+
+    def test_push_and_len(self):
+        q = ForensicQueue()
+        q.push(self._sample())
+        assert len(q) == 1
+        assert q.total_flagged == 1
+
+    def test_bounded(self):
+        q = ForensicQueue(maxlen=3)
+        for i in range(5):
+            q.push(self._sample(step=i))
+        assert len(q) == 3
+        assert q.total_flagged == 5
+        assert q.drain()[0].step == 2  # oldest two dropped
+
+    def test_drain_partial(self):
+        q = ForensicQueue()
+        for i in range(4):
+            q.push(self._sample(step=i))
+        drained = q.drain(2)
+        assert [s.step for s in drained] == [0, 1]
+        assert len(q) == 2
+
+    def test_peek_entropies(self):
+        q = ForensicQueue()
+        q.push(self._sample(entropy=0.5))
+        q.push(self._sample(entropy=0.7))
+        np.testing.assert_allclose(q.peek_entropies(), [0.5, 0.7])
+        assert len(q) == 2  # peek does not remove
+
+    def test_invalid_maxlen(self):
+        with pytest.raises(ValueError):
+            ForensicQueue(maxlen=0)
+
+
+class TestOnlineMonitor:
+    def test_requires_fitted_hmd(self):
+        from repro.ml import RandomForestClassifier
+
+        with pytest.raises(ValueError):
+            OnlineMonitor(TrustedHMD(RandomForestClassifier(n_estimators=3)))
+
+    def test_stats_accumulate(self, monitor_setup):
+        X, y, hmd = monitor_setup
+        monitor = OnlineMonitor(hmd)
+        monitor.observe(X[:50])
+        assert monitor.stats.n_seen == 50
+        assert monitor.stats.n_accepted + monitor.stats.n_flagged == 50
+
+    def test_malware_alerts_counted(self, monitor_setup):
+        X, y, hmd = monitor_setup
+        monitor = OnlineMonitor(hmd)
+        malware = X[y == 1][:30]
+        monitor.observe(malware)
+        assert monitor.stats.n_malware_alerts > 20
+
+    def test_uncertain_inputs_fill_queue(self, monitor_setup):
+        X, y, hmd = monitor_setup
+        monitor = OnlineMonitor(hmd)
+        contested = np.zeros((30, X.shape[1]))  # saddle between classes
+        monitor.observe(contested)
+        assert len(monitor.queue) > 10
+        assert monitor.stats.rejection_rate > 0.3
+
+    def test_single_sample_observation(self, monitor_setup):
+        X, _, hmd = monitor_setup
+        monitor = OnlineMonitor(hmd)
+        verdict = monitor.observe(X[0])
+        assert len(verdict.predictions) == 1
+        assert monitor.stats.n_seen == 1
+
+    def test_mean_entropy_tracks(self, monitor_setup):
+        X, _, hmd = monitor_setup
+        monitor = OnlineMonitor(hmd)
+        monitor.observe(X[:20])
+        assert 0.0 <= monitor.stats.mean_entropy <= 1.0
+
+
+class TestRetrainingLoop:
+    def test_retrains_after_min_batch(self, monitor_setup):
+        X, y, hmd = monitor_setup
+        rng = np.random.default_rng(1)
+        # A new workload cluster far from the training data.
+        X_new = rng.normal(size=(60, X.shape[1])) * 0.4
+        X_new[:, 0] += 12.0
+        y_new = np.ones(60, dtype=int)
+
+        loop = RetrainingLoop(hmd, X, y, min_batch=20)
+        samples = [
+            FlaggedSample(features=x, prediction=0, entropy=0.9, step=i)
+            for i, x in enumerate(X_new[:30])
+        ]
+        retrained = loop.incorporate(samples, y_new[:30])
+        assert retrained
+        assert loop.n_retrains == 1
+
+    def test_uncertainty_drops_after_retraining(self, monitor_setup):
+        X, y, hmd = monitor_setup
+        rng = np.random.default_rng(2)
+        X_new = rng.normal(size=(80, X.shape[1])) * 0.4
+        X_new[:, 0] += 12.0
+
+        before = hmd.predictive_entropy(X_new).mean()
+        loop = RetrainingLoop(hmd, X, y, min_batch=10)
+        samples = [
+            FlaggedSample(features=x, prediction=0, entropy=0.9, step=i)
+            for i, x in enumerate(X_new[:40])
+        ]
+        loop.incorporate(samples, np.ones(40, dtype=int))
+        after = hmd.predictive_entropy(X_new[40:]).mean()
+        assert after < before
+
+    def test_small_batch_accumulates_without_retrain(self, monitor_setup):
+        X, y, hmd = monitor_setup
+        loop = RetrainingLoop(hmd, X, y, min_batch=50)
+        samples = [
+            FlaggedSample(features=X[0], prediction=0, entropy=0.5, step=0)
+        ]
+        assert not loop.incorporate(samples, [0])
+        assert loop.n_retrains == 0
+        assert len(loop.y_train) == len(y) + 1
+
+    def test_label_length_checked(self, monitor_setup):
+        X, y, hmd = monitor_setup
+        loop = RetrainingLoop(hmd, X, y)
+        with pytest.raises(ValueError):
+            loop.incorporate(
+                [FlaggedSample(features=X[0], prediction=0, entropy=0.5, step=0)],
+                [0, 1],
+            )
+
+    def test_empty_incorporate_noop(self, monitor_setup):
+        X, y, hmd = monitor_setup
+        loop = RetrainingLoop(hmd, X, y)
+        assert not loop.incorporate([], [])

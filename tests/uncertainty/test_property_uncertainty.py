@@ -1,0 +1,104 @@
+"""Property-based tests for the uncertainty machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.uncertainty import (
+    RejectionPolicy,
+    rejection_curve,
+    shannon_entropy,
+    variation_ratio,
+    vote_entropy,
+    vote_margin,
+    votes_to_distribution,
+)
+
+
+@st.composite
+def distributions(draw, max_classes=5):
+    """Random categorical distributions (rows sum to 1)."""
+    k = draw(st.integers(2, max_classes))
+    n = draw(st.integers(1, 20))
+    raw = draw(
+        arrays(
+            np.float64,
+            (n, k),
+            elements=st.floats(0.01, 1.0, allow_nan=False),
+        )
+    )
+    return raw / raw.sum(axis=1, keepdims=True)
+
+
+@st.composite
+def vote_matrices(draw):
+    """Random binary vote matrices."""
+    n = draw(st.integers(1, 25))
+    m = draw(st.integers(1, 40))
+    return draw(arrays(np.int64, (n, m), elements=st.integers(0, 1)))
+
+
+class TestEntropyProperties:
+    @given(distributions())
+    @settings(max_examples=80, deadline=None)
+    def test_entropy_bounds(self, dist):
+        ent = shannon_entropy(dist)
+        k = dist.shape[1]
+        assert np.all(ent >= -1e-9)
+        assert np.all(ent <= np.log2(k) + 1e-9)
+
+    @given(distributions())
+    @settings(max_examples=80, deadline=None)
+    def test_entropy_permutation_invariant(self, dist):
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(dist.shape[1])
+        np.testing.assert_allclose(
+            shannon_entropy(dist), shannon_entropy(dist[:, perm]), atol=1e-9
+        )
+
+    @given(vote_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_vote_measures_consistent(self, votes):
+        classes = np.array([0, 1])
+        dist = votes_to_distribution(votes, classes)
+        np.testing.assert_allclose(dist.sum(axis=1), 1.0, atol=1e-9)
+        ent = vote_entropy(votes, classes)
+        margin = vote_margin(votes, classes)
+        vr = variation_ratio(votes, classes)
+        assert np.all((ent >= -1e-9) & (ent <= 1.0 + 1e-9))
+        assert np.all((margin >= -1e-9) & (margin <= 1.0 + 1e-9))
+        assert np.all((vr >= -1e-9) & (vr <= 0.5 + 1e-9))
+        # margin and variation ratio are linked: margin = 1 - 2 * vr
+        np.testing.assert_allclose(margin, 1.0 - 2.0 * vr, atol=1e-9)
+
+    @given(vote_matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_unanimous_votes_zero_entropy(self, votes):
+        classes = np.array([0, 1])
+        unanimous = np.zeros_like(votes)
+        np.testing.assert_allclose(vote_entropy(unanimous, classes), 0.0, atol=1e-9)
+
+
+class TestRejectionProperties:
+    @given(
+        arrays(np.float64, st.integers(1, 60), elements=st.floats(0, 1, allow_nan=False)),
+        st.floats(0, 1, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_policy_partition_complete(self, entropy, threshold):
+        preds = np.zeros(len(entropy), dtype=int)
+        result = RejectionPolicy(threshold).apply(preds, entropy)
+        assert result.n_rejected + result.accepted.sum() == len(entropy)
+        # accepted iff entropy <= threshold
+        np.testing.assert_array_equal(result.accepted, entropy <= threshold)
+
+    @given(
+        arrays(np.float64, st.integers(1, 60), elements=st.floats(0, 1, allow_nan=False))
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_curve_monotone_and_bounded(self, entropy):
+        thresholds = np.linspace(0, 1, 11)
+        curve = rejection_curve(entropy, thresholds)
+        assert np.all((curve >= 0) & (curve <= 100))
+        assert np.all(np.diff(curve) <= 1e-9)

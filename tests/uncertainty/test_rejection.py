@@ -1,0 +1,111 @@
+"""Tests for the rejection policy and sweep curves."""
+
+import numpy as np
+import pytest
+
+from repro.uncertainty import (
+    RejectionPolicy,
+    f1_vs_threshold,
+    rejection_curve,
+)
+
+
+class TestRejectionPolicy:
+    def test_partitions_by_threshold(self):
+        policy = RejectionPolicy(0.4)
+        preds = np.array([0, 1, 1, 0])
+        entropy = np.array([0.1, 0.5, 0.39, 0.41])
+        result = policy.apply(preds, entropy)
+        np.testing.assert_array_equal(result.accepted, [True, False, True, False])
+        assert result.n_rejected == 2
+        assert result.rejection_rate == pytest.approx(0.5)
+
+    def test_accepted_predictions_subset(self):
+        policy = RejectionPolicy(0.3)
+        preds = np.array([0, 1, 1])
+        entropy = np.array([0.0, 0.9, 0.1])
+        np.testing.assert_array_equal(
+            policy.apply(preds, entropy).accepted_predictions(), [0, 1]
+        )
+
+    def test_boundary_inclusive(self):
+        result = RejectionPolicy(0.5).apply(np.array([1]), np.array([0.5]))
+        assert result.accepted[0]  # entropy == threshold is accepted
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            RejectionPolicy(-0.1)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            RejectionPolicy(0.5).apply(np.array([1, 0]), np.array([0.1]))
+
+
+class TestRejectionCurve:
+    def test_monotone_decreasing(self):
+        rng = np.random.default_rng(0)
+        entropy = rng.random(500)
+        thresholds = np.linspace(0, 1, 21)
+        curve = rejection_curve(entropy, thresholds)
+        assert np.all(np.diff(curve) <= 1e-9)
+
+    def test_extremes(self):
+        entropy = np.array([0.2, 0.4, 0.6])
+        curve = rejection_curve(entropy, [0.0, 1.0])
+        assert curve[0] == pytest.approx(100.0)
+        assert curve[1] == pytest.approx(0.0)
+
+    def test_hand_computed(self):
+        entropy = np.array([0.1, 0.3, 0.5, 0.7])
+        curve = rejection_curve(entropy, [0.4])
+        assert curve[0] == pytest.approx(50.0)
+
+    def test_empty_entropy_raises(self):
+        with pytest.raises(ValueError):
+            rejection_curve(np.array([]), [0.5])
+
+
+class TestF1VsThreshold:
+    def _data(self):
+        rng = np.random.default_rng(1)
+        n = 400
+        y = rng.integers(0, 2, size=n)
+        # Predictions correct where entropy is low, random where high.
+        entropy = rng.random(n)
+        preds = np.where(entropy < 0.5, y, rng.integers(0, 2, size=n))
+        return y, preds, entropy
+
+    def test_f1_improves_with_stricter_threshold(self):
+        y, preds, entropy = self._data()
+        rows = f1_vs_threshold(y, preds, entropy, [0.4, 1.0])
+        assert rows[0]["f1"] > rows[1]["f1"]
+
+    def test_accepted_fraction_monotone(self):
+        y, preds, entropy = self._data()
+        rows = f1_vs_threshold(y, preds, entropy, np.linspace(0.1, 1.0, 10))
+        fracs = [r["accepted_frac"] for r in rows]
+        assert all(a <= b + 1e-9 for a, b in zip(fracs, fracs[1:]))
+
+    def test_too_few_accepted_gives_none(self):
+        y = np.array([0, 1] * 10)
+        preds = y.copy()
+        entropy = np.ones(20)
+        rows = f1_vs_threshold(y, preds, entropy, [0.0], min_accepted=5)
+        assert rows[0]["f1"] is None
+
+    def test_single_class_accepted_gives_none(self):
+        y = np.array([0] * 10 + [1] * 10)
+        preds = y.copy()
+        entropy = np.concatenate([np.zeros(10), np.ones(10)])
+        rows = f1_vs_threshold(y, preds, entropy, [0.5])
+        assert rows[0]["f1"] is None  # only class 0 accepted
+
+    def test_precision_recall_reported(self):
+        y, preds, entropy = self._data()
+        row = f1_vs_threshold(y, preds, entropy, [0.8])[0]
+        assert 0 <= row["precision"] <= 1
+        assert 0 <= row["recall"] <= 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            f1_vs_threshold([0, 1], [0], [0.1, 0.2], [0.5])

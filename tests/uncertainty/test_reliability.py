@@ -1,0 +1,105 @@
+"""Tests for reliability diagrams and ECE."""
+
+import numpy as np
+import pytest
+
+from repro.uncertainty import (
+    expected_calibration_error,
+    reliability_diagram,
+)
+
+CLASSES = np.array([0, 1])
+
+
+def _distribution(confidences, predicted):
+    """Build binary vote distributions with given max-fraction rows."""
+    dist = np.empty((len(confidences), 2))
+    for i, (c, p) in enumerate(zip(confidences, predicted)):
+        dist[i, p] = c
+        dist[i, 1 - p] = 1.0 - c
+    return dist
+
+
+class TestReliabilityDiagram:
+    def test_perfectly_calibrated(self):
+        rng = np.random.default_rng(0)
+        n = 20000
+        confidences = rng.uniform(0.5, 1.0, size=n)
+        predicted = rng.integers(0, 2, size=n)
+        # Truth agrees with the prediction with probability = confidence.
+        agree = rng.random(n) < confidences
+        y_true = np.where(agree, predicted, 1 - predicted)
+        diagram = reliability_diagram(
+            y_true, _distribution(confidences, predicted), CLASSES
+        )
+        assert diagram.ece() < 0.03
+
+    def test_overconfident_detector(self):
+        rng = np.random.default_rng(1)
+        n = 5000
+        confidences = np.full(n, 0.95)
+        predicted = rng.integers(0, 2, size=n)
+        agree = rng.random(n) < 0.6  # actual accuracy far below confidence
+        y_true = np.where(agree, predicted, 1 - predicted)
+        diagram = reliability_diagram(
+            y_true, _distribution(confidences, predicted), CLASSES
+        )
+        assert diagram.ece() > 0.25
+
+    def test_counts_sum_to_n(self):
+        rng = np.random.default_rng(2)
+        confidences = rng.uniform(0.5, 1.0, size=300)
+        predicted = rng.integers(0, 2, size=300)
+        diagram = reliability_diagram(
+            predicted, _distribution(confidences, predicted), CLASSES
+        )
+        assert diagram.bin_counts.sum() == 300
+
+    def test_correct_prediction_bin_accuracy_one(self):
+        confidences = np.array([0.9, 0.95, 0.99])
+        predicted = np.array([1, 1, 0])
+        diagram = reliability_diagram(
+            predicted, _distribution(confidences, predicted), CLASSES
+        )
+        populated = diagram.bin_counts > 0
+        np.testing.assert_allclose(diagram.bin_accuracy[populated], 1.0)
+
+    def test_as_text_renders(self):
+        confidences = np.array([0.7, 0.8, 0.9])
+        predicted = np.array([0, 1, 1])
+        text = reliability_diagram(
+            predicted, _distribution(confidences, predicted), CLASSES
+        ).as_text()
+        assert "ECE" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reliability_diagram([0, 1], np.zeros((2, 3)), CLASSES)
+        with pytest.raises(ValueError):
+            reliability_diagram([0], np.array([[0.5, 0.5], [0.5, 0.5]]), CLASSES)
+        with pytest.raises(ValueError):
+            reliability_diagram(
+                [0, 1], np.array([[0.5, 0.5], [0.5, 0.5]]), CLASSES, n_bins=1
+            )
+
+
+class TestEce:
+    def test_wrapper_matches_diagram(self):
+        rng = np.random.default_rng(3)
+        confidences = rng.uniform(0.5, 1.0, size=200)
+        predicted = rng.integers(0, 2, size=200)
+        dist = _distribution(confidences, predicted)
+        assert expected_calibration_error(
+            predicted, dist, CLASSES
+        ) == pytest.approx(reliability_diagram(predicted, dist, CLASSES).ece())
+
+    def test_rf_ensemble_reasonably_calibrated(self, dvfs_small):
+        from repro.ml import RandomForestClassifier, StandardScaler
+
+        scaler = StandardScaler().fit(dvfs_small.train.X)
+        rf = RandomForestClassifier(n_estimators=30, random_state=0).fit(
+            scaler.transform(dvfs_small.train.X), dvfs_small.train.y
+        )
+        dist = rf.vote_distribution(scaler.transform(dvfs_small.test.X))
+        ece = expected_calibration_error(dvfs_small.test.y, dist, rf.classes_)
+        assert ece < 0.2

@@ -1,0 +1,88 @@
+"""Tests for operating-threshold calibration."""
+
+import numpy as np
+import pytest
+
+from repro.uncertainty import (
+    calibrate_threshold_by_budget,
+    calibrate_threshold_by_f1,
+)
+
+
+class TestBudgetCalibration:
+    def test_respects_budget(self):
+        rng = np.random.default_rng(0)
+        entropy = rng.random(1000)
+        report = calibrate_threshold_by_budget(entropy, budget=0.05)
+        assert np.mean(entropy > report.threshold) <= 0.05
+
+    def test_tight_budget_higher_threshold(self):
+        rng = np.random.default_rng(1)
+        entropy = rng.random(1000)
+        loose = calibrate_threshold_by_budget(entropy, budget=0.20)
+        tight = calibrate_threshold_by_budget(entropy, budget=0.02)
+        assert tight.threshold > loose.threshold
+
+    def test_zero_entropy_stream(self):
+        report = calibrate_threshold_by_budget(np.zeros(100), budget=0.05)
+        assert report.known_rejection_rate == 0.0
+
+    def test_report_renders(self):
+        report = calibrate_threshold_by_budget(np.random.default_rng(2).random(50))
+        assert "threshold=" in report.as_text()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_threshold_by_budget(np.array([]))
+        with pytest.raises(ValueError):
+            calibrate_threshold_by_budget(np.ones(5), budget=0.0)
+        with pytest.raises(ValueError):
+            calibrate_threshold_by_budget(np.ones(5), grid=1)
+
+
+class TestF1Calibration:
+    def _validation_data(self, seed=3, n=600):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, size=n)
+        entropy = rng.random(n)
+        # Correct where certain, random where uncertain.
+        predictions = np.where(entropy < 0.5, y, rng.integers(0, 2, size=n))
+        return y, predictions, entropy
+
+    def test_finds_improving_threshold(self):
+        y, predictions, entropy = self._validation_data()
+        report = calibrate_threshold_by_f1(y, predictions, entropy)
+        from repro.ml.metrics import f1_score
+
+        baseline = f1_score(y, predictions)
+        assert report.details["f1"] >= baseline
+
+    def test_acceptance_constraint_enforced(self):
+        y, predictions, entropy = self._validation_data(seed=4)
+        report = calibrate_threshold_by_f1(
+            y, predictions, entropy, min_accepted_frac=0.5
+        )
+        assert report.known_rejection_rate <= 0.5 + 1e-9
+
+    def test_impossible_constraint_raises(self):
+        y, predictions, entropy = self._validation_data(seed=5)
+        with pytest.raises(ValueError, match="acceptance"):
+            calibrate_threshold_by_f1(
+                y, predictions, np.ones_like(entropy) * 2.0,
+                thresholds=[0.5], min_accepted_frac=0.5,
+            )
+
+
+class TestTrustedHmdCalibration:
+    def test_calibrate_installs_threshold(self, dvfs_small):
+        from repro.ml import RandomForestClassifier
+        from repro.uncertainty import TrustedHMD
+
+        hmd = TrustedHMD(
+            RandomForestClassifier(n_estimators=25, random_state=0),
+            threshold=0.0,
+        ).fit(dvfs_small.train.X, dvfs_small.train.y)
+        chosen = hmd.calibrate_threshold(dvfs_small.test.X, budget=0.10)
+        assert chosen == hmd.policy_.threshold
+        verdict = hmd.analyze(dvfs_small.test.X)
+        assert verdict.rejection_rate <= 0.10 + 1e-9

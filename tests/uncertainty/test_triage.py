@@ -1,0 +1,71 @@
+"""Tests for forensic-queue triage clustering."""
+
+import numpy as np
+import pytest
+
+from repro.uncertainty import FlaggedSample, ForensicQueue, triage_queue
+
+
+def _queue_with_groups(seed=0, per_group=40):
+    """Queue containing two well-separated feature groups."""
+    rng = np.random.default_rng(seed)
+    queue = ForensicQueue()
+    step = 0
+    for center, prediction, entropy in ((-4.0, 0, 0.9), (4.0, 1, 0.6)):
+        for _ in range(per_group):
+            queue.push(
+                FlaggedSample(
+                    features=rng.normal(center, 0.3, size=3),
+                    prediction=prediction,
+                    entropy=entropy + rng.normal(scale=0.02),
+                    step=step,
+                )
+            )
+            step += 1
+    return queue
+
+
+class TestTriageQueue:
+    def test_empty_queue(self):
+        assert triage_queue(ForensicQueue()) == []
+
+    def test_groups_recovered(self):
+        queue = _queue_with_groups()
+        clusters = triage_queue(queue, n_clusters=2, random_state=0)
+        assert len(clusters) == 2
+        assert {c.size for c in clusters} == {40}
+
+    def test_cluster_statistics(self):
+        queue = _queue_with_groups(seed=1)
+        clusters = triage_queue(queue, n_clusters=2, random_state=0)
+        by_prediction = {c.majority_prediction: c for c in clusters}
+        assert set(by_prediction) == {0, 1}
+        assert by_prediction[0].mean_entropy == pytest.approx(0.9, abs=0.05)
+        assert by_prediction[1].mean_entropy == pytest.approx(0.6, abs=0.05)
+
+    def test_queue_not_modified(self):
+        queue = _queue_with_groups(seed=2)
+        before = len(queue)
+        triage_queue(queue, n_clusters=2)
+        assert len(queue) == before
+
+    def test_default_cluster_count(self):
+        queue = _queue_with_groups(seed=3, per_group=16)  # n=32 -> ~4 clusters
+        clusters = triage_queue(queue)
+        assert 1 <= len(clusters) <= 8
+
+    def test_sorted_by_size(self):
+        rng = np.random.default_rng(4)
+        queue = ForensicQueue()
+        for i in range(50):
+            queue.push(FlaggedSample(rng.normal(size=2), 0, 0.5, i))
+        clusters = triage_queue(queue, n_clusters=3, random_state=0)
+        sizes = [c.size for c in clusters]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_single_sample_queue(self):
+        queue = ForensicQueue()
+        queue.push(FlaggedSample(np.zeros(2), 1, 0.7, 0))
+        clusters = triage_queue(queue, n_clusters=5)
+        assert len(clusters) == 1
+        assert clusters[0].size == 1

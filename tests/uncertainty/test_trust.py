@@ -1,0 +1,122 @@
+"""Tests for the Trusted / Untrusted HMD pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    BaggingClassifier,
+    LogisticRegression,
+    NotFittedError,
+    RandomForestClassifier,
+)
+from repro.uncertainty import TrustedHMD, UntrustedHMD
+from tests.conftest import make_blobs
+
+
+@pytest.fixture(scope="module")
+def hmd_data():
+    X, y = make_blobs(n_per_class=150, separation=4.0, seed=60)
+    rng = np.random.default_rng(0)
+    X_ood = rng.normal(size=(60, X.shape[1]))
+    X_ood[:, 0] += 30.0  # far out-of-distribution
+    return X, y, X_ood
+
+
+class TestUntrustedHMD:
+    def test_always_emits_decision(self, hmd_data):
+        X, y, X_ood = hmd_data
+        hmd = UntrustedHMD(LogisticRegression()).fit(X, y)
+        preds = hmd.predict(X_ood)
+        assert preds.shape == (len(X_ood),)
+        assert set(np.unique(preds)) <= {0, 1}
+
+    def test_accuracy_in_distribution(self, hmd_data):
+        X, y, _ = hmd_data
+        hmd = UntrustedHMD(LogisticRegression()).fit(X, y)
+        assert np.mean(hmd.predict(X) == y) > 0.97
+
+    def test_optional_pca(self, hmd_data):
+        X, y, _ = hmd_data
+        hmd = UntrustedHMD(LogisticRegression(), n_components=3).fit(X, y)
+        assert hmd.pca_ is not None
+        assert np.mean(hmd.predict(X) == y) > 0.9
+
+
+class TestTrustedHMD:
+    def _fit(self, X, y, threshold=0.4):
+        return TrustedHMD(
+            RandomForestClassifier(n_estimators=25, random_state=0),
+            threshold=threshold,
+        ).fit(X, y)
+
+    def test_verdict_fields(self, hmd_data):
+        X, y, X_ood = hmd_data
+        hmd = self._fit(X, y)
+        verdict = hmd.analyze(X_ood)
+        assert len(verdict.predictions) == len(X_ood)
+        assert verdict.entropy.shape == (len(X_ood),)
+        assert verdict.threshold == 0.4
+
+    def test_in_distribution_mostly_accepted(self, hmd_data):
+        X, y, _ = hmd_data
+        hmd = self._fit(X, y)
+        verdict = hmd.analyze(X)
+        assert verdict.rejection_rate < 0.1
+
+    def test_ood_mostly_rejected(self, hmd_data):
+        X, y, X_ood = hmd_data
+        hmd = self._fit(X, y)
+        # Points at the midpoint saddle between the classes are the
+        # contested region where members disagree.
+        X_saddle = np.zeros((40, X.shape[1]))
+        verdict = hmd.analyze(X_saddle)
+        assert verdict.rejection_rate > 0.5
+
+    def test_flagged_indices_match_mask(self, hmd_data):
+        X, y, _ = hmd_data
+        hmd = self._fit(X, y)
+        X_saddle = np.zeros((10, X.shape[1]))
+        verdict = hmd.analyze(X_saddle)
+        np.testing.assert_array_equal(
+            verdict.flagged_indices(), np.flatnonzero(~verdict.accepted)
+        )
+
+    def test_with_threshold_updates_policy(self, hmd_data):
+        X, y, _ = hmd_data
+        hmd = self._fit(X, y, threshold=0.1)
+        strict = hmd.analyze(X).rejection_rate
+        loose = hmd.with_threshold(1.0).analyze(X).rejection_rate
+        assert loose <= strict
+        assert hmd.policy_.threshold == 1.0
+
+    def test_predict_ignores_policy(self, hmd_data):
+        X, y, _ = hmd_data
+        hmd = self._fit(X, y)
+        assert np.mean(hmd.predict(X) == y) > 0.95
+
+    def test_entropy_accessor(self, hmd_data):
+        X, y, _ = hmd_data
+        hmd = self._fit(X, y)
+        ent = hmd.predictive_entropy(X[:20])
+        assert np.all((ent >= 0) & (ent <= 1 + 1e-9))
+
+    def test_works_with_bagging(self, hmd_data):
+        X, y, _ = hmd_data
+        hmd = TrustedHMD(
+            BaggingClassifier(LogisticRegression(), n_estimators=10, random_state=0)
+        ).fit(X, y)
+        assert hmd.analyze(X[:10]).predictions.shape == (10,)
+
+    def test_pca_pipeline(self, hmd_data):
+        X, y, _ = hmd_data
+        hmd = TrustedHMD(
+            RandomForestClassifier(n_estimators=10, random_state=0),
+            n_components=4,
+        ).fit(X, y)
+        assert np.mean(hmd.predict(X) == y) > 0.9
+
+    def test_unfitted_analyze_raises(self, hmd_data):
+        X, _, _ = hmd_data
+        hmd = TrustedHMD(RandomForestClassifier(n_estimators=3))
+        with pytest.raises((NotFittedError, AttributeError)):
+            hmd.analyze(X[:2])
