@@ -17,12 +17,25 @@ Subpackages
 ``repro.uncertainty``
     The paper's contribution: ensemble vote-entropy uncertainty,
     rejection policies, trusted-HMD pipeline, online monitoring loop.
+``repro.fleet``
+    Fleet-scale batched streaming inference: multiplexed device
+    streams, backpressure, vectorised batch verdicts, fleet reports.
 ``repro.experiments``
     Runners regenerating every table and figure of the evaluation.
 """
 
-from . import data, experiments, hmd, ml, sim, uncertainty, viz
+from . import data, experiments, fleet, hmd, ml, sim, uncertainty, viz
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["data", "experiments", "hmd", "ml", "sim", "uncertainty", "viz", "__version__"]
+__all__ = [
+    "data",
+    "experiments",
+    "fleet",
+    "hmd",
+    "ml",
+    "sim",
+    "uncertainty",
+    "viz",
+    "__version__",
+]

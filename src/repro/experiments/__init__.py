@@ -29,6 +29,7 @@ from .common import (
     format_table,
     make_ensemble,
 )
+from .fleet import FleetResult, run_fleet
 from .fig4 import Fig4Result, run_fig4
 from .fig5 import Fig5Result, run_fig5
 from .fig7 import Fig7aResult, Fig7bResult, run_fig7a, run_fig7b
@@ -54,6 +55,7 @@ __all__ = [
     "Fig8Result",
     "Fig9aResult",
     "Fig9bResult",
+    "FleetResult",
     "GovernorAblationResult",
     "PlattAblationResult",
     "Table1Result",
@@ -74,6 +76,7 @@ __all__ = [
     "run_fig8",
     "run_fig9a",
     "run_fig9b",
+    "run_fleet",
     "run_governor_ablation",
     "run_platt_ablation",
     "run_table1",

@@ -29,6 +29,7 @@ from . import (
     run_fig9b,
     run_em_extension,
     run_evasion_ablation,
+    run_fleet,
     run_governor_ablation,
     run_platt_ablation,
     run_table1,
@@ -51,6 +52,7 @@ RUNNERS = {
     "ablation-evasion": run_evasion_ablation,
     "ablation-counter-budget": run_counter_budget_ablation,
     "extension-em": run_em_extension,
+    "fleet": run_fleet,
 }
 
 

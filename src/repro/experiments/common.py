@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..data import build_dvfs_dataset, build_hpc_dataset
+from ..formatting import format_table
 from ..data.dataset import HmdDataset
 from ..ml.base import BaseEstimator
 from ..ml.ensemble import BaggingClassifier, RandomForestClassifier
@@ -196,24 +197,5 @@ def boxplot_stats(values: np.ndarray) -> dict[str, float]:
     }
 
 
-def format_table(headers: list[str], rows: list[list]) -> str:
-    """Fixed-width text table for experiment reports."""
-    def fmt(value) -> str:
-        if value is None:
-            return "-"
-        if isinstance(value, float):
-            return f"{value:.3f}"
-        return str(value)
-
-    str_rows = [[fmt(v) for v in row] for row in rows]
-    widths = [
-        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
-        for i in range(len(headers))
-    ]
-    lines = [
-        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
-        "  ".join("-" * widths[i] for i in range(len(headers))),
-    ]
-    for row in str_rows:
-        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
-    return "\n".join(lines)
+# format_table is re-exported from repro.formatting (see import above)
+# so existing `from .common import format_table` call sites keep working.

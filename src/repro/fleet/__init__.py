@@ -1,0 +1,37 @@
+"""Fleet-scale batched streaming inference (the scaling layer).
+
+The paper's online loop screens one device.  This subpackage is the
+central-monitor deployment of the same trusted HMD: many device
+streams multiplexed through a bounded ingress queue
+(:mod:`~repro.fleet.queueing`), one vectorised ensemble pass per batch
+(:mod:`~repro.fleet.engine`), verdicts routed back to ring-buffered
+per-device state (:mod:`~repro.fleet.state`) and aggregated into
+dashboard snapshots (:mod:`~repro.fleet.report`).  See
+``docs/architecture.md`` for the dataflow and the backpressure policy.
+"""
+
+from .engine import (
+    FleetBatchResult,
+    FleetFlaggedSample,
+    FleetMonitor,
+    batched_verdicts_equal_sequential,
+)
+from .queueing import BackpressurePolicy, FleetQueue, WindowRequest
+from .report import DeviceReport, FleetReport
+from .sampler import FleetWindowSampler
+from .state import DeviceState, RingBuffer
+
+__all__ = [
+    "BackpressurePolicy",
+    "DeviceReport",
+    "DeviceState",
+    "FleetBatchResult",
+    "FleetFlaggedSample",
+    "FleetMonitor",
+    "FleetQueue",
+    "FleetReport",
+    "FleetWindowSampler",
+    "RingBuffer",
+    "WindowRequest",
+    "batched_verdicts_equal_sequential",
+]

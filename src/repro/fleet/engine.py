@@ -1,0 +1,333 @@
+"""The fleet-scale batched streaming inference engine.
+
+:class:`FleetMonitor` is the central processing core the ROADMAP's
+"millions of monitored devices" deployment needs.  Where
+:class:`~repro.uncertainty.online.OnlineMonitor` screens one device's
+windows, the fleet monitor multiplexes windows from *many* devices
+through one bounded ingress queue and amortises the expensive part —
+the ensemble vote pass — across fixed-size batches:
+
+1. devices :meth:`submit` signature windows; the
+   :class:`~repro.fleet.queueing.FleetQueue` applies the backpressure
+   policy (bounded global and per-device depth, shed-oldest/newest);
+2. :meth:`process_batch` takes up to ``batch_size`` windows, stacks
+   them into one ``(n_windows, n_features)`` matrix and runs a
+   **single** vectorised :meth:`TrustedHMD.analyze` pass — one
+   scaler transform, one tree-routing sweep per ensemble member, one
+   bulk vote-entropy/rejection computation for the whole batch;
+3. verdicts are routed back out: per-device ring-buffered state,
+   fleet-wide counters, flagged windows into the forensic queue
+   (tagged with their device), and the entropy stream into an optional
+   fleet drift monitor.
+
+Because every per-window computation in the pipeline is row-independent
+(element-wise scaling, per-row tree routing, per-row vote histograms),
+batched verdicts are *bitwise identical* to sequential per-window ones
+— batching changes throughput, never results.  The benchmark
+``benchmarks/test_bench_fleet.py`` asserts both properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..uncertainty.drift import EntropyDriftMonitor
+from ..uncertainty.online import FlaggedSample, ForensicQueue, MonitorStats
+from ..uncertainty.trust import TrustedHMD, TrustedVerdict
+from .queueing import BackpressurePolicy, FleetQueue, WindowRequest
+from .report import DeviceReport, FleetReport
+from .state import DeviceState, RingBuffer
+
+__all__ = [
+    "FleetFlaggedSample",
+    "FleetBatchResult",
+    "FleetMonitor",
+    "batched_verdicts_equal_sequential",
+]
+
+
+@dataclass(frozen=True)
+class FleetFlaggedSample(FlaggedSample):
+    """A withheld signature window, attributed to its device."""
+
+    device_id: str = ""
+    seq: int = -1
+
+
+@dataclass(frozen=True)
+class FleetBatchResult:
+    """Verdicts of one batched inference pass, still device-addressed."""
+
+    device_ids: tuple[str, ...]
+    seqs: np.ndarray            # per-device submission sequence numbers
+    predictions: np.ndarray
+    entropy: np.ndarray
+    accepted: np.ndarray
+    threshold: float
+
+    def __len__(self) -> int:
+        return len(self.predictions)
+
+    def for_device(self, device_id: str) -> dict[str, np.ndarray]:
+        """This batch's verdict arrays restricted to one device."""
+        mask = np.array([d == device_id for d in self.device_ids])
+        return {
+            "seqs": self.seqs[mask],
+            "predictions": self.predictions[mask],
+            "entropy": self.entropy[mask],
+            "accepted": self.accepted[mask],
+        }
+
+
+def batched_verdicts_equal_sequential(
+    batches: list[FleetBatchResult],
+    sequential_verdicts: list[tuple[str, TrustedVerdict]],
+) -> bool:
+    """Bitwise equivalence of batched vs. per-window sequential results.
+
+    ``sequential_verdicts`` holds ``(device_id, verdict)`` pairs from
+    screening the same windows one at a time, in submission order per
+    device.  This is the single definition of the engine's equivalence
+    guarantee, shared by the ``fleet`` experiment runner and the
+    benchmark acceptance gate.
+    """
+    keyed = {}
+    for batch in batches:
+        for j, device_id in enumerate(batch.device_ids):
+            keyed[(device_id, int(batch.seqs[j]))] = (
+                batch.predictions[j],
+                batch.entropy[j],
+                bool(batch.accepted[j]),
+            )
+    if len(keyed) != len(sequential_verdicts):
+        return False
+    counters: dict[str, int] = {}
+    for device_id, verdict in sequential_verdicts:
+        seq = counters.get(device_id, 0)
+        counters[device_id] = seq + 1
+        entry = keyed.get((device_id, seq))
+        if entry is None:
+            return False
+        pred, entropy, accepted = entry
+        if (
+            pred != verdict.predictions[0]
+            or entropy != verdict.entropy[0]     # bitwise float equality
+            or accepted != bool(verdict.accepted[0])
+        ):
+            return False
+    return True
+
+
+class FleetMonitor:
+    """Multiplex many device streams through one batched trusted HMD.
+
+    Parameters
+    ----------
+    hmd:
+        A *fitted* :class:`TrustedHMD` shared by the whole fleet.
+    batch_size:
+        Windows per vectorised ensemble pass.
+    policy:
+        Ingress backpressure policy (defaults to a 4096-deep
+        shed-oldest queue).
+    forensics:
+        Forensic queue receiving flagged windows (shared with analyst
+        tooling); created when omitted.
+    drift_reference:
+        Optional entropy sample from held-out known traffic; when
+        given, the fleet-wide entropy stream is watched by an
+        :class:`EntropyDriftMonitor` (campaign-level shift detection).
+    entropy_window:
+        Ring-buffer capacity of each device's recent-entropy view.
+    """
+
+    def __init__(
+        self,
+        hmd: TrustedHMD,
+        *,
+        batch_size: int = 256,
+        policy: BackpressurePolicy | None = None,
+        forensics: ForensicQueue | None = None,
+        drift_reference=None,
+        entropy_window: int = 128,
+    ):
+        if not hasattr(hmd, "estimator_"):
+            raise ValueError("hmd must be fitted before fleet monitoring.")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1; got {batch_size}.")
+        if entropy_window < 1:
+            raise ValueError(f"entropy_window must be >= 1; got {entropy_window}.")
+        self.hmd = hmd
+        self.batch_size = batch_size
+        self.queue = FleetQueue(policy)
+        self.forensics = forensics if forensics is not None else ForensicQueue()
+        self.stats = MonitorStats()
+        self.drift = (
+            EntropyDriftMonitor(drift_reference)
+            if drift_reference is not None
+            else None
+        )
+        self.entropy_window = entropy_window
+        self.devices: dict[str, DeviceState] = {}
+        self._seq: dict[str, int] = {}
+        self._step = 0
+        self.n_batches = 0
+
+    # -- ingress -------------------------------------------------------
+
+    def register(self, device_id: str, *, cohort: str = "unknown") -> DeviceState:
+        """Idempotently create the state record for a device."""
+        state = self.devices.get(device_id)
+        if state is None:
+            state = DeviceState(
+                device_id=device_id,
+                cohort=cohort,
+                entropy_recent=RingBuffer(self.entropy_window),
+            )
+            self.devices[device_id] = state
+            self._seq[device_id] = 0
+        elif cohort != "unknown" and state.cohort == "unknown":
+            state.cohort = cohort
+        return state
+
+    def register_fleet(self, devices) -> None:
+        """Register a whole :class:`FleetDevice` population at once."""
+        for device in devices:
+            self.register(device.device_id, cohort=device.cohort)
+
+    def submit(self, device_id: str, window) -> bool:
+        """Enqueue one signature window; False when shed by backpressure."""
+        self.register(device_id)
+        window = np.asarray(window, dtype=float).ravel()
+        n_features = getattr(self.hmd, "n_features_in_", None)
+        if n_features is not None and window.shape != (n_features,):
+            # Reject at ingress: a ragged window admitted here would
+            # poison the whole batch at stack time.
+            raise ValueError(
+                f"window from {device_id!r} has {window.shape[0]} features; "
+                f"the fleet HMD expects {n_features}."
+            )
+        seq = self._seq[device_id]
+        self._seq[device_id] = seq + 1
+        return self.queue.submit(
+            WindowRequest(device_id=device_id, features=window, seq=seq)
+        )
+
+    def submit_many(self, device_id: str, windows) -> int:
+        """Enqueue a stack of windows; returns how many were admitted."""
+        windows = np.atleast_2d(np.asarray(windows, dtype=float))
+        return sum(self.submit(device_id, w) for w in windows)
+
+    @property
+    def pending(self) -> int:
+        """Windows currently queued for inference."""
+        return len(self.queue)
+
+    # -- batched inference core ----------------------------------------
+
+    def process_batch(self) -> FleetBatchResult | None:
+        """Run one vectorised ensemble pass over the next batch.
+
+        Returns ``None`` when the queue is empty.
+        """
+        requests = self.queue.take(self.batch_size)
+        if not requests:
+            return None
+        X = np.stack([r.features for r in requests])
+        verdict: TrustedVerdict = self.hmd.analyze(X)
+        self._route(requests, X, verdict)
+        self.n_batches += 1
+        return FleetBatchResult(
+            device_ids=tuple(r.device_id for r in requests),
+            seqs=np.array([r.seq for r in requests], dtype=int),
+            predictions=verdict.predictions,
+            entropy=verdict.entropy,
+            accepted=verdict.accepted,
+            threshold=verdict.threshold,
+        )
+
+    def drain(self, max_batches: int | None = None) -> list[FleetBatchResult]:
+        """Process batches until the queue is empty (or the cap hits)."""
+        results: list[FleetBatchResult] = []
+        while max_batches is None or len(results) < max_batches:
+            result = self.process_batch()
+            if result is None:
+                break
+            results.append(result)
+        return results
+
+    def _route(
+        self, requests: list[WindowRequest], X: np.ndarray, verdict: TrustedVerdict
+    ) -> None:
+        """Fan the batched verdicts back out to per-device state."""
+        n = len(requests)
+        base_step = self._step
+        self._step += n
+        # dtype=bool: ~ on an int 0/1 mask would invert bitwise, not logically.
+        accepted = np.asarray(verdict.accepted, dtype=bool)
+
+        # Fleet-wide counters: bulk reductions, no per-window Python.
+        self.stats.record_verdicts(verdict.predictions, verdict.entropy, accepted)
+        if self.drift is not None:
+            self.drift.observe(verdict.entropy)
+
+        # Group batch rows by device (one pass), then bulk-update each.
+        groups: dict[str, list[int]] = {}
+        for i, request in enumerate(requests):
+            groups.setdefault(request.device_id, []).append(i)
+        for device_id, rows in groups.items():
+            idx = np.asarray(rows, dtype=int)
+            self.devices[device_id].record(
+                verdict.predictions[idx],
+                verdict.entropy[idx],
+                accepted[idx],
+                last_step=base_step + int(idx[-1]) + 1,
+            )
+
+        for i in np.flatnonzero(~accepted):
+            request = requests[i]
+            self.forensics.push(
+                FleetFlaggedSample(
+                    features=X[i].copy(),
+                    prediction=int(verdict.predictions[i]),
+                    entropy=float(verdict.entropy[i]),
+                    step=base_step + int(i) + 1,
+                    device_id=request.device_id,
+                    seq=request.seq,
+                )
+            )
+
+    # -- egress --------------------------------------------------------
+
+    def report(self) -> FleetReport:
+        """Aggregate the fleet's current state into a report view."""
+        shed = self.queue.shed_by_device
+        device_reports = tuple(
+            DeviceReport(
+                device_id=state.device_id,
+                cohort=state.cohort,
+                n_seen=state.n_seen,
+                n_flagged=state.n_flagged,
+                n_malware_alerts=state.n_malware_alerts,
+                n_shed=shed.get(state.device_id, 0),
+                n_pending=self.queue.pending(state.device_id),
+                rejection_rate=state.rejection_rate,
+                alert_rate=state.alert_rate,
+                recent_entropy=state.recent_entropy,
+            )
+            for state in self.devices.values()
+        )
+        return FleetReport(
+            devices=device_reports,
+            n_seen=self.stats.n_seen,
+            n_accepted=self.stats.n_accepted,
+            n_flagged=self.stats.n_flagged,
+            n_malware_alerts=self.stats.n_malware_alerts,
+            n_shed=self.queue.total_shed,
+            n_pending=len(self.queue),
+            n_batches=self.n_batches,
+            mean_entropy=self.stats.mean_entropy,
+            drift_status=self.drift.observe([]).status if self.drift else None,
+        )

@@ -1,0 +1,205 @@
+"""Multiplexing queue with explicit backpressure for the fleet engine.
+
+Production DAQ systems facing many sensor streams (the KM3NeT Control
+Unit, the CMS HGCAL DAQ prototype) converge on the same ingress shape:
+a bounded central queue in front of the batched processing core, with a
+*shedding* policy that decides what happens when producers outrun the
+core.  This module is that ingress: window submissions from all devices
+land in one :class:`FleetQueue`, bounded globally and per device, and
+overload is resolved by policy rather than by unbounded memory growth.
+
+Two shedding modes are provided:
+
+* ``"drop_oldest"`` — evict the stalest queued window to admit the new
+  one (freshness wins; the natural choice for monitoring, where a new
+  signature supersedes an old one from the same device);
+* ``"drop_newest"`` — refuse the incoming window (arrival order wins;
+  the classic bounded-mailbox behaviour).
+
+Every shed window is attributed to its device so the fleet report can
+show *who* is being rate-limited.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WindowRequest", "BackpressurePolicy", "FleetQueue"]
+
+_SHED_MODES = ("drop_oldest", "drop_newest")
+
+
+@dataclass(frozen=True)
+class WindowRequest:
+    """One signature window awaiting batched inference."""
+
+    device_id: str
+    features: np.ndarray    # 1-D feature vector
+    seq: int                # per-device submission sequence number
+
+
+@dataclass(frozen=True)
+class BackpressurePolicy:
+    """Bounds and shedding behaviour of the ingress queue.
+
+    Parameters
+    ----------
+    max_pending:
+        Global cap on queued windows across all devices.
+    max_pending_per_device:
+        Per-device cap (``None`` disables the per-device bound).  Keeps
+        one chatty or replaying device from starving the rest of the
+        fleet even when the global queue has headroom.
+    shed:
+        ``"drop_oldest"`` or ``"drop_newest"`` (see module docstring).
+    """
+
+    max_pending: int = 4096
+    max_pending_per_device: int | None = None
+    shed: str = "drop_oldest"
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1; got {self.max_pending}.")
+        if self.max_pending_per_device is not None and self.max_pending_per_device < 1:
+            raise ValueError(
+                "max_pending_per_device must be >= 1 or None; "
+                f"got {self.max_pending_per_device}."
+            )
+        if self.shed not in _SHED_MODES:
+            raise ValueError(f"shed must be one of {_SHED_MODES}; got {self.shed!r}.")
+
+
+class FleetQueue:
+    """Bounded FIFO of window requests with per-device accounting.
+
+    Eviction from the middle of a FIFO is made O(1) amortised by
+    tombstoning: requests live in a dict keyed by admission ticket, the
+    global and per-device deques hold tickets only, and stale tickets
+    are skipped lazily during :meth:`take`.
+    """
+
+    def __init__(self, policy: BackpressurePolicy | None = None):
+        self.policy = policy if policy is not None else BackpressurePolicy()
+        self._items: dict[int, WindowRequest] = {}
+        self._order: deque[int] = deque()
+        self._by_device: dict[str, deque[int]] = {}
+        self._pending_by_device: dict[str, int] = {}
+        self._next_ticket = 0
+        self.shed_by_device: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def total_shed(self) -> int:
+        """Windows dropped by backpressure since construction."""
+        return sum(self.shed_by_device.values())
+
+    def pending(self, device_id: str | None = None) -> int:
+        """Queued windows, fleet-wide or for one device."""
+        if device_id is None:
+            return len(self._items)
+        return self._pending_by_device.get(device_id, 0)
+
+    def _shed(self, device_id: str) -> None:
+        self.shed_by_device[device_id] = self.shed_by_device.get(device_id, 0) + 1
+
+    def _evict_ticket(self, ticket: int) -> None:
+        request = self._items.pop(ticket)
+        self._pending_by_device[request.device_id] -= 1
+        self._shed(request.device_id)
+
+    def _evict_oldest(self, device_id: str | None = None) -> None:
+        """Tombstone the stalest live request (optionally of one device)."""
+        queue = self._order if device_id is None else self._by_device[device_id]
+        while queue:
+            ticket = queue[0]
+            if ticket in self._items:
+                queue.popleft()
+                self._evict_ticket(ticket)
+                return
+            queue.popleft()
+
+    def _trim_device_queue(self, device_id: str) -> None:
+        """Drop leading stale tickets from one device's deque.
+
+        Evictions and takes only ever remove a device's *oldest* live
+        ticket, so stale tickets accumulate at the head; trimming heads
+        on every submit/take keeps the deques from growing without
+        bound over a long-running monitor's lifetime.
+        """
+        queue = self._by_device.get(device_id)
+        if queue is None:
+            return
+        while queue and queue[0] not in self._items:
+            queue.popleft()
+
+    def _compact(self) -> None:
+        """Rebuild the ticket deques once tombstones outnumber live.
+
+        Per-device-cap evictions tombstone tickets in the *middle* of
+        the global order, where head trimming cannot reach them; if the
+        consumer stalls while a capped device keeps submitting, those
+        tombstones would otherwise grow linearly with shed volume.
+        Rebuilding only when the deques are mostly stale keeps the cost
+        O(1) amortised per shed.
+        """
+        if len(self._order) <= 2 * max(len(self._items), 16):
+            return
+        self._order = deque(t for t in self._order if t in self._items)
+        for device_id, queue in list(self._by_device.items()):
+            self._by_device[device_id] = deque(
+                t for t in queue if t in self._items
+            )
+
+    def submit(self, request: WindowRequest) -> bool:
+        """Enqueue one window; returns False when *it* was shed.
+
+        Note a True return may still have shed an older window (in
+        ``"drop_oldest"`` mode); check :attr:`shed_by_device`.
+        """
+        device_queue = self._by_device.setdefault(request.device_id, deque())
+
+        per_device_cap = self.policy.max_pending_per_device
+        if per_device_cap is not None:
+            while self.pending(request.device_id) >= per_device_cap:
+                if self.policy.shed == "drop_newest":
+                    self._shed(request.device_id)
+                    return False
+                self._evict_oldest(request.device_id)
+
+        while len(self._items) >= self.policy.max_pending:
+            if self.policy.shed == "drop_newest":
+                self._shed(request.device_id)
+                return False
+            self._evict_oldest()
+
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._items[ticket] = request
+        self._order.append(ticket)
+        device_queue.append(ticket)
+        self._trim_device_queue(request.device_id)
+        self._pending_by_device[request.device_id] = (
+            self._pending_by_device.get(request.device_id, 0) + 1
+        )
+        self._compact()
+        return True
+
+    def take(self, n: int) -> list[WindowRequest]:
+        """Dequeue up to ``n`` live requests in admission order."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1; got {n}.")
+        batch: list[WindowRequest] = []
+        while self._order and len(batch) < n:
+            ticket = self._order.popleft()
+            request = self._items.pop(ticket, None)
+            if request is not None:
+                self._pending_by_device[request.device_id] -= 1
+                self._trim_device_queue(request.device_id)
+                batch.append(request)
+        return batch

@@ -1,0 +1,33 @@
+"""Dependency-free text formatting shared across layers.
+
+Lives outside :mod:`repro.experiments` so core packages (e.g.
+:mod:`repro.fleet` reports) can render tables without depending on the
+experiment harness that sits above them.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table"]
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Fixed-width text table for reports."""
+    def fmt(value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)

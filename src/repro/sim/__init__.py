@@ -20,7 +20,15 @@ from .power import (
     SocSimulator,
 )
 from .trace import INSTRUCTION_KINDS, ActivityTrace, DvfsTrace, HpcTrace
-from .workloads import WorkloadGenerator, WorkloadPhase, WorkloadSpec, blend_specs
+from .workloads import (
+    FleetDevice,
+    FleetPopulation,
+    FleetTraceGenerator,
+    WorkloadGenerator,
+    WorkloadPhase,
+    WorkloadSpec,
+    blend_specs,
+)
 
 __all__ = [
     "ActivityTrace",
@@ -34,6 +42,9 @@ __all__ = [
     "EmFeatureExtractor",
     "EmSimulator",
     "EmSpectrum",
+    "FleetDevice",
+    "FleetPopulation",
+    "FleetTraceGenerator",
     "HPC_COUNTERS",
     "HpcSimulator",
     "HpcTrace",

@@ -31,7 +31,15 @@ import numpy as np
 from ..ml.validation import check_random_state
 from .trace import INSTRUCTION_KINDS, ActivityTrace
 
-__all__ = ["WorkloadPhase", "WorkloadSpec", "WorkloadGenerator", "blend_specs"]
+__all__ = [
+    "WorkloadPhase",
+    "WorkloadSpec",
+    "WorkloadGenerator",
+    "blend_specs",
+    "FleetDevice",
+    "FleetPopulation",
+    "FleetTraceGenerator",
+]
 
 
 @dataclass(frozen=True)
@@ -271,6 +279,196 @@ class WorkloadGenerator:
         if n_windows < 1:
             raise ValueError(f"n_windows must be >= 1; got {n_windows}.")
         return [self.generate(spec, window_steps) for _ in range(n_windows)]
+
+
+@dataclass(frozen=True)
+class FleetDevice:
+    """One simulated device in a monitored fleet.
+
+    Attributes
+    ----------
+    device_id:
+        Unique identifier within the fleet (e.g. ``"dev-0042"``).
+    spec:
+        The application archetype the device is currently running.
+    cohort:
+        Population bucket: ``"benign"``, ``"malware"`` or ``"zero_day"``
+        — the latter runs apps *outside* the HMD's training catalogue.
+    """
+
+    device_id: str
+    spec: WorkloadSpec
+    cohort: str
+
+    _COHORTS = ("benign", "malware", "zero_day")
+
+    def __post_init__(self) -> None:
+        if self.cohort not in self._COHORTS:
+            raise ValueError(
+                f"cohort must be one of {self._COHORTS}; got {self.cohort!r}."
+            )
+
+
+class FleetPopulation:
+    """Draw mixed benign/malware/zero-day device populations.
+
+    Models the deployment the ROADMAP targets: a central monitor serving
+    many devices, most of them clean, a small fraction infected with
+    known malware families, and a sliver running workloads the HMD has
+    never seen (new apps or new malware — the Fig. 6 "unknown" bucket).
+
+    Parameters
+    ----------
+    benign_specs / malware_specs / zero_day_specs:
+        Archetype pools for each cohort (e.g. the
+        :mod:`repro.hmd.apps` DVFS catalogues).
+    malware_fraction / zero_day_fraction:
+        Expected cohort fractions; the remainder is benign.
+    random_state:
+        Seed / generator for reproducible fleets.
+    """
+
+    def __init__(
+        self,
+        benign_specs,
+        malware_specs,
+        zero_day_specs=(),
+        *,
+        malware_fraction: float = 0.05,
+        zero_day_fraction: float = 0.02,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        self.benign_specs = tuple(benign_specs)
+        self.malware_specs = tuple(malware_specs)
+        self.zero_day_specs = tuple(zero_day_specs)
+        if not self.benign_specs:
+            raise ValueError("At least one benign spec is required.")
+        if malware_fraction < 0 or zero_day_fraction < 0:
+            raise ValueError("Cohort fractions must be non-negative.")
+        if malware_fraction + zero_day_fraction > 1.0:
+            raise ValueError("Cohort fractions must sum to <= 1.")
+        if malware_fraction > 0 and not self.malware_specs:
+            raise ValueError("malware_fraction > 0 needs malware_specs.")
+        if zero_day_fraction > 0 and not self.zero_day_specs:
+            raise ValueError("zero_day_fraction > 0 needs zero_day_specs.")
+        self.malware_fraction = float(malware_fraction)
+        self.zero_day_fraction = float(zero_day_fraction)
+        self.rng = check_random_state(random_state)
+
+    def sample(self, n_devices: int) -> tuple[FleetDevice, ...]:
+        """Draw ``n_devices`` devices with deterministic cohort counts.
+
+        Cohort sizes are ``round(fraction * n)``, bumped to at least
+        one whenever the fraction is positive so small test fleets
+        still contain every requested cohort — but never at the cost
+        of the benign majority: at least one device stays benign, with
+        the zero-day cohort clipped first when a tiny fleet cannot fit
+        every cohort.
+        """
+        if n_devices < 1:
+            raise ValueError(f"n_devices must be >= 1; got {n_devices}.")
+        n_zero = self._cohort_count(self.zero_day_fraction, n_devices)
+        n_mal = self._cohort_count(self.malware_fraction, n_devices)
+        overflow = n_mal + n_zero - (n_devices - 1)
+        if overflow > 0:
+            clipped = min(overflow, n_zero)
+            n_zero -= clipped
+            n_mal -= overflow - clipped
+        cohorts = (
+            ["benign"] * (n_devices - n_mal - n_zero)
+            + ["malware"] * n_mal
+            + ["zero_day"] * n_zero
+        )
+        self.rng.shuffle(cohorts)
+        pools = {
+            "benign": self.benign_specs,
+            "malware": self.malware_specs,
+            "zero_day": self.zero_day_specs,
+        }
+        width = max(4, len(str(n_devices - 1)))
+        return tuple(
+            FleetDevice(
+                device_id=f"dev-{i:0{width}d}",
+                spec=pools[cohort][int(self.rng.integers(len(pools[cohort])))],
+                cohort=cohort,
+            )
+            for i, cohort in enumerate(cohorts)
+        )
+
+    @staticmethod
+    def _cohort_count(fraction: float, n_devices: int) -> int:
+        if fraction <= 0:
+            return 0
+        return max(1, int(round(fraction * n_devices)))
+
+
+class FleetTraceGenerator:
+    """Interleaved activity-trace streams for a whole device fleet.
+
+    Wraps one :class:`WorkloadGenerator` per device (each with an
+    independent child seed, so fleets are reproducible but devices are
+    decorrelated) and yields ``(device, trace)`` events the way a
+    collection backend would see them: round-robin across the fleet,
+    with an optional per-round duty cycle so devices report
+    stochastically rather than in lockstep.
+
+    Parameters
+    ----------
+    devices:
+        The fleet, e.g. from :meth:`FleetPopulation.sample`.
+    dt:
+        Seconds per simulation step.
+    duty_cycle:
+        Probability that a device emits a window in a given round.
+    random_state:
+        Master seed; children are spawned per device.
+    """
+
+    def __init__(
+        self,
+        devices,
+        *,
+        dt: float = 0.05,
+        duty_cycle: float = 1.0,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        self.devices = tuple(devices)
+        if not self.devices:
+            raise ValueError("At least one device is required.")
+        if not 0.0 < duty_cycle <= 1.0:
+            raise ValueError(f"duty_cycle must be in (0, 1]; got {duty_cycle}.")
+        self.duty_cycle = duty_cycle
+        master = check_random_state(random_state)
+        self.rng = master
+        self._generators = {
+            device.device_id: WorkloadGenerator(
+                dt=dt, random_state=int(master.integers(2**32))
+            )
+            for device in self.devices
+        }
+
+    def device_windows(
+        self, device: FleetDevice, n_windows: int, window_steps: int
+    ) -> list[ActivityTrace]:
+        """All windows of one device (independent sessions)."""
+        generator = self._generators[device.device_id]
+        return generator.generate_windows(device.spec, n_windows, window_steps)
+
+    def stream(self, n_rounds: int, window_steps: int):
+        """Yield ``(device, trace)`` events, round-robin over the fleet.
+
+        Each round visits every device once; a device emits a window
+        with probability ``duty_cycle``.  This is the arrival process
+        the fleet monitor multiplexes into batches.
+        """
+        if n_rounds < 1:
+            raise ValueError(f"n_rounds must be >= 1; got {n_rounds}.")
+        for _ in range(n_rounds):
+            for device in self.devices:
+                if self.duty_cycle < 1.0 and self.rng.random() >= self.duty_cycle:
+                    continue
+                generator = self._generators[device.device_id]
+                yield device, generator.generate(device.spec, window_steps)
 
 
 def scaled_phase(phase: WorkloadPhase, **overrides) -> WorkloadPhase:

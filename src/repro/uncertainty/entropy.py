@@ -71,13 +71,26 @@ def votes_to_distribution(votes: np.ndarray, classes: np.ndarray) -> np.ndarray:
     if votes.ndim != 2:
         raise ValueError(f"votes must be 2-d; got shape {votes.shape}.")
     classes = np.asarray(classes)
-    distribution = np.zeros((votes.shape[0], len(classes)))
-    for k, cls in enumerate(classes):
-        distribution[:, k] = np.mean(votes == cls, axis=1)
-    if not np.allclose(distribution.sum(axis=1), 1.0, atol=1e-9):
-        raise ValueError(
-            "votes contain labels outside the provided classes."
-        )
+    n_samples, n_members = votes.shape
+    if n_members == 0:
+        raise ValueError("votes must have at least one member column.")
+
+    # Map each vote to its class column in one vectorised pass: sort the
+    # class labels once, binary-search every vote against them, then
+    # histogram the (row, class) pairs with a single bincount.  This
+    # replaces the per-class equality scans, which dominated the fleet
+    # batch hot path for large (n_samples, M) vote matrices.
+    order = np.argsort(classes, kind="stable")
+    sorted_classes = classes[order]
+    pos = np.searchsorted(sorted_classes, votes.ravel())
+    pos = np.clip(pos, 0, len(classes) - 1)
+    if np.any(sorted_classes[pos] != votes.ravel()):
+        raise ValueError("votes contain labels outside the provided classes.")
+    cols = order[pos].reshape(n_samples, n_members)
+
+    flat = np.arange(n_samples)[:, None] * len(classes) + cols
+    counts = np.bincount(flat.ravel(), minlength=n_samples * len(classes))
+    distribution = counts.reshape(n_samples, len(classes)) / float(n_members)
     return distribution
 
 

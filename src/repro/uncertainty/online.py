@@ -89,6 +89,28 @@ class MonitorStats:
         """Mean predictive entropy over all seen windows."""
         return self.entropy_sum / self.n_seen if self.n_seen else 0.0
 
+    def record_verdicts(
+        self,
+        predictions: np.ndarray,
+        entropy: np.ndarray,
+        accepted: np.ndarray,
+    ) -> None:
+        """Bulk-fold one batch of verdicts into the counters.
+
+        The single definition of how verdicts become statistics, shared
+        by :class:`OnlineMonitor` and :class:`repro.fleet.FleetMonitor`
+        so the two can never drift apart.
+        """
+        n = len(predictions)
+        n_accepted = int(np.count_nonzero(accepted))
+        self.n_seen += n
+        self.n_accepted += n_accepted
+        self.n_flagged += n - n_accepted
+        self.n_malware_alerts += int(
+            np.count_nonzero(accepted & (predictions == 1))
+        )
+        self.entropy_sum += float(np.sum(entropy))
+
 
 class OnlineMonitor:
     """Stream signatures through a trusted HMD with forensic capture.
@@ -117,24 +139,34 @@ class OnlineMonitor:
         """
         X = np.atleast_2d(np.asarray(X, dtype=float))
         verdict = self.hmd.analyze(X)
-        for i in range(len(verdict.predictions)):
-            self._step += 1
-            self.stats.n_seen += 1
-            self.stats.entropy_sum += float(verdict.entropy[i])
-            if verdict.accepted[i]:
-                self.stats.n_accepted += 1
-                if verdict.predictions[i] == 1:
-                    self.stats.n_malware_alerts += 1
-            else:
-                self.stats.n_flagged += 1
-                self.queue.push(
-                    FlaggedSample(
-                        features=X[i].copy(),
-                        prediction=int(verdict.predictions[i]),
-                        entropy=float(verdict.entropy[i]),
-                        step=self._step,
-                    )
+        return self.ingest_verdict(X, verdict)
+
+    def ingest_verdict(self, X, verdict: TrustedVerdict) -> TrustedVerdict:
+        """Fold an already-computed verdict into stats and the queue.
+
+        Counter updates are bulk numpy reductions; only the (typically
+        few) flagged windows are materialised as Python objects.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        n = len(verdict.predictions)
+        if len(X) != n:
+            raise ValueError(
+                f"X has {len(X)} windows but the verdict covers {n}."
+            )
+        base_step = self._step
+        self._step += n
+        # dtype=bool: ~ on an int 0/1 mask would invert bitwise, not logically.
+        accepted = np.asarray(verdict.accepted, dtype=bool)
+        self.stats.record_verdicts(verdict.predictions, verdict.entropy, accepted)
+        for i in np.flatnonzero(~accepted):
+            self.queue.push(
+                FlaggedSample(
+                    features=X[i].copy(),
+                    prediction=int(verdict.predictions[i]),
+                    entropy=float(verdict.entropy[i]),
+                    step=base_step + int(i) + 1,
                 )
+            )
         return verdict
 
 

@@ -11,6 +11,7 @@ import pytest
 from repro.experiments import (
     run_decomposition_ablation,
     run_diversity_ablation,
+    run_fleet,
     run_fig4,
     run_fig5,
     run_fig7a,
@@ -307,3 +308,19 @@ class TestCounterBudgetAblation:
         )
         ds = small_context.dataset("hpc")
         assert len(result.selected_features) == ds.n_features
+
+
+class TestFleet:
+    def test_smoke_run(self, small_context):
+        result = run_fleet(
+            context=small_context,
+            n_devices=8,
+            windows_per_device=6,
+            batch_size=16,
+        )
+        assert result.n_devices == 8
+        assert result.n_windows == 48
+        assert result.verdicts_identical
+        assert result.sequential_wps > 0 and result.batched_wps > 0
+        text = result.as_text()
+        assert "Fleet monitoring" in text and "speedup" in text

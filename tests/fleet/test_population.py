@@ -1,0 +1,157 @@
+"""Tests for fleet population sampling, trace generation and the
+feature-level window sampler."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import FleetWindowSampler
+from repro.hmd.apps import DVFS_KNOWN_BENIGN, DVFS_KNOWN_MALWARE, DVFS_UNKNOWN
+from repro.sim import FleetDevice, FleetPopulation, FleetTraceGenerator
+from repro.sim.trace import ActivityTrace
+
+
+class TestFleetDevice:
+    def test_cohort_validated(self):
+        with pytest.raises(ValueError):
+            FleetDevice("dev-0", DVFS_KNOWN_BENIGN[0], cohort="confused")
+
+
+class TestFleetPopulation:
+    def _population(self, **kwargs):
+        defaults = dict(
+            malware_fraction=0.10, zero_day_fraction=0.05, random_state=0
+        )
+        defaults.update(kwargs)
+        return FleetPopulation(
+            DVFS_KNOWN_BENIGN, DVFS_KNOWN_MALWARE, DVFS_UNKNOWN, **defaults
+        )
+
+    def test_cohort_mix(self):
+        devices = self._population().sample(64)
+        cohorts = [d.cohort for d in devices]
+        assert cohorts.count("malware") == 6       # round(0.10 * 64)
+        assert cohorts.count("zero_day") == 3      # round(0.05 * 64)
+        assert cohorts.count("benign") == 55
+        assert len({d.device_id for d in devices}) == 64
+
+    def test_small_fleet_still_gets_every_cohort(self):
+        devices = self._population().sample(5)
+        cohorts = {d.cohort for d in devices}
+        assert cohorts == {"benign", "malware", "zero_day"}
+
+    def test_specs_match_cohorts(self):
+        benign_names = {s.name for s in DVFS_KNOWN_BENIGN}
+        malware_names = {s.name for s in DVFS_KNOWN_MALWARE}
+        unknown_names = {s.name for s in DVFS_UNKNOWN}
+        for device in self._population().sample(40):
+            if device.cohort == "benign":
+                assert device.spec.name in benign_names
+            elif device.cohort == "malware":
+                assert device.spec.name in malware_names
+            else:
+                assert device.spec.name in unknown_names
+
+    def test_reproducible_given_seed(self):
+        a = self._population(random_state=11).sample(20)
+        b = self._population(random_state=11).sample(20)
+        assert [(d.device_id, d.spec.name, d.cohort) for d in a] == [
+            (d.device_id, d.spec.name, d.cohort) for d in b
+        ]
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            self._population(malware_fraction=0.7, zero_day_fraction=0.6)
+        with pytest.raises(ValueError):
+            FleetPopulation(
+                DVFS_KNOWN_BENIGN, (), (), malware_fraction=0.5
+            )
+
+
+class TestFleetTraceGenerator:
+    @pytest.fixture()
+    def fleet(self):
+        return FleetPopulation(
+            DVFS_KNOWN_BENIGN,
+            DVFS_KNOWN_MALWARE,
+            DVFS_UNKNOWN,
+            malware_fraction=0.2,
+            zero_day_fraction=0.1,
+            random_state=3,
+        ).sample(8)
+
+    def test_stream_round_robin(self, fleet):
+        generator = FleetTraceGenerator(fleet, random_state=0)
+        events = list(generator.stream(n_rounds=3, window_steps=40))
+        assert len(events) == 24
+        # Each round visits every device once, in fleet order.
+        first_round = [d.device_id for d, _ in events[:8]]
+        assert first_round == [d.device_id for d in fleet]
+        for device, trace in events:
+            assert isinstance(trace, ActivityTrace)
+            assert trace.n_steps == 40
+            assert trace.name == device.spec.name
+
+    def test_duty_cycle_thins_stream(self, fleet):
+        generator = FleetTraceGenerator(fleet, duty_cycle=0.3, random_state=0)
+        events = list(generator.stream(n_rounds=50, window_steps=10))
+        assert 0 < len(events) < 50 * len(fleet) * 0.6
+
+    def test_device_windows(self, fleet):
+        generator = FleetTraceGenerator(fleet, random_state=0)
+        windows = generator.device_windows(fleet[0], n_windows=4, window_steps=25)
+        assert len(windows) == 4
+        assert all(w.n_steps == 25 for w in windows)
+
+    def test_devices_are_decorrelated(self, fleet):
+        generator = FleetTraceGenerator(fleet, random_state=0)
+        same_spec = [d for d in fleet if d.spec.name == fleet[0].spec.name]
+        trace_a = generator.device_windows(fleet[0], 1, 30)[0]
+        if len(same_spec) > 1:
+            trace_b = generator.device_windows(same_spec[1], 1, 30)[0]
+            assert not np.array_equal(trace_a.cpu_demand, trace_b.cpu_demand)
+
+
+class TestFleetWindowSampler:
+    def test_pools_follow_cohorts(self, dvfs_small):
+        devices = FleetPopulation(
+            DVFS_KNOWN_BENIGN,
+            DVFS_KNOWN_MALWARE,
+            DVFS_UNKNOWN,
+            malware_fraction=0.25,
+            zero_day_fraction=0.25,
+            random_state=5,
+        ).sample(8)
+        sampler = FleetWindowSampler(dvfs_small, devices, random_state=5)
+        for device in devices:
+            windows = sampler.windows(device.device_id, 5)
+            assert windows.shape == (5, dvfs_small.test.X.shape[1])
+
+    def test_rounds_cover_fleet(self, dvfs_small):
+        devices = FleetPopulation(
+            DVFS_KNOWN_BENIGN, DVFS_KNOWN_MALWARE, DVFS_UNKNOWN, random_state=2
+        ).sample(6)
+        sampler = FleetWindowSampler(dvfs_small, devices, random_state=2)
+        events = list(sampler.rounds(4))
+        assert len(events) == 24
+        assert {d for d, _ in events} == {d.device_id for d in devices}
+
+
+class TestTinyFleetClipping:
+    def _population(self):
+        return FleetPopulation(
+            DVFS_KNOWN_BENIGN, DVFS_KNOWN_MALWARE, DVFS_UNKNOWN,
+            malware_fraction=0.05, zero_day_fraction=0.02, random_state=0,
+        )
+
+    def test_single_device_is_benign(self):
+        (device,) = self._population().sample(1)
+        assert device.cohort == "benign"
+
+    def test_two_devices_keep_a_benign(self):
+        cohorts = {d.cohort for d in self._population().sample(2)}
+        assert "benign" in cohorts
+
+    def test_benign_always_present(self):
+        for n in range(1, 8):
+            cohorts = [d.cohort for d in self._population().sample(n)]
+            assert cohorts.count("benign") >= 1

@@ -1,0 +1,122 @@
+"""Tests for the multiplexing queue and backpressure/shedding policy."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import BackpressurePolicy, FleetQueue, WindowRequest
+
+
+def _req(device="dev-0", seq=0):
+    return WindowRequest(device_id=device, features=np.zeros(3), seq=seq)
+
+
+class TestBackpressurePolicy:
+    def test_defaults_valid(self):
+        policy = BackpressurePolicy()
+        assert policy.max_pending == 4096
+        assert policy.shed == "drop_oldest"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_pending": 0},
+            {"max_pending_per_device": 0},
+            {"shed": "explode"},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            BackpressurePolicy(**kwargs)
+
+
+class TestFleetQueue:
+    def test_fifo_order(self):
+        queue = FleetQueue()
+        for i in range(5):
+            assert queue.submit(_req(seq=i))
+        assert [r.seq for r in queue.take(3)] == [0, 1, 2]
+        assert len(queue) == 2
+
+    def test_drop_newest_refuses_when_full(self):
+        queue = FleetQueue(BackpressurePolicy(max_pending=2, shed="drop_newest"))
+        assert queue.submit(_req(seq=0))
+        assert queue.submit(_req(seq=1))
+        assert not queue.submit(_req(seq=2))
+        assert queue.total_shed == 1
+        assert [r.seq for r in queue.take(10)] == [0, 1]
+
+    def test_drop_oldest_evicts_stalest(self):
+        queue = FleetQueue(BackpressurePolicy(max_pending=2, shed="drop_oldest"))
+        queue.submit(_req(device="a", seq=0))
+        queue.submit(_req(device="b", seq=0))
+        assert queue.submit(_req(device="c", seq=0))  # evicts a's window
+        assert queue.total_shed == 1
+        assert queue.shed_by_device == {"a": 1}
+        taken = queue.take(10)
+        assert [r.device_id for r in taken] == ["b", "c"]
+
+    def test_per_device_cap_protects_fleet(self):
+        policy = BackpressurePolicy(max_pending=100, max_pending_per_device=3)
+        queue = FleetQueue(policy)
+        for seq in range(10):
+            queue.submit(_req(device="chatty", seq=seq))
+        queue.submit(_req(device="quiet", seq=0))
+        # Chatty device capped at 3 (its oldest shed), quiet unaffected.
+        assert queue.pending("chatty") == 3
+        assert queue.pending("quiet") == 1
+        assert queue.shed_by_device["chatty"] == 7
+        taken = queue.take(10)
+        chatty_seqs = [r.seq for r in taken if r.device_id == "chatty"]
+        assert chatty_seqs == [7, 8, 9]  # freshest survive
+
+    def test_per_device_cap_drop_newest(self):
+        policy = BackpressurePolicy(
+            max_pending=100, max_pending_per_device=2, shed="drop_newest"
+        )
+        queue = FleetQueue(policy)
+        assert queue.submit(_req(seq=0))
+        assert queue.submit(_req(seq=1))
+        assert not queue.submit(_req(seq=2))
+        assert [r.seq for r in queue.take(10)] == [0, 1]
+
+    def test_pending_counts_stay_consistent(self):
+        queue = FleetQueue(BackpressurePolicy(max_pending=4, shed="drop_oldest"))
+        for seq in range(8):
+            queue.submit(_req(device=f"d{seq % 2}", seq=seq))
+        assert len(queue) == 4
+        assert queue.pending("d0") + queue.pending("d1") == 4
+        queue.take(2)
+        assert len(queue) == 2
+        assert queue.pending("d0") + queue.pending("d1") == 2
+
+    def test_take_requires_positive(self):
+        with pytest.raises(ValueError):
+            FleetQueue().take(0)
+
+
+class TestDeviceDequeTrimming:
+    def test_no_unbounded_ticket_growth(self):
+        """Long-running submit/take cycles must not leak stale tickets."""
+        queue = FleetQueue()
+        for seq in range(1000):
+            queue.submit(_req(device="d", seq=seq))
+            queue.take(1)
+        assert len(queue) == 0
+        assert len(queue._by_device["d"]) <= 1
+
+    def test_no_growth_under_global_eviction(self):
+        queue = FleetQueue(BackpressurePolicy(max_pending=2, shed="drop_oldest"))
+        for seq in range(500):
+            queue.submit(_req(device="d", seq=seq))
+        assert len(queue) == 2
+        assert len(queue._by_device["d"]) <= 3
+
+    def test_global_order_compacts_under_stalled_consumer(self):
+        """Per-device-cap evictions must not grow _order while stalled."""
+        policy = BackpressurePolicy(max_pending=4096, max_pending_per_device=4)
+        queue = FleetQueue(policy)
+        for seq in range(10_000):
+            queue.submit(_req(device="chatty", seq=seq))
+        assert len(queue) == 4
+        assert len(queue._order) <= 2 * max(len(queue._items), 16)
+        assert [r.seq for r in queue.take(10)] == [9996, 9997, 9998, 9999]

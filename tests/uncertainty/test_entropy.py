@@ -130,3 +130,8 @@ class TestMarginAndVariationRatio:
             variation_ratio(confident, classes)[0]
             < variation_ratio(uncertain, classes)[0]
         )
+
+
+def test_votes_to_distribution_rejects_zero_members():
+    with pytest.raises(ValueError, match="member"):
+        votes_to_distribution(np.empty((3, 0)), np.array([0, 1]))

@@ -168,3 +168,37 @@ class TestRetrainingLoop:
         X, y, hmd = monitor_setup
         loop = RetrainingLoop(hmd, X, y)
         assert not loop.incorporate([], [])
+
+
+def test_ingest_verdict_coerces_int_accepted_mask(monitor_setup):
+    """An int 0/1 accepted mask must behave like a bool mask (no bitwise ~)."""
+    from repro.uncertainty import TrustedVerdict
+
+    X, _, hmd = monitor_setup
+    monitor = OnlineMonitor(hmd)
+    verdict = TrustedVerdict(
+        predictions=np.array([1, 0]),
+        entropy=np.array([0.1, 0.9]),
+        accepted=np.array([1, 0]),  # int mask a caller might hand-build
+        threshold=0.4,
+    )
+    monitor.ingest_verdict(X[:2], verdict)
+    assert monitor.stats.n_accepted == 1
+    assert monitor.stats.n_flagged == 1
+    assert len(monitor.queue) == 1
+
+
+def test_ingest_verdict_rejects_mismatched_lengths(monitor_setup):
+    from repro.uncertainty import TrustedVerdict
+
+    X, _, hmd = monitor_setup
+    monitor = OnlineMonitor(hmd)
+    verdict = TrustedVerdict(
+        predictions=np.array([1, 0]),
+        entropy=np.array([0.1, 0.9]),
+        accepted=np.array([True, False]),
+        threshold=0.4,
+    )
+    with pytest.raises(ValueError, match="windows"):
+        monitor.ingest_verdict(X[:1], verdict)
+    assert monitor.stats.n_seen == 0  # no partial state mutation
