@@ -160,6 +160,11 @@ class FleetMonitor:
         if entropy_window < 1:
             raise ValueError(f"entropy_window must be >= 1; got {entropy_window}.")
         self.hmd = hmd
+        compile_hmd = getattr(hmd, "compile", None)
+        if callable(compile_hmd):
+            # Warm the flattened vote backend so the first batch of
+            # live traffic does not pay the one-off flattening cost.
+            compile_hmd()
         self.batch_size = batch_size
         self.queue = FleetQueue(policy)
         self.forensics = forensics if forensics is not None else ForensicQueue()

@@ -64,6 +64,7 @@ class DvfsHmdFrontend:
             X_parts.append(X)
             y_parts.append(np.full(len(X), label))
         self.hmd.fit(np.vstack(X_parts), np.concatenate(y_parts))
+        self.hmd.compile()
         return self
 
     def analyze(self, trace: DvfsTrace) -> TrustedVerdict:
@@ -91,6 +92,7 @@ class HpcHmdFrontend:
             X_parts.append(X)
             y_parts.append(np.full(len(X), label))
         self.hmd.fit(np.vstack(X_parts), np.concatenate(y_parts))
+        self.hmd.compile()
         return self
 
     def analyze(self, trace: HpcTrace) -> TrustedVerdict:

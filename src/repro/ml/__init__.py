@@ -7,6 +7,13 @@ Regression / SVM base learners, preprocessing, PCA, t-SNE, metrics,
 model selection, and Platt calibration.
 """
 
+from .backend import (
+    BackendCompileError,
+    CompiledVotePath,
+    CompositeBackend,
+    FlatForest,
+    compile_flat_forest,
+)
 from .base import BaseEstimator, ClassifierMixin, TransformerMixin, clone
 from .boosting import AdaBoostClassifier, ExtraTreesClassifier
 from .calibration import CalibratedClassifier, PlattScaler
@@ -36,8 +43,13 @@ from .tree import DecisionTreeClassifier
 
 __all__ = [
     "AdaBoostClassifier",
+    "BackendCompileError",
     "BaseEstimator",
     "BaggingClassifier",
+    "CompiledVotePath",
+    "CompositeBackend",
+    "FlatForest",
+    "compile_flat_forest",
     "CalibratedClassifier",
     "ClassifierMixin",
     "ConvergenceError",

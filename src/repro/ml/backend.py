@@ -1,0 +1,486 @@
+"""Flattened ensemble inference backend.
+
+The paper's vote path (Eq. 3-4) asks every ensemble member for a hard
+decision on every window.  The reference implementation walks that as a
+Python loop — ``for member in estimators_: member.predict(X)`` — which
+pays per-member input validation, per-member tree routing and
+per-member label gathering, M times per batch.  This module compiles a
+fitted tree ensemble into **one contiguous node tensor** and evaluates
+all members on a whole batch as a single level-synchronous array
+program:
+
+* :func:`compile_flat_forest` packs every member's flat
+  :class:`~repro.ml.tree.TreeStructure` arrays into stacked
+  ``(feature, goto)`` / ``threshold`` / ``leaf_label`` tensors with
+  per-tree root offsets.  Member feature subsets (bagging's
+  ``estimators_features_``) are folded in by remapping each node's
+  feature index into the *global* input space, so no per-member column
+  slicing survives at predict time.
+* :class:`FlatForest` routes all ``n_samples x n_members`` slots at
+  once: one gather per node record per level, with active-set
+  compaction once most slots have reached leaves.
+* :class:`CompositeBackend` handles heterogeneous ensembles
+  (``VotingClassifier``): tree members ride the flat tensor, other
+  members fall back to their own ``predict`` — column by column, in
+  member order, exactly like the legacy loop.
+* :class:`CompiledVotePath` is the estimator-facing mixin: a cached
+  ``compile()`` (auto-invalidated on refit) plus ``decisions_fast``,
+  ``vote_distribution`` and ``predict`` routed through the backend.
+
+Equivalence guarantee
+---------------------
+The compiled path performs the *same comparisons* (``x[f] <= t`` with
+identical float64 operands) and the same leaf-label argmax as the
+per-member loop, so votes are **bitwise identical** — and therefore so
+are vote distributions, entropies, rejection decisions and fleet
+verdicts.  ``tests/ml/test_backend.py`` asserts this across randomized
+ensembles; ``benchmarks/test_bench_predict.py`` gates the speedup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "BackendCompileError",
+    "FlatForest",
+    "CompositeBackend",
+    "CompiledVotePath",
+    "compile_flat_forest",
+]
+
+_LEAF = -1
+# Rows per traversal chunk are sized so a chunk's slot count
+# (rows x members) stays cache-friendly.
+_SLOT_TARGET = 51_200
+
+
+class BackendCompileError(Exception):
+    """An ensemble (or member) cannot be flattened; callers fall back."""
+
+
+class FlatForest:
+    """All trees of an ensemble packed into one node tensor.
+
+    Storage (``n_nodes`` = total nodes across members; all index
+    arrays are ``intp`` — narrower dtypes force numpy's ``take`` onto a
+    casting slow path that is ~4x more expensive per gather):
+
+    ``fg``
+        ``(n_nodes, 2) intp`` — column 0 the *global* feature index
+        tested at the node (``-1`` for leaves), column 1 the ``goto``
+        target: the left-child node id.  Right children are always
+        allocated at ``left + 1`` (verified at compile time), so the
+        routing update is ``node = goto[node] + (x > threshold)``.
+        Leaves point ``goto`` at themselves with ``threshold = +inf``,
+        making finished slots self-loop instead of branching.
+    ``threshold``
+        ``(n_nodes,) float64`` split thresholds (``+inf`` at leaves).
+    ``leaf_label``
+        ``(n_nodes,)`` of the ensemble's class dtype — the label the
+        member emits if routing ends at that node (argmax of the
+        normalised leaf class counts, i.e. exactly
+        ``member.predict``'s choice including tie-breaks).
+    ``roots``
+        ``(n_members,) intp`` root node id per member.
+
+    Traversal is level-synchronous over all ``rows x members`` slots,
+    the level-0 step fully precomputed per batch shape, and the active
+    set compacted once enough slots have self-looped into leaves.
+    """
+
+    def __init__(
+        self,
+        fg: np.ndarray,
+        threshold: np.ndarray,
+        leaf_label: np.ndarray,
+        roots: np.ndarray,
+        n_features: int,
+        max_depth: int,
+    ):
+        self.fg = fg
+        self.threshold = threshold
+        self.leaf_label = leaf_label
+        self.roots = roots
+        self.n_features = int(n_features)
+        self.max_depth = int(max_depth)
+        self.n_members = len(roots)
+        self.n_nodes = len(threshold)
+        self._setup_cache: dict[int, tuple] = {}
+
+    def _setup(self, nc: int, n_features: int) -> tuple:
+        """Per-batch-shape constants: slot layout and the level-0 step.
+
+        Level 0 visits each member's root for every row — the node ids,
+        features and thresholds are batch-independent, so the entire
+        first gather/compare program is precomputed and cached.
+        """
+        cached = self._setup_cache.get(nc)
+        if cached is not None:
+            return cached
+        if len(self._setup_cache) > 8:
+            self._setup_cache.clear()
+        rows_f = (np.arange(nc, dtype=np.intp) * n_features).repeat(
+            self.n_members
+        )
+        root_f = self.fg[self.roots, 0]
+        xi0 = rows_f + np.tile(root_f, nc)  # clip-mode handles stump roots
+        thr0 = np.tile(self.threshold[self.roots], nc)
+        goto0 = np.tile(self.fg[self.roots, 1], nc)
+        cached = (rows_f, xi0, thr0, goto0)
+        self._setup_cache[nc] = cached
+        return cached
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf node id per (sample, member), shape ``(n, n_members)``."""
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        n, n_features = X.shape
+        if n_features != self.n_features:
+            raise ValueError(
+                f"X has {n_features} features; backend expects {self.n_features}."
+            )
+        m = self.n_members
+        chunk = max(16, _SLOT_TARGET // m)
+        leaves = np.empty(n * m, dtype=np.intp)
+        for start in range(0, n, chunk):
+            nc = min(chunk, n - start)
+            self._apply_chunk(
+                X[start : start + nc],
+                leaves[start * m : (start + nc) * m],
+            )
+        return leaves.reshape(n, m)
+
+    def _apply_chunk(self, X: np.ndarray, out: np.ndarray) -> None:
+        """Route one chunk of rows; ``out`` receives flat leaf ids."""
+        nc, n_features = X.shape
+        x_flat = X.ravel()
+        fg = self.fg
+        threshold = self.threshold
+        rows_f, xi0, thr0, goto0 = self._setup(nc, n_features)
+
+        # Level 0: precomputed gather program (see _setup).
+        xv = x_flat.take(xi0, mode="clip")
+        node = np.add(goto0, np.greater(xv, thr0))
+
+        idx = None  # None = all slots still tracked full-width
+        for level in range(1, self.max_depth):
+            rec = fg.take(node, axis=0, mode="clip")
+            f = rec[:, 0]
+            # Compaction: once most slots have self-looped into leaves,
+            # bank their final node ids and keep only the live ones.
+            # The check itself costs two passes, so it only runs while
+            # the active set is big enough for halving to pay for it.
+            if level >= 2 and node.size > 4096:
+                alive = f >= 0
+                n_alive = int(np.count_nonzero(alive))
+                if n_alive == 0:
+                    break
+                if n_alive < 0.5 * node.size:
+                    live = np.flatnonzero(alive)
+                    if idx is None:
+                        out[:] = node
+                        idx = live
+                    else:
+                        dead = np.flatnonzero(~alive)
+                        out[idx.take(dead)] = node.take(dead)
+                        idx = idx.take(live)
+                    rows_f = rows_f.take(live)
+                    node = node.take(live)
+                    rec = rec.take(live, axis=0)
+                    f = rec[:, 0]
+            xv = x_flat.take(np.add(f, rows_f), mode="clip")
+            gb = np.greater(xv, threshold.take(node))
+            node = np.add(rec[:, 1], gb)
+        if idx is None:
+            out[:] = node
+        else:
+            out[idx] = node
+
+    def decisions(self, X: np.ndarray) -> np.ndarray:
+        """Per-member hard votes, shape ``(n, n_members)``.
+
+        Bitwise identical to the legacy per-member predict loop.
+        """
+        return self.leaf_label.take(self.apply(X).ravel()).reshape(
+            X.shape[0], self.n_members
+        )
+
+
+class CompositeBackend:
+    """Mixed ensemble backend: flat trees + per-member fallback columns.
+
+    ``VotingClassifier`` can mix tree and non-tree members.  The tree
+    subset is compiled into one :class:`FlatForest`; the remaining
+    members keep their own ``predict``, called in member order so the
+    assembled vote matrix matches the legacy loop column for column.
+    """
+
+    def __init__(
+        self,
+        forest: FlatForest,
+        tree_columns: np.ndarray,
+        others: list,
+        other_columns: list[int],
+        other_features: list | None,
+        classes: np.ndarray,
+        n_members: int,
+    ):
+        self.forest = forest
+        self.tree_columns = tree_columns
+        self.others = others
+        self.other_columns = other_columns
+        self.other_features = other_features
+        self.classes = classes
+        self.n_members = n_members
+
+    def decisions(self, X: np.ndarray) -> np.ndarray:
+        """Votes with tree columns from the flat tensor, rest legacy."""
+        votes = np.empty((X.shape[0], self.n_members), dtype=self.classes.dtype)
+        votes[:, self.tree_columns] = self.forest.decisions(X)
+        for pos, member in zip(self.other_columns, self.others):
+            Xm = (
+                X
+                if self.other_features is None
+                else X[:, self.other_features[pos]]
+            )
+            votes[:, pos] = member.predict(Xm)
+        return votes
+
+
+def _flatten_member(
+    member,
+    classes: np.ndarray,
+    n_features: int,
+    feature_map: np.ndarray | None,
+    offset: int,
+):
+    """One member's flat arrays, offset into the stacked tensor."""
+    tree = getattr(member, "tree_", None)
+    if tree is None:
+        raise BackendCompileError(f"{type(member).__name__} has no flat tree.")
+    feature = np.asarray(tree.feature)
+    threshold = np.asarray(tree.threshold)
+    left = np.asarray(tree.children_left)
+    right = np.asarray(tree.children_right)
+    value = np.asarray(tree.value)
+    n_nodes = len(feature)
+    leaf = feature < 0
+    internal = ~leaf
+    # The goto trick requires sibling pairs: fit() allocates children
+    # back-to-back, so right == left + 1 for every internal node.
+    if not np.array_equal(right[internal], left[internal] + 1):
+        raise BackendCompileError("tree children are not paired consecutively.")
+
+    member_classes = np.asarray(member.classes_)
+    if member_classes.dtype != classes.dtype or not np.all(
+        np.isin(member_classes, classes)
+    ):
+        raise BackendCompileError("member classes are not a subset of the ensemble's.")
+    if feature_map is not None:
+        feature_map = np.asarray(feature_map)
+        if internal.any() and int(feature[internal].max()) >= len(feature_map):
+            raise BackendCompileError("feature map shorter than tree features.")
+        global_feature = np.where(
+            leaf, _LEAF, feature_map[np.clip(feature, 0, None)]
+        )
+    else:
+        global_feature = np.where(leaf, _LEAF, feature)
+    if internal.any() and int(global_feature.max()) >= n_features:
+        raise BackendCompileError("tree feature index exceeds input width.")
+
+    self_ids = np.arange(n_nodes)
+    goto = np.where(leaf, self_ids, left) + offset
+    flat_threshold = np.where(leaf, np.inf, threshold)
+    # Leaf label exactly as member.predict emits it: argmax over the
+    # *normalised* counts, so float tie-breaks match bit for bit.
+    proba = value / value.sum(axis=1, keepdims=True)
+    leaf_label = member_classes[np.argmax(proba, axis=1)]
+    try:
+        depth = int(tree.max_depth())
+    except AttributeError:
+        raise BackendCompileError("tree storage lacks max_depth().")
+    return global_feature, flat_threshold, goto, leaf_label, depth
+
+
+def compile_flat_forest(
+    members,
+    classes: np.ndarray,
+    n_features: int,
+    features_list=None,
+) -> FlatForest:
+    """Stack fitted tree members into one :class:`FlatForest`.
+
+    Parameters
+    ----------
+    members:
+        Fitted estimators exposing ``tree_`` (a
+        :class:`~repro.ml.tree.TreeStructure`) and ``classes_``.
+    classes:
+        The ensemble's class labels (vote dtype and argmax order).
+    n_features:
+        Width of the ensemble's input space.
+    features_list:
+        Optional per-member global feature-index maps
+        (``estimators_features_``); folded into the node tensor.
+
+    Raises
+    ------
+    BackendCompileError
+        When any member cannot be flattened (no tree, incompatible
+        classes, unpaired children).  Callers treat this as "use the
+        legacy loop".
+    """
+    if not members:
+        raise BackendCompileError("no members to compile.")
+    classes = np.asarray(classes)
+    features, thresholds, gotos, labels, roots = [], [], [], [], []
+    offset = 0
+    max_depth = 0
+    for position, member in enumerate(members):
+        feature_map = None if features_list is None else features_list[position]
+        f, t, g, lab, depth = _flatten_member(
+            member, classes, n_features, feature_map, offset
+        )
+        features.append(f)
+        thresholds.append(t)
+        gotos.append(g)
+        labels.append(lab)
+        roots.append(offset)
+        offset += len(f)
+        max_depth = max(max_depth, depth)
+    fg = np.ascontiguousarray(
+        np.stack(
+            [np.concatenate(features), np.concatenate(gotos)], axis=1
+        ).astype(np.intp)
+    )
+    return FlatForest(
+        fg=fg,
+        threshold=np.concatenate(thresholds),
+        leaf_label=np.concatenate(labels).astype(classes.dtype),
+        roots=np.asarray(roots, dtype=np.intp),
+        n_features=n_features,
+        max_depth=max_depth,
+    )
+
+
+class CompiledVotePath:
+    """Mixin growing an ensemble a compiled, cached vote path.
+
+    Hosts expose ``estimators_`` / ``classes_`` / ``n_features_in_``
+    (and optionally ``estimators_features_``).  The mixin provides:
+
+    * :meth:`decisions` — the legacy per-member Python loop, kept as
+      the reference implementation and benchmark baseline;
+    * :meth:`compile` — build and cache the flattened backend (a
+      :class:`FlatForest`, a :class:`CompositeBackend` for mixed
+      ensembles, or ``None`` when nothing is compilable);
+    * :meth:`decisions_fast` — votes through the compiled backend,
+      transparently falling back to :meth:`decisions`;
+    * :meth:`vote_distribution` / :meth:`predict` — the shared Eq. 3
+      vote-fraction path, routed through the fast votes.
+
+    The compiled backend is keyed to the ``estimators_`` list object,
+    so any refit (which rebuilds that list) invalidates it without the
+    host having to remember to.
+    """
+
+    def _vote_members(self) -> tuple[list, list | None]:
+        """Members and optional per-member global feature maps."""
+        return self.estimators_, getattr(self, "estimators_features_", None)
+
+    def _invalidate_backend(self) -> None:
+        """Drop any compiled backend (called at the top of ``fit``)."""
+        self.__dict__.pop("_backend_cache_", None)
+
+    def compile(self):
+        """Build (or fetch the cached) flattened prediction backend.
+
+        Returns the backend object, or ``None`` when no member is
+        compilable (the fast path then degrades to the legacy loop).
+        Refitting invalidates the cache automatically.
+        """
+        members, features_list = self._vote_members()
+        cache = getattr(self, "_backend_cache_", None)
+        if cache is not None and cache[0] is members:
+            return cache[1]
+
+        backend = None
+        try:
+            backend = compile_flat_forest(
+                members, self.classes_, self.n_features_in_, features_list
+            )
+        except BackendCompileError:
+            tree_positions = [
+                i for i, m in enumerate(members) if hasattr(m, "tree_")
+            ]
+            if tree_positions:
+                try:
+                    forest = compile_flat_forest(
+                        [members[i] for i in tree_positions],
+                        self.classes_,
+                        self.n_features_in_,
+                        None
+                        if features_list is None
+                        else [features_list[i] for i in tree_positions],
+                    )
+                    other_positions = [
+                        i
+                        for i in range(len(members))
+                        if i not in set(tree_positions)
+                    ]
+                    backend = CompositeBackend(
+                        forest=forest,
+                        tree_columns=np.asarray(tree_positions, dtype=np.intp),
+                        others=[members[i] for i in other_positions],
+                        other_columns=other_positions,
+                        other_features=features_list,
+                        classes=np.asarray(self.classes_),
+                        n_members=len(members),
+                    )
+                except BackendCompileError:
+                    backend = None
+        self._backend_cache_ = (members, backend)
+        return backend
+
+    def decisions(self, X) -> np.ndarray:
+        """Per-member hard votes via the legacy Python loop.
+
+        One ``member.predict`` call per member — kept verbatim as the
+        reference implementation the compiled backend is verified
+        against (and benchmarked over).
+        """
+        X = self._check_predict_input(X)
+        members, features_list = self._vote_members()
+        votes = np.empty((X.shape[0], len(members)), dtype=self.classes_.dtype)
+        for position, member in enumerate(members):
+            Xm = X if features_list is None else X[:, features_list[position]]
+            votes[:, position] = member.predict(Xm)
+        return votes
+
+    def decisions_fast(self, X) -> np.ndarray:
+        """Per-member hard votes via the compiled backend.
+
+        Bitwise identical to :meth:`decisions`; falls back to it when
+        the ensemble cannot be compiled.
+        """
+        backend = self.compile() if hasattr(self, "estimators_") else None
+        if backend is None:
+            return self.decisions(X)
+        X = self._check_predict_input(X)
+        return backend.decisions(X)
+
+    def vote_distribution(self, X) -> np.ndarray:
+        """Frequency distribution of member decisions over classes.
+
+        Shape ``(n_samples, n_classes)``; rows sum to 1 (Eq. 3).
+        """
+        # Local import: repro.ml must stay importable without pulling
+        # the uncertainty package in at module load.
+        from ..uncertainty.entropy import votes_to_distribution
+
+        return votes_to_distribution(self.decisions_fast(X), self.classes_)
+
+    def predict(self, X) -> np.ndarray:
+        """Majority vote of the members (through the compiled path)."""
+        distribution = self.vote_distribution(X)
+        return self.classes_[np.argmax(distribution, axis=1)]

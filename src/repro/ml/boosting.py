@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .backend import CompiledVotePath
 from .base import BaseEstimator, ClassifierMixin, clone
 from .tree import DecisionTreeClassifier
 from .validation import check_random_state, check_X_y
@@ -25,7 +26,7 @@ from .validation import check_random_state, check_X_y
 __all__ = ["AdaBoostClassifier", "ExtraTreesClassifier"]
 
 
-class AdaBoostClassifier(BaseEstimator, ClassifierMixin):
+class AdaBoostClassifier(CompiledVotePath, BaseEstimator, ClassifierMixin):
     """Discrete AdaBoost (SAMME) over shallow decision trees.
 
     Parameters
@@ -68,6 +69,7 @@ class AdaBoostClassifier(BaseEstimator, ClassifierMixin):
         if n_classes < 2:
             raise ValueError("AdaBoost needs at least 2 classes.")
         self.n_features_in_ = X.shape[1]
+        self._invalidate_backend()
 
         rng = check_random_state(self.random_state)
         n = len(y)
@@ -118,13 +120,9 @@ class AdaBoostClassifier(BaseEstimator, ClassifierMixin):
             )
         return self
 
-    def decisions(self, X) -> np.ndarray:
-        """Per-member hard votes (unweighted), shape ``(n, M)``."""
-        X = self._check_predict_input(X)
-        votes = np.empty((X.shape[0], len(self.estimators_)), dtype=self.classes_.dtype)
-        for m, member in enumerate(self.estimators_):
-            votes[:, m] = member.predict(X)
-        return votes
+    # decisions / decisions_fast / vote_distribution come from
+    # CompiledVotePath (votes are unweighted; the boosting weights only
+    # enter decision_scores).  predict stays weighted-majority below.
 
     def decision_scores(self, X) -> np.ndarray:
         """Weighted class scores, shape ``(n, n_classes)``."""
@@ -203,7 +201,7 @@ class _ExtraTreeClassifier(DecisionTreeClassifier):
         return best
 
 
-class ExtraTreesClassifier(BaseEstimator, ClassifierMixin):
+class ExtraTreesClassifier(CompiledVotePath, BaseEstimator, ClassifierMixin):
     """Ensemble of extremely-randomised trees (no bootstrap by default)."""
 
     def __init__(
@@ -232,6 +230,7 @@ class ExtraTreesClassifier(BaseEstimator, ClassifierMixin):
         X, y = check_X_y(X, y)
         if self.n_estimators < 1:
             raise ValueError("n_estimators must be >= 1.")
+        self._invalidate_backend()
         rng = check_random_state(self.random_state)
         n = len(y)
         self.classes_ = np.unique(y)
@@ -256,21 +255,8 @@ class ExtraTreesClassifier(BaseEstimator, ClassifierMixin):
             self.estimators_.append(tree)
         return self
 
-    def decisions(self, X) -> np.ndarray:
-        """Per-tree hard votes, shape ``(n, n_estimators)``."""
-        X = self._check_predict_input(X)
-        votes = np.empty((X.shape[0], len(self.estimators_)), dtype=self.classes_.dtype)
-        for m, tree in enumerate(self.estimators_):
-            votes[:, m] = tree.predict(X)
-        return votes
-
-    def vote_distribution(self, X) -> np.ndarray:
-        """Vote-fraction distribution over classes."""
-        votes = self.decisions(X)
-        distribution = np.zeros((votes.shape[0], len(self.classes_)))
-        for k, cls in enumerate(self.classes_):
-            distribution[:, k] = np.mean(votes == cls, axis=1)
-        return distribution
+    # decisions / decisions_fast / vote_distribution / predict come from
+    # CompiledVotePath.
 
     def predict_proba(self, X) -> np.ndarray:
         """Mean per-tree leaf probabilities."""
@@ -280,7 +266,3 @@ class ExtraTreesClassifier(BaseEstimator, ClassifierMixin):
             proba += tree.predict_proba(X)
         return proba / len(self.estimators_)
 
-    def predict(self, X) -> np.ndarray:
-        """Majority-vote labels."""
-        distribution = self.vote_distribution(X)
-        return self.classes_[np.argmax(distribution, axis=1)]

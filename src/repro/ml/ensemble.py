@@ -7,12 +7,19 @@ training set (Breiman 1996), fits one base classifier per replicate, and
 ``estimators_`` attribute so the Uncertainty Estimator module can form
 the *frequency distribution of their individual decisions* (Fig. 2,
 Eq. 3-4 of the paper).
+
+All three ensembles share the :class:`~repro.ml.backend.CompiledVotePath`
+mixin: ``decisions`` is the legacy per-member reference loop, while
+``decisions_fast`` / ``vote_distribution`` / ``predict`` route through
+the flattened single-tensor backend (bitwise-identical votes, compiled
+lazily and invalidated on refit).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .backend import CompiledVotePath
 from .base import BaseEstimator, ClassifierMixin, clone
 from .exceptions import ConvergenceError
 from .tree import DecisionTreeClassifier
@@ -33,7 +40,7 @@ def _resolve_count(value: int | float, total: int, name: str) -> int:
     return count
 
 
-class BaggingClassifier(BaseEstimator, ClassifierMixin):
+class BaggingClassifier(CompiledVotePath, BaseEstimator, ClassifierMixin):
     """Bootstrap-aggregating ensemble over an arbitrary base classifier.
 
     Parameters
@@ -92,6 +99,7 @@ class BaggingClassifier(BaseEstimator, ClassifierMixin):
             raise ValueError(
                 f"on_base_failure must be 'raise' or 'skip'; got {self.on_base_failure!r}."
             )
+        self._invalidate_backend()
         rng = check_random_state(self.random_state)
         n_samples, n_features = X.shape
         n_draw = _resolve_count(self.max_samples, n_samples, "max_samples")
@@ -139,49 +147,21 @@ class BaggingClassifier(BaseEstimator, ClassifierMixin):
             self.estimators_samples_.append(sample_idx)
         return self
 
-    def decisions(self, X) -> np.ndarray:
-        """Matrix of per-member hard votes, shape ``(n_samples, M)``.
-
-        This is the raw material of the paper's Uncertainty Estimator:
-        column ``m`` holds the class predicted by base classifier ``m``.
-        """
-        X = self._check_predict_input(X)
-        votes = np.empty((X.shape[0], len(self.estimators_)), dtype=self.classes_.dtype)
-        for m, (base, feats) in enumerate(
-            zip(self.estimators_, self.estimators_features_)
-        ):
-            votes[:, m] = base.predict(X[:, feats])
-        return votes
-
-    def vote_distribution(self, X) -> np.ndarray:
-        """Frequency distribution of member decisions over classes.
-
-        Shape ``(n_samples, n_classes)``; rows sum to 1.  Approximates
-        the predictive posterior of Eq. 3.
-        """
-        votes = self.decisions(X)
-        n_classes = len(self.classes_)
-        distribution = np.zeros((votes.shape[0], n_classes))
-        for k, cls in enumerate(self.classes_):
-            distribution[:, k] = np.mean(votes == cls, axis=1)
-        return distribution
+    # decisions / decisions_fast / vote_distribution / predict come from
+    # CompiledVotePath; member feature subsets are folded into the
+    # compiled node tensor via estimators_features_.
 
     def predict_proba(self, X) -> np.ndarray:
         """Ensemble probability = member vote fractions."""
         return self.vote_distribution(X)
 
-    def predict(self, X) -> np.ndarray:
-        """Majority vote of the base classifiers."""
-        distribution = self.vote_distribution(X)
-        return self.classes_[np.argmax(distribution, axis=1)]
 
-
-class RandomForestClassifier(BaseEstimator, ClassifierMixin):
+class RandomForestClassifier(CompiledVotePath, BaseEstimator, ClassifierMixin):
     """Random forest = bagged CART trees with per-split feature subsampling.
 
-    Exposes the same ``estimators_`` / ``decisions`` interface as
-    :class:`BaggingClassifier` so the uncertainty estimator treats both
-    uniformly.
+    Exposes the same ``estimators_`` / ``decisions`` /
+    ``decisions_fast`` interface as :class:`BaggingClassifier` so the
+    uncertainty estimator treats both uniformly.
     """
 
     def __init__(
@@ -212,6 +192,7 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         X, y = check_X_y(X, y)
         if self.n_estimators < 1:
             raise ValueError("n_estimators must be >= 1.")
+        self._invalidate_backend()
         rng = check_random_state(self.random_state)
         n_samples = X.shape[0]
         n_draw = _resolve_count(self.max_samples, n_samples, "max_samples")
@@ -240,21 +221,8 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
             self.estimators_samples_.append(sample_idx)
         return self
 
-    def decisions(self, X) -> np.ndarray:
-        """Per-tree hard votes, shape ``(n_samples, n_estimators)``."""
-        X = self._check_predict_input(X)
-        votes = np.empty((X.shape[0], len(self.estimators_)), dtype=self.classes_.dtype)
-        for m, tree in enumerate(self.estimators_):
-            votes[:, m] = tree.predict(X)
-        return votes
-
-    def vote_distribution(self, X) -> np.ndarray:
-        """Vote-fraction distribution over classes (rows sum to 1)."""
-        votes = self.decisions(X)
-        distribution = np.zeros((votes.shape[0], len(self.classes_)))
-        for k, cls in enumerate(self.classes_):
-            distribution[:, k] = np.mean(votes == cls, axis=1)
-        return distribution
+    # decisions / decisions_fast / vote_distribution / predict come from
+    # CompiledVotePath.
 
     def predict_proba(self, X) -> np.ndarray:
         """Mean of per-tree leaf probability estimates."""
@@ -263,11 +231,6 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         for tree in self.estimators_:
             proba += tree.predict_proba(X)
         return proba / len(self.estimators_)
-
-    def predict(self, X) -> np.ndarray:
-        """Majority-vote class labels."""
-        distribution = self.vote_distribution(X)
-        return self.classes_[np.argmax(distribution, axis=1)]
 
     @property
     def feature_importances_(self) -> np.ndarray:
@@ -279,12 +242,14 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         return importances / total if total > 0 else importances
 
 
-class VotingClassifier(BaseEstimator, ClassifierMixin):
+class VotingClassifier(CompiledVotePath, BaseEstimator, ClassifierMixin):
     """Hard/soft voting over heterogeneous, named estimators.
 
     Used in the diversity ablation: a vote over *different model
     families* is an alternative ensemble construction to bagging one
-    family.
+    family.  Tree members ride the compiled flat tensor; other member
+    families transparently fall back to their own ``predict`` (the
+    backend assembles a mixed :class:`~repro.ml.backend.CompositeBackend`).
     """
 
     def __init__(
@@ -303,6 +268,7 @@ class VotingClassifier(BaseEstimator, ClassifierMixin):
             raise ValueError("estimators list is empty.")
         if self.voting not in ("hard", "soft"):
             raise ValueError(f"voting must be 'hard' or 'soft'; got {self.voting!r}.")
+        self._invalidate_backend()
         self.classes_ = np.unique(y)
         self.n_features_in_ = X.shape[1]
         self.named_estimators_ = {}
@@ -314,21 +280,8 @@ class VotingClassifier(BaseEstimator, ClassifierMixin):
             self.estimators_.append(model)
         return self
 
-    def decisions(self, X) -> np.ndarray:
-        """Per-member hard votes, shape ``(n_samples, n_members)``."""
-        X = self._check_predict_input(X)
-        votes = np.empty((X.shape[0], len(self.estimators_)), dtype=self.classes_.dtype)
-        for m, model in enumerate(self.estimators_):
-            votes[:, m] = model.predict(X)
-        return votes
-
-    def vote_distribution(self, X) -> np.ndarray:
-        """Vote-fraction distribution over classes (rows sum to 1)."""
-        votes = self.decisions(X)
-        distribution = np.zeros((votes.shape[0], len(self.classes_)))
-        for k, cls in enumerate(self.classes_):
-            distribution[:, k] = np.mean(votes == cls, axis=1)
-        return distribution
+    # decisions / decisions_fast / vote_distribution come from
+    # CompiledVotePath.
 
     def predict_proba(self, X) -> np.ndarray:
         """Soft voting: mean member probabilities (requires voting='soft')."""
@@ -344,5 +297,4 @@ class VotingClassifier(BaseEstimator, ClassifierMixin):
         """Majority (hard) or highest-mean-probability (soft) labels."""
         if self.voting == "soft":
             return self.classes_[np.argmax(self.predict_proba(X), axis=1)]
-        distribution = self.vote_distribution(X)
-        return self.classes_[np.argmax(distribution, axis=1)]
+        return CompiledVotePath.predict(self, X)

@@ -100,6 +100,18 @@ class Pipeline(BaseEstimator, ClassifierMixin):
             raise AttributeError("Final step does not expose decisions().")
         return final.decisions(self._transform_through(X))
 
+    def decisions_fast(self, X) -> np.ndarray:
+        """Member votes through the final step's compiled vote backend.
+
+        Falls back to :meth:`decisions` when the final step has no
+        compiled path.
+        """
+        final = self.steps_[-1][1]
+        fast = getattr(final, "decisions_fast", None)
+        if fast is None:
+            return self.decisions(X)
+        return fast(self._transform_through(X))
+
 
 def _wants_y(step: BaseEstimator) -> bool:
     """Whether a transformer's fit accepts a label argument."""

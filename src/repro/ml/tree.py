@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .backend import BackendCompileError, compile_flat_forest
 from .base import BaseEstimator, ClassifierMixin
 from .validation import check_random_state, check_X_y
 
@@ -78,14 +79,25 @@ class TreeStructure:
         return int(np.sum(np.asarray(self.feature) == _NO_FEATURE))
 
     def max_depth(self) -> int:
-        """Depth of the deepest leaf (root = depth 0)."""
-        depth = np.zeros(self.node_count, dtype=int)
-        for i in range(self.node_count):
-            left, right = self.children_left[i], self.children_right[i]
-            if left >= 0:
-                depth[left] = depth[i] + 1
-                depth[right] = depth[i] + 1
-        return int(depth.max()) if self.node_count else 0
+        """Depth of the deepest leaf (root = depth 0).
+
+        Vectorised frontier descent over the flat child arrays: each
+        step gathers the whole next level at once, so the Python loop
+        runs once per *level*, not once per node.
+        """
+        if not self.node_count:
+            return 0
+        left = np.asarray(self.children_left)
+        right = np.asarray(self.children_right)
+        depth = 0
+        frontier = np.array([0], dtype=np.int64)
+        while True:
+            kids = np.concatenate([left[frontier], right[frontier]])
+            kids = kids[kids >= 0]
+            if kids.size == 0:
+                return depth
+            frontier = kids
+            depth += 1
 
     def apply(self, X: np.ndarray) -> np.ndarray:
         """Route each row of ``X`` to its leaf index (vectorised)."""
@@ -107,6 +119,72 @@ class TreeStructure:
                 self.children_right[node[idx]],
             )
             node[idx] = next_node
+
+    def export_text(
+        self,
+        *,
+        feature_names: list[str] | None = None,
+        class_names: list[str] | None = None,
+        decimals: int = 3,
+        max_depth: int | None = None,
+    ) -> str:
+        """Pretty-print the tree directly from its flat arrays.
+
+        Renders depth-first, sklearn-style::
+
+            |--- feature_2 <= 0.450
+            |   |--- class: malware  (n=12)
+            |--- feature_2 >  0.450
+            |   |--- class: benign  (n=30)
+
+        All structure (children, thresholds, leaf values) is read from
+        the flat storage — no per-node object graph is rebuilt.
+        """
+        if not self.node_count:
+            return "(empty tree)"
+        feature = np.asarray(self.feature)
+        threshold = np.asarray(self.threshold)
+        left = np.asarray(self.children_left)
+        right = np.asarray(self.children_right)
+        value = np.asarray(self.value)
+        n_samples = np.asarray(self.n_node_samples)
+
+        def name_of(f: int) -> str:
+            if feature_names is not None:
+                return str(feature_names[f])
+            return f"feature_{f}"
+
+        def label_of(node: int) -> str:
+            k = int(np.argmax(value[node]))
+            if class_names is not None:
+                return str(class_names[k])
+            return f"class_{k}"
+
+        lines: list[str] = []
+        # LIFO work list of lines to emit and subtrees to expand.
+        stack: list[str | tuple[int, int]] = [(0, 0)]
+        while stack:
+            item = stack.pop()
+            if isinstance(item, str):
+                lines.append(item)
+                continue
+            node, depth = item
+            prefix = "|   " * depth + "|--- "
+            if feature[node] == _NO_FEATURE:
+                lines.append(
+                    f"{prefix}class: {label_of(node)}  (n={int(n_samples[node])})"
+                )
+                continue
+            if max_depth is not None and depth >= max_depth:
+                lines.append(f"{prefix}...")
+                continue
+            fname = name_of(int(feature[node]))
+            thr = float(threshold[node])
+            lines.append(f"{prefix}{fname} <= {thr:.{decimals}f}")
+            stack.append((int(right[node]), depth + 1))
+            stack.append(f"{prefix}{fname} >  {thr:.{decimals}f}")
+            stack.append((int(left[node]), depth + 1))
+        return "\n".join(lines)
 
 
 def _impurity(counts: np.ndarray, criterion: str) -> np.ndarray:
@@ -284,6 +362,8 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
 
         tree.finalize()
         self.tree_ = tree
+        # Any compiled flat backend refers to the previous tree.
+        self.__dict__.pop("_backend_cache_", None)
         return self
 
     def _best_split(
@@ -358,11 +438,37 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
     # prediction
     # ------------------------------------------------------------------
 
+    def _flat(self):
+        """Compiled single-member flat backend (cached per fitted tree).
+
+        Node ids in the compiled tensor coincide with the tree's own
+        flat-array indices (single member, zero offset), so the two
+        storages are interchangeable.  ``None`` when compilation is
+        unsupported (callers use ``tree_.apply`` directly).
+        """
+        cache = getattr(self, "_backend_cache_", None)
+        if cache is not None and cache[0] is self.tree_:
+            return cache[1]
+        try:
+            backend = compile_flat_forest(
+                [self], self.classes_, self.n_features_in_
+            )
+        except BackendCompileError:
+            backend = None
+        self._backend_cache_ = (self.tree_, backend)
+        return backend
+
+    def _apply_validated(self, X: np.ndarray) -> np.ndarray:
+        """Leaf ids for already-validated input, via the flat backend."""
+        backend = self._flat()
+        if backend is None:
+            return self.tree_.apply(X)
+        return backend.apply(X)[:, 0]
+
     def predict_proba(self, X) -> np.ndarray:
         """Class probabilities = normalised class counts at the leaf."""
         X = self._check_predict_input(X)
-        leaves = self.tree_.apply(X)
-        counts = self.tree_.value[leaves]
+        counts = self.tree_.value[self._apply_validated(X)]
         totals = counts.sum(axis=1, keepdims=True)
         return counts / totals
 
@@ -374,7 +480,25 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
     def apply(self, X) -> np.ndarray:
         """Leaf index for each sample."""
         X = self._check_predict_input(X)
-        return self.tree_.apply(X)
+        return self._apply_validated(X)
+
+    def export_text(
+        self,
+        *,
+        feature_names: list[str] | None = None,
+        decimals: int = 3,
+        max_depth: int | None = None,
+    ) -> str:
+        """Human-readable rendering of the fitted tree (flat-array walk)."""
+        from .validation import check_is_fitted
+
+        check_is_fitted(self)
+        return self.tree_.export_text(
+            feature_names=feature_names,
+            class_names=[str(c) for c in self.classes_],
+            decimals=decimals,
+            max_depth=max_depth,
+        )
 
     def get_depth(self) -> int:
         """Depth of the fitted tree."""
@@ -386,19 +510,26 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
 
     @property
     def feature_importances_(self) -> np.ndarray:
-        """Impurity-decrease importances, normalised to sum to 1."""
+        """Impurity-decrease importances, normalised to sum to 1.
+
+        One vectorised pass over the flat arrays: the weighted impurity
+        decrease of every internal node is computed at once and summed
+        into its split feature with a weighted bincount.
+        """
         tree = self.tree_
-        importances = np.zeros(self.n_features_in_)
-        for i in range(tree.node_count):
-            if tree.feature[i] < 0:
-                continue
-            left, right = tree.children_left[i], tree.children_right[i]
-            n = tree.n_node_samples[i]
-            n_l = tree.n_node_samples[left]
-            n_r = tree.n_node_samples[right]
-            decrease = n * tree.impurity[i] - (
-                n_l * tree.impurity[left] + n_r * tree.impurity[right]
-            )
-            importances[tree.feature[i]] += decrease
+        feature = np.asarray(tree.feature)
+        internal = np.flatnonzero(feature >= 0)
+        if internal.size == 0:
+            return np.zeros(self.n_features_in_)
+        impurity = np.asarray(tree.impurity)
+        n_node = np.asarray(tree.n_node_samples)
+        left = np.asarray(tree.children_left)[internal]
+        right = np.asarray(tree.children_right)[internal]
+        decrease = n_node[internal] * impurity[internal] - (
+            n_node[left] * impurity[left] + n_node[right] * impurity[right]
+        )
+        importances = np.bincount(
+            feature[internal], weights=decrease, minlength=self.n_features_in_
+        )
         total = importances.sum()
         return importances / total if total > 0 else importances

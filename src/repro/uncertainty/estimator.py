@@ -76,7 +76,15 @@ class EnsembleUncertaintyEstimator:
         return len(self.ensemble.estimators_)
 
     def member_votes(self, X) -> np.ndarray:
-        """Raw per-member decisions, shape ``(n_samples, M)``."""
+        """Raw per-member decisions, shape ``(n_samples, M)``.
+
+        Routed through the ensemble's compiled flat-tensor backend
+        (``decisions_fast``) when available — bitwise identical to the
+        per-member loop, one vectorised pass instead of M.
+        """
+        fast = getattr(self.ensemble, "decisions_fast", None)
+        if fast is not None:
+            return fast(X)
         return self.ensemble.decisions(X)
 
     def predictive_distribution(self, X) -> np.ndarray:

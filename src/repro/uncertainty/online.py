@@ -127,6 +127,10 @@ class OnlineMonitor:
         if not hasattr(hmd, "estimator_"):
             raise ValueError("hmd must be fitted before monitoring.")
         self.hmd = hmd
+        compile_hmd = getattr(hmd, "compile", None)
+        if callable(compile_hmd):
+            # Warm the flattened vote backend before live traffic.
+            compile_hmd()
         self.queue = queue if queue is not None else ForensicQueue()
         self.stats = MonitorStats()
         self._step = 0

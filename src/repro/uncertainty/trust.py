@@ -137,6 +137,21 @@ class TrustedHMD(BaseEstimator):
             Z = self.pca_.transform(Z)
         return Z
 
+    def compile(self) -> "TrustedHMD":
+        """Eagerly build the ensemble's flattened vote backend.
+
+        The backend compiles lazily on the first analyze call anyway;
+        monitors call this up front so the first window of live traffic
+        does not pay the one-off flattening cost.  No-op for ensembles
+        without a compiled path.
+        """
+        if not hasattr(self, "ensemble_"):
+            raise ValueError("hmd must be fitted before compiling.")
+        compile_backend = getattr(self.ensemble_, "compile", None)
+        if callable(compile_backend):
+            compile_backend()
+        return self
+
     def predict(self, X) -> np.ndarray:
         """Majority-vote labels (ignoring the rejection policy)."""
         return self.estimator_.predict(self._transform(X))
