@@ -6,8 +6,11 @@ streams multiplexed through a bounded ingress queue
 (:mod:`~repro.fleet.queueing`), one vectorised ensemble pass per batch
 (:mod:`~repro.fleet.engine`), verdicts routed back to ring-buffered
 per-device state (:mod:`~repro.fleet.state`) and aggregated into
-dashboard snapshots (:mod:`~repro.fleet.report`).  See
-``docs/architecture.md`` for the dataflow and the backpressure policy.
+dashboard snapshots (:mod:`~repro.fleet.report`).  The flagged windows
+feed back into the model: :mod:`~repro.fleet.retrain` triages the
+forensic queue, collects analyst labels and warm-refits the shared HMD
+live between batches.  See ``docs/architecture.md`` for the dataflow
+and the backpressure policy.
 """
 
 from .engine import (
@@ -18,6 +21,7 @@ from .engine import (
 )
 from .queueing import BackpressurePolicy, FleetQueue, WindowRequest
 from .report import DeviceReport, FleetReport
+from .retrain import FleetRetrainer, RetrainOutcome
 from .sampler import FleetWindowSampler
 from .state import DeviceState, RingBuffer
 
@@ -30,7 +34,9 @@ __all__ = [
     "FleetMonitor",
     "FleetQueue",
     "FleetReport",
+    "FleetRetrainer",
     "FleetWindowSampler",
+    "RetrainOutcome",
     "RingBuffer",
     "WindowRequest",
     "batched_verdicts_equal_sequential",

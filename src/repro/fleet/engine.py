@@ -18,7 +18,13 @@ the ensemble vote pass — across fixed-size batches:
 3. verdicts are routed back out: per-device ring-buffered state,
    fleet-wide counters, flagged windows into the forensic queue
    (tagged with their device), and the entropy stream into an optional
-   fleet drift monitor.
+   fleet drift monitor;
+4. the forensic queue feeds back into the model: a
+   :class:`~repro.fleet.retrain.FleetRetrainer` triages it between
+   batches, collects analyst labels and warm-refits the shared HMD
+   (histogram-grown ensembles refit from their binned buffer and
+   recompile the flat vote backend in-place), closing the paper's
+   monitor → flag → label → retrain loop in-process.
 
 Because every per-window computation in the pipeline is row-independent
 (element-wise scaling, per-row tree routing, per-row vote histograms),

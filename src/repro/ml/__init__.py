@@ -39,6 +39,7 @@ from .neighbors import KNeighborsClassifier
 from .pipeline import Pipeline, make_pipeline
 from .preprocessing import LabelEncoder, MinMaxScaler, RobustScaler, StandardScaler
 from .svm import SVC, LinearSVC
+from .training import BinMapper, BinnedDataset, grow_tree_binned
 from .tree import DecisionTreeClassifier
 
 __all__ = [
@@ -46,6 +47,9 @@ __all__ = [
     "BackendCompileError",
     "BaseEstimator",
     "BaggingClassifier",
+    "BinMapper",
+    "BinnedDataset",
+    "grow_tree_binned",
     "CompiledVotePath",
     "CompositeBackend",
     "FlatForest",

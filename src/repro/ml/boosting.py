@@ -20,6 +20,7 @@ import numpy as np
 
 from .backend import CompiledVotePath
 from .base import BaseEstimator, ClassifierMixin, clone
+from .training import BinMapper, BinnedDataset, BinnedPartialRefitMixin
 from .tree import DecisionTreeClassifier
 from .validation import check_random_state, check_X_y
 
@@ -53,11 +54,15 @@ class AdaBoostClassifier(CompiledVotePath, BaseEstimator, ClassifierMixin):
         self.random_state = random_state
 
     def fit(self, X, y) -> "AdaBoostClassifier":
-        """Run SAMME boosting rounds with weighted resampling.
+        """Run SAMME boosting rounds.
 
-        Our base learners accept integer repetition weights only, so
-        each round trains on a weighted bootstrap resample — the
-        classic 'boosting by resampling' variant.
+        Base learners that take fractional weights natively (our
+        decision trees, flagged by ``_native_sample_weight``) are
+        trained on the **real-valued** boosting weights — the classic
+        reweighting algorithm, with no resampling noise and no
+        ``np.repeat`` replication blowup.  Other base learners keep the
+        legacy 'boosting by resampling' variant (a weighted bootstrap
+        per round).
         """
         X, y = check_X_y(X, y)
         if self.n_estimators < 1:
@@ -78,24 +83,33 @@ class AdaBoostClassifier(CompiledVotePath, BaseEstimator, ClassifierMixin):
         self.estimator_weights_: list[float] = []
         self.estimator_errors_: list[float] = []
 
+        template = (
+            self.estimator
+            if self.estimator is not None
+            else DecisionTreeClassifier(max_depth=1)
+        )
+        weighted_fit = getattr(template, "_native_sample_weight", False)
         for _ in range(self.n_estimators):
-            prototype = (
-                clone(self.estimator)
-                if self.estimator is not None
-                else DecisionTreeClassifier(max_depth=1)
-            )
+            prototype = clone(template)
             if "random_state" in prototype.get_params():
                 prototype.set_params(random_state=int(rng.integers(2**32)))
-            sample_idx = rng.choice(n, size=n, replace=True, p=weights)
-            # Guarantee all classes survive the resample.
-            if len(np.unique(y[sample_idx])) < n_classes:
-                continue
-            prototype.fit(X[sample_idx], y[sample_idx])
+            if weighted_fit:
+                prototype.fit(X, y, sample_weight=weights)
+            else:
+                sample_idx = rng.choice(n, size=n, replace=True, p=weights)
+                # Guarantee all classes survive the resample.
+                if len(np.unique(y[sample_idx])) < n_classes:
+                    continue
+                prototype.fit(X[sample_idx], y[sample_idx])
             pred = prototype.predict(X)
             miss = pred != y
             error = float(np.sum(weights * miss))
 
             if error >= 1.0 - 1.0 / n_classes:
+                if weighted_fit:
+                    # Deterministic weighted fits would just repeat the
+                    # degenerate round; boosting has converged.
+                    break
                 continue  # worse than chance: skip the round
             if error <= 0:
                 # Perfect member: give it a large but finite weight.
@@ -151,8 +165,12 @@ class _ExtraTreeClassifier(DecisionTreeClassifier):
 
     Overrides the split search: instead of scanning all cut positions,
     a single random threshold per candidate feature is drawn and the
-    best of those is kept (Geurts et al., 2006).
+    best of those is kept (Geurts et al., 2006).  The binned grower
+    mirrors this via its ``"random"`` splitter — one random cut *bin*
+    per candidate feature.
     """
+
+    _splitter = "random"
 
     def _best_split(
         self,
@@ -201,8 +219,15 @@ class _ExtraTreeClassifier(DecisionTreeClassifier):
         return best
 
 
-class ExtraTreesClassifier(CompiledVotePath, BaseEstimator, ClassifierMixin):
-    """Ensemble of extremely-randomised trees (no bootstrap by default)."""
+class ExtraTreesClassifier(
+    CompiledVotePath, BinnedPartialRefitMixin, BaseEstimator, ClassifierMixin
+):
+    """Ensemble of extremely-randomised trees (no bootstrap by default).
+
+    ``grower="hist"`` bins the training set once and grows every tree
+    from the shared codes (random cut *bins* instead of random
+    thresholds), and enables :meth:`partial_refit`.
+    """
 
     def __init__(
         self,
@@ -214,6 +239,8 @@ class ExtraTreesClassifier(CompiledVotePath, BaseEstimator, ClassifierMixin):
         min_samples_leaf: int = 1,
         max_features: int | float | str | None = "sqrt",
         bootstrap: bool = False,
+        grower: str = "exact",
+        max_bins: int = 256,
         random_state: int | np.random.Generator | None = None,
     ):
         self.n_estimators = n_estimators
@@ -223,7 +250,21 @@ class ExtraTreesClassifier(CompiledVotePath, BaseEstimator, ClassifierMixin):
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.bootstrap = bootstrap
+        self.grower = grower
+        self.max_bins = max_bins
         self.random_state = random_state
+
+    def _make_tree(self, seed: int) -> _ExtraTreeClassifier:
+        return _ExtraTreeClassifier(
+            criterion=self.criterion,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            grower=self.grower,
+            max_bins=self.max_bins,
+            random_state=seed,
+        )
 
     def fit(self, X, y) -> "ExtraTreesClassifier":
         """Fit ``n_estimators`` extremely-randomised trees."""
@@ -232,9 +273,15 @@ class ExtraTreesClassifier(CompiledVotePath, BaseEstimator, ClassifierMixin):
             raise ValueError("n_estimators must be >= 1.")
         self._invalidate_backend()
         rng = check_random_state(self.random_state)
-        n = len(y)
         self.classes_ = np.unique(y)
         self.n_features_in_ = X.shape[1]
+        if self.grower == "hist":
+            self._binned_ = BinnedDataset(BinMapper(max_bins=self.max_bins), X)
+            self._train_y_ = y
+            self._refit_members(rng)
+            return self
+        self._binned_ = None
+        n = len(y)
         self.estimators_: list[_ExtraTreeClassifier] = []
         while len(self.estimators_) < self.n_estimators:
             if self.bootstrap:
@@ -243,17 +290,29 @@ class ExtraTreesClassifier(CompiledVotePath, BaseEstimator, ClassifierMixin):
                     continue
             else:
                 idx = np.arange(n)
-            tree = _ExtraTreeClassifier(
-                criterion=self.criterion,
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                random_state=int(rng.integers(2**32)),
-            )
+            tree = self._make_tree(int(rng.integers(2**32)))
             tree.fit(X[idx], y[idx])
             self.estimators_.append(tree)
         return self
+
+    def _refit_members(self, rng) -> None:
+        """Shared-binned loop: one code matrix feeds every random tree."""
+        binned = self._binned_
+        y = self._train_y_
+        n = binned.n_rows
+        view = binned.view()
+        self.estimators_ = []
+        while len(self.estimators_) < self.n_estimators:
+            if self.bootstrap:
+                idx = rng.integers(0, n, size=n)
+                if len(np.unique(y[idx])) < len(self.classes_):
+                    continue
+                weights = np.bincount(idx, minlength=n).astype(np.float64)
+            else:
+                weights = None
+            tree = self._make_tree(int(rng.integers(2**32)))
+            tree._fit_binned(view, y, sample_weight=weights)
+            self.estimators_.append(tree)
 
     # decisions / decisions_fast / vote_distribution / predict come from
     # CompiledVotePath.

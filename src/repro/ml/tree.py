@@ -12,6 +12,26 @@ array-based layout used by mature tree libraries:
   features and split positions simultaneously via cumulative class
   counts over per-feature argsorts.
 
+Two growers share this storage format (``grower`` parameter):
+
+* ``"exact"`` (default) — the per-node argsort CART above;
+* ``"hist"`` — the histogram-binned grower from
+  :mod:`repro.ml.training`: features are quantile-binned once into
+  ``uint8`` codes and each node accumulates per-bin class counts
+  instead of sorting, with sibling subtraction.  Thresholds are real
+  bin-edge values, so hist-grown trees predict on raw inputs and
+  compile into the flattened inference backend unchanged.
+
+``sample_weight`` is native and fractional for both growers: weights
+enter the class counts (values, impurities, gains) directly, while the
+structural ``min_samples_*`` limits keep counting raw samples.  The
+old contract — integer weights applied by row replication — is
+subsumed: under the default ``min_samples_*`` limits integer weights
+produce the same splits without the memory blowup (gains are identical
+either way; non-default limits now count raw rows where replication
+counted duplicated ones), and the old "integer weights only" rejection
+is retired.
+
 Supported criteria: ``"gini"`` (default) and ``"entropy"``.
 """
 
@@ -23,7 +43,12 @@ import numpy as np
 
 from .backend import BackendCompileError, compile_flat_forest
 from .base import BaseEstimator, ClassifierMixin
-from .validation import check_random_state, check_X_y
+from .validation import (
+    check_random_state,
+    check_sample_weight,
+    check_X_y,
+    column_or_1d,
+)
 
 __all__ = ["DecisionTreeClassifier", "TreeStructure"]
 
@@ -220,9 +245,23 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         ``"sqrt"``.
     min_impurity_decrease:
         Minimum weighted impurity decrease required for a split.
+    grower:
+        ``"exact"`` (per-node argsort CART) or ``"hist"`` (histogram-
+        binned growth over quantile bin codes; see
+        :mod:`repro.ml.training`).
+    max_bins:
+        Bins per feature for the ``"hist"`` grower (2..256); ignored by
+        the exact grower.
     random_state:
         Seed for the per-split feature subsampling.
     """
+
+    # Ensembles probe this to pass real-valued weights instead of
+    # resampling/replicating (see AdaBoostClassifier.fit).
+    _native_sample_weight = True
+    # Split strategy of the hist grower; the extra-trees subclass
+    # overrides it with "random".
+    _splitter = "best"
 
     def __init__(
         self,
@@ -233,6 +272,8 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         min_samples_leaf: int = 1,
         max_features: int | float | str | None = None,
         min_impurity_decrease: float = 0.0,
+        grower: str = "exact",
+        max_bins: int = 256,
         random_state: int | np.random.Generator | None = None,
     ):
         self.criterion = criterion
@@ -241,6 +282,8 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.min_impurity_decrease = min_impurity_decrease
+        self.grower = grower
+        self.max_bins = max_bins
         self.random_state = random_state
 
     # ------------------------------------------------------------------
@@ -267,48 +310,65 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
             return int(mf)
         raise ValueError(f"Unsupported max_features: {mf!r}.")
 
-    def fit(self, X, y, sample_weight=None) -> "DecisionTreeClassifier":
-        """Grow the tree on ``(X, y)``.
-
-        ``sample_weight`` is accepted for API compatibility with the
-        bagging ensemble but only integer repetition weights are
-        supported (they are applied by replication before growth).
-        """
-        X, y = check_X_y(X, y)
-        if sample_weight is not None:
-            weights = np.asarray(sample_weight)
-            if np.any(weights < 0) or not np.allclose(weights, np.round(weights)):
-                raise ValueError(
-                    "Only non-negative integer sample weights are supported."
-                )
-            repeat = np.round(weights).astype(int)
-            X = np.repeat(X, repeat, axis=0)
-            y = np.repeat(y, repeat, axis=0)
-            if len(y) == 0:
-                raise ValueError("All sample weights are zero.")
-
-        self.classes_, y_encoded = np.unique(y, return_inverse=True)
-        self.n_classes_ = len(self.classes_)
-        self.n_features_in_ = X.shape[1]
+    def _check_growth_params(self) -> None:
+        if self.grower not in ("exact", "hist"):
+            raise ValueError(
+                f"grower must be 'exact' or 'hist'; got {self.grower!r}."
+            )
         if self.min_samples_split < 2:
             raise ValueError("min_samples_split must be >= 2.")
         if self.min_samples_leaf < 1:
             raise ValueError("min_samples_leaf must be >= 1.")
+        if self.max_depth is not None and self.max_depth < 0:
+            raise ValueError("max_depth must be >= 0 or None.")
+
+    def fit(self, X, y, sample_weight=None) -> "DecisionTreeClassifier":
+        """Grow the tree on ``(X, y)``.
+
+        ``sample_weight`` accepts arbitrary non-negative (fractional)
+        weights, applied natively: weighted class counts drive values,
+        impurities and gains, while ``min_samples_*`` limits count raw
+        samples.  Under the default ``min_samples_*`` limits, integer
+        weights reproduce the retired replicate-rows behaviour without
+        the blowup (with non-default limits the raw-sample currency
+        differs from replication's duplicated-row counts).
+        """
+        X, y = check_X_y(X, y)
+        self._check_growth_params()
+        weights = None
+        if sample_weight is not None:
+            weights = check_sample_weight(sample_weight, len(y))
+            nonzero = weights > 0
+            if not nonzero.any():
+                raise ValueError("All sample weights are zero.")
+            if not nonzero.all():
+                X, y, weights = X[nonzero], y[nonzero], weights[nonzero]
+
+        if self.grower == "hist":
+            from .training import BinMapper, BinnedDataset
+
+            binned = BinnedDataset(BinMapper(max_bins=self.max_bins), X)
+            return self._fit_binned(binned.view(), y, sample_weight=weights)
+
+        self.classes_, y_encoded = np.unique(y, return_inverse=True)
+        self.n_classes_ = len(self.classes_)
+        self.n_features_in_ = X.shape[1]
 
         rng = check_random_state(self.random_state)
         n_candidate_features = self._resolve_max_features(self.n_features_in_)
         tree = TreeStructure()
         criterion = self.criterion
         max_depth = np.inf if self.max_depth is None else self.max_depth
-        if max_depth < 0:
-            raise ValueError("max_depth must be >= 0 or None.")
 
         onehot = np.eye(self.n_classes_, dtype=np.float64)[y_encoded]
+        if weights is not None:
+            onehot = onehot * weights[:, None]
 
         # Depth-first growth; each stack entry is (sample_indices, depth,
         # parent_node, is_left_child).  Parent linkage patched after child
         # creation.
         root_counts = onehot.sum(axis=0)
+        total_weight = float(root_counts.sum())
         root = tree.add_node(root_counts, float(_impurity(root_counts, criterion)), len(y))
         stack: list[tuple[np.ndarray, int, int]] = [(np.arange(len(y)), 0, root)]
 
@@ -333,7 +393,7 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
             if split is None:
                 continue
             feature_idx, threshold, gain = split
-            if gain * n_node / len(y) < self.min_impurity_decrease:
+            if gain * counts.sum() / total_weight < self.min_impurity_decrease:
                 continue
 
             go_left = X[indices, feature_idx] <= threshold
@@ -363,6 +423,58 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         tree.finalize()
         self.tree_ = tree
         # Any compiled flat backend refers to the previous tree.
+        self.__dict__.pop("_backend_cache_", None)
+        return self
+
+    def _fit_binned(self, view, y, sample_weight=None) -> "DecisionTreeClassifier":
+        """Grow from an already-binned dataset view (no re-binning).
+
+        The ensemble fast path: Bagging/RF/ExtraTrees bin the training
+        set once (:class:`~repro.ml.training.BinnedDataset`) and every
+        member grows from the shared codes.  ``sample_weight`` carries
+        bootstrap multiplicities (or boosting weights) natively;
+        zero-weight rows are excluded from growth without copying the
+        code matrix.
+        """
+        from .training import grow_tree_binned
+
+        self._check_growth_params()
+        y = column_or_1d(y)
+        if len(y) != view.n_rows:
+            raise ValueError(
+                f"y has {len(y)} entries but the binned view has "
+                f"{view.n_rows} rows."
+            )
+        rows = None
+        weights = None
+        if sample_weight is not None:
+            weights = check_sample_weight(sample_weight, len(y))
+            rows = np.flatnonzero(weights > 0).astype(np.intp)
+            if rows.size == 0:
+                raise ValueError("All sample weights are zero.")
+        self.classes_ = np.unique(y if rows is None else y[rows])
+        self.n_classes_ = len(self.classes_)
+        self.n_features_in_ = view.n_features
+        # Clip keeps excluded (zero-weight) rows' codes in range; their
+        # labels never enter any histogram or prefix sum.
+        y_encoded = np.clip(
+            np.searchsorted(self.classes_, y), 0, self.n_classes_ - 1
+        )
+        self.tree_ = grow_tree_binned(
+            view,
+            y_encoded,
+            self.n_classes_,
+            criterion=self.criterion,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            min_impurity_decrease=self.min_impurity_decrease,
+            n_candidate_features=self._resolve_max_features(view.n_features),
+            splitter=self._splitter,
+            sample_weight=weights,
+            rows=rows,
+            random_state=self.random_state,
+        )
         self.__dict__.pop("_backend_cache_", None)
         return self
 
@@ -412,11 +524,13 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
             return None
         value_changes = Xs[cuts.start + 1 : cuts.stop + 1] > Xs[cuts]
 
+        # Weighted child totals; equals the positional counts when the
+        # fit is unweighted (onehot rows then sum to exactly 1).
         n_left = lc.sum(axis=-1)
         n_right = rc.sum(axis=-1)
         child_impurity = (
             n_left * _impurity(lc, criterion) + n_right * _impurity(rc, criterion)
-        ) / n_node
+        ) / counts.sum()
         gain = node_impurity - child_impurity
         gain = np.where(value_changes, gain, -np.inf)
 
@@ -522,7 +636,9 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         if internal.size == 0:
             return np.zeros(self.n_features_in_)
         impurity = np.asarray(tree.impurity)
-        n_node = np.asarray(tree.n_node_samples)
+        # Weighted node totals (= sample counts for unweighted fits),
+        # so weighted trees weigh decreases by the mass they act on.
+        n_node = np.asarray(tree.value).sum(axis=1)
         left = np.asarray(tree.children_left)[internal]
         right = np.asarray(tree.children_right)[internal]
         decrease = n_node[internal] * impurity[internal] - (

@@ -19,6 +19,7 @@ __all__ = [
     "check_X_y",
     "check_is_fitted",
     "check_random_state",
+    "check_sample_weight",
     "column_or_1d",
     "check_consistent_length",
     "unique_labels",
@@ -132,6 +133,28 @@ def check_is_fitted(estimator: Any, attributes: Iterable[str] | str | None = Non
             f"This {type(estimator).__name__} instance is not fitted yet. "
             "Call 'fit' with appropriate arguments first."
         )
+
+
+def check_sample_weight(
+    sample_weight: Any, n_samples: int, *, name: str = "sample_weight"
+) -> np.ndarray:
+    """Validate per-sample weights: finite, non-negative, length-matched.
+
+    Returns a float64 copy.  Fractional weights are first-class — the
+    historical "non-negative integers only, applied by replication"
+    contract (pre-histogram-backend trees) is deprecated; estimators
+    that still round internally document it on their ``fit``.
+    """
+    weights = column_or_1d(np.asarray(sample_weight, dtype=np.float64), name=name)
+    if len(weights) != n_samples:
+        raise ValueError(
+            f"{name} has {len(weights)} entries for {n_samples} samples."
+        )
+    if not np.all(np.isfinite(weights)):
+        raise ValueError(f"{name} contains NaN or infinite values.")
+    if np.any(weights < 0):
+        raise ValueError(f"{name} must be non-negative.")
+    return weights
 
 
 def unique_labels(y: np.ndarray) -> np.ndarray:

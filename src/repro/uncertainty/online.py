@@ -64,6 +64,14 @@ class ForensicQueue:
             drained.append(self._queue.popleft())
         return drained
 
+    def snapshot(self) -> tuple[FlaggedSample, ...]:
+        """The currently queued samples, oldest first (no removal).
+
+        The public read view for analyst tooling (triage clustering,
+        dashboards) — callers never touch the underlying deque.
+        """
+        return tuple(self._queue)
+
     def peek_entropies(self) -> np.ndarray:
         """Entropies of currently queued samples (no removal)."""
         return np.array([s.entropy for s in self._queue])
@@ -177,6 +185,19 @@ class OnlineMonitor:
 class RetrainingLoop:
     """Close the loop: analyst labels flagged samples → model refits.
 
+    Incorporated batches accumulate in a **list buffer** and are
+    stacked once per refit — repeated small analyst batches stay
+    ``O(batch)`` per call instead of the old quadratic
+    re-``vstack``-everything-every-call behaviour.
+
+    When the HMD supports warm partial refits
+    (:meth:`TrustedHMD.supports_partial_refit` — ensembles fitted with
+    the histogram grower), a retrain hands only the *pending* labelled
+    rows to :meth:`TrustedHMD.partial_refit`: scaler, PCA and bin edges
+    stay fixed, members regrow from the binned buffer, and the flat
+    prediction backend is recompiled.  Otherwise the loop falls back to
+    a full ``hmd.fit`` on the stacked training set.
+
     Parameters
     ----------
     hmd:
@@ -185,17 +206,39 @@ class RetrainingLoop:
         The current training set; retraining appends analyst-labelled
         forensic samples to it.
     min_batch:
-        Minimum number of labelled samples required to trigger a refit.
+        Minimum number of *accumulated* labelled samples required to
+        trigger a refit.
     """
 
     def __init__(self, hmd: TrustedHMD, X_train, y_train, *, min_batch: int = 20):
         if min_batch < 1:
             raise ValueError("min_batch must be >= 1.")
         self.hmd = hmd
-        self.X_train = np.asarray(X_train, dtype=float)
-        self.y_train = np.asarray(y_train)
+        self._X_blocks: list[np.ndarray] = [np.asarray(X_train, dtype=float)]
+        self._y_blocks: list[np.ndarray] = [np.asarray(y_train)]
+        self._pending_X: list[np.ndarray] = []
+        self._pending_y: list[np.ndarray] = []
         self.min_batch = min_batch
         self.n_retrains = 0
+
+    @property
+    def X_train(self) -> np.ndarray:
+        """The full training matrix (stacked lazily, at most once)."""
+        if len(self._X_blocks) > 1:
+            self._X_blocks = [np.vstack(self._X_blocks)]
+        return self._X_blocks[0]
+
+    @property
+    def y_train(self) -> np.ndarray:
+        """The full label vector (stacked lazily, at most once)."""
+        if len(self._y_blocks) > 1:
+            self._y_blocks = [np.concatenate(self._y_blocks)]
+        return self._y_blocks[0]
+
+    @property
+    def n_pending(self) -> int:
+        """Labelled samples accumulated since the last refit."""
+        return sum(len(block) for block in self._pending_X)
 
     def incorporate(self, samples: list[FlaggedSample], labels) -> bool:
         """Add analyst-labelled samples; refit when enough accumulated.
@@ -217,13 +260,31 @@ class RetrainingLoop:
         if len(samples) == 0:
             return False
         X_new = np.stack([s.features for s in samples])
-        self.X_train = np.vstack([self.X_train, X_new])
-        self.y_train = np.concatenate([self.y_train, labels])
-        if len(samples) < self.min_batch:
+        self._X_blocks.append(X_new)
+        self._y_blocks.append(labels)
+        self._pending_X.append(X_new)
+        self._pending_y.append(labels)
+        if self.n_pending < self.min_batch:
             return False
-        self.hmd.fit(self.X_train, self.y_train)
-        self.n_retrains += 1
+        self.retrain()
         return True
+
+    def retrain(self) -> None:
+        """Refit the HMD on everything incorporated so far.
+
+        Warm path when available (only the pending rows travel),
+        full-refit fallback otherwise.
+        """
+        supports = getattr(self.hmd, "supports_partial_refit", None)
+        if self._pending_X and callable(supports) and supports():
+            self.hmd.partial_refit(
+                np.vstack(self._pending_X), np.concatenate(self._pending_y)
+            )
+        else:
+            self.hmd.fit(self.X_train, self.y_train)
+        self._pending_X = []
+        self._pending_y = []
+        self.n_retrains += 1
 
 
 @dataclass(frozen=True)
@@ -265,7 +326,7 @@ def triage_queue(
     """
     from ..ml.cluster import KMeans
 
-    samples = list(queue._queue)
+    samples = list(queue.snapshot())
     if not samples:
         return []
     X = np.stack([s.features for s in samples])

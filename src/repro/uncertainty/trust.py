@@ -152,6 +152,41 @@ class TrustedHMD(BaseEstimator):
             compile_backend()
         return self
 
+    def supports_partial_refit(self) -> bool:
+        """Whether a fitted ensemble can warm-refit from binned codes.
+
+        True for ensembles fitted with the histogram grower
+        (``grower="hist"``), which keep their shared
+        :class:`~repro.ml.training.BinnedDataset` around.
+        """
+        ensemble = getattr(self, "ensemble_", None)
+        supports = getattr(ensemble, "supports_partial_refit", None)
+        return callable(supports) and supports()
+
+    def partial_refit(self, X_new, y_new) -> "TrustedHMD":
+        """Fold analyst-labelled rows in without a cold restart.
+
+        The front of the pipeline stays *warm*: the scaler, the
+        optional PCA and the ensemble's quantile bin edges are all kept
+        from the original fit — only the member trees regrow, from the
+        appended binned buffer — and the flattened prediction backend
+        is recompiled before returning, so a live monitor's next batch
+        runs on the refreshed model at full speed.  New class labels
+        (a previously-unknown malware family) are picked up.
+        """
+        if not hasattr(self, "ensemble_"):
+            raise ValueError("hmd must be fitted before partial_refit.")
+        if not self.supports_partial_refit():
+            raise ValueError(
+                "The fitted ensemble has no binned training buffer "
+                "(grower='hist'); retrain with fit() instead."
+            )
+        X_new, y_new = check_X_y(X_new, y_new)
+        self.ensemble_.partial_refit(self._transform(X_new), y_new)
+        self.classes_ = self.ensemble_.classes_
+        self.estimator_ = EnsembleUncertaintyEstimator(self.ensemble_)
+        return self.compile()
+
     def predict(self, X) -> np.ndarray:
         """Majority-vote labels (ignoring the rejection policy)."""
         return self.estimator_.predict(self._transform(X))

@@ -1,0 +1,186 @@
+"""Tests for the live fleet retraining loop (FleetRetrainer).
+
+Covers the acceptance contract of the histogram training backend PR:
+the FleetMonitor runs a full monitor → flag → triage → label → retrain
+→ recompile cycle in-process, and retraining is deterministic — same
+seed and same analyst batches reproduce bitwise-identical trees.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml import RandomForestClassifier
+from repro.fleet import BackpressurePolicy, FleetMonitor, FleetRetrainer
+from repro.uncertainty import TrustedHMD
+
+
+def _training_blobs(seed=0, n_per_class=150, d=6):
+    rng = np.random.default_rng(seed)
+    X = np.vstack(
+        [rng.normal(-2, 1, (n_per_class, d)), rng.normal(2, 1, (n_per_class, d))]
+    )
+    y = np.array([0] * n_per_class + [1] * n_per_class)
+    return X, y
+
+
+def _zero_day(seed, n, d=6):
+    """A tight novel cluster far outside the training distribution."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d)) * 0.4
+    X[:, 2] += 10.0
+    return X
+
+
+def _fitted_hmd(X, y, *, grower="hist", seed=0):
+    return TrustedHMD(
+        RandomForestClassifier(n_estimators=25, grower=grower, random_state=seed),
+        threshold=0.40,
+    ).fit(X, y)
+
+
+@pytest.fixture()
+def fleet_setup():
+    X, y = _training_blobs()
+    hmd = _fitted_hmd(X, y)
+    monitor = FleetMonitor(
+        hmd, batch_size=64, policy=BackpressurePolicy(max_pending=4096)
+    )
+    return X, y, hmd, monitor
+
+
+class TestFullCycle:
+    def test_monitor_flag_triage_label_retrain_recompile(self, fleet_setup):
+        X, y, hmd, monitor = fleet_setup
+        X_novel = _zero_day(seed=1, n=120)
+        entropy_before = hmd.predictive_entropy(X_novel).mean()
+        backend_before = hmd.ensemble_.compile()
+
+        retrainer = FleetRetrainer(
+            monitor, lambda cluster: 1, X, y, min_batch=20, random_state=0
+        )
+        for i, window in enumerate(X_novel[:80]):
+            monitor.submit(f"dev-{i % 8}", window)
+        outcomes = retrainer.drain()
+
+        # The cycle ran: windows were flagged, clustered, labelled and
+        # at least one warm retrain happened mid-drain.
+        assert monitor.stats.n_flagged > 0
+        assert any(o.n_clusters > 0 for o in outcomes)
+        assert retrainer.loop.n_retrains >= 1
+        assert len(monitor.forensics) == 0
+
+        # Recompile happened in-place: new backend, same hmd object.
+        backend_after = hmd.ensemble_.compile()
+        assert backend_after is not backend_before
+
+        # The refreshed model is confident on the held-out novel rows.
+        held_out = X_novel[80:]
+        entropy_after = hmd.predictive_entropy(held_out).mean()
+        assert entropy_after < entropy_before
+        verdict = hmd.analyze(held_out)
+        assert verdict.rejection_rate < 0.5
+        assert (verdict.predictions[verdict.accepted] == 1).all()
+
+    def test_retrained_model_serves_next_batches(self, fleet_setup):
+        X, y, hmd, monitor = fleet_setup
+        X_novel = _zero_day(seed=2, n=160)
+        retrainer = FleetRetrainer(
+            monitor, lambda cluster: 1, X, y, min_batch=20, random_state=0
+        )
+        # First wave: mostly flagged, triggers the retrain.
+        for i, window in enumerate(X_novel[:80]):
+            monitor.submit(f"dev-{i % 4}", window)
+        retrainer.drain()
+        flagged_first = monitor.stats.n_flagged
+        # Second wave of the same workload: the live-retrained model
+        # accepts what it previously withheld.
+        for i, window in enumerate(X_novel[80:]):
+            monitor.submit(f"dev-{i % 4}", window)
+        monitor.drain()
+        flagged_second = monitor.stats.n_flagged - flagged_first
+        assert flagged_second < flagged_first / 2
+
+    def test_step_without_flags_is_noop(self, fleet_setup):
+        X, y, _, monitor = fleet_setup
+        retrainer = FleetRetrainer(monitor, lambda c: 0, X, y)
+        outcome = retrainer.step()
+        assert outcome.n_labelled == 0
+        assert not outcome.retrained
+        assert not outcome  # falsy when no retrain happened
+
+    def test_labels_follow_triage_clusters(self, fleet_setup):
+        X, y, _, monitor = fleet_setup
+        # Two distinct novel clusters get distinct analyst labels.
+        far_a = _zero_day(seed=3, n=30)
+        far_b = _zero_day(seed=4, n=30)
+        far_b[:, 2] -= 22.0  # mirror cluster on the other side
+
+        def oracle(cluster):
+            return 1 if cluster.centroid[2] > 0 else 0
+
+        retrainer = FleetRetrainer(
+            monitor, oracle, X, y, min_batch=10_000, n_clusters=2, random_state=0
+        )
+        for i, window in enumerate(np.vstack([far_a, far_b])):
+            monitor.submit(f"dev-{i % 6}", window)
+        monitor.drain()
+        assert len(monitor.forensics) > 0
+        outcome = retrainer.step()
+        assert outcome.n_labelled > 0
+        assert not outcome.retrained  # min_batch huge: labels only
+        labels = np.asarray(retrainer.loop._pending_y[0])
+        assert set(np.unique(labels)) <= {0, 1}
+        assert len(np.unique(labels)) == 2
+
+
+class TestRetrainDeterminism:
+    """Same seed + same analyst batches ⇒ bitwise-identical trees."""
+
+    def _run_cycle(self):
+        X, y = _training_blobs(seed=5)
+        hmd = _fitted_hmd(X, y, seed=9)
+        monitor = FleetMonitor(
+            hmd, batch_size=32, policy=BackpressurePolicy(max_pending=4096)
+        )
+        retrainer = FleetRetrainer(
+            monitor, lambda cluster: 1, X, y, min_batch=15, random_state=3
+        )
+        X_novel = _zero_day(seed=6, n=60)
+        for i, window in enumerate(X_novel):
+            monitor.submit(f"dev-{i % 5}", window)
+        retrainer.drain()
+        return hmd, monitor
+
+    def test_two_identical_cycles_identical_trees(self):
+        hmd_a, monitor_a = self._run_cycle()
+        hmd_b, monitor_b = self._run_cycle()
+        members_a = hmd_a.ensemble_.estimators_
+        members_b = hmd_b.ensemble_.estimators_
+        assert len(members_a) == len(members_b)
+        for ta, tb in zip(members_a, members_b):
+            np.testing.assert_array_equal(ta.tree_.feature, tb.tree_.feature)
+            np.testing.assert_array_equal(ta.tree_.threshold, tb.tree_.threshold)
+            np.testing.assert_array_equal(ta.tree_.value, tb.tree_.value)
+        # And therefore identical verdict streams.
+        probe = _zero_day(seed=7, n=40)
+        va = hmd_a.analyze(probe)
+        vb = hmd_b.analyze(probe)
+        np.testing.assert_array_equal(va.predictions, vb.predictions)
+        np.testing.assert_array_equal(va.entropy, vb.entropy)
+        np.testing.assert_array_equal(va.accepted, vb.accepted)
+        assert monitor_a.stats.n_flagged == monitor_b.stats.n_flagged
+
+    def test_exact_grower_hmd_falls_back_to_full_refit(self):
+        X, y = _training_blobs(seed=8)
+        hmd = _fitted_hmd(X, y, grower="exact", seed=0)
+        assert not hmd.supports_partial_refit()
+        monitor = FleetMonitor(hmd, batch_size=32)
+        retrainer = FleetRetrainer(
+            monitor, lambda cluster: 1, X, y, min_batch=10, random_state=0
+        )
+        for i, window in enumerate(_zero_day(seed=9, n=40)):
+            monitor.submit(f"dev-{i % 3}", window)
+        retrainer.drain()
+        assert retrainer.loop.n_retrains >= 1
+        # Full refit still lands the new knowledge.
+        assert hmd.predictive_entropy(_zero_day(seed=10, n=20)).mean() < 0.4

@@ -141,19 +141,69 @@ class TestPrediction:
 
 
 class TestSampleWeight:
-    def test_integer_weights_replicate(self):
+    def test_integer_weights_weight_the_counts(self):
         X = np.array([[0.0], [1.0], [2.0], [3.0]])
         y = np.array([0, 0, 1, 1])
         w = np.array([1, 1, 5, 5])
         tree = DecisionTreeClassifier().fit(X, y, sample_weight=w)
-        leaf_counts = np.asarray(tree.tree_.n_node_samples)
-        assert leaf_counts[0] == 12  # root sees replicated samples
+        # Weighted class counts replace the retired replicate-rows hack:
+        # same mass as 12 replicated samples, but only 4 rows are grown.
+        assert tree.tree_.value[0].tolist() == [2.0, 10.0]
+        assert tree.tree_.n_node_samples[0] == 4
 
-    def test_fractional_weights_rejected(self):
+    def test_fractional_weights_match_replicated_integers(self):
+        # The deprecation shim contract: fractional weights w find the
+        # same split the old path found for the replicated integer
+        # weights 2w (gains are scale-invariant in the total mass).
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(80, 4))
+        y = (X[:, 1] + 0.3 * rng.normal(size=80) > 0).astype(int)
+        w = np.array([0.5, 1.0, 1.5, 2.0] * 20)
+        repeat = np.round(2 * w).astype(int)
+        native = DecisionTreeClassifier(max_depth=1).fit(X, y, sample_weight=w)
+        replicated = DecisionTreeClassifier(max_depth=1).fit(
+            np.repeat(X, repeat, axis=0), np.repeat(y, repeat)
+        )
+        assert native.tree_.feature[0] == replicated.tree_.feature[0]
+        assert native.tree_.threshold[0] == replicated.tree_.threshold[0]
+        np.testing.assert_allclose(
+            np.asarray(native.tree_.value) * 2.0, replicated.tree_.value
+        )
+
+    def test_integer_weights_match_replication_structurally(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(60, 3))
+        y = (X[:, 0] > 0).astype(int)
+        w = np.array([1, 2, 3] * 20)
+        native = DecisionTreeClassifier(max_depth=3).fit(X, y, sample_weight=w)
+        replicated = DecisionTreeClassifier(max_depth=3).fit(
+            np.repeat(X, w, axis=0), np.repeat(y, w)
+        )
+        np.testing.assert_array_equal(
+            native.predict(X), replicated.predict(X)
+        )
+
+    def test_zero_weight_samples_excluded(self):
+        X = np.array([[0.0], [1.0], [2.0], [50.0]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier().fit(
+            X, y, sample_weight=[1.0, 1.0, 1.0, 0.0]
+        )
+        assert tree.tree_.n_node_samples[0] == 3
+        # The zero-weight outlier cannot have shaped any threshold.
+        assert np.asarray(tree.tree_.threshold).max() < 50.0
+
+    def test_negative_weights_rejected(self):
         X = np.array([[0.0], [1.0]])
         y = np.array([0, 1])
         with pytest.raises(ValueError):
-            DecisionTreeClassifier().fit(X, y, sample_weight=[0.5, 1.5])
+            DecisionTreeClassifier().fit(X, y, sample_weight=[1.0, -0.5])
+
+    def test_all_zero_weights_rejected(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(X, y, sample_weight=[0.0, 0.0])
 
 
 class TestFeatureImportances:

@@ -67,6 +67,18 @@ class TestForensicQueue:
         with pytest.raises(ValueError):
             ForensicQueue(maxlen=0)
 
+    def test_snapshot_is_readonly_view(self):
+        q = ForensicQueue()
+        for i in range(4):
+            q.push(self._sample(step=i))
+        snap = q.snapshot()
+        assert isinstance(snap, tuple)
+        assert [s.step for s in snap] == [0, 1, 2, 3]
+        assert len(q) == 4  # snapshot does not drain
+        # Mutating the queue afterwards does not rewrite the snapshot.
+        q.drain(2)
+        assert [s.step for s in snap] == [0, 1, 2, 3]
+
 
 class TestOnlineMonitor:
     def test_requires_fitted_hmd(self):
@@ -168,6 +180,70 @@ class TestRetrainingLoop:
         X, y, hmd = monitor_setup
         loop = RetrainingLoop(hmd, X, y)
         assert not loop.incorporate([], [])
+
+    def test_small_batches_accumulate_to_trigger(self, monitor_setup):
+        # The buffer is cumulative: three 4-sample analyst batches cross
+        # min_batch=10 on the third call.
+        X, y, hmd = monitor_setup
+        loop = RetrainingLoop(hmd, X, y, min_batch=10)
+        rng = np.random.default_rng(3)
+        X_new = rng.normal(size=(12, X.shape[1])) * 0.4
+        X_new[:, 0] += 12.0
+        batches = [
+            [
+                FlaggedSample(features=x, prediction=0, entropy=0.9, step=i)
+                for i, x in enumerate(block)
+            ]
+            for block in (X_new[:4], X_new[4:8], X_new[8:])
+        ]
+        assert not loop.incorporate(batches[0], np.ones(4, dtype=int))
+        assert loop.n_pending == 4
+        assert not loop.incorporate(batches[1], np.ones(4, dtype=int))
+        assert loop.n_pending == 8
+        assert loop.incorporate(batches[2], np.ones(4, dtype=int))
+        assert loop.n_pending == 0
+        assert loop.n_retrains == 1
+        assert len(loop.y_train) == len(y) + 12
+
+    def test_list_buffer_stacks_once(self, monitor_setup):
+        # Many tiny incorporates must not re-stack the training matrix
+        # per call (the old quadratic np.vstack); blocks accumulate and
+        # X_train materialises on read.
+        X, y, hmd = monitor_setup
+        loop = RetrainingLoop(hmd, X, y, min_batch=10_000)
+        for i in range(50):
+            loop.incorporate(
+                [FlaggedSample(features=X[0], prediction=0, entropy=0.5, step=i)],
+                [0],
+            )
+        assert len(loop._X_blocks) == 51  # no eager stacking happened
+        assert len(loop.X_train) == len(y) + 50
+        assert len(loop._X_blocks) == 1   # a single lazy stack on read
+        assert len(loop.y_train) == len(y) + 50
+
+    def test_warm_partial_refit_path(self):
+        # A hist-grown ensemble retrains through TrustedHMD.partial_refit:
+        # bin edges stay warm and the binned buffer grows in place.
+        from repro.ml import RandomForestClassifier
+
+        X, y = make_blobs(n_per_class=120, separation=4.0, seed=71)
+        hmd = TrustedHMD(
+            RandomForestClassifier(n_estimators=20, grower="hist", random_state=0),
+            threshold=0.4,
+        ).fit(X, y)
+        assert hmd.supports_partial_refit()
+        rows_before = hmd.ensemble_._binned_.n_rows
+        rng = np.random.default_rng(4)
+        X_new = rng.normal(size=(30, X.shape[1])) * 0.4
+        X_new[:, 0] += 12.0
+        loop = RetrainingLoop(hmd, X, y, min_batch=20)
+        samples = [
+            FlaggedSample(features=x, prediction=0, entropy=0.9, step=i)
+            for i, x in enumerate(X_new)
+        ]
+        assert loop.incorporate(samples, np.ones(30, dtype=int))
+        assert hmd.ensemble_._binned_.n_rows == rows_before + 30
+        assert hmd.predictive_entropy(X_new).mean() < 0.3
 
 
 def test_ingest_verdict_coerces_int_accepted_mask(monitor_setup):
