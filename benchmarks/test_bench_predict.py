@@ -258,7 +258,7 @@ def test_bench_fleet_end_to_end_delta(dataset):
     # Identical verdicts, batch for batch.
     assert len(compiled_batches) == len(legacy_batches)
     for fast_batch, slow_batch in zip(compiled_batches, legacy_batches):
-        assert fast_batch.device_ids == slow_batch.device_ids
+        assert np.array_equal(fast_batch.device_ids, slow_batch.device_ids)
         np.testing.assert_array_equal(fast_batch.predictions, slow_batch.predictions)
         np.testing.assert_array_equal(fast_batch.entropy, slow_batch.entropy)
         np.testing.assert_array_equal(fast_batch.accepted, slow_batch.accepted)

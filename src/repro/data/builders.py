@@ -29,6 +29,7 @@ from ..hmd.features import DvfsFeatureExtractor, HpcFeatureExtractor
 from ..ml.validation import check_random_state
 from ..sim.cpu import HpcSimulator
 from ..sim.power import SocSimulator
+from ..sim.trace import DvfsTrace
 from ..sim.workloads import WorkloadGenerator, WorkloadSpec
 
 __all__ = [
@@ -87,16 +88,35 @@ def _dvfs_windows_for_app(
     seed: int,
     governor=None,
 ) -> np.ndarray:
-    """Simulate ``n_windows`` DVFS signature windows for one app."""
+    """Simulate ``n_windows`` DVFS signature windows for one app.
+
+    Simulation stays per-window (each window is an independent capture
+    of the app), but the captures are concatenated into one long trace
+    and featurised by a single batched
+    :meth:`~repro.hmd.features.DvfsFeatureExtractor.extract_windows`
+    pass — bitwise identical to extracting every window separately.
+    """
     generator = WorkloadGenerator(dt=0.05, random_state=seed)
     soc = SocSimulator(random_state=seed + 1, governor=governor)
     extractor = DvfsFeatureExtractor()
-    rows = []
+    states_parts, temp_parts = [], []
+    first = None
     for _ in range(n_windows):
         activity = generator.generate(spec, DVFS_WINDOW_STEPS)
         dvfs = soc.run(activity)
-        rows.append(extractor.extract(dvfs))
-    return np.stack(rows)
+        if first is None:
+            first = dvfs
+        states_parts.append(dvfs.states)
+        temp_parts.append(dvfs.temperature_c)
+    combined = DvfsTrace(
+        states=np.vstack(states_parts),
+        frequencies_mhz=first.frequencies_mhz,
+        channel_names=first.channel_names,
+        temperature_c=np.concatenate(temp_parts),
+        dt=first.dt,
+        name=spec.name,
+    )
+    return extractor.extract_windows(combined, DVFS_WINDOW_STEPS)
 
 
 def build_dvfs_dataset(
@@ -202,15 +222,22 @@ def _hpc_intervals_for_app(
     extractor = HpcFeatureExtractor()
     simulator = HpcSimulator(random_state=seed + 1)
     steps_per_interval = int(round(simulator.dt / generator.dt))
-    rows = []
+    traces, kept = [], []
     remaining = n_intervals
     while remaining > 0:
         chunk = min(HPC_CHUNK_INTERVALS, remaining)
         activity = generator.generate(spec, chunk * steps_per_interval)
         trace = simulator.run(activity)
-        feats = extractor.extract(trace)
-        rows.append(feats[:chunk])
+        traces.append(trace)
+        kept.append(chunk)
         remaining -= chunk
+    # One bulk featurisation pass over every chunk; per-chunk trailing
+    # intervals beyond the requested count are dropped as before.
+    feats = extractor.extract_many(traces)
+    offsets = np.cumsum([0] + [t.n_intervals for t in traces])
+    rows = [
+        feats[offsets[i] : offsets[i] + kept[i]] for i in range(len(traces))
+    ]
     return np.vstack(rows)[:n_intervals]
 
 

@@ -30,6 +30,7 @@ from .common import (
     make_ensemble,
 )
 from .fleet import FleetResult, run_fleet
+from .ingest import IngestResult, run_ingest
 from .fig4 import Fig4Result, run_fig4
 from .fig5 import Fig5Result, run_fig5
 from .fig7 import Fig7aResult, Fig7bResult, run_fig7a, run_fig7b
@@ -57,6 +58,7 @@ __all__ = [
     "Fig9bResult",
     "FleetResult",
     "GovernorAblationResult",
+    "IngestResult",
     "PlattAblationResult",
     "Table1Result",
     "boxplot_stats",
@@ -78,6 +80,7 @@ __all__ = [
     "run_fig9b",
     "run_fleet",
     "run_governor_ablation",
+    "run_ingest",
     "run_platt_ablation",
     "run_table1",
 ]

@@ -31,6 +31,7 @@ from . import (
     run_evasion_ablation,
     run_fleet,
     run_governor_ablation,
+    run_ingest,
     run_platt_ablation,
     run_table1,
 )
@@ -53,6 +54,7 @@ RUNNERS = {
     "ablation-counter-budget": run_counter_budget_ablation,
     "extension-em": run_em_extension,
     "fleet": run_fleet,
+    "ingest": run_ingest,
 }
 
 

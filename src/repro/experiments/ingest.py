@@ -1,0 +1,182 @@
+"""Ingest-path experiment: raw traces → features → fleet verdicts.
+
+The fleet experiment (:mod:`repro.experiments.fleet`) measures the
+*vote* path — its windows are pre-featurised.  This runner measures the
+**whole ingest front** the monitor→flag→retrain loop actually pays per
+device: raw DVFS trace in, windowed feature extraction, bulk submission
+into the fleet queue, batched verdicts out.
+
+The same simulated device traces travel twice:
+
+* **reference path** — per-window feature extraction
+  (:meth:`~repro.hmd.features.DvfsFeatureExtractor.extract_windows_reference`)
+  and one :meth:`~repro.fleet.FleetMonitor.submit` call per window: the
+  ingest front as it stood after PR 3;
+* **batched path** — whole-tensor
+  :meth:`~repro.hmd.features.DvfsFeatureExtractor.extract_windows` and
+  one zero-copy :meth:`~repro.fleet.FleetMonitor.submit_many` block per
+  device.
+
+Feature extraction is bitwise identical between the paths, and every
+downstream stage is row-independent, so the verdicts must match
+bitwise — the runner checks that alongside the throughput ratio.
+
+    python -m repro.experiments ingest
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fleet import BackpressurePolicy, FleetMonitor
+from ..fleet.engine import batch_verdict_key
+from ..hmd.apps import DVFS_KNOWN_BENIGN, DVFS_KNOWN_MALWARE, DVFS_UNKNOWN
+from ..hmd.features import DvfsFeatureExtractor
+from ..ml.ensemble import RandomForestClassifier
+from ..sim.power import SocSimulator
+from ..sim.trace import DvfsTrace
+from ..sim.workloads import FleetPopulation, WorkloadGenerator
+from ..uncertainty.trust import TrustedHMD
+from .common import ExperimentConfig, ExperimentContext, format_table
+
+__all__ = ["IngestResult", "run_ingest"]
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Throughput + equivalence summary of the trace→verdict experiment."""
+
+    n_devices: int
+    n_windows: int
+    window_steps: int
+    batch_size: int
+    reference_wps: float
+    batched_wps: float
+    features_identical: bool
+    verdicts_identical: bool
+    n_flagged: int
+
+    @property
+    def speedup(self) -> float:
+        """Batched trace→verdict throughput over the per-window path."""
+        return self.batched_wps / self.reference_wps if self.reference_wps else 0.0
+
+    def as_text(self) -> str:
+        """Render the ingest throughput table."""
+        table = format_table(
+            ["ingest path", "windows/sec"],
+            [
+                ["per-window extract + per-row submit", self.reference_wps],
+                ["batched extract + bulk submit", self.batched_wps],
+            ],
+        )
+        return (
+            f"Ingest front — {self.n_devices} devices, {self.n_windows} "
+            f"windows of {self.window_steps} steps (batch={self.batch_size})\n"
+            f"{table}\n"
+            f"speedup: {self.speedup:.1f}x   "
+            f"features identical: {self.features_identical}   "
+            f"verdicts identical: {self.verdicts_identical}\n"
+            f"flagged: {self.n_flagged}"
+        )
+
+
+def _device_traces(
+    devices, window_steps: int, windows_per_device: int, seed: int
+) -> list[tuple[str, DvfsTrace]]:
+    """One raw multi-window DVFS trace per device."""
+    traces = []
+    for d, device in enumerate(devices):
+        generator = WorkloadGenerator(dt=0.05, random_state=seed * 100 + d)
+        soc = SocSimulator(random_state=seed + 1)
+        activity = generator.generate(
+            device.spec, windows_per_device * window_steps
+        )
+        traces.append((device.device_id, soc.run(activity)))
+    return traces
+
+
+def run_ingest(
+    config: ExperimentConfig | None = None,
+    context: ExperimentContext | None = None,
+    *,
+    n_devices: int = 48,
+    windows_per_device: int = 8,
+    batch_size: int = 256,
+) -> IngestResult:
+    """Screen raw device traces through both ingest fronts."""
+    ctx = context if context is not None else ExperimentContext(config)
+    cfg = ctx.config
+    dataset = ctx.dataset("dvfs")
+    window_steps = dataset.metadata.get("window_steps", 240)
+
+    # No PCA: with the scaler-only front every per-window computation is
+    # row-independent and bitwise reproducible across batch composition.
+    hmd = TrustedHMD(
+        RandomForestClassifier(
+            n_estimators=cfg.n_estimators, random_state=cfg.seed
+        ),
+        threshold=0.40,
+    ).fit(dataset.train.X, dataset.train.y)
+    hmd.compile()
+
+    population = FleetPopulation(
+        DVFS_KNOWN_BENIGN,
+        DVFS_KNOWN_MALWARE,
+        DVFS_UNKNOWN,
+        malware_fraction=0.08,
+        zero_day_fraction=0.05,
+        random_state=cfg.seed,
+    )
+    devices = population.sample(n_devices)
+    traces = _device_traces(
+        devices, window_steps, windows_per_device, seed=cfg.seed
+    )
+    extractor = DvfsFeatureExtractor()
+    n_windows = n_devices * windows_per_device
+    policy = BackpressurePolicy(max_pending=n_windows + 1)
+
+    # -- reference: per-window extraction, per-row submission ----------
+    reference = FleetMonitor(hmd, batch_size=batch_size, policy=policy)
+    t0 = time.perf_counter()
+    reference_features = {}
+    for device_id, trace in traces:
+        X = extractor.extract_windows_reference(trace, window_steps)
+        reference_features[device_id] = X
+        for row in X:
+            reference.submit(device_id, row)
+    reference_batches = reference.drain()
+    reference_elapsed = time.perf_counter() - t0
+
+    # -- batched: whole-tensor extraction, bulk block submission -------
+    batched = FleetMonitor(hmd, batch_size=batch_size, policy=policy)
+    t0 = time.perf_counter()
+    batched_features = {}
+    for device_id, trace in traces:
+        X = extractor.extract_windows(trace, window_steps)
+        batched_features[device_id] = X
+        batched.submit_many(device_id, X)
+    batched_batches = batched.drain()
+    batched_elapsed = time.perf_counter() - t0
+
+    features_identical = all(
+        np.array_equal(reference_features[d], batched_features[d])
+        for d, _ in traces
+    )
+    verdicts_identical = (
+        batch_verdict_key(reference_batches) == batch_verdict_key(batched_batches)
+    )
+    return IngestResult(
+        n_devices=n_devices,
+        n_windows=n_windows,
+        window_steps=window_steps,
+        batch_size=batch_size,
+        reference_wps=n_windows / max(reference_elapsed, 1e-9),
+        batched_wps=n_windows / max(batched_elapsed, 1e-9),
+        features_identical=features_identical,
+        verdicts_identical=verdicts_identical,
+        n_flagged=batched.stats.n_flagged,
+    )

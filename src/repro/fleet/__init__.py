@@ -19,7 +19,7 @@ from .engine import (
     FleetMonitor,
     batched_verdicts_equal_sequential,
 )
-from .queueing import BackpressurePolicy, FleetQueue, WindowRequest
+from .queueing import BackpressurePolicy, FleetQueue, WindowBatch, WindowRequest
 from .report import DeviceReport, FleetReport
 from .retrain import FleetRetrainer, RetrainOutcome
 from .sampler import FleetWindowSampler
@@ -38,6 +38,7 @@ __all__ = [
     "FleetWindowSampler",
     "RetrainOutcome",
     "RingBuffer",
+    "WindowBatch",
     "WindowRequest",
     "batched_verdicts_equal_sequential",
 ]

@@ -7,13 +7,15 @@ windows, the fleet monitor multiplexes windows from *many* devices
 through one bounded ingress queue and amortises the expensive part —
 the ensemble vote pass — across fixed-size batches:
 
-1. devices :meth:`submit` signature windows; the
+1. devices :meth:`submit` signature windows — or whole feature-matrix
+   blocks via :meth:`submit_many`, which validates once and enqueues
+   one zero-copy segment; the
    :class:`~repro.fleet.queueing.FleetQueue` applies the backpressure
    policy (bounded global and per-device depth, shed-oldest/newest);
-2. :meth:`process_batch` takes up to ``batch_size`` windows, stacks
-   them into one ``(n_windows, n_features)`` matrix and runs a
-   **single** vectorised :meth:`TrustedHMD.analyze` pass — one
-   scaler transform, one tree-routing sweep per ensemble member, one
+2. :meth:`process_batch` takes up to ``batch_size`` windows as a
+   pre-stacked :class:`~repro.fleet.queueing.WindowBatch` and runs a
+   **single** vectorised :meth:`TrustedHMD.analyze` pass — one fused
+   front transform, one tree-routing sweep per ensemble member, one
    bulk vote-entropy/rejection computation for the whole batch;
 3. verdicts are routed back out: per-device ring-buffered state,
    fleet-wide counters, flagged windows into the forensic queue
@@ -42,7 +44,7 @@ import numpy as np
 from ..uncertainty.drift import EntropyDriftMonitor
 from ..uncertainty.online import FlaggedSample, ForensicQueue, MonitorStats
 from ..uncertainty.trust import TrustedHMD, TrustedVerdict
-from .queueing import BackpressurePolicy, FleetQueue, WindowRequest
+from .queueing import BackpressurePolicy, FleetQueue, WindowBatch, WindowRequest
 from .report import DeviceReport, FleetReport
 from .state import DeviceState, RingBuffer
 
@@ -50,6 +52,7 @@ __all__ = [
     "FleetFlaggedSample",
     "FleetBatchResult",
     "FleetMonitor",
+    "batch_verdict_key",
     "batched_verdicts_equal_sequential",
 ]
 
@@ -66,7 +69,7 @@ class FleetFlaggedSample(FlaggedSample):
 class FleetBatchResult:
     """Verdicts of one batched inference pass, still device-addressed."""
 
-    device_ids: tuple[str, ...]
+    device_ids: np.ndarray      # (n,) unicode device ids
     seqs: np.ndarray            # per-device submission sequence numbers
     predictions: np.ndarray
     entropy: np.ndarray
@@ -78,13 +81,32 @@ class FleetBatchResult:
 
     def for_device(self, device_id: str) -> dict[str, np.ndarray]:
         """This batch's verdict arrays restricted to one device."""
-        mask = np.array([d == device_id for d in self.device_ids])
+        mask = np.asarray(self.device_ids) == device_id
         return {
             "seqs": self.seqs[mask],
             "predictions": self.predictions[mask],
             "entropy": self.entropy[mask],
             "accepted": self.accepted[mask],
         }
+
+
+def batch_verdict_key(batches) -> dict:
+    """Index batch results as ``(device_id, seq) -> verdict tuple``.
+
+    The single definition of how device-addressed verdicts are keyed
+    for equivalence checks, shared by
+    :func:`batched_verdicts_equal_sequential` and the ``ingest``
+    experiment runner.
+    """
+    keyed = {}
+    for batch in batches:
+        for j, device_id in enumerate(batch.device_ids):
+            keyed[(str(device_id), int(batch.seqs[j]))] = (
+                batch.predictions[j],
+                batch.entropy[j],
+                bool(batch.accepted[j]),
+            )
+    return keyed
 
 
 def batched_verdicts_equal_sequential(
@@ -99,14 +121,7 @@ def batched_verdicts_equal_sequential(
     guarantee, shared by the ``fleet`` experiment runner and the
     benchmark acceptance gate.
     """
-    keyed = {}
-    for batch in batches:
-        for j, device_id in enumerate(batch.device_ids):
-            keyed[(device_id, int(batch.seqs[j]))] = (
-                batch.predictions[j],
-                batch.entropy[j],
-                bool(batch.accepted[j]),
-            )
+    keyed = batch_verdict_key(batches)
     if len(keyed) != len(sequential_verdicts):
         return False
     counters: dict[str, int] = {}
@@ -227,9 +242,30 @@ class FleetMonitor:
         )
 
     def submit_many(self, device_id: str, windows) -> int:
-        """Enqueue a stack of windows; returns how many were admitted."""
-        windows = np.atleast_2d(np.asarray(windows, dtype=float))
-        return sum(self.submit(device_id, w) for w in windows)
+        """Enqueue a stack of windows as one contiguous block.
+
+        Registration, dtype coercion and the feature-count check happen
+        once for the whole block, sequence numbers are assigned in bulk,
+        and the block lands in the ingress queue as a single zero-copy
+        segment (:meth:`FleetQueue.submit_block`).  Returns how many
+        windows were admitted.
+        """
+        windows = np.ascontiguousarray(
+            np.atleast_2d(np.asarray(windows, dtype=float))
+        )
+        if windows.size == 0:
+            return 0
+        self.register(device_id)
+        n_features = getattr(self.hmd, "n_features_in_", None)
+        if n_features is not None and windows.shape[1] != n_features:
+            raise ValueError(
+                f"windows from {device_id!r} have {windows.shape[1]} features; "
+                f"the fleet HMD expects {n_features}."
+            )
+        start = self._seq[device_id]
+        self._seq[device_id] = start + len(windows)
+        seqs = np.arange(start, start + len(windows), dtype=np.int64)
+        return self.queue.submit_block(device_id, windows, seqs)
 
     @property
     def pending(self) -> int:
@@ -243,16 +279,15 @@ class FleetMonitor:
 
         Returns ``None`` when the queue is empty.
         """
-        requests = self.queue.take(self.batch_size)
-        if not requests:
+        batch: WindowBatch = self.queue.take(self.batch_size)
+        if len(batch) == 0:
             return None
-        X = np.stack([r.features for r in requests])
-        verdict: TrustedVerdict = self.hmd.analyze(X)
-        self._route(requests, X, verdict)
+        verdict: TrustedVerdict = self.hmd.analyze(batch.features)
+        self._route(batch, verdict)
         self.n_batches += 1
         return FleetBatchResult(
-            device_ids=tuple(r.device_id for r in requests),
-            seqs=np.array([r.seq for r in requests], dtype=int),
+            device_ids=batch.device_ids,
+            seqs=batch.seqs,
             predictions=verdict.predictions,
             entropy=verdict.entropy,
             accepted=verdict.accepted,
@@ -269,11 +304,9 @@ class FleetMonitor:
             results.append(result)
         return results
 
-    def _route(
-        self, requests: list[WindowRequest], X: np.ndarray, verdict: TrustedVerdict
-    ) -> None:
+    def _route(self, batch: WindowBatch, verdict: TrustedVerdict) -> None:
         """Fan the batched verdicts back out to per-device state."""
-        n = len(requests)
+        n = len(batch)
         base_step = self._step
         self._step += n
         # dtype=bool: ~ on an int 0/1 mask would invert bitwise, not logically.
@@ -284,30 +317,35 @@ class FleetMonitor:
         if self.drift is not None:
             self.drift.observe(verdict.entropy)
 
-        # Group batch rows by device (one pass), then bulk-update each.
-        groups: dict[str, list[int]] = {}
-        for i, request in enumerate(requests):
-            groups.setdefault(request.device_id, []).append(i)
-        for device_id, rows in groups.items():
-            idx = np.asarray(rows, dtype=int)
-            self.devices[device_id].record(
+        # Group batch rows by device (one vectorised pass), then
+        # bulk-update each device's ring-buffered state.
+        unique_devices, inverse = np.unique(batch.device_ids, return_inverse=True)
+        order = np.argsort(inverse, kind="stable")
+        boundaries = np.searchsorted(inverse[order], np.arange(len(unique_devices)))
+        for g, device_id in enumerate(unique_devices):
+            stop = boundaries[g + 1] if g + 1 < len(unique_devices) else n
+            idx = order[boundaries[g] : stop]
+            self.devices[str(device_id)].record(
                 verdict.predictions[idx],
                 verdict.entropy[idx],
                 accepted[idx],
                 last_step=base_step + int(idx[-1]) + 1,
             )
 
-        for i in np.flatnonzero(~accepted):
-            request = requests[i]
-            self.forensics.push(
+        flagged = np.flatnonzero(~accepted)
+        if len(flagged):
+            # One bulk hand-off; samples materialise as Python objects
+            # only for the (typically few) flagged rows.
+            self.forensics.push_many(
                 FleetFlaggedSample(
-                    features=X[i].copy(),
+                    features=batch.features[i].copy(),
                     prediction=int(verdict.predictions[i]),
                     entropy=float(verdict.entropy[i]),
                     step=base_step + int(i) + 1,
-                    device_id=request.device_id,
-                    seq=request.seq,
+                    device_id=str(batch.device_ids[i]),
+                    seq=int(batch.seqs[i]),
                 )
+                for i in flagged
             )
 
     # -- egress --------------------------------------------------------

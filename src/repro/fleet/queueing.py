@@ -18,16 +18,26 @@ Two shedding modes are provided:
 
 Every shed window is attributed to its device so the fleet report can
 show *who* is being rate-limited.
+
+Storage is **block-oriented**: each submission — a single window or a
+whole :meth:`FleetQueue.submit_block` matrix — becomes one
+single-device :class:`_Segment` holding its feature rows as a
+contiguous matrix.  Both shedding modes and :meth:`FleetQueue.take`
+only ever consume a segment's *oldest* live row, so liveness per
+segment is just a head pointer, and a take materialises its batch as a
+handful of matrix slices (:class:`WindowBatch`) instead of thousands of
+per-row ``WindowRequest`` objects.  The per-row :class:`WindowRequest`
+path is kept for single submits.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["WindowRequest", "BackpressurePolicy", "FleetQueue"]
+__all__ = ["WindowRequest", "WindowBatch", "BackpressurePolicy", "FleetQueue"]
 
 _SHED_MODES = ("drop_oldest", "drop_newest")
 
@@ -39,6 +49,60 @@ class WindowRequest:
     device_id: str
     features: np.ndarray    # 1-D feature vector
     seq: int                # per-device submission sequence number
+
+
+@dataclass(frozen=True)
+class WindowBatch:
+    """One dequeued batch, pre-stacked for the vectorised vote path.
+
+    ``features`` rows, ``device_ids`` and ``seqs`` are aligned and in
+    admission order — what :meth:`FleetQueue.take` hands the inference
+    core instead of a list of per-row objects.
+    """
+
+    device_ids: np.ndarray  # (n,) unicode device ids
+    seqs: np.ndarray        # (n,) per-device submission sequence numbers
+    features: np.ndarray    # (n, n_features) stacked windows
+
+    def __len__(self) -> int:
+        return len(self.seqs)
+
+    def requests(self) -> list[WindowRequest]:
+        """Per-row view of the batch (diagnostics / compatibility)."""
+        return [
+            WindowRequest(
+                device_id=str(self.device_ids[i]),
+                features=self.features[i],
+                seq=int(self.seqs[i]),
+            )
+            for i in range(len(self.seqs))
+        ]
+
+
+_EMPTY_BATCH = WindowBatch(
+    device_ids=np.empty(0, dtype="<U1"),
+    seqs=np.empty(0, dtype=np.int64),
+    features=np.empty((0, 0)),
+)
+
+
+@dataclass
+class _Segment:
+    """One single-device submission block; rows before ``head`` are dead.
+
+    Every consumer (take, global eviction, per-device eviction) removes
+    a segment's oldest live row, so a single head pointer tracks
+    liveness — no per-row tombstone bookkeeping.
+    """
+
+    device_id: str
+    seqs: np.ndarray        # (m,)
+    features: np.ndarray    # (m, n_features)
+    head: int = 0
+
+    @property
+    def n_alive(self) -> int:
+        return len(self.seqs) - self.head
 
 
 @dataclass(frozen=True)
@@ -74,25 +138,27 @@ class BackpressurePolicy:
 
 
 class FleetQueue:
-    """Bounded FIFO of window requests with per-device accounting.
+    """Bounded FIFO of window blocks with per-device accounting.
 
-    Eviction from the middle of a FIFO is made O(1) amortised by
-    tombstoning: requests live in a dict keyed by admission ticket, the
-    global and per-device deques hold tickets only, and stale tickets
-    are skipped lazily during :meth:`take`.
+    Submissions are stored as single-device segments; the global and
+    per-device deques hold segment references in admission order.
+    Fully-consumed segments are popped lazily from deque heads, and the
+    deques are rebuilt once dead segments outnumber live ones (a capped
+    chatty device under a stalled consumer would otherwise grow them
+    linearly with shed volume).
     """
 
     def __init__(self, policy: BackpressurePolicy | None = None):
         self.policy = policy if policy is not None else BackpressurePolicy()
-        self._items: dict[int, WindowRequest] = {}
-        self._order: deque[int] = deque()
-        self._by_device: dict[str, deque[int]] = {}
+        self._segments: deque[_Segment] = deque()
+        self._by_device: dict[str, deque[_Segment]] = {}
         self._pending_by_device: dict[str, int] = {}
-        self._next_ticket = 0
+        self._n_pending = 0
+        self._n_live_segments = 0
         self.shed_by_device: dict[str, int] = {}
 
     def __len__(self) -> int:
-        return len(self._items)
+        return self._n_pending
 
     @property
     def total_shed(self) -> int:
@@ -102,59 +168,63 @@ class FleetQueue:
     def pending(self, device_id: str | None = None) -> int:
         """Queued windows, fleet-wide or for one device."""
         if device_id is None:
-            return len(self._items)
+            return self._n_pending
         return self._pending_by_device.get(device_id, 0)
 
-    def _shed(self, device_id: str) -> None:
-        self.shed_by_device[device_id] = self.shed_by_device.get(device_id, 0) + 1
+    # -- shedding ------------------------------------------------------
 
-    def _evict_ticket(self, ticket: int) -> None:
-        request = self._items.pop(ticket)
-        self._pending_by_device[request.device_id] -= 1
-        self._shed(request.device_id)
+    def _shed(self, device_id: str, n: int = 1) -> None:
+        self.shed_by_device[device_id] = self.shed_by_device.get(device_id, 0) + n
+
+    def _consume_head(self, segment: _Segment) -> None:
+        """Kill a segment's oldest live row (eviction bookkeeping)."""
+        segment.head += 1
+        self._pending_by_device[segment.device_id] -= 1
+        self._n_pending -= 1
+        self._shed(segment.device_id)
+        if segment.n_alive == 0:
+            self._n_live_segments -= 1
+
+    @staticmethod
+    def _front_alive(queue: deque[_Segment]) -> _Segment | None:
+        """Oldest segment with live rows, popping dead heads."""
+        while queue:
+            if queue[0].n_alive > 0:
+                return queue[0]
+            queue.popleft()
+        return None
 
     def _evict_oldest(self, device_id: str | None = None) -> None:
-        """Tombstone the stalest live request (optionally of one device)."""
-        queue = self._order if device_id is None else self._by_device[device_id]
-        while queue:
-            ticket = queue[0]
-            if ticket in self._items:
-                queue.popleft()
-                self._evict_ticket(ticket)
-                return
-            queue.popleft()
-
-    def _trim_device_queue(self, device_id: str) -> None:
-        """Drop leading stale tickets from one device's deque.
-
-        Evictions and takes only ever remove a device's *oldest* live
-        ticket, so stale tickets accumulate at the head; trimming heads
-        on every submit/take keeps the deques from growing without
-        bound over a long-running monitor's lifetime.
-        """
-        queue = self._by_device.get(device_id)
-        if queue is None:
-            return
-        while queue and queue[0] not in self._items:
-            queue.popleft()
+        """Shed the stalest live window (optionally of one device)."""
+        queue = self._segments if device_id is None else self._by_device[device_id]
+        segment = self._front_alive(queue)
+        if segment is not None:
+            self._consume_head(segment)
 
     def _compact(self) -> None:
-        """Rebuild the ticket deques once tombstones outnumber live.
-
-        Per-device-cap evictions tombstone tickets in the *middle* of
-        the global order, where head trimming cannot reach them; if the
-        consumer stalls while a capped device keeps submitting, those
-        tombstones would otherwise grow linearly with shed volume.
-        Rebuilding only when the deques are mostly stale keeps the cost
-        O(1) amortised per shed.
-        """
-        if len(self._order) <= 2 * max(len(self._items), 16):
+        """Rebuild the segment deques once dead ones outnumber live."""
+        if len(self._segments) <= 2 * max(self._n_live_segments, 16):
             return
-        self._order = deque(t for t in self._order if t in self._items)
+        self._segments = deque(s for s in self._segments if s.n_alive > 0)
         for device_id, queue in list(self._by_device.items()):
-            self._by_device[device_id] = deque(
-                t for t in queue if t in self._items
-            )
+            self._by_device[device_id] = deque(s for s in queue if s.n_alive > 0)
+
+    # -- ingress -------------------------------------------------------
+
+    def _admit(self, segment: _Segment) -> None:
+        self._segments.append(segment)
+        device_queue = self._by_device.setdefault(segment.device_id, deque())
+        # Trim consumed heads so long-running submit/take cycles never
+        # grow the device deque without bound.
+        while device_queue and device_queue[0].n_alive == 0:
+            device_queue.popleft()
+        device_queue.append(segment)
+        self._pending_by_device[segment.device_id] = (
+            self._pending_by_device.get(segment.device_id, 0) + segment.n_alive
+        )
+        self._n_pending += segment.n_alive
+        self._n_live_segments += 1
+        self._compact()
 
     def submit(self, request: WindowRequest) -> bool:
         """Enqueue one window; returns False when *it* was shed.
@@ -162,8 +232,6 @@ class FleetQueue:
         Note a True return may still have shed an older window (in
         ``"drop_oldest"`` mode); check :attr:`shed_by_device`.
         """
-        device_queue = self._by_device.setdefault(request.device_id, deque())
-
         per_device_cap = self.policy.max_pending_per_device
         if per_device_cap is not None:
             while self.pending(request.device_id) >= per_device_cap:
@@ -172,34 +240,117 @@ class FleetQueue:
                     return False
                 self._evict_oldest(request.device_id)
 
-        while len(self._items) >= self.policy.max_pending:
+        while self._n_pending >= self.policy.max_pending:
             if self.policy.shed == "drop_newest":
                 self._shed(request.device_id)
                 return False
             self._evict_oldest()
 
-        ticket = self._next_ticket
-        self._next_ticket += 1
-        self._items[ticket] = request
-        self._order.append(ticket)
-        device_queue.append(ticket)
-        self._trim_device_queue(request.device_id)
-        self._pending_by_device[request.device_id] = (
-            self._pending_by_device.get(request.device_id, 0) + 1
+        self._admit(
+            _Segment(
+                device_id=request.device_id,
+                seqs=np.asarray([request.seq], dtype=np.int64),
+                features=np.atleast_2d(request.features),
+            )
         )
-        self._compact()
         return True
 
-    def take(self, n: int) -> list[WindowRequest]:
-        """Dequeue up to ``n`` live requests in admission order."""
+    def submit_block(
+        self, device_id: str, features: np.ndarray, seqs: np.ndarray
+    ) -> int:
+        """Enqueue a whole stack of windows from one device at once.
+
+        The common un-congested case admits the block **zero-copy**:
+        the feature matrix is stored as-is as one segment and no per-row
+        Python work happens.  When the block would trip a bound, the
+        rows are replayed through the per-row :meth:`submit` policy
+        machinery instead, so shedding semantics are exactly those of
+        ``m`` sequential submits.  Returns the number of admitted rows.
+        """
+        features = np.atleast_2d(features)
+        seqs = np.asarray(seqs, dtype=np.int64)
+        m = len(seqs)
+        if features.shape[0] != m:
+            raise ValueError(
+                f"features has {features.shape[0]} rows but {m} seqs were given."
+            )
+        if m == 0:
+            return 0
+
+        cap = self.policy.max_pending_per_device
+        fits_device = cap is None or self.pending(device_id) + m <= cap
+        fits_global = self._n_pending + m <= self.policy.max_pending
+        if fits_device and fits_global:
+            self._admit(
+                _Segment(device_id=device_id, seqs=seqs, features=features)
+            )
+            return m
+
+        # Congested: fall back to row-wise admission for exact policy
+        # semantics (the slow path is already paying for shedding).
+        admitted = 0
+        for i in range(m):
+            admitted += self.submit(
+                WindowRequest(
+                    device_id=device_id, features=features[i], seq=int(seqs[i])
+                )
+            )
+        return admitted
+
+    # -- egress --------------------------------------------------------
+
+    def take(self, n: int) -> WindowBatch:
+        """Dequeue up to ``n`` live windows in admission order.
+
+        Returns a :class:`WindowBatch` of pre-stacked matrices; a batch
+        served from a single segment is a zero-copy slice of the
+        submitted block.
+        """
         if n < 1:
             raise ValueError(f"n must be >= 1; got {n}.")
-        batch: list[WindowRequest] = []
-        while self._order and len(batch) < n:
-            ticket = self._order.popleft()
-            request = self._items.pop(ticket, None)
-            if request is not None:
-                self._pending_by_device[request.device_id] -= 1
-                self._trim_device_queue(request.device_id)
-                batch.append(request)
-        return batch
+        parts: list[tuple[_Segment, int, int]] = []  # (segment, start, stop)
+        need = n
+        while need > 0:
+            segment = self._front_alive(self._segments)
+            if segment is None:
+                break
+            k = min(need, segment.n_alive)
+            parts.append((segment, segment.head, segment.head + k))
+            segment.head += k
+            self._pending_by_device[segment.device_id] -= k
+            self._n_pending -= k
+            need -= k
+            if segment.n_alive == 0:
+                self._segments.popleft()
+                self._n_live_segments -= 1
+                # Drop consumed segments from the device deque too, or a
+                # device that uploads once and goes quiet would pin its
+                # feature blocks for the queue's lifetime.
+                device_queue = self._by_device.get(segment.device_id)
+                while device_queue and device_queue[0].n_alive == 0:
+                    device_queue.popleft()
+
+        if not parts:
+            return _EMPTY_BATCH
+        if len(parts) == 1:
+            segment, start, stop = parts[0]
+            return WindowBatch(
+                device_ids=np.repeat(
+                    np.asarray([segment.device_id]), stop - start
+                ),
+                seqs=segment.seqs[start:stop],
+                features=segment.features[start:stop],
+            )
+        counts = [stop - start for _, start, stop in parts]
+        return WindowBatch(
+            device_ids=np.repeat(
+                np.asarray([segment.device_id for segment, _, _ in parts]),
+                counts,
+            ),
+            seqs=np.concatenate(
+                [segment.seqs[start:stop] for segment, start, stop in parts]
+            ),
+            features=np.vstack(
+                [segment.features[start:stop] for segment, start, stop in parts]
+            ),
+        )

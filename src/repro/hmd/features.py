@@ -12,6 +12,27 @@ This is the "Feature Extraction" box of the paper's HMD pipeline
   interval*: derived per-instruction/per-cycle rates (IPC, MPKI, ...)
   plus log-scaled raw counts.  Matches Zhou et al., where every counter
   sample is a data point (hence the much larger HPC dataset in Table I).
+
+Two extraction paths are maintained per extractor:
+
+* a **per-window reference path** (:meth:`DvfsFeatureExtractor.extract`,
+  :meth:`DvfsFeatureExtractor.extract_windows_reference`) — one window
+  at a time, the readable specification of every feature;
+* a **batched path** (:meth:`DvfsFeatureExtractor.extract_windows`) —
+  the trace is reshaped to ``(n_windows, n_channels, window_steps)``
+  and every feature is computed for *all* windows at once with
+  whole-tensor numpy ops.
+
+The batched path is **bitwise identical** to the reference path.  That
+is not automatic for floating point — it holds because both paths are
+written against the same numpy reduction machinery: every float
+accumulation reduces a *contiguous* innermost axis (numpy applies the
+same pairwise summation to a 1-D contiguous array and to each line of a
+C-contiguous 2-D array), dot products are spelled multiply-then-sum
+(BLAS ``ddot`` has a different accumulation order and is avoided on
+both paths), and everything else is either elementwise or an exact
+integer reduction.  ``tests/hmd/test_features_batched.py`` enforces the
+equivalence across randomized traces.
 """
 
 from __future__ import annotations
@@ -70,6 +91,8 @@ class DvfsFeatureExtractor:
         names.extend(["temp_mean", "temp_std", "temp_slope"])
         return names
 
+    # -- per-window reference path -------------------------------------
+
     @staticmethod
     def _dwell_stats(states: np.ndarray) -> tuple[float, float]:
         """Mean run length and longest-run fraction of the state series."""
@@ -91,7 +114,7 @@ class DvfsFeatureExtractor:
         return [float(band.sum() / total) for band in bands]
 
     def extract(self, trace: DvfsTrace) -> np.ndarray:
-        """Feature vector for one DVFS window."""
+        """Feature vector for one DVFS window (reference path)."""
         feats: list[float] = []
         norms = []
         for c in range(trace.n_channels):
@@ -110,9 +133,12 @@ class DvfsFeatureExtractor:
             max_jump = float(np.max(np.abs(diffs))) if len(diffs) else 0.0
             mean_dwell, max_dwell_frac = self._dwell_stats(states)
             centered = norm - norm.mean()
-            var = float(centered @ centered)
+            # Multiply-then-sum, not ``centered @ centered``: the batched
+            # path must reproduce this bitwise, and BLAS ddot accumulates
+            # in a different order than numpy's pairwise reduction.
+            var = float((centered * centered).sum())
             if var > 1e-12 and len(norm) > 1:
-                autocorr = float(centered[:-1] @ centered[1:]) / var
+                autocorr = float((centered[:-1] * centered[1:]).sum()) / var
             else:
                 autocorr = 0.0
             feats.extend(
@@ -137,7 +163,11 @@ class DvfsFeatureExtractor:
             for b in range(a + 1, trace.n_channels):
                 sa, sb = norms[a], norms[b]
                 if sa.std() > 1e-9 and sb.std() > 1e-9:
-                    feats.append(float(np.corrcoef(sa, sb)[0, 1]))
+                    ca = sa - sa.mean()
+                    cb = sb - sb.mean()
+                    denom = np.sqrt((ca * ca).sum() * (cb * cb).sum())
+                    corr = float(np.clip((ca * cb).sum() / denom, -1.0, 1.0))
+                    feats.append(corr)
                 else:
                     feats.append(0.0)
 
@@ -146,11 +176,7 @@ class DvfsFeatureExtractor:
         feats.extend([float(temp.mean()), float(temp.std()), slope])
         return np.asarray(feats)
 
-    def extract_windows(self, trace: DvfsTrace, window_steps: int) -> np.ndarray:
-        """Split a long trace into windows and extract each.
-
-        Trailing steps that do not fill a whole window are dropped.
-        """
+    def _check_windowing(self, trace: DvfsTrace, window_steps: int) -> int:
         if window_steps < 2:
             raise ValueError("window_steps must be >= 2.")
         n_windows = trace.n_steps // window_steps
@@ -159,6 +185,18 @@ class DvfsFeatureExtractor:
                 f"Trace of {trace.n_steps} steps shorter than one window "
                 f"({window_steps})."
             )
+        return n_windows
+
+    def extract_windows_reference(
+        self, trace: DvfsTrace, window_steps: int
+    ) -> np.ndarray:
+        """Per-window loop over :meth:`extract` (reference path).
+
+        Kept as the readable specification the batched
+        :meth:`extract_windows` is tested bitwise against, and as the
+        baseline the ingest benchmark measures the speedup over.
+        """
+        n_windows = self._check_windowing(trace, window_steps)
         rows = []
         for w in range(n_windows):
             sub = DvfsTrace(
@@ -171,6 +209,184 @@ class DvfsFeatureExtractor:
             )
             rows.append(self.extract(sub))
         return np.stack(rows)
+
+    # -- batched path --------------------------------------------------
+
+    def extract_windows(self, trace: DvfsTrace, window_steps: int) -> np.ndarray:
+        """Split a long trace into windows and extract all of them at once.
+
+        Trailing steps that do not fill a whole window are dropped.
+        Returns the same ``(n_windows, n_features)`` matrix as
+        :meth:`extract_windows_reference`, bitwise, but computed with
+        whole-tensor ops: one offset-``bincount`` per channel for the
+        residency histograms, axis-wise ``diff`` reductions for the
+        transition statistics, flattened change-point arithmetic for the
+        dwell run-lengths, one batched ``rfft`` per channel for the
+        spectral bands, and pairwise multiply-sum for the cross-channel
+        correlations.
+        """
+        n_windows = self._check_windowing(trace, window_steps)
+        n_channels = trace.n_channels
+        used = n_windows * window_steps
+        # (n_windows, n_channels, window_steps) with each per-(window,
+        # channel) series contiguous — the layout every reduction below
+        # needs for bitwise identity with the 1-D reference path.
+        S = np.ascontiguousarray(
+            trace.states[:used]
+            .reshape(n_windows, window_steps, n_channels)
+            .transpose(0, 2, 1)
+        )
+
+        blocks: list[np.ndarray] = []
+        stds = np.empty((n_windows, n_channels))
+        variances = np.empty((n_windows, n_channels))
+        centered_all = np.empty((n_windows, n_channels, window_steps))
+
+        for c in range(n_channels):
+            states = S[:, c, :]
+            n_states = trace.n_states(c)
+            if states.size and int(states.max()) >= n_states:
+                # The offset bincount below would silently bleed an
+                # out-of-range state into the next window's bin block;
+                # fail loudly instead (the per-window reference path
+                # errors on such traces too, at stack time).
+                raise ValueError(
+                    f"channel {trace.channel_names[c]!r} contains state "
+                    f"{int(states.max())} but only {n_states} frequency "
+                    "states are defined."
+                )
+
+            # Residency histogram: one bincount over all windows, each
+            # window shifted into its own bin block.
+            offsets = np.arange(n_windows, dtype=np.int64)[:, None] * n_states
+            counts = np.bincount(
+                (states + offsets).ravel(), minlength=n_windows * n_states
+            ).reshape(n_windows, n_states)
+            hist = counts.astype(float)
+            hist /= window_steps
+
+            norm = states / max(n_states - 1, 1)
+            mean = norm.mean(axis=-1)
+            std = norm.std(axis=-1)
+            stds[:, c] = std
+
+            diffs = np.diff(states, axis=-1)
+            nonzero = diffs != 0
+            transition_rate = nonzero.mean(axis=-1)
+            up_rate = (diffs > 0).mean(axis=-1)
+            abs_jump = np.abs(diffs)
+            mean_jump = abs_jump.mean(axis=-1)
+            max_jump = abs_jump.max(axis=-1).astype(float)
+
+            mean_dwell, max_dwell_frac = self._dwell_stats_batched(nonzero)
+
+            centered = norm - mean[:, None]
+            centered_all[:, c, :] = centered
+            var = (centered * centered).sum(axis=-1)
+            variances[:, c] = var
+            numer = (centered[:, :-1] * centered[:, 1:]).sum(axis=-1)
+            autocorr = np.zeros(n_windows)
+            valid = var > 1e-12
+            if window_steps > 1:
+                np.divide(numer, var, out=autocorr, where=valid)
+
+            bands = self._spectral_bands_batched(centered)
+
+            blocks.append(
+                np.column_stack(
+                    [
+                        hist,
+                        mean,
+                        std,
+                        transition_rate,
+                        up_rate,
+                        mean_jump,
+                        max_jump,
+                        (states == n_states - 1).mean(axis=-1),
+                        (states == 0).mean(axis=-1),
+                        (norm < 0.5).mean(axis=-1),
+                        mean_dwell,
+                        max_dwell_frac,
+                        autocorr,
+                        bands,
+                    ]
+                )
+            )
+
+        if n_channels > 1:
+            idx_a, idx_b = np.triu_indices(n_channels, k=1)
+            # Fancy indexing copies → contiguous lines → the per-pair
+            # multiply-sum reduces exactly like the 1-D reference.
+            ca = centered_all[:, idx_a, :]
+            cb = centered_all[:, idx_b, :]
+            numer = (ca * cb).sum(axis=-1)
+            denom = np.sqrt(variances[:, idx_a] * variances[:, idx_b])
+            valid = (stds[:, idx_a] > 1e-9) & (stds[:, idx_b] > 1e-9)
+            xcorr = np.zeros_like(numer)
+            np.divide(numer, denom, out=xcorr, where=valid)
+            np.clip(xcorr, -1.0, 1.0, out=xcorr)
+            blocks.append(xcorr)
+
+        temp = trace.temperature_c[:used].reshape(n_windows, window_steps)
+        slope = (temp[:, -1] - temp[:, 0]) / max(window_steps - 1, 1)
+        blocks.append(
+            np.column_stack([temp.mean(axis=-1), temp.std(axis=-1), slope])
+        )
+        return np.concatenate(
+            [b if b.ndim == 2 else b[:, None] for b in blocks], axis=1
+        )
+
+    @staticmethod
+    def _dwell_stats_batched(nonzero_diffs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-window dwell statistics via flattened run-length arithmetic.
+
+        ``nonzero_diffs`` is the boolean ``(n_windows, window_steps-1)``
+        change mask.  Runs never span windows (each window's first step
+        starts a run), so run lengths of *all* windows fall out of one
+        ``flatnonzero``/``diff`` pass over the flattened mask.
+        """
+        n_windows, m = nonzero_diffs.shape
+        window_steps = m + 1
+        starts = np.empty((n_windows, window_steps), dtype=bool)
+        starts[:, 0] = True
+        starts[:, 1:] = nonzero_diffs
+        flat_starts = np.flatnonzero(starts.ravel())
+        run_lengths = np.diff(
+            np.append(flat_starts, n_windows * window_steps)
+        )
+        window_of_run = flat_starts // window_steps
+        n_runs = np.bincount(window_of_run, minlength=n_windows)
+        first_run = np.searchsorted(window_of_run, np.arange(n_windows))
+        max_run = np.maximum.reduceat(run_lengths, first_run)
+        # Run lengths per window sum to exactly window_steps, so the
+        # reference's float mean is exactly window_steps / n_runs.
+        mean_dwell = window_steps / n_runs
+        max_dwell_frac = max_run / window_steps
+        return mean_dwell, max_dwell_frac
+
+    def _spectral_bands_batched(self, centered: np.ndarray) -> np.ndarray:
+        """Band energies for all windows of one channel at once.
+
+        ``centered`` is the mean-removed normalised signal,
+        ``(n_windows, window_steps)`` contiguous; one batched ``rfft``
+        covers every window.
+        """
+        n_windows = centered.shape[0]
+        spectrum = np.abs(np.fft.rfft(centered, axis=-1)) ** 2
+        out = np.zeros((n_windows, self.N_SPECTRAL_BANDS))
+        if spectrum.shape[-1] <= 1:
+            return out
+        spectrum = spectrum[:, 1:]  # drop DC
+        total = spectrum.sum(axis=-1)
+        valid = total > 0
+        # Same band boundaries as np.array_split in the reference.
+        edges = np.array_split(np.arange(spectrum.shape[-1]), self.N_SPECTRAL_BANDS)
+        for b, edge in enumerate(edges):
+            if len(edge) == 0:
+                continue
+            band_sum = spectrum[:, edge[0] : edge[-1] + 1].sum(axis=-1)
+            np.divide(band_sum, total, out=out[:, b], where=valid)
+        return out
 
 
 class HpcFeatureExtractor:
@@ -205,30 +421,73 @@ class HpcFeatureExtractor:
             f"log_{name}" for name in trace.counter_names
         ]
 
-    def extract(self, trace: HpcTrace) -> np.ndarray:
-        """Feature matrix ``(n_intervals, n_features)`` for the trace."""
-        c = {name: trace.column(name) for name in trace.counter_names}
-        instructions = np.maximum(c["instructions"], 1.0)
-        cycles = np.maximum(c["cycles"], 1.0)
+    @staticmethod
+    def _features(counters: np.ndarray, counter_names, dt) -> np.ndarray:
+        """Shared feature kernel over a counter matrix.
+
+        ``dt`` is a scalar (one trace) or a per-row vector (bulk path);
+        every op is elementwise per row, so stacking traces first and
+        extracting once is bitwise identical to extracting per trace.
+        """
+        idx = {name: i for i, name in enumerate(counter_names)}
+
+        def col(name: str) -> np.ndarray:
+            return counters[:, idx[name]]
+
+        instructions = np.maximum(col("instructions"), 1.0)
+        cycles = np.maximum(col("cycles"), 1.0)
         kinst = instructions / 1e3
 
         rates = np.column_stack(
             [
                 instructions / cycles,
-                c["branch_misses"] / kinst,
-                c["l1d_misses"] / kinst,
-                c["l2_misses"] / kinst,
-                c["llc_misses"] / kinst,
-                c["dtlb_misses"] / kinst,
-                c["itlb_misses"] / kinst,
-                c["branch_instructions"] / instructions,
-                c["loads"] / instructions,
-                c["stores"] / instructions,
-                c["stalled_cycles_frontend"] / cycles,
-                c["stalled_cycles_backend"] / cycles,
-                c["page_faults"] / trace.dt,
-                c["context_switches"] / trace.dt,
+                col("branch_misses") / kinst,
+                col("l1d_misses") / kinst,
+                col("l2_misses") / kinst,
+                col("llc_misses") / kinst,
+                col("dtlb_misses") / kinst,
+                col("itlb_misses") / kinst,
+                col("branch_instructions") / instructions,
+                col("loads") / instructions,
+                col("stores") / instructions,
+                col("stalled_cycles_frontend") / cycles,
+                col("stalled_cycles_backend") / cycles,
+                col("page_faults") / dt,
+                col("context_switches") / dt,
             ]
         )
-        logs = np.log1p(trace.counters)
+        logs = np.log1p(counters)
         return np.hstack([rates, logs])
+
+    def extract(self, trace: HpcTrace) -> np.ndarray:
+        """Feature matrix ``(n_intervals, n_features)`` for the trace."""
+        return self._features(trace.counters, trace.counter_names, trace.dt)
+
+    def extract_many(self, traces: list[HpcTrace]) -> np.ndarray:
+        """Feature matrix for several traces in one whole-tensor pass.
+
+        Counter matrices are stacked once and the feature kernel runs a
+        single time over all intervals of all traces — bitwise identical
+        to ``np.vstack([self.extract(t) for t in traces])`` because every
+        HPC feature is elementwise per interval.  Per-trace sampling
+        periods are honoured via a per-row ``dt`` vector.
+        """
+        if not traces:
+            raise ValueError("At least one trace is required.")
+        counter_names = traces[0].counter_names
+        for trace in traces[1:]:
+            if trace.counter_names != counter_names:
+                raise ValueError(
+                    "All traces must share the same counter layout; got "
+                    f"{trace.counter_names} vs {counter_names}."
+                )
+        counters = (
+            traces[0].counters
+            if len(traces) == 1
+            else np.vstack([t.counters for t in traces])
+        )
+        dts = np.repeat(
+            np.array([t.dt for t in traces]),
+            np.array([t.n_intervals for t in traces]),
+        )
+        return self._features(counters, counter_names, dts)

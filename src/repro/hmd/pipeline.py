@@ -46,6 +46,8 @@ class DvfsHmdFrontend:
         self.hmd = TrustedHMD(ensemble, threshold=threshold)
 
     def _featurize(self, traces: list[DvfsTrace]) -> np.ndarray:
+        # One batched extract_windows pass per trace: each call is a
+        # whole-tensor computation over all of that trace's windows.
         rows = [
             self.extractor.extract_windows(trace, self.window_steps)
             for trace in traces
@@ -86,12 +88,13 @@ class HpcHmdFrontend:
             raise ValueError("traces and labels lengths differ.")
         if not traces:
             raise ValueError("At least one trace is required.")
-        X_parts, y_parts = [], []
-        for trace, label in zip(traces, labels):
-            X = self.extractor.extract(trace)
-            X_parts.append(X)
-            y_parts.append(np.full(len(X), label))
-        self.hmd.fit(np.vstack(X_parts), np.concatenate(y_parts))
+        # One bulk featurisation pass over all traces; labels expand to
+        # per-interval rows by each trace's interval count.
+        X = self.extractor.extract_many(traces)
+        y = np.repeat(
+            np.asarray(labels), np.array([t.n_intervals for t in traces])
+        )
+        self.hmd.fit(X, y)
         self.hmd.compile()
         return self
 

@@ -103,3 +103,19 @@ class PCA(BaseEstimator, TransformerMixin):
         if self.whiten:
             X = X * np.sqrt(self.explained_variance_)
         return X @ self.components_ + self.mean_
+
+    def as_affine(self) -> tuple[np.ndarray, np.ndarray]:
+        """The fitted projection as ``X @ weight + bias``.
+
+        ``weight`` is ``(n_features, n_components)`` with whitening
+        folded in; ``bias`` absorbs the centering.  Lets upstream
+        pipelines fuse scaling and projection into one matmul.  Equal to
+        :meth:`transform` up to floating-point associativity.
+        """
+        check_is_fitted(self, "components_")
+        weight = np.array(self.components_.T)
+        if self.whiten:
+            scale = np.sqrt(self.explained_variance_)
+            scale[scale == 0.0] = 1.0
+            weight = weight / scale
+        return weight, -(self.mean_ @ weight)

@@ -56,6 +56,19 @@ class StandardScaler(BaseEstimator, TransformerMixin):
         X = check_array(X)
         return X * self.scale_ + self.mean_
 
+    def as_affine(self) -> tuple[np.ndarray, np.ndarray]:
+        """The fitted transform as ``X * mult + bias``.
+
+        Lets downstream pipelines fuse the scaler into a single affine
+        map (e.g. the scaler→PCA front of
+        :class:`~repro.uncertainty.trust.TrustedHMD` collapses into one
+        matmul).  Equal to :meth:`transform` up to floating-point
+        associativity (multiplying by ``1/scale`` instead of dividing).
+        """
+        check_is_fitted(self, "mean_")
+        mult = 1.0 / self.scale_
+        return mult, -self.mean_ * mult
+
 
 class MinMaxScaler(BaseEstimator, TransformerMixin):
     """Scale features into ``feature_range`` (default [0, 1])."""

@@ -52,6 +52,18 @@ class ForensicQueue:
         self._queue.append(sample)
         self.total_flagged += 1
 
+    def push_many(self, samples) -> int:
+        """Bulk-append flagged signatures in one call.
+
+        Accepts any iterable of :class:`FlaggedSample`; the bounded
+        deque sheds its oldest entries when full, exactly as repeated
+        :meth:`push` calls would.  Returns how many were appended.
+        """
+        samples = list(samples)
+        self._queue.extend(samples)
+        self.total_flagged += len(samples)
+        return len(samples)
+
     def __len__(self) -> int:
         return len(self._queue)
 

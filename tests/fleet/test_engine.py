@@ -167,6 +167,45 @@ class TestFleetMonitor:
         text = report.as_text()
         assert "dev-mal" in text and "Fleet report" in text
 
+    def test_bulk_and_rowwise_submission_equivalent(self, fitted_hmd):
+        """submit_many produces the same verdicts as per-row submits."""
+        X, _, hmd = fitted_hmd
+        bulk = FleetMonitor(hmd, batch_size=16)
+        rowwise = FleetMonitor(hmd, batch_size=16)
+        for d in range(3):
+            block = X[d * 15 : (d + 1) * 15]
+            bulk.submit_many(f"dev-{d}", block)
+            for row in block:
+                rowwise.submit(f"dev-{d}", row)
+        bulk_batches = bulk.drain()
+        row_batches = rowwise.drain()
+        assert len(bulk_batches) == len(row_batches)
+        for b, r in zip(bulk_batches, row_batches):
+            assert b.device_ids.tolist() == list(r.device_ids)
+            assert np.array_equal(b.seqs, r.seqs)
+            assert np.array_equal(b.predictions, r.predictions)
+            assert np.array_equal(b.entropy, r.entropy)  # bitwise
+            assert np.array_equal(b.accepted, r.accepted)
+        assert bulk.stats.n_flagged == rowwise.stats.n_flagged
+
+    def test_for_device_vectorized_mask(self, fitted_hmd):
+        X, _, hmd = fitted_hmd
+        fleet = FleetMonitor(hmd, batch_size=32)
+        fleet.submit_many("a", X[:5])
+        fleet.submit_many("b", X[5:8])
+        (batch,) = fleet.drain()
+        view = batch.for_device("a")
+        assert view["seqs"].tolist() == [0, 1, 2, 3, 4]
+        assert len(view["predictions"]) == 5
+        assert batch.for_device("missing")["seqs"].size == 0
+
+    def test_ragged_block_rejected_at_ingress(self, fitted_hmd):
+        X, _, hmd = fitted_hmd
+        fleet = FleetMonitor(hmd, batch_size=4)
+        with pytest.raises(ValueError, match="features"):
+            fleet.submit_many("dev-0", np.zeros((3, X.shape[1] + 1)))
+        assert fleet.pending == 0
+
     def test_empty_queue_returns_none(self, fitted_hmd):
         _, _, hmd = fitted_hmd
         fleet = FleetMonitor(hmd)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.fleet import BackpressurePolicy, FleetQueue, WindowRequest
+from repro.fleet import BackpressurePolicy, FleetQueue, WindowBatch, WindowRequest
 
 
 def _req(device="dev-0", seq=0):
@@ -34,7 +34,9 @@ class TestFleetQueue:
         queue = FleetQueue()
         for i in range(5):
             assert queue.submit(_req(seq=i))
-        assert [r.seq for r in queue.take(3)] == [0, 1, 2]
+        batch = queue.take(3)
+        assert isinstance(batch, WindowBatch)
+        assert batch.seqs.tolist() == [0, 1, 2]
         assert len(queue) == 2
 
     def test_drop_newest_refuses_when_full(self):
@@ -43,7 +45,7 @@ class TestFleetQueue:
         assert queue.submit(_req(seq=1))
         assert not queue.submit(_req(seq=2))
         assert queue.total_shed == 1
-        assert [r.seq for r in queue.take(10)] == [0, 1]
+        assert queue.take(10).seqs.tolist() == [0, 1]
 
     def test_drop_oldest_evicts_stalest(self):
         queue = FleetQueue(BackpressurePolicy(max_pending=2, shed="drop_oldest"))
@@ -52,8 +54,7 @@ class TestFleetQueue:
         assert queue.submit(_req(device="c", seq=0))  # evicts a's window
         assert queue.total_shed == 1
         assert queue.shed_by_device == {"a": 1}
-        taken = queue.take(10)
-        assert [r.device_id for r in taken] == ["b", "c"]
+        assert queue.take(10).device_ids.tolist() == ["b", "c"]
 
     def test_per_device_cap_protects_fleet(self):
         policy = BackpressurePolicy(max_pending=100, max_pending_per_device=3)
@@ -65,9 +66,9 @@ class TestFleetQueue:
         assert queue.pending("chatty") == 3
         assert queue.pending("quiet") == 1
         assert queue.shed_by_device["chatty"] == 7
-        taken = queue.take(10)
-        chatty_seqs = [r.seq for r in taken if r.device_id == "chatty"]
-        assert chatty_seqs == [7, 8, 9]  # freshest survive
+        batch = queue.take(10)
+        chatty_seqs = batch.seqs[batch.device_ids == "chatty"]
+        assert chatty_seqs.tolist() == [7, 8, 9]  # freshest survive
 
     def test_per_device_cap_drop_newest(self):
         policy = BackpressurePolicy(
@@ -77,7 +78,7 @@ class TestFleetQueue:
         assert queue.submit(_req(seq=0))
         assert queue.submit(_req(seq=1))
         assert not queue.submit(_req(seq=2))
-        assert [r.seq for r in queue.take(10)] == [0, 1]
+        assert queue.take(10).seqs.tolist() == [0, 1]
 
     def test_pending_counts_stay_consistent(self):
         queue = FleetQueue(BackpressurePolicy(max_pending=4, shed="drop_oldest"))
@@ -93,30 +94,124 @@ class TestFleetQueue:
         with pytest.raises(ValueError):
             FleetQueue().take(0)
 
+    def test_take_empty_queue(self):
+        batch = FleetQueue().take(5)
+        assert len(batch) == 0
+        assert batch.features.shape[0] == 0
 
-class TestDeviceDequeTrimming:
-    def test_no_unbounded_ticket_growth(self):
-        """Long-running submit/take cycles must not leak stale tickets."""
+
+class TestBulkIngress:
+    def _block(self, m, device="dev-0", start_seq=0, d=3):
+        features = np.arange(m * d, dtype=float).reshape(m, d)
+        return device, features, np.arange(start_seq, start_seq + m)
+
+    def test_block_admitted_whole(self):
+        queue = FleetQueue()
+        device, features, seqs = self._block(6)
+        assert queue.submit_block(device, features, seqs) == 6
+        assert len(queue) == 6
+        assert queue.pending(device) == 6
+
+    def test_block_take_is_zero_copy_slice(self):
+        """A batch served from one block shares its memory (no copy)."""
+        queue = FleetQueue()
+        device, features, seqs = self._block(8)
+        queue.submit_block(device, features, seqs)
+        batch = queue.take(5)
+        assert np.shares_memory(batch.features, features)
+        np.testing.assert_array_equal(batch.features, features[:5])
+        assert batch.seqs.tolist() == [0, 1, 2, 3, 4]
+        assert set(batch.device_ids.tolist()) == {device}
+
+    def test_take_spans_blocks_in_admission_order(self):
+        queue = FleetQueue()
+        queue.submit_block(*self._block(3, device="a"))
+        queue.submit(_req(device="b", seq=0))
+        queue.submit_block(*self._block(2, device="c"))
+        batch = queue.take(10)
+        assert batch.device_ids.tolist() == ["a", "a", "a", "b", "c", "c"]
+        assert batch.seqs.tolist() == [0, 1, 2, 0, 0, 1]
+        assert batch.features.shape == (6, 3)
+
+    def test_block_and_row_submits_equivalent(self):
+        """Bulk ingress admits exactly what per-row submission would."""
+        policy = BackpressurePolicy(max_pending=10, max_pending_per_device=4)
+        bulk, rowwise = FleetQueue(policy), FleetQueue(policy)
+        device, features, seqs = self._block(7, device="d")
+        bulk.submit_block(device, features, seqs)
+        for i in range(7):
+            rowwise.submit(
+                WindowRequest(device_id="d", features=features[i], seq=i)
+            )
+        assert bulk.pending("d") == rowwise.pending("d")
+        assert bulk.shed_by_device == rowwise.shed_by_device
+        assert bulk.take(10).seqs.tolist() == rowwise.take(10).seqs.tolist()
+
+    def test_block_overflow_falls_back_to_policy(self):
+        queue = FleetQueue(BackpressurePolicy(max_pending=4, shed="drop_oldest"))
+        device, features, seqs = self._block(10)
+        admitted = queue.submit_block(device, features, seqs)
+        assert admitted == 10  # drop_oldest admits all, evicting stale rows
+        assert len(queue) == 4
+        assert queue.take(10).seqs.tolist() == [6, 7, 8, 9]
+
+    def test_block_drop_newest_truncates(self):
+        queue = FleetQueue(BackpressurePolicy(max_pending=4, shed="drop_newest"))
+        device, features, seqs = self._block(10)
+        assert queue.submit_block(device, features, seqs) == 4
+        assert queue.shed_by_device[device] == 6
+        assert queue.take(10).seqs.tolist() == [0, 1, 2, 3]
+
+    def test_block_seq_length_mismatch(self):
+        queue = FleetQueue()
+        with pytest.raises(ValueError):
+            queue.submit_block("d", np.zeros((3, 2)), np.arange(2))
+
+    def test_requests_view_roundtrip(self):
+        queue = FleetQueue()
+        queue.submit_block(*self._block(2, device="a"))
+        requests = queue.take(2).requests()
+        assert [r.device_id for r in requests] == ["a", "a"]
+        assert [r.seq for r in requests] == [0, 1]
+        assert all(isinstance(r, WindowRequest) for r in requests)
+
+
+class TestSegmentHousekeeping:
+    def test_no_unbounded_segment_growth(self):
+        """Long-running submit/take cycles must not leak dead segments."""
         queue = FleetQueue()
         for seq in range(1000):
             queue.submit(_req(device="d", seq=seq))
             queue.take(1)
         assert len(queue) == 0
-        assert len(queue._by_device["d"]) <= 1
+        assert len(queue._by_device["d"]) <= 2
+        assert len(queue._segments) <= 2
+
+    def test_drained_device_releases_segments(self):
+        """A device that uploads once and goes quiet must not pin its
+        feature blocks in the per-device deque after a full drain."""
+        queue = FleetQueue()
+        for d in range(5):
+            for seq in range(200):
+                queue.submit(_req(device=f"dev-{d}", seq=seq))
+        queue.take(1000)
+        assert len(queue) == 0
+        for d in range(5):
+            assert len(queue._by_device[f"dev-{d}"]) == 0
 
     def test_no_growth_under_global_eviction(self):
         queue = FleetQueue(BackpressurePolicy(max_pending=2, shed="drop_oldest"))
         for seq in range(500):
             queue.submit(_req(device="d", seq=seq))
         assert len(queue) == 2
-        assert len(queue._by_device["d"]) <= 3
+        assert len(queue._segments) <= 2 * 16
 
-    def test_global_order_compacts_under_stalled_consumer(self):
-        """Per-device-cap evictions must not grow _order while stalled."""
+    def test_segments_compact_under_stalled_consumer(self):
+        """Per-device-cap evictions must not grow the deques while stalled."""
         policy = BackpressurePolicy(max_pending=4096, max_pending_per_device=4)
         queue = FleetQueue(policy)
         for seq in range(10_000):
             queue.submit(_req(device="chatty", seq=seq))
         assert len(queue) == 4
-        assert len(queue._order) <= 2 * max(len(queue._items), 16)
-        assert [r.seq for r in queue.take(10)] == [9996, 9997, 9998, 9999]
+        assert len(queue._segments) <= 2 * 16 + 1
+        assert queue.take(10).seqs.tolist() == [9996, 9997, 9998, 9999]

@@ -48,6 +48,23 @@ class TestForensicQueue:
         assert q.total_flagged == 5
         assert q.drain()[0].step == 2  # oldest two dropped
 
+    def test_push_many_matches_repeated_push(self):
+        bulk, rowwise = ForensicQueue(maxlen=3), ForensicQueue(maxlen=3)
+        samples = [self._sample(step=i) for i in range(5)]
+        assert bulk.push_many(samples) == 5
+        for s in samples:
+            rowwise.push(s)
+        assert len(bulk) == len(rowwise) == 3
+        assert bulk.total_flagged == rowwise.total_flagged == 5
+        assert [s.step for s in bulk.snapshot()] == [
+            s.step for s in rowwise.snapshot()
+        ]
+
+    def test_push_many_accepts_generator(self):
+        q = ForensicQueue()
+        assert q.push_many(self._sample(step=i) for i in range(4)) == 4
+        assert len(q) == 4
+
     def test_drain_partial(self):
         q = ForensicQueue()
         for i in range(4):
