@@ -32,6 +32,7 @@ from . import (
     run_fleet,
     run_governor_ablation,
     run_ingest,
+    run_shard,
     run_platt_ablation,
     run_table1,
 )
@@ -55,6 +56,7 @@ RUNNERS = {
     "extension-em": run_em_extension,
     "fleet": run_fleet,
     "ingest": run_ingest,
+    "shard": run_shard,
 }
 
 

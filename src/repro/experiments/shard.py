@@ -1,0 +1,173 @@
+"""Sharded fleet experiment (beyond-paper extension).
+
+Stands up the same simulated device fleet twice — behind a single
+:class:`~repro.fleet.engine.FleetMonitor` and behind a
+:class:`~repro.fleet.sharding.ShardedFleetMonitor` (K device-hash
+routed cores sharing one read-only compiled HMD) — and reports the
+drain-throughput ratio, bitwise verdict equivalence, merged-report
+consistency, and a mid-stream checkpoint/restore round trip.
+
+    python -m repro.experiments shard
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass
+
+from ..fleet import (
+    BackpressurePolicy,
+    FleetMonitor,
+    FleetWindowSampler,
+    ShardedFleetMonitor,
+)
+from ..fleet.engine import batch_verdict_key
+from ..fleet.report import device_report_key
+from ..hmd.apps import DVFS_KNOWN_BENIGN, DVFS_KNOWN_MALWARE, DVFS_UNKNOWN
+from ..ml.ensemble import RandomForestClassifier
+from ..sim.workloads import FleetPopulation
+from ..uncertainty.trust import TrustedHMD
+from .common import ExperimentConfig, ExperimentContext, format_table
+
+__all__ = ["ShardResult", "run_shard"]
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Throughput + equivalence summary of the sharding experiment."""
+
+    n_devices: int
+    n_windows: int
+    n_shards: int
+    batch_size: int
+    single_wps: float
+    sharded_wps: float
+    verdicts_identical: bool
+    reports_identical: bool
+    restore_identical: bool
+    n_flagged: int
+    n_shed: int
+    report_text: str
+
+    @property
+    def speedup(self) -> float:
+        """Sharded drain windows/sec over the single monitor's."""
+        return self.sharded_wps / self.single_wps if self.single_wps else 0.0
+
+    def as_text(self) -> str:
+        """Render the throughput table and the merged fleet dashboard."""
+        table = format_table(
+            ["mode", "drain windows/sec"],
+            [
+                ["single FleetMonitor", self.single_wps],
+                [
+                    f"ShardedFleetMonitor (K={self.n_shards})",
+                    self.sharded_wps,
+                ],
+            ],
+        )
+        return (
+            f"Sharded fleet — {self.n_devices} devices, "
+            f"{self.n_windows} windows, batch={self.batch_size}\n{table}\n"
+            f"speedup: {self.speedup:.1f}x   "
+            f"verdicts identical: {self.verdicts_identical}   "
+            f"reports identical: {self.reports_identical}\n"
+            f"snapshot→restore resumes identically: {self.restore_identical}\n"
+            f"flagged={self.n_flagged}  shed={self.n_shed}\n\n"
+            f"{self.report_text}"
+        )
+
+
+def run_shard(
+    config: ExperimentConfig | None = None,
+    context: ExperimentContext | None = None,
+    *,
+    n_devices: int = 96,
+    windows_per_device: int = 30,
+    n_shards: int = 4,
+    batch_size: int = 256,
+) -> ShardResult:
+    """Drain the same fleet traffic unsharded vs. K-sharded."""
+    ctx = context if context is not None else ExperimentContext(config)
+    cfg = ctx.config
+    dataset = ctx.dataset("dvfs")
+
+    # One trusted HMD shared by every core (no PCA: row-independent
+    # front keeps batched results bitwise reproducible).
+    hmd = TrustedHMD(
+        RandomForestClassifier(
+            n_estimators=cfg.n_estimators, random_state=cfg.seed
+        ),
+        threshold=0.40,
+    ).fit(dataset.train.X, dataset.train.y)
+
+    population = FleetPopulation(
+        DVFS_KNOWN_BENIGN,
+        DVFS_KNOWN_MALWARE,
+        DVFS_UNKNOWN,
+        malware_fraction=0.08,
+        zero_day_fraction=0.05,
+        random_state=cfg.seed,
+    )
+    devices = population.sample(n_devices)
+    sampler = FleetWindowSampler(dataset, devices, random_state=cfg.seed)
+    arrivals = list(sampler.rounds(windows_per_device))
+    policy = BackpressurePolicy(max_pending=len(arrivals) + 1)
+
+    def drive(monitor):
+        monitor.register_fleet(devices)
+        for device_id, window in arrivals:
+            monitor.submit(device_id, window)
+        t0 = time.perf_counter()
+        batches = monitor.drain()
+        return batches, time.perf_counter() - t0
+
+    single = FleetMonitor(hmd, batch_size=batch_size, policy=policy)
+    single_batches, single_elapsed = drive(single)
+
+    sharded = ShardedFleetMonitor(
+        hmd, n_shards=n_shards, batch_size=batch_size, policy=policy
+    )
+    sharded_batches, sharded_elapsed = drive(sharded)
+
+    verdicts_identical = batch_verdict_key(sharded_batches) == batch_verdict_key(
+        single_batches
+    )
+    reports_identical = device_report_key(sharded.report()) == device_report_key(
+        single.report()
+    )
+
+    # Checkpoint/restore: snapshot a half-drained fleet, restore it
+    # from pickled bytes, and check the remaining drains agree.
+    probe = ShardedFleetMonitor(
+        hmd, n_shards=n_shards, batch_size=batch_size, policy=policy
+    )
+    probe.register_fleet(devices)
+    for device_id, window in arrivals:
+        probe.submit(device_id, window)
+    probe.drain(max_batches=1)
+    restored = ShardedFleetMonitor.restore(
+        hmd, pickle.loads(pickle.dumps(probe.snapshot()))
+    )
+    restore_identical = batch_verdict_key(restored.drain()) == batch_verdict_key(
+        probe.drain()
+    )
+
+    n_windows = len(arrivals)
+    return ShardResult(
+        n_devices=n_devices,
+        n_windows=n_windows,
+        n_shards=n_shards,
+        batch_size=batch_size,
+        single_wps=n_windows / max(single_elapsed, 1e-9),
+        sharded_wps=n_windows / max(sharded_elapsed, 1e-9),
+        verdicts_identical=verdicts_identical,
+        reports_identical=reports_identical,
+        restore_identical=restore_identical,
+        n_flagged=sharded.stats.n_flagged,
+        n_shed=sum(
+            shard.queue.total_shed for shard in sharded.shards
+        ),
+        report_text=sharded.report().as_text(max_rows=10),
+    )

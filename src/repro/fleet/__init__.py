@@ -9,8 +9,11 @@ per-device state (:mod:`~repro.fleet.state`) and aggregated into
 dashboard snapshots (:mod:`~repro.fleet.report`).  The flagged windows
 feed back into the model: :mod:`~repro.fleet.retrain` triages the
 forensic queue, collects analyst labels and warm-refits the shared HMD
-live between batches.  See ``docs/architecture.md`` for the dataflow
-and the backpressure policy.
+live between batches.  :mod:`~repro.fleet.sharding` scales the whole
+engine horizontally — K monitor cores behind a device-hash router,
+sharing one read-only compiled HMD, with merged reporting, a merged
+forensic stream, live rebalancing and full checkpoint/restore.  See
+``docs/architecture.md`` for the dataflow and the backpressure policy.
 """
 
 from .engine import (
@@ -20,9 +23,17 @@ from .engine import (
     batched_verdicts_equal_sequential,
 )
 from .queueing import BackpressurePolicy, FleetQueue, WindowBatch, WindowRequest
-from .report import DeviceReport, FleetReport
+from .report import DeviceReport, FleetReport, device_report_key, merge_reports
 from .retrain import FleetRetrainer, RetrainOutcome
 from .sampler import FleetWindowSampler
+from .sharding import (
+    FleetShard,
+    IndexedWindowBatch,
+    PublishedHmd,
+    ShardQueue,
+    ShardRouter,
+    ShardedFleetMonitor,
+)
 from .state import DeviceState, RingBuffer
 
 __all__ = [
@@ -35,10 +46,18 @@ __all__ = [
     "FleetQueue",
     "FleetReport",
     "FleetRetrainer",
+    "FleetShard",
     "FleetWindowSampler",
+    "IndexedWindowBatch",
+    "PublishedHmd",
     "RetrainOutcome",
     "RingBuffer",
+    "ShardQueue",
+    "ShardRouter",
+    "ShardedFleetMonitor",
     "WindowBatch",
     "WindowRequest",
     "batched_verdicts_equal_sequential",
+    "device_report_key",
+    "merge_reports",
 ]

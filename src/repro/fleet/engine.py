@@ -162,6 +162,11 @@ class FleetMonitor:
         :class:`EntropyDriftMonitor` (campaign-level shift detection).
     entropy_window:
         Ring-buffer capacity of each device's recent-entropy view.
+    queue:
+        Pre-built ingress queue (``policy`` is then ignored).  The hook
+        the sharded fleet uses to give each shard's monitor an
+        arena-backed :class:`~repro.fleet.sharding.ShardQueue` while
+        everything downstream stays unchanged.
     """
 
     def __init__(
@@ -173,6 +178,7 @@ class FleetMonitor:
         forensics: ForensicQueue | None = None,
         drift_reference=None,
         entropy_window: int = 128,
+        queue: FleetQueue | None = None,
     ):
         if not hasattr(hmd, "estimator_"):
             raise ValueError("hmd must be fitted before fleet monitoring.")
@@ -187,7 +193,7 @@ class FleetMonitor:
             # live traffic does not pay the one-off flattening cost.
             compile_hmd()
         self.batch_size = batch_size
-        self.queue = FleetQueue(policy)
+        self.queue = queue if queue is not None else FleetQueue(policy)
         self.forensics = forensics if forensics is not None else ForensicQueue()
         self.stats = MonitorStats()
         self.drift = (
@@ -380,3 +386,89 @@ class FleetMonitor:
             mean_entropy=self.stats.mean_entropy,
             drift_status=self.drift.observe([]).status if self.drift else None,
         )
+
+    # -- persistence ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Checkpoint the full monitor state (model excluded).
+
+        Captures the engine state live traffic built up — queued
+        windows, per-device states, sequence counters, fleet counters
+        and the forensic backlog — as plain picklable data.  Two things
+        are deliberately *not* included: the fitted HMD (models are
+        trained artifacts with their own pickle lifecycle, and one
+        snapshot must be restorable against a warm-retrained model
+        without duplicating it) and the optional drift monitor's
+        accumulated detector statistics (the drift reference is
+        configuration — pass it to :meth:`restore` and the detector
+        restarts from a clean window).
+        """
+        return {
+            "batch_size": self.batch_size,
+            "entropy_window": self.entropy_window,
+            "devices": [state.snapshot() for state in self.devices.values()],
+            "seq": dict(self._seq),
+            "step": self._step,
+            "n_batches": self.n_batches,
+            "stats": self.stats.snapshot(),
+            "queue": self.queue.snapshot(),
+            "forensics": {
+                "samples": self.forensics.snapshot(),
+                "maxlen": self.forensics.maxlen,
+                "total_flagged": self.forensics.total_flagged,
+            },
+        }
+
+    @staticmethod
+    def _queue_cls_for(queue_state: dict) -> type[FleetQueue]:
+        """Queue class matching a snapshot's self-describing ``kind``."""
+        if queue_state.get("kind") == "shard":
+            from .sharding import ShardQueue
+
+            return ShardQueue
+        return FleetQueue
+
+    @classmethod
+    def restore(
+        cls,
+        hmd: TrustedHMD,
+        state: dict,
+        *,
+        drift_reference=None,
+        queue_cls: type[FleetQueue] | None = None,
+    ) -> "FleetMonitor":
+        """Rebuild a monitor from :meth:`snapshot` output.
+
+        ``hmd`` is the (separately persisted) fitted model; restoring
+        against a newer warm-retrained HMD is supported — subsequent
+        verdicts then come from the refreshed model, exactly as they
+        would for a monitor that had stayed up through the retrain.
+        A ``drift_reference`` starts a fresh drift detector (its
+        accumulated statistics are not part of the snapshot).  The
+        queue class is picked from the snapshot itself (``kind`` tag);
+        ``queue_cls`` overrides it.
+        """
+        forensic_state = state["forensics"]
+        if queue_cls is None:
+            queue_cls = cls._queue_cls_for(state["queue"])
+        monitor = cls(
+            hmd,
+            batch_size=state["batch_size"],
+            entropy_window=state["entropy_window"],
+            drift_reference=drift_reference,
+            forensics=ForensicQueue.restore(
+                forensic_state["samples"],
+                maxlen=forensic_state["maxlen"],
+                total_flagged=forensic_state["total_flagged"],
+            ),
+            queue=queue_cls.restore(state["queue"]),
+        )
+        monitor.devices = {
+            device["device_id"]: DeviceState.restore(device)
+            for device in state["devices"]
+        }
+        monitor._seq = dict(state["seq"])
+        monitor._step = int(state["step"])
+        monitor.n_batches = int(state["n_batches"])
+        monitor.stats = MonitorStats.restore(state["stats"])
+        return monitor

@@ -33,7 +33,7 @@ path is kept for single submits.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -103,6 +103,20 @@ class _Segment:
     @property
     def n_alive(self) -> int:
         return len(self.seqs) - self.head
+
+    def compact_storage(self) -> None:
+        """Copy the live tail so the dead prefix's memory is released.
+
+        A large block that was mostly evicted (per-device shedding eats
+        rows front-to-back) would otherwise pin its whole feature matrix
+        — and, for zero-copy admitted blocks, the submitter's original
+        array — for as long as one row stays queued.
+        """
+        if self.head == 0:
+            return
+        self.seqs = self.seqs[self.head :].copy()
+        self.features = self.features[self.head :].copy()
+        self.head = 0
 
 
 @dataclass(frozen=True)
@@ -184,6 +198,19 @@ class FleetQueue:
         self._shed(segment.device_id)
         if segment.n_alive == 0:
             self._n_live_segments -= 1
+            # Reclaim the device deque eagerly: a fleet of briefly-seen
+            # devices evicted under the global bound would otherwise pin
+            # one dead segment (and its feature block) per device
+            # forever — the deques are only lazily trimmed elsewhere.
+            device_queue = self._by_device.get(segment.device_id)
+            while device_queue and device_queue[0].n_alive == 0:
+                device_queue.popleft()
+            if device_queue is not None and not device_queue:
+                del self._by_device[segment.device_id]
+        elif segment.head > 32 and segment.head * 2 > len(segment.seqs):
+            # Mostly-dead block: release the dead prefix's storage so a
+            # long-running capped device cannot pin its shed history.
+            segment.compact_storage()
 
     @staticmethod
     def _front_alive(queue: deque[_Segment]) -> _Segment | None:
@@ -202,12 +229,22 @@ class FleetQueue:
             self._consume_head(segment)
 
     def _compact(self) -> None:
-        """Rebuild the segment deques once dead ones outnumber live."""
+        """Rebuild the segment deques once dead ones outnumber live.
+
+        Runs from both ingress (:meth:`_admit`) and egress
+        (:meth:`take`) so dead segments are reclaimed even when the
+        producer goes quiet and only the consumer keeps running.
+        """
         if len(self._segments) <= 2 * max(self._n_live_segments, 16):
             return
         self._segments = deque(s for s in self._segments if s.n_alive > 0)
         for device_id, queue in list(self._by_device.items()):
-            self._by_device[device_id] = deque(s for s in queue if s.n_alive > 0)
+            alive = deque(s for s in queue if s.n_alive > 0)
+            if alive:
+                self._by_device[device_id] = alive
+            else:
+                # A device with nothing queued needs no deque at all.
+                del self._by_device[device_id]
 
     # -- ingress -------------------------------------------------------
 
@@ -329,6 +366,7 @@ class FleetQueue:
                 device_queue = self._by_device.get(segment.device_id)
                 while device_queue and device_queue[0].n_alive == 0:
                     device_queue.popleft()
+        self._compact()
 
         if not parts:
             return _EMPTY_BATCH
@@ -354,3 +392,81 @@ class FleetQueue:
                 [segment.features[start:stop] for segment, start, stop in parts]
             ),
         )
+
+    # -- rebalancing / persistence hooks -------------------------------
+
+    def extract_device(self, device_id: str) -> tuple[np.ndarray, np.ndarray]:
+        """Remove one device's queued windows (migration, not shedding).
+
+        Returns ``(features, seqs)`` in admission order; the rows are
+        *moved*, not shed, so shed counters are untouched.  The base
+        half of the queue-migration API: the sharded fleet's rebalance
+        drives the :class:`~repro.fleet.sharding.ShardQueue` twin of
+        this method, and this one serves the same purpose for plain
+        ``FleetMonitor`` deployments (draining one device out of a
+        shared queue).
+        """
+        device_queue = self._by_device.pop(device_id, None)
+        if not device_queue:
+            self._pending_by_device.pop(device_id, None)
+            return np.empty((0, 0)), np.empty(0, dtype=np.int64)
+        features, seqs = [], []
+        for segment in device_queue:
+            if segment.n_alive == 0:
+                continue
+            features.append(segment.features[segment.head :])
+            seqs.append(segment.seqs[segment.head :])
+            segment.head = len(segment.seqs)
+            self._n_live_segments -= 1
+        moved = sum(len(s) for s in seqs)
+        self._n_pending -= moved
+        self._pending_by_device.pop(device_id, None)
+        self._compact()
+        if not seqs:
+            return np.empty((0, 0)), np.empty(0, dtype=np.int64)
+        return np.vstack(features), np.concatenate(seqs)
+
+    def snapshot(self) -> dict:
+        """Plain-data state for checkpointing: live rows + counters.
+
+        The ``kind`` tag makes the snapshot self-describing, so
+        :meth:`FleetMonitor.restore` can pick the right queue class
+        without the caller knowing which ingress the monitor ran on.
+        """
+        segments = [
+            {
+                "device_id": segment.device_id,
+                "seqs": segment.seqs[segment.head :].copy(),
+                "features": segment.features[segment.head :].copy(),
+            }
+            for segment in self._segments
+            if segment.n_alive > 0
+        ]
+        return {
+            "kind": "fleet",
+            "policy": asdict(self.policy),
+            "segments": segments,
+            "shed_by_device": dict(self.shed_by_device),
+        }
+
+    @classmethod
+    def restore(cls, state: dict) -> "FleetQueue":
+        """Rebuild a queue from :meth:`snapshot` output.
+
+        Segments are re-admitted directly (no policy replay): the
+        snapshot only ever holds rows that were already admitted, so
+        restoring must not re-shed them.
+        """
+        queue = cls(BackpressurePolicy(**state["policy"]))
+        for segment in state["segments"]:
+            queue._admit(
+                _Segment(
+                    device_id=segment["device_id"],
+                    seqs=np.asarray(segment["seqs"], dtype=np.int64),
+                    features=np.atleast_2d(
+                        np.asarray(segment["features"], dtype=float)
+                    ),
+                )
+            )
+        queue.shed_by_device = dict(state["shed_by_device"])
+        return queue

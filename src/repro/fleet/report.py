@@ -13,7 +13,12 @@ from dataclasses import dataclass
 
 from ..formatting import format_table
 
-__all__ = ["DeviceReport", "FleetReport"]
+__all__ = [
+    "DeviceReport",
+    "FleetReport",
+    "device_report_key",
+    "merge_reports",
+]
 
 
 @dataclass(frozen=True)
@@ -107,3 +112,69 @@ class FleetReport:
             else ""
         )
         return f"{header}\n{table}{suffix}"
+
+
+def device_report_key(report: FleetReport) -> dict[str, tuple]:
+    """Index a report's device rows as ``device_id -> stats tuple``.
+
+    The single definition of what "identical device rows" means for
+    sharded-vs-single equivalence checks, shared by the ``shard``
+    experiment runner, the benchmark acceptance gate and the test
+    suite (the same role :func:`~repro.fleet.engine.batch_verdict_key`
+    plays for verdicts).
+    """
+    return {
+        d.device_id: (
+            d.cohort,
+            d.n_seen,
+            d.n_flagged,
+            d.n_malware_alerts,
+            d.n_shed,
+            d.rejection_rate,
+            d.alert_rate,
+            d.recent_entropy,
+        )
+        for d in report.devices
+    }
+
+
+def merge_reports(
+    reports,
+    *,
+    n_batches: int | None = None,
+    drift_status: str | None = None,
+) -> FleetReport:
+    """Fold per-shard :class:`FleetReport` snapshots into one fleet view.
+
+    Device rows concatenate (each device lives on exactly one shard, so
+    there are no collisions to reconcile), counters sum, and the fleet
+    mean entropy is re-derived as a seen-weighted average — the same
+    quantity one unsharded monitor over the same traffic reports,
+    mathematically, but only to float precision (per-shard partial sums
+    re-associate; the bitwise-pinned equivalence surface is the device
+    rows, see :func:`device_report_key`).
+
+    ``n_batches`` defaults to the summed per-shard count; the sharded
+    facade passes its fused-round count instead (one round covers all
+    shards).  ``drift_status`` likewise belongs to the facade-level
+    drift monitor, not to any single shard.
+    """
+    reports = list(reports)
+    if not reports:
+        raise ValueError("At least one report is required.")
+    n_seen = sum(r.n_seen for r in reports)
+    weighted_entropy = sum(r.mean_entropy * r.n_seen for r in reports)
+    return FleetReport(
+        devices=tuple(device for r in reports for device in r.devices),
+        n_seen=n_seen,
+        n_accepted=sum(r.n_accepted for r in reports),
+        n_flagged=sum(r.n_flagged for r in reports),
+        n_malware_alerts=sum(r.n_malware_alerts for r in reports),
+        n_shed=sum(r.n_shed for r in reports),
+        n_pending=sum(r.n_pending for r in reports),
+        n_batches=(
+            sum(r.n_batches for r in reports) if n_batches is None else n_batches
+        ),
+        mean_entropy=weighted_entropy / n_seen if n_seen else 0.0,
+        drift_status=drift_status,
+    )

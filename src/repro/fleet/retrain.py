@@ -46,8 +46,13 @@ class FleetRetrainer:
     Parameters
     ----------
     monitor:
-        The running :class:`FleetMonitor`; its ``forensics`` queue and
-        its ``hmd`` are the retrainer's inputs and outputs.
+        The running :class:`FleetMonitor` — or a
+        :class:`~repro.fleet.sharding.ShardedFleetMonitor`, whose
+        ``forensics`` queue is the merged per-shard triage stream and
+        whose fused rounds republish the warm-refitted HMD to every
+        shard (the facade recompiles the shared view once, at the next
+        ``process_batch``).  Its ``forensics`` queue and its ``hmd``
+        are the retrainer's inputs and outputs.
     labeler:
         Analyst oracle: ``labeler(cluster) -> label`` called once per
         :class:`~repro.uncertainty.online.TriageCluster` — the paper's

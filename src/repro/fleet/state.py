@@ -59,9 +59,16 @@ class RingBuffer:
             self._head = 0
             self._size = self._capacity
             return
-        idx = (self._head + np.arange(n)) % self._capacity
-        self._data[idx] = values
-        self._head = (self._head + n) % self._capacity
+        stop = self._head + n
+        if stop <= self._capacity:
+            # Contiguous write — the overwhelmingly common case, and
+            # the sharded scatter's per-device hot path (plain slice
+            # assignment, no index arithmetic).
+            self._data[self._head : stop] = values
+        else:
+            idx = (self._head + np.arange(n)) % self._capacity
+            self._data[idx] = values
+        self._head = stop % self._capacity
         self._size = min(self._size + n, self._capacity)
 
     def values(self) -> np.ndarray:
@@ -77,6 +84,30 @@ class RingBuffer:
         if self._size < self._capacity:
             return float(self._data[: self._size].mean())
         return float(self._data.mean())
+
+    def snapshot(self) -> dict:
+        """Plain-data state for checkpointing (exact, including rotation).
+
+        The raw storage/head/size triple is captured rather than the
+        logical ``values()`` view so a restored buffer is *bit-exact*:
+        re-pushing the values would normalise the rotation and perturb
+        the last bit of :meth:`mean` (float summation order).
+        """
+        return {
+            "capacity": self._capacity,
+            "data": self._data.copy(),
+            "head": self._head,
+            "size": self._size,
+        }
+
+    @classmethod
+    def restore(cls, state: dict) -> "RingBuffer":
+        """Rebuild a buffer from :meth:`snapshot` output."""
+        buffer = cls(state["capacity"])
+        buffer._data[:] = state["data"]
+        buffer._head = int(state["head"])
+        buffer._size = int(state["size"])
+        return buffer
 
 
 @dataclass
@@ -140,3 +171,24 @@ class DeviceState:
         self.stats.record_verdicts(predictions, entropy, accepted)
         self.entropy_recent.extend(entropy)
         self.last_step = max(self.last_step, int(last_step))
+
+    def snapshot(self) -> dict:
+        """Plain-data state for checkpointing (counters + entropy ring)."""
+        return {
+            "device_id": self.device_id,
+            "cohort": self.cohort,
+            "stats": self.stats.snapshot(),
+            "last_step": self.last_step,
+            "entropy_recent": self.entropy_recent.snapshot(),
+        }
+
+    @classmethod
+    def restore(cls, state: dict) -> "DeviceState":
+        """Rebuild a device record from :meth:`snapshot` output."""
+        return cls(
+            device_id=state["device_id"],
+            cohort=state["cohort"],
+            stats=MonitorStats.restore(state["stats"]),
+            last_step=int(state["last_step"]),
+            entropy_recent=RingBuffer.restore(state["entropy_recent"]),
+        )

@@ -151,7 +151,16 @@ class FlatForest:
         return leaves.reshape(n, m)
 
     def _apply_chunk(self, X: np.ndarray, out: np.ndarray) -> None:
-        """Route one chunk of rows; ``out`` receives flat leaf ids."""
+        """Route one chunk of rows; ``out`` receives flat leaf ids.
+
+        The sharded fleet's vote-count kernel
+        (:meth:`repro.fleet.sharding.PublishedHmd._count_votes`)
+        replays this exact routing (level-0 gather program, clip-mode
+        stump handling, live-slot compaction) with different chunk/
+        compaction tuning — a change to the node-transition logic here
+        must be mirrored there, and the sharding fuzz suite pins the
+        bitwise equivalence of the two.
+        """
         nc, n_features = X.shape
         x_flat = X.ravel()
         fg = self.fg

@@ -80,9 +80,38 @@ class ForensicQueue:
         """The currently queued samples, oldest first (no removal).
 
         The public read view for analyst tooling (triage clustering,
-        dashboards) — callers never touch the underlying deque.
+        dashboards) — callers never touch the underlying deque.  Also
+        the checkpoint format: :meth:`restore` rebuilds a queue from
+        this tuple.
         """
         return tuple(self._queue)
+
+    @property
+    def maxlen(self) -> int:
+        """Capacity bound of the queue."""
+        return self._queue.maxlen
+
+    @classmethod
+    def restore(
+        cls,
+        samples,
+        *,
+        maxlen: int = 10_000,
+        total_flagged: int | None = None,
+    ) -> "ForensicQueue":
+        """Rebuild a queue from a :meth:`snapshot` tuple.
+
+        ``total_flagged`` restores the lifetime counter; when omitted it
+        is seeded from the backlog length (a fresh queue that happens to
+        hold these samples).
+        """
+        queue = cls(maxlen=maxlen)
+        samples = list(samples)
+        queue._queue.extend(samples)
+        queue.total_flagged = (
+            len(samples) if total_flagged is None else int(total_flagged)
+        )
+        return queue
 
     def peek_entropies(self) -> np.ndarray:
         """Entropies of currently queued samples (no removal)."""
@@ -130,6 +159,29 @@ class MonitorStats:
             np.count_nonzero(accepted & (predictions == 1))
         )
         self.entropy_sum += float(np.sum(entropy))
+
+    def merge(self, other: "MonitorStats") -> None:
+        """Fold another counter set into this one (shard aggregation)."""
+        self.n_seen += other.n_seen
+        self.n_accepted += other.n_accepted
+        self.n_flagged += other.n_flagged
+        self.n_malware_alerts += other.n_malware_alerts
+        self.entropy_sum += other.entropy_sum
+
+    def snapshot(self) -> dict:
+        """Plain-data counter state for checkpointing."""
+        return {
+            "n_seen": self.n_seen,
+            "n_accepted": self.n_accepted,
+            "n_flagged": self.n_flagged,
+            "n_malware_alerts": self.n_malware_alerts,
+            "entropy_sum": self.entropy_sum,
+        }
+
+    @classmethod
+    def restore(cls, state: dict) -> "MonitorStats":
+        """Rebuild counters from :meth:`snapshot` output."""
+        return cls(**state)
 
 
 class OnlineMonitor:

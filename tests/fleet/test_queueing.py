@@ -215,3 +215,99 @@ class TestSegmentHousekeeping:
         assert len(queue) == 4
         assert len(queue._segments) <= 2 * 16 + 1
         assert queue.take(10).seqs.tolist() == [9996, 9997, 9998, 9999]
+
+
+class TestDeadStorageCompaction:
+    def test_mostly_dead_segment_releases_prefix_storage(self):
+        """A capped device's shed history must not pin block memory.
+
+        Per-device shedding consumes a big submitted block front to
+        back; once the dead prefix dominates, the segment's storage is
+        compacted to its live tail.
+        """
+        policy = BackpressurePolicy(max_pending=4096, max_pending_per_device=512)
+        queue = FleetQueue(policy)
+        block = np.arange(512 * 3, dtype=float).reshape(512, 3)
+        queue.submit_block("d", block, np.arange(512))
+        # Each new submit evicts the block's oldest row.
+        for seq in range(512, 512 + 400):
+            queue.submit(_req(device="d", seq=seq))
+        segment = next(s for s in queue._segments if s.n_alive > 0)
+        # The front segment was compacted: its storage holds (close to)
+        # its live rows only, not the original 512-row block.
+        assert len(segment.seqs) <= segment.n_alive * 2
+        assert len(segment.seqs) < 512
+        # Shedding semantics unchanged: freshest rows survive, in order.
+        taken = queue.take(4096)
+        assert taken.seqs.tolist() == list(range(400, 912))
+        assert queue.shed_by_device == {"d": 400}
+
+    def test_small_segments_not_copied(self):
+        """Compaction must not churn small segments (copy cost > win)."""
+        policy = BackpressurePolicy(max_pending=4096, max_pending_per_device=8)
+        queue = FleetQueue(policy)
+        queue.submit_block("d", np.zeros((16, 2)), np.arange(16))
+        segment = queue._segments[0]
+        storage_before = segment.features
+        for seq in range(16, 24):
+            queue.submit(_req(device="d", seq=seq))
+        # 16-row segment: head never exceeds the 32-row threshold.
+        assert segment.features is storage_before
+
+    def test_take_reclaims_dead_segments_without_submits(self):
+        """A consumer-only phase must still reclaim eviction debris."""
+        policy = BackpressurePolicy(max_pending=4096, max_pending_per_device=1)
+        queue = FleetQueue(policy)
+        # Interleave two devices so per-device eviction kills mid-queue
+        # segments (device "a" rows die behind live "b" rows).
+        for seq in range(200):
+            queue.submit(_req(device="a", seq=seq))
+            queue.submit(_req(device="b", seq=seq))
+        assert len(queue) == 2
+        # Producer stops; only takes happen from here on.
+        queue.take(1)
+        assert len(queue._segments) <= 2 * 16 + 1
+        queue.take(1)
+        assert len(queue) == 0
+
+    def test_compact_drops_empty_device_deques(self):
+        queue = FleetQueue(BackpressurePolicy(max_pending=2))
+        for d in range(100):
+            queue.submit(_req(device=f"dev-{d}", seq=0))
+        # 98 devices were fully evicted; their empty deques must not
+        # accumulate once compaction runs.
+        assert len(queue._by_device) <= 2 * 16 + 2
+
+
+class TestExtractDevice:
+    def test_moves_rows_in_admission_order(self):
+        queue = FleetQueue()
+        queue.submit_block("a", np.arange(9.0).reshape(3, 3), np.arange(3))
+        queue.submit(_req(device="b", seq=0))
+        queue.submit(_req(device="a", seq=3))
+        features, seqs = queue.extract_device("a")
+        assert seqs.tolist() == [0, 1, 2, 3]
+        assert features.shape == (4, 3)
+        np.testing.assert_array_equal(features[:3], np.arange(9.0).reshape(3, 3))
+        assert queue.pending("a") == 0
+        assert queue.total_shed == 0  # moved, not shed
+        assert queue.take(10).device_ids.tolist() == ["b"]
+
+    def test_unknown_or_empty_device(self):
+        queue = FleetQueue()
+        features, seqs = queue.extract_device("ghost")
+        assert len(seqs) == 0
+        queue.submit(_req(device="a", seq=0))
+        queue.take(1)
+        features, seqs = queue.extract_device("a")
+        assert len(seqs) == 0
+
+    def test_bookkeeping_survives_extraction(self):
+        queue = FleetQueue()
+        for seq in range(5):
+            queue.submit(_req(device="a", seq=seq))
+            queue.submit(_req(device="b", seq=seq))
+        queue.extract_device("a")
+        assert len(queue) == 5
+        assert queue.take(100).seqs.tolist() == list(range(5))
+        assert len(queue) == 0

@@ -1,0 +1,722 @@
+"""Tests for the sharded fleet subsystem.
+
+The load-bearing guarantees, in the order the module builds them up:
+
+1. :class:`ShardRouter` assignments are stable and rebalance plans are
+   deterministic and minimal;
+2. :class:`ShardQueue` reproduces :class:`FleetQueue` policy semantics
+   operation for operation (fuzzed over submit/submit_block/take
+   interleavings and every shed mode);
+3. :class:`PublishedHmd` verdicts are bitwise identical to
+   ``TrustedHMD.analyze`` (fuzzed over ensemble kinds, sizes, depths
+   and class counts);
+4. :class:`ShardedFleetMonitor` is indistinguishable from one
+   :class:`FleetMonitor` over the same traffic: bitwise verdicts,
+   identical device report rows, identical forensic streams — fuzzed
+   over shard counts, device counts and backpressure policies;
+5. snapshot/restore and rebalance keep all of the above mid-stream.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    BackpressurePolicy,
+    FleetMonitor,
+    FleetQueue,
+    FleetRetrainer,
+    IndexedWindowBatch,
+    PublishedHmd,
+    ShardQueue,
+    ShardRouter,
+    ShardedFleetMonitor,
+    WindowRequest,
+)
+from repro.fleet.engine import batch_verdict_key
+from repro.fleet.report import device_report_key
+from repro.ml import (
+    BaggingClassifier,
+    ExtraTreesClassifier,
+    RandomForestClassifier,
+)
+from repro.uncertainty import TrustedHMD
+from tests.conftest import make_blobs
+
+
+@pytest.fixture(scope="module")
+def fitted_hmd():
+    X, y = make_blobs(n_per_class=120, separation=4.0, seed=70)
+    hmd = TrustedHMD(
+        RandomForestClassifier(n_estimators=20, random_state=0),
+        threshold=0.4,
+    ).fit(X, y)
+    return X, y, hmd
+
+
+def _arrivals(X, n_devices, rounds, seed=1):
+    rng = np.random.default_rng(seed)
+    events = []
+    for _ in range(rounds):
+        for d in range(n_devices):
+            events.append((f"dev-{d:03d}", X[rng.integers(len(X))]))
+    return events
+
+
+def _drive(monitor, arrivals, *, register=True):
+    if register:
+        for device_id, _ in arrivals:
+            monitor.register(device_id)
+    for device_id, window in arrivals:
+        monitor.submit(device_id, window)
+    return monitor.drain()
+
+
+def _forensic_stream(queue):
+    return [
+        (s.device_id, s.seq, s.prediction, s.entropy) for s in queue.snapshot()
+    ]
+
+
+class TestShardRouter:
+    def test_assignment_stable_and_in_range(self):
+        router = ShardRouter(5)
+        ids = [f"device-{i}" for i in range(200)]
+        first = [router.shard_of(d) for d in ids]
+        assert all(0 <= s < 5 for s in first)
+        assert [ShardRouter(5).shard_of(d) for d in ids] == first
+
+    def test_spreads_devices(self):
+        router = ShardRouter(4)
+        spread = router.spread(f"device-{i}" for i in range(400))
+        assert set(spread) == {0, 1, 2, 3}
+        assert all(len(v) > 40 for v in spread.values())
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+    def test_rebalance_plan_lists_only_moves(self):
+        router = ShardRouter(4)
+        ids = [f"device-{i}" for i in range(100)]
+        plan = router.plan_rebalance(ids, 6)
+        new_router = ShardRouter(6)
+        for device_id in ids:
+            old, new = router.shard_of(device_id), new_router.shard_of(device_id)
+            if old != new:
+                assert plan[device_id] == (old, new)
+            else:
+                assert device_id not in plan
+
+    def test_rebalance_plan_deterministic(self):
+        ids = [f"device-{i}" for i in range(50)]
+        assert ShardRouter(3).plan_rebalance(ids, 7) == ShardRouter(
+            3
+        ).plan_rebalance(ids, 7)
+
+
+def _random_ops(rng, n_devices, n_ops):
+    """A random interleaving of submits, block submits and takes."""
+    ops = []
+    seqs = {f"d{i}": 0 for i in range(n_devices)}
+    for _ in range(n_ops):
+        kind = rng.integers(3)
+        device = f"d{rng.integers(n_devices)}"
+        if kind == 0:
+            ops.append(("submit", device, seqs[device]))
+            seqs[device] += 1
+        elif kind == 1:
+            m = int(rng.integers(1, 9))
+            ops.append(("block", device, seqs[device], m))
+            seqs[device] += m
+        else:
+            ops.append(("take", int(rng.integers(1, 17))))
+    return ops
+
+
+def _replay(queue, ops, n_features=4):
+    """Run an op list; return the take stream and admission results."""
+    taken, admitted = [], []
+    for op in ops:
+        if op[0] == "submit":
+            _, device, seq = op
+            features = np.full(n_features, float(seq) + hash(device) % 7)
+            admitted.append(
+                queue.submit(
+                    WindowRequest(device_id=device, features=features, seq=seq)
+                )
+            )
+        elif op[0] == "block":
+            _, device, start, m = op
+            features = np.arange(m * n_features, dtype=float).reshape(
+                m, n_features
+            ) + start
+            admitted.append(
+                queue.submit_block(
+                    device, features, np.arange(start, start + m)
+                )
+            )
+        else:
+            batch = queue.take(op[1])
+            taken.extend(
+                (str(batch.device_ids[i]), int(batch.seqs[i]))
+                for i in range(len(batch))
+            )
+            taken.append(("features-sum", float(batch.features.sum())))
+    return taken, admitted
+
+
+class TestShardQueue:
+    POLICIES = [
+        BackpressurePolicy(),
+        BackpressurePolicy(max_pending=20, shed="drop_oldest"),
+        BackpressurePolicy(max_pending=20, shed="drop_newest"),
+        BackpressurePolicy(max_pending=500, max_pending_per_device=5),
+        BackpressurePolicy(
+            max_pending=500, max_pending_per_device=5, shed="drop_newest"
+        ),
+        BackpressurePolicy(
+            max_pending=30, max_pending_per_device=4, shed="drop_oldest"
+        ),
+    ]
+
+    @pytest.mark.parametrize("policy_idx", range(len(POLICIES)))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_fleet_queue_semantics(self, policy_idx, seed):
+        """Same ops → same takes, same sheds, same pending, row for row."""
+        policy = self.POLICIES[policy_idx]
+        rng = np.random.default_rng(1000 * policy_idx + seed)
+        ops = _random_ops(rng, n_devices=6, n_ops=120)
+        reference, ref_admitted = _replay(FleetQueue(policy), ops)
+        shard_queue = ShardQueue(policy)
+        actual, actual_admitted = _replay(shard_queue, ops)
+        assert actual == reference
+        assert actual_admitted == ref_admitted
+        # Drain the rest and compare the tails too.
+        tail_ref, _ = _replay(FleetQueue(policy), ops + [("take", 10_000)])
+        tail_act, _ = _replay(ShardQueue(policy), ops + [("take", 10_000)])
+        assert tail_act == tail_ref
+
+    def test_shed_accounting_matches(self):
+        policy = BackpressurePolicy(max_pending=100, max_pending_per_device=3)
+        reference, shard_queue = FleetQueue(policy), ShardQueue(policy)
+        for queue in (reference, shard_queue):
+            for seq in range(10):
+                queue.submit(
+                    WindowRequest("chatty", np.zeros(3) + seq, seq)
+                )
+            queue.submit(WindowRequest("quiet", np.ones(3), 0))
+        assert shard_queue.shed_by_device == reference.shed_by_device
+        assert shard_queue.pending("chatty") == reference.pending("chatty")
+        assert shard_queue.pending("quiet") == reference.pending("quiet")
+        assert len(shard_queue) == len(reference)
+        assert shard_queue.total_shed == reference.total_shed
+
+    def test_take_returns_indexed_batch(self):
+        queue = ShardQueue()
+        queue.submit_block("a", np.arange(8.0).reshape(2, 4), [0, 1])
+        queue.submit(WindowRequest("b", np.zeros(4), 0))
+        batch = queue.take(3)
+        assert isinstance(batch, IndexedWindowBatch)
+        assert batch.device_ids.tolist() == ["a", "a", "b"]
+        assert batch.device_index.tolist() == [0, 0, 1]
+        assert batch.seqs.tolist() == [0, 1, 0]
+
+    def test_uncongested_take_is_zero_copy(self):
+        queue = ShardQueue()
+        queue.submit_block("a", np.arange(12.0).reshape(3, 4), [0, 1, 2])
+        batch = queue.take(2)
+        assert batch.features.base is not None  # a view of the arena
+
+    def test_ragged_rows_rejected(self):
+        queue = ShardQueue()
+        queue.submit(WindowRequest("a", np.zeros(4), 0))
+        with pytest.raises(ValueError):
+            queue.submit(WindowRequest("a", np.zeros(5), 1))
+
+    def test_take_validates_n(self):
+        with pytest.raises(ValueError):
+            ShardQueue().take(0)
+
+    def test_extract_device_moves_rows(self):
+        queue = ShardQueue()
+        queue.submit_block("a", np.ones((3, 2)), [0, 1, 2])
+        queue.submit_block("b", np.full((2, 2), 2.0), [0, 1])
+        queue.submit(WindowRequest("a", np.full(2, 3.0), 3))
+        features, seqs = queue.extract_device("a")
+        assert seqs.tolist() == [0, 1, 2, 3]
+        assert features.shape == (4, 2)
+        assert queue.pending("a") == 0
+        assert queue.total_shed == 0  # moved, not shed
+        remaining = queue.take(10)
+        assert remaining.device_ids.tolist() == ["b", "b"]
+
+    def test_drained_devices_release_eviction_lookups(self):
+        """Quiet devices must not pin dead arena blocks via stale
+        (block, pos) eviction entries after their rows are consumed."""
+        policy = BackpressurePolicy(max_pending=10_000, max_pending_per_device=32)
+        queue = ShardQueue(policy)
+        for d in range(50):
+            queue.submit_block(
+                f"dev-{d}", np.full((16, 3), float(d)), np.arange(16)
+            )
+        while len(queue):
+            queue.take(64)
+        assert queue._dev_rows == {}
+
+    def test_snapshot_restore_roundtrip(self):
+        policy = BackpressurePolicy(max_pending=50, max_pending_per_device=8)
+        queue = ShardQueue(policy)
+        rng = np.random.default_rng(3)
+        ops = _random_ops(rng, n_devices=4, n_ops=60)
+        _replay(queue, ops)
+        restored = ShardQueue.restore(pickle.loads(pickle.dumps(queue.snapshot())))
+        assert len(restored) == len(queue)
+        assert restored.shed_by_device == queue.shed_by_device
+        original = queue.take(10_000)
+        copy = restored.take(10_000)
+        assert copy.device_ids.tolist() == original.device_ids.tolist()
+        assert copy.seqs.tolist() == original.seqs.tolist()
+        np.testing.assert_array_equal(copy.features, original.features)
+
+
+class TestPublishedHmd:
+    @pytest.mark.parametrize(
+        "ensemble",
+        [
+            RandomForestClassifier(n_estimators=15, random_state=0),
+            ExtraTreesClassifier(n_estimators=9, random_state=1),
+            BaggingClassifier(n_estimators=7, random_state=2),
+            RandomForestClassifier(
+                n_estimators=5, max_depth=1, random_state=3
+            ),  # stumps
+        ],
+    )
+    def test_bitwise_identical_to_analyze(self, ensemble):
+        X, y = make_blobs(n_per_class=100, separation=2.0, seed=11)
+        hmd = TrustedHMD(ensemble, threshold=0.35).fit(X, y)
+        published = PublishedHmd(hmd)
+        rng = np.random.default_rng(0)
+        for n in (1, 3, 100, 257, 600):
+            Xq = X[rng.integers(len(X), size=n)]
+            reference = hmd.analyze(Xq)
+            predictions, entropy, accepted = published.verdict(Xq)
+            np.testing.assert_array_equal(predictions, reference.predictions)
+            np.testing.assert_array_equal(entropy, reference.entropy)
+            np.testing.assert_array_equal(accepted, reference.accepted)
+
+    def test_bitwise_identical_with_pca_front(self):
+        X, y = make_blobs(n_per_class=100, separation=2.0, seed=12)
+        hmd = TrustedHMD(
+            RandomForestClassifier(n_estimators=10, random_state=0),
+            threshold=0.35,
+            n_components=2,
+        ).fit(X, y)
+        published = PublishedHmd(hmd)
+        reference = hmd.analyze(X)
+        predictions, entropy, accepted = published.verdict(X)
+        np.testing.assert_array_equal(predictions, reference.predictions)
+        np.testing.assert_array_equal(entropy, reference.entropy)
+        np.testing.assert_array_equal(accepted, reference.accepted)
+
+    def test_multiclass_falls_back_bitwise(self):
+        rng = np.random.default_rng(5)
+        X = np.vstack(
+            [rng.normal(loc, 1.0, size=(60, 4)) for loc in (0.0, 3.0, 6.0)]
+        )
+        y = np.repeat([0, 1, 2], 60)
+        hmd = TrustedHMD(
+            RandomForestClassifier(n_estimators=12, random_state=0),
+            threshold=0.6,
+        ).fit(X, y)
+        published = PublishedHmd(hmd)
+        assert published.entropy_table is None
+        reference = hmd.analyze(X)
+        predictions, entropy, accepted = published.verdict(X)
+        np.testing.assert_array_equal(predictions, reference.predictions)
+        np.testing.assert_array_equal(entropy, reference.entropy)
+        np.testing.assert_array_equal(accepted, reference.accepted)
+
+    def test_staleness_detection(self, fitted_hmd):
+        X, y, _ = fitted_hmd
+        hmd = TrustedHMD(
+            RandomForestClassifier(n_estimators=8, random_state=0),
+            threshold=0.4,
+        ).fit(X, y)
+        published = PublishedHmd(hmd)
+        assert published.is_current()
+        hmd.with_threshold(0.2)
+        assert not published.is_current()
+        republished = PublishedHmd(hmd)
+        assert republished.is_current()
+        hmd.fit(X, y)  # rebuilds estimators_
+        assert not republished.is_current()
+
+    def test_requires_fitted(self):
+        with pytest.raises(ValueError):
+            PublishedHmd(TrustedHMD(RandomForestClassifier(n_estimators=3)))
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 5, 8])
+    def test_verdicts_bitwise_identical(self, fitted_hmd, n_shards):
+        X, y, hmd = fitted_hmd
+        arrivals = _arrivals(X, n_devices=13, rounds=20)
+        single = FleetMonitor(hmd, batch_size=64)
+        sharded = ShardedFleetMonitor(hmd, n_shards=n_shards, batch_size=64)
+        single_batches = _drive(single, arrivals)
+        sharded_batches = _drive(sharded, arrivals)
+        assert batch_verdict_key(sharded_batches) == batch_verdict_key(
+            single_batches
+        )
+
+    @pytest.mark.parametrize(
+        "n_devices,rounds,batch_size", [(1, 30, 16), (7, 11, 8), (37, 6, 64)]
+    )
+    def test_fuzz_device_counts_and_batch_sizes(
+        self, fitted_hmd, n_devices, rounds, batch_size
+    ):
+        X, y, hmd = fitted_hmd
+        arrivals = _arrivals(X, n_devices=n_devices, rounds=rounds, seed=7)
+        single = FleetMonitor(hmd, batch_size=batch_size)
+        sharded = ShardedFleetMonitor(
+            hmd, n_shards=4, batch_size=batch_size
+        )
+        single_batches = _drive(single, arrivals)
+        sharded_batches = _drive(sharded, arrivals)
+        assert batch_verdict_key(sharded_batches) == batch_verdict_key(
+            single_batches
+        )
+        assert device_report_key(sharded.report()) == device_report_key(single.report())
+
+    def test_merged_report_consistency(self, fitted_hmd):
+        X, y, hmd = fitted_hmd
+        arrivals = _arrivals(X, n_devices=24, rounds=15, seed=3)
+        single = FleetMonitor(hmd, batch_size=32)
+        sharded = ShardedFleetMonitor(hmd, n_shards=4, batch_size=32)
+        _drive(single, arrivals)
+        _drive(sharded, arrivals)
+        reference, merged = single.report(), sharded.report()
+        assert merged.n_devices == reference.n_devices
+        assert merged.n_seen == reference.n_seen
+        assert merged.n_accepted == reference.n_accepted
+        assert merged.n_flagged == reference.n_flagged
+        assert merged.n_malware_alerts == reference.n_malware_alerts
+        assert merged.n_shed == reference.n_shed
+        assert merged.n_pending == reference.n_pending == 0
+        assert merged.mean_entropy == pytest.approx(
+            reference.mean_entropy, abs=1e-12
+        )
+        assert device_report_key(merged) == device_report_key(reference)
+        # Facade-level merged stats mirror the single monitor's.
+        assert sharded.stats.n_seen == single.stats.n_seen
+        assert sharded.stats.n_flagged == single.stats.n_flagged
+
+    def test_forensic_streams_identical(self, fitted_hmd):
+        X, y, hmd = fitted_hmd
+        arrivals = _arrivals(X, n_devices=9, rounds=25, seed=5)
+        single = FleetMonitor(hmd, batch_size=48)
+        sharded = ShardedFleetMonitor(hmd, n_shards=3, batch_size=48)
+        _drive(single, arrivals)
+        _drive(sharded, arrivals)
+        reference = _forensic_stream(single.forensics)
+        merged = _forensic_stream(sharded.forensics)
+        # Same flagged windows with identical verdicts; global order may
+        # interleave differently across shards, per-device order must not.
+        assert sorted(merged) == sorted(reference)
+        for device_id in {s[0] for s in reference}:
+            assert [s for s in merged if s[0] == device_id] == [
+                s for s in reference if s[0] == device_id
+            ]
+
+    def test_per_device_caps_shed_identically(self, fitted_hmd):
+        X, y, hmd = fitted_hmd
+        policy = BackpressurePolicy(max_pending=10_000, max_pending_per_device=6)
+        arrivals = _arrivals(X, n_devices=11, rounds=30, seed=9)
+        single = FleetMonitor(hmd, batch_size=64, policy=policy)
+        sharded = ShardedFleetMonitor(
+            hmd, n_shards=4, batch_size=64, policy=policy
+        )
+        single_batches = _drive(single, arrivals)
+        sharded_batches = _drive(sharded, arrivals)
+        merged_shed = {}
+        for shard in sharded.shards:
+            merged_shed.update(shard.queue.shed_by_device)
+        assert merged_shed == single.queue.shed_by_device
+        assert batch_verdict_key(sharded_batches) == batch_verdict_key(
+            single_batches
+        )
+
+    @pytest.mark.parametrize("shed", ["drop_oldest", "drop_newest"])
+    def test_drop_modes_with_interleaved_drains(self, fitted_hmd, shed):
+        """Backpressure fuzz: submit/drain interleave, caps tripping."""
+        X, y, hmd = fitted_hmd
+        policy = BackpressurePolicy(
+            max_pending=10_000, max_pending_per_device=4, shed=shed
+        )
+        arrivals = _arrivals(X, n_devices=8, rounds=24, seed=13)
+        single = FleetMonitor(hmd, batch_size=32, policy=policy)
+        sharded = ShardedFleetMonitor(hmd, n_shards=3, batch_size=32, policy=policy)
+        results = {}
+        for name, monitor in (("single", single), ("sharded", sharded)):
+            batches = []
+            for i, (device_id, window) in enumerate(arrivals):
+                monitor.submit(device_id, window)
+                if i % 40 == 39:
+                    result = monitor.process_batch()
+                    if result is not None:
+                        batches.append(result)
+            batches.extend(monitor.drain())
+            results[name] = batches
+        # Per-device caps see identical per-device pressure in both
+        # topologies even mid-drain, so sheds and verdicts agree.
+        assert batch_verdict_key(results["sharded"]) == batch_verdict_key(
+            results["single"]
+        )
+
+    def test_submit_many_block_path(self, fitted_hmd):
+        X, y, hmd = fitted_hmd
+        rng = np.random.default_rng(2)
+        single = FleetMonitor(hmd, batch_size=50)
+        sharded = ShardedFleetMonitor(hmd, n_shards=4, batch_size=50)
+        blocks = {
+            f"dev-{d:03d}": X[rng.integers(len(X), size=12)] for d in range(17)
+        }
+        for monitor in (single, sharded):
+            for device_id, windows in blocks.items():
+                assert monitor.submit_many(device_id, windows) == 12
+        assert batch_verdict_key(sharded.drain()) == batch_verdict_key(
+            single.drain()
+        )
+
+    def test_facade_api_parity(self, fitted_hmd):
+        X, y, hmd = fitted_hmd
+        sharded = ShardedFleetMonitor(hmd, n_shards=2, batch_size=16)
+        assert sharded.pending == 0
+        assert sharded.process_batch() is None
+        sharded.register("dev-a", cohort="benign")
+        assert sharded.submit("dev-a", X[0])
+        assert sharded.pending == 1
+        with pytest.raises(ValueError):
+            sharded.submit("dev-a", X[0][:-1])  # ragged window
+        result = sharded.process_batch()
+        assert result.device_ids.tolist() == ["dev-a"]
+        assert sharded.report().devices[0].cohort == "benign"
+
+    def test_requires_fitted_hmd(self):
+        with pytest.raises(ValueError):
+            ShardedFleetMonitor(
+                TrustedHMD(RandomForestClassifier(n_estimators=3))
+            )
+
+
+def _zero_day(seed, n, d):
+    """A tight novel cluster far outside the training distribution."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d)) * 0.4
+    X[:, 1] += 10.0
+    return X
+
+
+class TestRetrainIntegration:
+    def test_sharded_retrain_republishes(self, fitted_hmd):
+        X, y, _ = fitted_hmd
+        hmd = TrustedHMD(
+            RandomForestClassifier(
+                n_estimators=10, random_state=0, grower="hist"
+            ),
+            threshold=0.40,
+        ).fit(X, y)
+        sharded = ShardedFleetMonitor(hmd, n_shards=3, batch_size=32)
+        retrainer = FleetRetrainer(
+            sharded, labeler=lambda cluster: 1, X_train=X, y_train=y,
+            min_batch=8,
+        )
+        epoch_before = sharded.published
+        # A zero-day cluster: high-entropy windows flood the forensic
+        # stream and trigger warm retrains mid-drain.
+        for i, window in enumerate(_zero_day(seed=21, n=80, d=X.shape[1])):
+            sharded.submit(f"dev-{i % 6:03d}", window)
+        outcomes = retrainer.drain()
+        assert any(outcome.retrained for outcome in outcomes)
+        assert len(sharded.forensics) == 0  # fully triaged
+        sharded.submit("dev-000", X[0])
+        sharded.process_batch()
+        # The facade republished the shared view after the warm refit.
+        assert sharded.published is not epoch_before
+        assert sharded.published.is_current()
+
+    def test_post_retrain_verdicts_match_single(self, fitted_hmd):
+        """After a warm refit, sharded verdicts still track analyze."""
+        X, y, _ = fitted_hmd
+        hmd = TrustedHMD(
+            RandomForestClassifier(
+                n_estimators=10, random_state=0, grower="hist"
+            ),
+            threshold=0.4,
+        ).fit(X, y)
+        sharded = ShardedFleetMonitor(hmd, n_shards=2, batch_size=64)
+        hmd.partial_refit(X[:40], y[:40])
+        sharded.submit_many("dev-a", X[:30])
+        result = sharded.process_batch()
+        reference = hmd.analyze(X[:30])
+        np.testing.assert_array_equal(result.predictions, reference.predictions)
+        np.testing.assert_array_equal(result.entropy, reference.entropy)
+        np.testing.assert_array_equal(result.accepted, reference.accepted)
+
+
+class TestSnapshotRestore:
+    def test_mid_stream_resume_identical_verdicts(self, fitted_hmd):
+        X, y, hmd = fitted_hmd
+        arrivals = _arrivals(X, n_devices=10, rounds=20, seed=31)
+        half = len(arrivals) // 2
+
+        continuous = ShardedFleetMonitor(hmd, n_shards=3, batch_size=32)
+        for device_id, window in arrivals[:half]:
+            continuous.submit(device_id, window)
+        first_half = continuous.drain(max_batches=3)  # leave a backlog
+
+        checkpoint = pickle.loads(pickle.dumps(continuous.snapshot()))
+        restored = ShardedFleetMonitor.restore(hmd, checkpoint)
+        assert restored.pending == continuous.pending
+        assert device_report_key(restored.report()) == device_report_key(
+            continuous.report()
+        )
+        assert _forensic_stream(restored.forensics) == _forensic_stream(
+            continuous.forensics
+        )
+
+        for monitor in (continuous, restored):
+            for device_id, window in arrivals[half:]:
+                monitor.submit(device_id, window)
+        tail_original = continuous.drain()
+        tail_restored = restored.drain()
+        assert batch_verdict_key(tail_restored) == batch_verdict_key(
+            tail_original
+        )
+        assert device_report_key(restored.report()) == device_report_key(
+            continuous.report()
+        )
+
+    def test_restore_preserves_policy_through_rebalance(self, fitted_hmd):
+        """The facade policy survives restore — and a later rebalance
+        builds its new shard queues with the original bounds."""
+        X, y, hmd = fitted_hmd
+        policy = BackpressurePolicy(max_pending=7, shed="drop_newest")
+        fleet = ShardedFleetMonitor(hmd, n_shards=2, batch_size=8, policy=policy)
+        fleet.submit_many("dev-a", X[:3])
+        restored = ShardedFleetMonitor.restore(
+            hmd, pickle.loads(pickle.dumps(fleet.snapshot()))
+        )
+        assert restored.policy == policy
+        restored.rebalance(3)
+        for shard in restored.shards:
+            assert shard.queue.policy == policy
+
+    def test_restore_rejects_mismatched_router(self, fitted_hmd):
+        X, y, hmd = fitted_hmd
+        fleet = ShardedFleetMonitor(hmd, n_shards=2, batch_size=8)
+        state = fleet.snapshot()
+        with pytest.raises(ValueError):
+            ShardedFleetMonitor.restore(hmd, state, router=ShardRouter(5))
+
+    def test_flag_storm_stays_bounded(self, fitted_hmd):
+        """Columnar staging must not defeat the forensic memory cap."""
+        X, y, hmd = fitted_hmd
+        from repro.uncertainty.online import ForensicQueue
+
+        sharded = ShardedFleetMonitor(
+            hmd,
+            n_shards=2,
+            batch_size=64,
+            forensics=ForensicQueue(maxlen=40),
+        )
+        # Every zero-day window gets flagged: a flag storm.
+        storm = _zero_day(seed=3, n=400, d=X.shape[1])
+        for i, window in enumerate(storm):
+            sharded.submit(f"dev-{i % 4:03d}", window)
+        sharded.drain()
+        assert sharded._staged_rows <= sharded._stage_limit
+        assert len(sharded.forensics) <= 40
+        assert sharded.forensics.total_flagged == sharded.stats.n_flagged
+        assert sharded.stats.n_flagged > 40  # the cap actually bit
+
+    def test_shard_monitor_snapshot_self_describing(self, fitted_hmd):
+        """A shard's inner monitor snapshot restores through the public
+        FleetMonitor.restore without naming the queue class."""
+        X, y, hmd = fitted_hmd
+        sharded = ShardedFleetMonitor(hmd, n_shards=2, batch_size=8)
+        sharded.submit_many("dev-a", X[:5])
+        shard = sharded.shard_for("dev-a")
+        restored = FleetMonitor.restore(
+            hmd, pickle.loads(pickle.dumps(shard.monitor.snapshot()))
+        )
+        assert isinstance(restored.queue, ShardQueue)
+        assert batch_verdict_key(restored.drain()) == batch_verdict_key(
+            shard.monitor.drain()
+        )
+
+    def test_single_monitor_snapshot_roundtrip(self, fitted_hmd):
+        X, y, hmd = fitted_hmd
+        arrivals = _arrivals(X, n_devices=5, rounds=8, seed=33)
+        monitor = FleetMonitor(hmd, batch_size=16)
+        for device_id, window in arrivals:
+            monitor.submit(device_id, window)
+        monitor.drain(max_batches=1)
+        restored = FleetMonitor.restore(
+            hmd, pickle.loads(pickle.dumps(monitor.snapshot()))
+        )
+        assert restored.pending == monitor.pending
+        original = monitor.drain()
+        copy = restored.drain()
+        assert batch_verdict_key(copy) == batch_verdict_key(original)
+        assert device_report_key(restored.report()) == device_report_key(monitor.report())
+
+
+class TestRebalance:
+    def test_rebalance_preserves_verdicts(self, fitted_hmd):
+        X, y, hmd = fitted_hmd
+        arrivals = _arrivals(X, n_devices=12, rounds=16, seed=41)
+        half = len(arrivals) // 2
+
+        single = FleetMonitor(hmd, batch_size=32)
+        sharded = ShardedFleetMonitor(hmd, n_shards=2, batch_size=32)
+        for monitor in (single, sharded):
+            for device_id, window in arrivals[:half]:
+                monitor.submit(device_id, window)
+        single_batches = single.drain(max_batches=2)
+        sharded_batches = sharded.drain(max_batches=2)
+
+        plan = sharded.rebalance(5)
+        assert sharded.n_shards == 5
+        assert all(new < 5 for _, new in plan.values())
+
+        for monitor in (single, sharded):
+            for device_id, window in arrivals[half:]:
+                monitor.submit(device_id, window)
+        single_batches += single.drain()
+        sharded_batches += sharded.drain()
+        assert batch_verdict_key(sharded_batches) == batch_verdict_key(
+            single_batches
+        )
+        assert device_report_key(sharded.report()) == device_report_key(single.report())
+
+    def test_rebalance_moves_backlog_and_state(self, fitted_hmd):
+        X, y, hmd = fitted_hmd
+        sharded = ShardedFleetMonitor(hmd, n_shards=2, batch_size=8)
+        for d in range(8):
+            sharded.submit_many(f"dev-{d:03d}", X[:5])
+        pending_before = sharded.pending
+        sharded.rebalance(4)
+        assert sharded.pending == pending_before
+        for shard in sharded.shards:
+            for device_id in shard.monitor.devices:
+                assert sharded.router.shard_of(device_id) == shard.shard_id
+        # Per-device seq counters moved with their devices.
+        assert sharded.submit_many("dev-000", X[:2]) == 2
+        batches = sharded.drain()
+        seqs = np.concatenate(
+            [b.seqs[b.device_ids == "dev-000"] for b in batches]
+        )
+        assert sorted(seqs.tolist()) == list(range(7))
