@@ -29,7 +29,6 @@ from ..hmd.features import DvfsFeatureExtractor, HpcFeatureExtractor
 from ..ml.validation import check_random_state
 from ..sim.cpu import HpcSimulator
 from ..sim.power import SocSimulator
-from ..sim.trace import DvfsTrace
 from ..sim.workloads import WorkloadGenerator, WorkloadSpec
 
 __all__ = [
@@ -90,33 +89,19 @@ def _dvfs_windows_for_app(
 ) -> np.ndarray:
     """Simulate ``n_windows`` DVFS signature windows for one app.
 
-    Simulation stays per-window (each window is an independent capture
-    of the app), but the captures are concatenated into one long trace
-    and featurised by a single batched
+    Runs entirely on the batched simulator backend: one
+    ``generate_batch`` / ``run_batch`` tensor pass over all windows,
+    then a single batched
     :meth:`~repro.hmd.features.DvfsFeatureExtractor.extract_windows`
-    pass — bitwise identical to extracting every window separately.
+    pass over the window-concatenated trace — bitwise identical to the
+    per-window reference loop (``generate``/``run`` per window).
     """
     generator = WorkloadGenerator(dt=0.05, random_state=seed)
     soc = SocSimulator(random_state=seed + 1, governor=governor)
     extractor = DvfsFeatureExtractor()
-    states_parts, temp_parts = [], []
-    first = None
-    for _ in range(n_windows):
-        activity = generator.generate(spec, DVFS_WINDOW_STEPS)
-        dvfs = soc.run(activity)
-        if first is None:
-            first = dvfs
-        states_parts.append(dvfs.states)
-        temp_parts.append(dvfs.temperature_c)
-    combined = DvfsTrace(
-        states=np.vstack(states_parts),
-        frequencies_mhz=first.frequencies_mhz,
-        channel_names=first.channel_names,
-        temperature_c=np.concatenate(temp_parts),
-        dt=first.dt,
-        name=spec.name,
-    )
-    return extractor.extract_windows(combined, DVFS_WINDOW_STEPS)
+    batch = generator.generate_batch(spec, n_windows, DVFS_WINDOW_STEPS)
+    dvfs = soc.run_batch(batch)
+    return extractor.extract_windows(dvfs.as_trace(name=spec.name), DVFS_WINDOW_STEPS)
 
 
 def build_dvfs_dataset(
@@ -217,20 +202,29 @@ def _hpc_intervals_for_app(
     n_intervals: int,
     seed: int,
 ) -> np.ndarray:
-    """Simulate ``n_intervals`` HPC feature rows for one app."""
+    """Simulate ``n_intervals`` HPC feature rows for one app.
+
+    Full-size chunks (independent application sessions) run through one
+    ``generate_batch`` / ``run_batch`` tensor pass; a shorter trailing
+    chunk gets its own single-window batch.  Bitwise identical to the
+    per-chunk reference loop.
+    """
     generator = WorkloadGenerator(dt=0.05, random_state=seed)
     extractor = HpcFeatureExtractor()
     simulator = HpcSimulator(random_state=seed + 1)
     steps_per_interval = int(round(simulator.dt / generator.dt))
+    n_full, tail = divmod(n_intervals, HPC_CHUNK_INTERVALS)
     traces, kept = [], []
-    remaining = n_intervals
-    while remaining > 0:
-        chunk = min(HPC_CHUNK_INTERVALS, remaining)
-        activity = generator.generate(spec, chunk * steps_per_interval)
-        trace = simulator.run(activity)
-        traces.append(trace)
-        kept.append(chunk)
-        remaining -= chunk
+    if n_full:
+        batch = generator.generate_batch(
+            spec, n_full, HPC_CHUNK_INTERVALS * steps_per_interval
+        )
+        traces.extend(simulator.run_batch(batch).windows())
+        kept.extend([HPC_CHUNK_INTERVALS] * n_full)
+    if tail:
+        batch = generator.generate_batch(spec, 1, tail * steps_per_interval)
+        traces.append(simulator.run_batch(batch).window(0))
+        kept.append(tail)
     # One bulk featurisation pass over every chunk; per-chunk trailing
     # intervals beyond the requested count are dropped as before.
     feats = extractor.extract_many(traces)

@@ -36,9 +36,11 @@ from ..fleet.engine import batch_verdict_key
 from ..hmd.apps import DVFS_KNOWN_BENIGN, DVFS_KNOWN_MALWARE, DVFS_UNKNOWN
 from ..hmd.features import DvfsFeatureExtractor
 from ..ml.ensemble import RandomForestClassifier
+from ..ml.validation import check_random_state
+from ..sim.batch import ActivityBatch
 from ..sim.power import SocSimulator
 from ..sim.trace import DvfsTrace
-from ..sim.workloads import FleetPopulation, WorkloadGenerator
+from ..sim.workloads import FleetPopulation, _generate_batch
 from ..uncertainty.trust import TrustedHMD
 from .common import ExperimentConfig, ExperimentContext, format_table
 
@@ -87,16 +89,36 @@ class IngestResult:
 def _device_traces(
     devices, window_steps: int, windows_per_device: int, seed: int
 ) -> list[tuple[str, DvfsTrace]]:
-    """One raw multi-window DVFS trace per device."""
-    traces = []
-    for d, device in enumerate(devices):
-        generator = WorkloadGenerator(dt=0.05, random_state=seed * 100 + d)
-        soc = SocSimulator(random_state=seed + 1)
-        activity = generator.generate(
-            device.spec, windows_per_device * window_steps
+    """One raw multi-window DVFS trace per device.
+
+    Runs on the batched simulator backend: workload generation is
+    grouped by spec and the whole fleet's governor/thermal scan is one
+    tensor pass, with one RNG stream per device — bitwise identical to
+    the per-device reference loop
+    (``WorkloadGenerator(seed * 100 + d).generate`` followed by
+    ``SocSimulator(seed + 1).run``).
+    """
+    devices = list(devices)
+    n_steps = windows_per_device * window_steps
+    batch = ActivityBatch.empty(
+        len(devices), n_steps, 0.05, (d.spec.name for d in devices)
+    )
+    groups: dict[int, list[int]] = {}
+    for pos, device in enumerate(devices):
+        groups.setdefault(id(device.spec), []).append(pos)
+    for positions in groups.values():
+        spec = devices[positions[0]].spec
+        rngs = [check_random_state(seed * 100 + p) for p in positions]
+        batch.scatter(
+            np.asarray(positions), _generate_batch(spec, rngs, n_steps, 0.05)
         )
-        traces.append((device.device_id, soc.run(activity)))
-    return traces
+    soc = SocSimulator(random_state=seed + 1)
+    dvfs = soc.run_batch(
+        batch, rngs=[check_random_state(seed + 1) for _ in devices]
+    )
+    return [
+        (device.device_id, dvfs.window(i)) for i, device in enumerate(devices)
+    ]
 
 
 def run_ingest(

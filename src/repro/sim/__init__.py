@@ -8,6 +8,13 @@
   hardware performance counter samples.
 """
 
+from .batch import (
+    ActivityBatch,
+    DvfsBatch,
+    HpcBatch,
+    device_seed_sequence,
+    device_stream_key,
+)
 from .cpu import DEFAULT_CPU, HPC_COUNTERS, CpuConfig, HpcSimulator
 from .em import EmConfig, EmFeatureExtractor, EmSimulator, EmSpectrum
 from .power import (
@@ -31,14 +38,18 @@ from .workloads import (
 )
 
 __all__ = [
+    "ActivityBatch",
     "ActivityTrace",
     "ConservativeGovernor",
     "CpuConfig",
     "DEFAULT_CPU",
     "DEFAULT_SOC",
+    "DvfsBatch",
     "DvfsChannelConfig",
     "DvfsTrace",
     "EmConfig",
+    "device_seed_sequence",
+    "device_stream_key",
     "EmFeatureExtractor",
     "EmSimulator",
     "EmSpectrum",
@@ -46,6 +57,7 @@ __all__ = [
     "FleetPopulation",
     "FleetTraceGenerator",
     "HPC_COUNTERS",
+    "HpcBatch",
     "HpcSimulator",
     "HpcTrace",
     "INSTRUCTION_KINDS",

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..ml.validation import check_random_state
+from .batch import ActivityBatch, DvfsBatch
 from .trace import ActivityTrace, DvfsTrace
 
 __all__ = [
@@ -80,6 +81,19 @@ class DvfsChannelConfig:
     def n_states(self) -> int:
         """Number of operating points."""
         return len(self.frequencies_mhz)
+
+
+_FREQ_ARRAYS: dict[tuple[float, ...], np.ndarray] = {}
+
+
+def _freq_array(channel: DvfsChannelConfig) -> np.ndarray:
+    """Memoised float64 frequency table (the batch scan gathers it per
+    step; rebuilding the array per call would dominate)."""
+    freqs = _FREQ_ARRAYS.get(channel.frequencies_mhz)
+    if freqs is None:
+        freqs = np.asarray(channel.frequencies_mhz, dtype=np.float64)
+        _FREQ_ARRAYS[channel.frequencies_mhz] = freqs
+    return freqs
 
 
 @dataclass(frozen=True)
@@ -174,6 +188,24 @@ class OndemandGovernor:
             target = state - 1
         return target
 
+    def next_state_batch(
+        self, states: np.ndarray, utilization: np.ndarray, channel: DvfsChannelConfig
+    ) -> np.ndarray:
+        """Vectorised :meth:`next_state` over a window axis.
+
+        Bitwise-equal to the scalar policy: ``searchsorted`` on the
+        float64 frequency table reproduces ``bisect_left`` on the plain
+        tuple exactly (table values are exactly representable).
+        """
+        freqs = _freq_array(channel)
+        n = channel.n_states
+        demand = utilization * freqs[states]
+        denom = max(self.up_threshold - self.down_differential, 1e-9)
+        target = np.searchsorted(freqs, demand / denom, side="left")
+        np.minimum(target, n - 1, out=target)
+        np.maximum(target, states - 1, out=target)
+        return np.where(utilization > self.up_threshold, n - 1, target)
+
 
 class ConservativeGovernor:
     """Linux ``conservative`` policy: single-state steps up and down."""
@@ -196,6 +228,21 @@ class ConservativeGovernor:
             return max(state - 1, 0)
         return state
 
+    def next_state_batch(
+        self, states: np.ndarray, utilization: np.ndarray, channel: DvfsChannelConfig
+    ) -> np.ndarray:
+        """Vectorised :meth:`next_state` over a window axis."""
+        n = channel.n_states
+        return np.where(
+            utilization > self.up_threshold,
+            np.minimum(states + 1, n - 1),
+            np.where(
+                utilization < self.down_threshold,
+                np.maximum(states - 1, 0),
+                states,
+            ),
+        )
+
 
 class PerformanceGovernor:
     """Pins the maximum state (used in ablations — it destroys the
@@ -206,6 +253,12 @@ class PerformanceGovernor:
     ) -> int:
         """Always select the top state."""
         return channel.n_states - 1
+
+    def next_state_batch(
+        self, states: np.ndarray, utilization: np.ndarray, channel: DvfsChannelConfig
+    ) -> np.ndarray:
+        """Vectorised :meth:`next_state` over a window axis."""
+        return np.full(states.shape, channel.n_states - 1, dtype=states.dtype)
 
 
 class SocSimulator:
@@ -329,4 +382,159 @@ class SocSimulator:
             temperature_c=temperature,
             dt=activity.dt,
             name=activity.name,
+        )
+
+    def run_reference(self, activity: ActivityTrace) -> DvfsTrace:
+        """The retained per-step reference path (alias for :meth:`run`).
+
+        :meth:`run_batch` is fuzz-gated bitwise against this method.
+        """
+        return self.run(activity)
+
+    def _governor_step_batch(self):
+        """Window-vectorised governor decision function.
+
+        Uses the policy's ``next_state_batch`` when it provides one;
+        custom governors without a batch method fall back to scalar
+        calls per window (bitwise-equal by construction, just slower).
+        """
+        step_batch = getattr(self.governor, "next_state_batch", None)
+        if step_batch is not None:
+            return step_batch
+        scalar = self.governor.next_state
+
+        def fallback(states, utilization, channel):
+            return np.array(
+                [
+                    scalar(int(s), float(u), channel)
+                    for s, u in zip(states, utilization)
+                ],
+                dtype=states.dtype,
+            )
+
+        return fallback
+
+    def run_batch(self, batch: ActivityBatch, *, rngs=None) -> DvfsBatch:
+        """Whole-tensor DVFS simulation of a stack of activity windows.
+
+        Bitwise identical to calling :meth:`run` on ``batch.window(i)``
+        for ``i = 0, 1, ...`` with the same generator: the stochastic
+        inputs are drawn window-by-window in the reference order (so
+        the RNG stream is consumed identically), while the governor /
+        thermal recurrence runs as a scan over the step axis — every
+        step updates all windows at once with per-channel frequency,
+        power and throttle tables gathered whole-tensor.  Per-window
+        Python cost drops from ``n_steps * n_channels`` governor calls
+        to ``n_steps * n_channels / n_windows`` vector operations.
+
+        ``rngs`` optionally supplies one generator per window (fleet
+        use: each device owns its stream); the default draws every
+        window from this simulator's own stream.
+        """
+        config = self.config
+        channels = config.channels
+        n_windows, n_steps = batch.n_windows, batch.n_steps
+        n_channels = len(channels)
+        if rngs is not None and len(rngs) != n_windows:
+            raise ValueError(
+                f"rngs has {len(rngs)} generators for {n_windows} windows."
+            )
+
+        # Demand routing, identical elementwise math to the scalar path.
+        demand = batch.cpu_demand[:, :, None] * np.array(
+            [c.demand_share for c in channels]
+        )
+        for c, channel in enumerate(channels):
+            if channel.name == "cpu_little":
+                demand[:, :, c] += 0.25 * batch.io_rate
+            elif channel.name == "gpu":
+                demand[:, :, c] += batch.gpu_demand
+        background = np.array([c.background_util for c in channels])
+        # Stochastic inputs: one (exponential, normal) pair per window,
+        # drawn in window order — the reference RNG consumption.
+        expo = np.empty((n_windows, n_steps, n_channels))
+        noise = np.empty((n_windows, n_steps, n_channels))
+        for w in range(n_windows):
+            rng = self.rng if rngs is None else rngs[w]
+            expo[w] = rng.exponential(size=(n_steps, n_channels))
+            noise[w] = rng.normal(scale=self.noise, size=(n_steps, n_channels))
+        # In-place composition — same elementwise expressions as the
+        # scalar path (`clip` is exactly maximum-then-minimum).
+        expo *= background[None, None, :]
+        demand += expo
+        noise += 1.0
+        demand *= noise
+        np.maximum(demand, 0.0, out=demand)
+        np.minimum(demand, 1.0, out=demand)
+        # Step-leading contiguous layout so every scan slice is flat.
+        measured_t = np.ascontiguousarray(demand.transpose(1, 2, 0))
+
+        # Per-entry products f * (1/f_max) — the same two floats the
+        # scalar path multiplies per step, precomputed per state.
+        cap_tables = [
+            np.array(
+                [f * (1.0 / c.frequencies_mhz[-1]) for f in c.frequencies_mhz]
+            )
+            for c in channels
+        ]
+        power_tables = [
+            np.array(
+                [
+                    c.capacitance_nf * v * v * (f / 1000.0)
+                    for f, v in zip(c.frequencies_mhz, c.voltages_v)
+                ]
+            )
+            for c in channels
+        ]
+        throttle_caps = [
+            max(c.n_states - 1 - config.throttle_cap_states, 0) for c in channels
+        ]
+        governor_step = self._governor_step_batch()
+
+        states_t = np.empty((n_steps, n_channels, n_windows), dtype=np.int64)
+        temperature_t = np.empty((n_steps, n_windows))
+        temp = np.full(n_windows, config.ambient_c + 5.0)
+        alpha = batch.dt / config.thermal_tau_s
+        ambient = config.ambient_c
+        thermal_r = config.thermal_resistance
+        throttle_temp = config.throttle_temp_c
+
+        current = [np.zeros(n_windows, dtype=np.int64) for _ in range(n_channels)]
+        for t in range(n_steps):
+            throttled = temp > throttle_temp
+            any_throttled = bool(throttled.any())
+            total_power = np.zeros(n_windows)
+            m_t = measured_t[t]
+            s_t = states_t[t]
+            for c in range(n_channels):
+                m = m_t[c]
+                cap_ratio = cap_tables[c][current[c]]
+                utilization = m / cap_ratio
+                np.minimum(utilization, 1.0, out=utilization)
+                next_state = governor_step(current[c], utilization, channels[c])
+                if any_throttled:
+                    cap = throttle_caps[c]
+                    next_state = np.where(
+                        throttled & (next_state > cap), cap, next_state
+                    )
+                current[c] = next_state
+                s_t[c] = next_state
+                activity_factor = np.maximum(m, 0.05)
+                # Accumulated channel-by-channel, matching the scalar
+                # left-to-right summation order exactly.
+                total_power += power_tables[c][next_state] * activity_factor
+
+            steady = ambient + thermal_r * total_power
+            temp += alpha * (steady - temp)
+            temperature_t[t] = temp
+
+        states = np.ascontiguousarray(states_t.transpose(2, 0, 1))
+        temperature = np.ascontiguousarray(temperature_t.T)
+        return DvfsBatch(
+            states=states,
+            frequencies_mhz=tuple(c.frequencies_mhz for c in config.channels),
+            channel_names=tuple(c.name for c in config.channels),
+            temperature_c=temperature,
+            dt=batch.dt,
+            names=batch.names,
         )

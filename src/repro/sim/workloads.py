@@ -29,6 +29,12 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from ..ml.validation import check_random_state
+from .batch import (
+    DUTY_STREAM,
+    TRACE_STREAM,
+    ActivityBatch,
+    device_seed_sequence,
+)
 from .trace import INSTRUCTION_KINDS, ActivityTrace
 
 __all__ = [
@@ -161,6 +167,145 @@ class WorkloadSpec:
         return np.asarray(self.transitions, dtype=float)
 
 
+def _sample_phase_schedule(
+    rng: np.random.Generator,
+    n_steps: int,
+    n_phases: int,
+    transition: np.ndarray,
+    means: np.ndarray,
+    dwell_cvs: list[float | None],
+) -> np.ndarray:
+    """Run the Markov phase machine and return per-step phase ids.
+
+    The single phase-machine implementation shared by the per-window
+    reference path and the batched kernel, so the two consume the RNG
+    stream identically by construction.  Only the (few) phase
+    *transitions* run in a Python loop; the schedule itself is
+    materialised as one array via ``np.repeat`` over the sampled
+    (phase, dwell) pairs.
+
+    Transitions draw one uniform and invert the precomputed row CDF —
+    exactly the stream consumption and arithmetic of
+    ``rng.choice(n_phases, p=row)``, minus its per-call validation.
+    """
+    cdfs = np.asarray(transition, dtype=np.float64).cumsum(axis=1)
+    cdfs /= cdfs[:, -1:]
+    phases: list[int] = []
+    dwells: list[int] = []
+    total = 0
+    phase_idx = int(rng.integers(n_phases))
+    while total < n_steps:
+        cv = dwell_cvs[phase_idx]
+        if cv is None:
+            dwell = int(rng.geometric(1.0 / means[phase_idx]))
+        else:
+            dwell = max(
+                1,
+                int(round(rng.normal(means[phase_idx], cv * means[phase_idx]))),
+            )
+        dwell = min(dwell, n_steps - total)
+        phases.append(phase_idx)
+        dwells.append(dwell)
+        total += dwell
+        phase_idx = int(cdfs[phase_idx].searchsorted(rng.random(), side="right"))
+    return np.repeat(
+        np.asarray(phases, dtype=np.int64), np.asarray(dwells, dtype=np.int64)
+    )
+
+
+def _generate_batch(
+    spec: WorkloadSpec, rngs, n_steps: int, dt: float
+) -> ActivityBatch:
+    """Whole-tensor activity generation: one window per entry of ``rngs``.
+
+    Window ``w`` consumes ``rngs[w]`` exactly as one
+    :meth:`WorkloadGenerator.generate` call would (phase machine first,
+    then session offsets, then the six per-step noise vectors), so:
+
+    * passing the same generator ``n`` times is bitwise identical to
+      ``n`` successive ``generate()`` calls on it;
+    * passing per-device generators yields each device's own stream,
+      independent of how windows are batched together.
+
+    All remaining arithmetic — phase-table gathers, demand/noise
+    composition, clipping — runs once over the full
+    ``(n_windows, n_steps)`` tensor; every operation is elementwise (or
+    a length-4 innermost-axis sum for the instruction-mix
+    normalisation), so no reduction order changes.
+    """
+    n_windows = len(rngs)
+    n_phases = len(spec.phases)
+    transition = spec.transition_matrix()
+    means = np.array([p.mean_duration_steps for p in spec.phases], dtype=float)
+    dwell_cvs = [p.dwell_cv for p in spec.phases]
+    n_kinds = len(INSTRUCTION_KINDS)
+
+    phase_ids = np.empty((n_windows, n_steps), dtype=np.int64)
+    cpu_offset = np.empty(n_windows)
+    ws_offset = np.empty(n_windows)
+    mix_offset = np.empty((n_windows, n_kinds))
+    cpu_noise = np.empty((n_windows, n_steps))
+    burst_draw = np.empty((n_windows, n_steps))
+    gpu_noise = np.empty((n_windows, n_steps))
+    ws_noise = np.empty((n_windows, n_steps))
+    be_noise = np.empty((n_windows, n_steps))
+    io_noise = np.empty((n_windows, n_steps))
+
+    for w, rng in enumerate(rngs):
+        phase_ids[w] = _sample_phase_schedule(
+            rng, n_steps, n_phases, transition, means, dwell_cvs
+        )
+        cpu_offset[w] = rng.normal(scale=spec.app_jitter)
+        ws_offset[w] = rng.normal(scale=spec.app_jitter)
+        mix_offset[w] = rng.normal(scale=spec.app_jitter, size=n_kinds)
+        cpu_noise[w] = rng.normal(size=n_steps)
+        burst_draw[w] = rng.random(n_steps)
+        gpu_noise[w] = rng.normal(scale=0.03, size=n_steps)
+        ws_noise[w] = rng.normal(size=n_steps)
+        be_noise[w] = rng.normal(scale=0.03, size=n_steps)
+        io_noise[w] = rng.normal(scale=0.03, size=n_steps)
+
+    cpu_mean = np.array([p.cpu_mean for p in spec.phases])
+    cpu_std = np.array([p.cpu_std for p in spec.phases])
+    gpu_mean = np.array([p.gpu_mean for p in spec.phases])
+    burst_prob = np.array([p.burst_prob for p in spec.phases])
+    burst_height = np.array([p.burst_height for p in spec.phases])
+    ws_log_mean = np.log([p.working_set_kib for p in spec.phases])
+    ws_sigma = np.array([p.working_set_sigma for p in spec.phases])
+    be_mean = np.array([p.branch_entropy for p in spec.phases])
+    io_mean = np.array([p.io_rate for p in spec.phases])
+    mix_table = np.array([p.mix for p in spec.phases], dtype=float)
+    mix_tables = mix_table[None, :, :] * np.exp(mix_offset * 0.5)[:, None, :]
+    mix_tables = np.maximum(mix_tables, 1e-6)
+    mix_tables /= mix_tables.sum(axis=2, keepdims=True)
+
+    pid = phase_ids
+    off = cpu_offset[:, None]
+    cpu = cpu_mean[pid] + off + cpu_noise * cpu_std[pid]
+    bursts = burst_draw < burst_prob[pid]
+    cpu = np.clip(cpu + bursts * burst_height[pid], 0.0, 1.0)
+
+    gpu = np.clip(gpu_mean[pid] + 0.5 * off + gpu_noise, 0.0, 1.0)
+
+    mix = mix_tables[np.arange(n_windows)[:, None], pid]
+
+    working_set = np.exp(ws_log_mean[pid] + ws_offset[:, None] + ws_noise * ws_sigma[pid])
+    branch_entropy = np.clip(be_mean[pid] + be_noise, 0.0, 1.0)
+    io_rate = np.clip(io_mean[pid] + io_noise, 0.0, 1.0)
+
+    return ActivityBatch(
+        cpu_demand=cpu,
+        gpu_demand=gpu,
+        instr_mix=mix,
+        working_set_kib=working_set,
+        branch_entropy=branch_entropy,
+        io_rate=io_rate,
+        phase_id=phase_ids,
+        dt=dt,
+        names=(spec.name,) * n_windows,
+    )
+
+
 class WorkloadGenerator:
     """Turns a :class:`WorkloadSpec` into :class:`ActivityTrace` windows.
 
@@ -179,36 +324,15 @@ class WorkloadGenerator:
         self.rng = check_random_state(random_state)
 
     def _phase_sequence(self, spec: WorkloadSpec, n_steps: int) -> np.ndarray:
-        """Run the Markov phase machine and return per-step phase ids.
-
-        Only the (few) phase *transitions* are generated in a Python
-        loop; dwell times are geometric, so a window of hundreds of
-        steps typically costs a handful of iterations.
-        """
-        rng = self.rng
-        n_phases = len(spec.phases)
-        transition = spec.transition_matrix()
-        means = np.array([p.mean_duration_steps for p in spec.phases], dtype=float)
-
-        dwell_cvs = [p.dwell_cv for p in spec.phases]
-
-        segments: list[np.ndarray] = []
-        total = 0
-        phase_idx = int(rng.integers(n_phases))
-        while total < n_steps:
-            cv = dwell_cvs[phase_idx]
-            if cv is None:
-                dwell = int(rng.geometric(1.0 / means[phase_idx]))
-            else:
-                dwell = max(
-                    1,
-                    int(round(rng.normal(means[phase_idx], cv * means[phase_idx]))),
-                )
-            dwell = min(dwell, n_steps - total)
-            segments.append(np.full(dwell, phase_idx, dtype=np.int64))
-            total += dwell
-            phase_idx = int(rng.choice(n_phases, p=transition[phase_idx]))
-        return np.concatenate(segments)
+        """Run the Markov phase machine and return per-step phase ids."""
+        return _sample_phase_schedule(
+            self.rng,
+            n_steps,
+            len(spec.phases),
+            spec.transition_matrix(),
+            np.array([p.mean_duration_steps for p in spec.phases], dtype=float),
+            [p.dwell_cv for p in spec.phases],
+        )
 
     def generate(self, spec: WorkloadSpec, n_steps: int) -> ActivityTrace:
         """Simulate ``n_steps`` of the application's phase machine.
@@ -268,14 +392,40 @@ class WorkloadGenerator:
             name=spec.name,
         )
 
+    def generate_batch(
+        self, spec: WorkloadSpec, n_windows: int, n_steps: int
+    ) -> ActivityBatch:
+        """Generate ``n_windows`` independent windows as one tensor.
+
+        Bitwise identical to ``n_windows`` successive :meth:`generate`
+        calls (each window re-draws the session personality from the
+        same stream, in the same order), but with all per-step
+        arithmetic batched over the ``(n_windows, n_steps)`` plane.
+        """
+        if n_windows < 1:
+            raise ValueError(f"n_windows must be >= 1; got {n_windows}.")
+        if n_steps < 1:
+            raise ValueError(f"n_steps must be >= 1; got {n_steps}.")
+        return _generate_batch(spec, [self.rng] * n_windows, n_steps, self.dt)
+
     def generate_windows(
         self, spec: WorkloadSpec, n_windows: int, window_steps: int
     ) -> list[ActivityTrace]:
         """Generate ``n_windows`` independent windows of the application.
 
         Each window re-draws the session personality, modelling separate
-        runs / devices contributing signatures for the same app.
+        runs / devices contributing signatures for the same app.  Runs
+        on the batched path; bitwise identical to
+        :meth:`generate_windows_reference`.
         """
+        if n_windows < 1:
+            raise ValueError(f"n_windows must be >= 1; got {n_windows}.")
+        return self.generate_batch(spec, n_windows, window_steps).windows()
+
+    def generate_windows_reference(
+        self, spec: WorkloadSpec, n_windows: int, window_steps: int
+    ) -> list[ActivityTrace]:
+        """Per-window reference for :meth:`generate_windows` (bitwise)."""
         if n_windows < 1:
             raise ValueError(f"n_windows must be >= 1; got {n_windows}.")
         return [self.generate(spec, window_steps) for _ in range(n_windows)]
@@ -402,15 +552,34 @@ class FleetPopulation:
         return max(1, int(round(fraction * n_devices)))
 
 
+def _root_entropy(random_state: int | np.random.Generator | None) -> int:
+    """Root entropy of the per-device seed-derivation contract.
+
+    An integer seed *is* the root entropy (so the contract is a pure
+    function of the user-visible seed); ``None`` or a generator derive
+    one fresh 63-bit value.
+    """
+    if isinstance(random_state, (int, np.integer)):
+        return int(random_state)
+    return int(check_random_state(random_state).integers(2**63))
+
+
 class FleetTraceGenerator:
     """Interleaved activity-trace streams for a whole device fleet.
 
-    Wraps one :class:`WorkloadGenerator` per device (each with an
-    independent child seed, so fleets are reproducible but devices are
-    decorrelated) and yields ``(device, trace)`` events the way a
-    collection backend would see them: round-robin across the fleet,
-    with an optional per-round duty cycle so devices report
-    stochastically rather than in lockstep.
+    Each device owns two independent RNG streams derived from the root
+    seed and its ``device_id`` alone (see
+    :func:`repro.sim.batch.device_seed_sequence`): a *trace* stream
+    feeding its :class:`WorkloadGenerator` and a *duty* stream deciding
+    whether it emits in a round.  A device's output is therefore
+    invariant under fleet reordering, fleet subsetting, and how many
+    windows are generated per call — the reproducibility contract the
+    fleet tests pin.
+
+    Traces are produced by the batched kernel one fleet-tensor per
+    round (:meth:`stream_batch`); :meth:`stream` is a thin per-device
+    wrapper over it and remains bitwise identical to the per-device
+    reference loop (:meth:`stream_reference`).
 
     Parameters
     ----------
@@ -421,7 +590,7 @@ class FleetTraceGenerator:
     duty_cycle:
         Probability that a device emits a window in a given round.
     random_state:
-        Master seed; children are spawned per device.
+        Root seed; per-device streams are spawned from it by device id.
     """
 
     def __init__(
@@ -437,12 +606,25 @@ class FleetTraceGenerator:
             raise ValueError("At least one device is required.")
         if not 0.0 < duty_cycle <= 1.0:
             raise ValueError(f"duty_cycle must be in (0, 1]; got {duty_cycle}.")
+        self.dt = dt
         self.duty_cycle = duty_cycle
-        master = check_random_state(random_state)
-        self.rng = master
+        self.root_entropy = _root_entropy(random_state)
         self._generators = {
             device.device_id: WorkloadGenerator(
-                dt=dt, random_state=int(master.integers(2**32))
+                dt=dt,
+                random_state=np.random.default_rng(
+                    device_seed_sequence(
+                        self.root_entropy, device.device_id, stream=TRACE_STREAM
+                    )
+                ),
+            )
+            for device in self.devices
+        }
+        self._duty_rngs = {
+            device.device_id: np.random.default_rng(
+                device_seed_sequence(
+                    self.root_entropy, device.device_id, stream=DUTY_STREAM
+                )
             )
             for device in self.devices
         }
@@ -454,19 +636,77 @@ class FleetTraceGenerator:
         generator = self._generators[device.device_id]
         return generator.generate_windows(device.spec, n_windows, window_steps)
 
+    def _emitting(self) -> list[FleetDevice]:
+        """One round of duty decisions (consumes one duty draw per
+        device when thinning is active)."""
+        if self.duty_cycle >= 1.0:
+            return list(self.devices)
+        return [
+            device
+            for device in self.devices
+            if self._duty_rngs[device.device_id].random() < self.duty_cycle
+        ]
+
+    def _round_batch(self, emitting, window_steps: int) -> ActivityBatch:
+        """One fleet tensor: a window per emitting device, device order.
+
+        Devices are grouped by workload spec so each group runs through
+        the batched kernel once (with that group's per-device RNG
+        streams), then the group rows scatter back into fleet order.
+        """
+        batch = ActivityBatch.empty(
+            len(emitting),
+            window_steps,
+            self.dt,
+            (device.spec.name for device in emitting),
+        )
+        groups: dict[int, list[int]] = {}
+        for pos, device in enumerate(emitting):
+            groups.setdefault(id(device.spec), []).append(pos)
+        for positions in groups.values():
+            spec = emitting[positions[0]].spec
+            rngs = [self._generators[emitting[p].device_id].rng for p in positions]
+            sub = _generate_batch(spec, rngs, window_steps, self.dt)
+            batch.scatter(np.asarray(positions), sub)
+        return batch
+
+    def stream_batch(self, n_rounds: int, window_steps: int):
+        """Yield ``(devices, batch)`` — one whole-fleet tensor per round.
+
+        ``devices`` is the tuple of devices that emitted this round (in
+        fleet order) and ``batch`` an :class:`ActivityBatch` whose row
+        ``i`` is ``devices[i]``'s window.  The rows feed the substrate
+        batch simulators — and, featurised, land in
+        ``FleetMonitor.submit_many`` / ``ShardedFleetMonitor`` as one
+        block per device with no per-window Python work.
+        """
+        if n_rounds < 1:
+            raise ValueError(f"n_rounds must be >= 1; got {n_rounds}.")
+        for _ in range(n_rounds):
+            emitting = self._emitting()
+            if not emitting:
+                continue
+            yield tuple(emitting), self._round_batch(emitting, window_steps)
+
     def stream(self, n_rounds: int, window_steps: int):
         """Yield ``(device, trace)`` events, round-robin over the fleet.
 
         Each round visits every device once; a device emits a window
         with probability ``duty_cycle``.  This is the arrival process
-        the fleet monitor multiplexes into batches.
+        the fleet monitor multiplexes into batches.  Implemented as a
+        thin per-device wrapper over :meth:`stream_batch`; bitwise
+        identical to :meth:`stream_reference`.
         """
+        for devices, batch in self.stream_batch(n_rounds, window_steps):
+            for i, device in enumerate(devices):
+                yield device, batch.window(i)
+
+    def stream_reference(self, n_rounds: int, window_steps: int):
+        """Per-device reference loop for :meth:`stream` (bitwise oracle)."""
         if n_rounds < 1:
             raise ValueError(f"n_rounds must be >= 1; got {n_rounds}.")
         for _ in range(n_rounds):
-            for device in self.devices:
-                if self.duty_cycle < 1.0 and self.rng.random() >= self.duty_cycle:
-                    continue
+            for device in self._emitting():
                 generator = self._generators[device.device_id]
                 yield device, generator.generate(device.spec, window_steps)
 

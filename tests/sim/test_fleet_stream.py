@@ -1,0 +1,224 @@
+"""RNG-discipline tests for fleet-scale trace generation.
+
+The per-device seed derivation (:func:`repro.sim.batch.device_stream_key`
+/ :func:`device_seed_sequence`) is a *compatibility contract*: a
+device's trace stream is a pure function of the root seed and its
+``device_id``.  These tests pin the hash values and golden draws, and
+check the behavioural consequences the fleet relies on — a device's
+output is invariant under fleet reordering, fleet subsetting and
+batch-size changes, and :meth:`FleetTraceGenerator.stream` (a thin
+wrapper over :meth:`stream_batch`) reproduces the per-device reference
+loop bitwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    FleetDevice,
+    FleetTraceGenerator,
+    WorkloadPhase,
+    WorkloadSpec,
+    device_seed_sequence,
+    device_stream_key,
+)
+from repro.sim.batch import DUTY_STREAM, TRACE_STREAM
+
+
+def _spec(name, cpu=0.5, dwell_cv=None):
+    return WorkloadSpec(
+        name=name,
+        label=0,
+        family="test",
+        phases=(
+            WorkloadPhase("a", cpu_mean=cpu, mean_duration_steps=8, dwell_cv=dwell_cv),
+            WorkloadPhase("b", cpu_mean=1.0 - cpu, mean_duration_steps=12),
+        ),
+        transitions=((0.3, 0.7), (0.6, 0.4)),
+    )
+
+
+_SPEC_A = _spec("app-a", 0.2)
+_SPEC_B = _spec("app-b", 0.8)
+_SPEC_C = _spec("app-c", 0.5, dwell_cv=0.05)
+
+
+def _fleet(n=6):
+    specs = (_SPEC_A, _SPEC_B, _SPEC_C)
+    return tuple(
+        FleetDevice(f"dev-{i:04d}", specs[i % len(specs)], "benign")
+        for i in range(n)
+    )
+
+
+def _assert_traces_equal(a, b):
+    for attr in (
+        "cpu_demand",
+        "gpu_demand",
+        "instr_mix",
+        "working_set_kib",
+        "branch_entropy",
+        "io_rate",
+        "phase_id",
+    ):
+        np.testing.assert_array_equal(
+            getattr(a, attr), getattr(b, attr), err_msg=attr
+        )
+
+
+class TestSeedDerivationContract:
+    """Pin the derivation itself — changing any of this breaks stored
+    fleets' reproducibility and is a compatibility break."""
+
+    def test_stream_key_golden_values(self):
+        assert device_stream_key("dev-0000") == 0xA65EEBC39CA3BC93
+        assert device_stream_key("dev-0001") == 0xA65EEAC39CA3BAE0
+        assert device_stream_key("fleet/alpha") == 0x83BDA0CBE69C94B4
+
+    def test_stream_key_is_fnv1a64(self):
+        # Independent re-implementation of 64-bit FNV-1a over UTF-8.
+        h = 0xCBF29CE484222325
+        for byte in "dev-0042".encode("utf-8"):
+            h = ((h ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        assert device_stream_key("dev-0042") == h
+
+    def test_seed_sequence_structure(self):
+        ss = device_seed_sequence(7, "dev-0000")
+        assert ss.entropy == 7
+        assert ss.spawn_key == (TRACE_STREAM, device_stream_key("dev-0000"))
+        duty = device_seed_sequence(7, "dev-0000", stream=DUTY_STREAM)
+        assert duty.spawn_key == (DUTY_STREAM, device_stream_key("dev-0000"))
+        assert TRACE_STREAM == 0 and DUTY_STREAM == 1
+
+    def test_golden_trace_stream_draws(self):
+        rng = np.random.default_rng(device_seed_sequence(7, "dev-0000"))
+        np.testing.assert_allclose(
+            [rng.random() for _ in range(3)],
+            [0.5228534497046528, 0.7339612615447103, 0.16360081779285363],
+            rtol=0,
+            atol=0,
+        )
+
+    def test_integer_root_seed_is_the_entropy(self):
+        # An int root seed is used verbatim, so the whole contract is a
+        # pure function of user-visible inputs.
+        fleet = FleetTraceGenerator(_fleet(2), random_state=123)
+        assert fleet.root_entropy == 123
+
+
+class TestStreamInvariances:
+    def test_invariant_under_reordering(self):
+        devices = _fleet(6)
+        forward = FleetTraceGenerator(devices, random_state=7)
+        backward = FleetTraceGenerator(devices[::-1], random_state=7)
+        want = {
+            d.device_id: t for d, t in forward.stream(n_rounds=3, window_steps=40)
+        }
+        got = {
+            d.device_id: t for d, t in backward.stream(n_rounds=3, window_steps=40)
+        }
+        assert want.keys() == got.keys()
+        for device_id in want:
+            _assert_traces_equal(got[device_id], want[device_id])
+
+    def test_invariant_under_subsetting(self):
+        devices = _fleet(6)
+        full = FleetTraceGenerator(devices, random_state=7)
+        sub = FleetTraceGenerator(devices[2:4], random_state=7)
+        want = {
+            d.device_id: t for d, t in full.stream(n_rounds=1, window_steps=60)
+        }
+        for device, trace in sub.stream(n_rounds=1, window_steps=60):
+            _assert_traces_equal(trace, want[device.device_id])
+
+    def test_invariant_under_batch_size(self):
+        # 4 windows in one batched call vs 2+2 vs 1+1+1+1 — the
+        # device's stream position depends only on windows generated.
+        devices = _fleet(3)
+        one = FleetTraceGenerator(devices, random_state=5)
+        many = FleetTraceGenerator(devices, random_state=5)
+        device = devices[0]
+        all_at_once = one.device_windows(device, 4, 30)
+        dribbled = many.device_windows(device, 2, 30) + many.device_windows(
+            device, 2, 30
+        )
+        for a, b in zip(all_at_once, dribbled):
+            _assert_traces_equal(a, b)
+
+    def test_stream_matches_reference_bitwise(self):
+        devices = _fleet(5)
+        fast = FleetTraceGenerator(devices, random_state=11)
+        slow = FleetTraceGenerator(devices, random_state=11)
+        fast_events = list(fast.stream(n_rounds=4, window_steps=50))
+        slow_events = list(slow.stream_reference(n_rounds=4, window_steps=50))
+        assert len(fast_events) == len(slow_events) == 20
+        for (fd, ft), (sd, st) in zip(fast_events, slow_events):
+            assert fd.device_id == sd.device_id
+            _assert_traces_equal(ft, st)
+
+    def test_stream_matches_reference_with_duty_cycle(self):
+        devices = _fleet(8)
+        fast = FleetTraceGenerator(devices, duty_cycle=0.6, random_state=3)
+        slow = FleetTraceGenerator(devices, duty_cycle=0.6, random_state=3)
+        fast_events = list(fast.stream(n_rounds=6, window_steps=30))
+        slow_events = list(slow.stream_reference(n_rounds=6, window_steps=30))
+        assert 0 < len(fast_events) < 48  # duty thinning engaged
+        for (fd, ft), (sd, st) in zip(fast_events, slow_events):
+            assert fd.device_id == sd.device_id
+            _assert_traces_equal(ft, st)
+
+    def test_duty_stream_is_independent_of_trace_stream(self):
+        # A device's k-th *emitted* window is bitwise its k-th window
+        # under duty_cycle=1.0: duty draws come from the separate duty
+        # stream and never perturb the trace stream.
+        devices = _fleet(4)
+        thinned = FleetTraceGenerator(devices, duty_cycle=0.5, random_state=9)
+        always = FleetTraceGenerator(devices, duty_cycle=1.0, random_state=9)
+        per_device: dict[str, list] = {d.device_id: [] for d in devices}
+        for device, trace in thinned.stream(n_rounds=8, window_steps=25):
+            per_device[device.device_id].append(trace)
+        dense: dict[str, list] = {d.device_id: [] for d in devices}
+        for device, trace in always.stream(n_rounds=8, window_steps=25):
+            dense[device.device_id].append(trace)
+        assert any(per_device.values())
+        for device_id, traces in per_device.items():
+            for k, trace in enumerate(traces):
+                _assert_traces_equal(trace, dense[device_id][k])
+
+
+class TestStreamBatch:
+    def test_rows_align_with_emitting_devices(self):
+        devices = _fleet(5)
+        fleet = FleetTraceGenerator(devices, random_state=2)
+        rounds = list(fleet.stream_batch(n_rounds=2, window_steps=40))
+        assert len(rounds) == 2
+        for emitting, batch in rounds:
+            assert emitting == devices  # duty_cycle=1: everyone, fleet order
+            assert batch.n_windows == len(emitting)
+            assert batch.names == tuple(d.spec.name for d in emitting)
+
+    def test_stream_is_thin_wrapper_over_stream_batch(self):
+        devices = _fleet(4)
+        a = FleetTraceGenerator(devices, random_state=6)
+        b = FleetTraceGenerator(devices, random_state=6)
+        via_stream = list(a.stream(n_rounds=3, window_steps=35))
+        via_batch = [
+            (device, batch.window(i))
+            for emitting, batch in b.stream_batch(n_rounds=3, window_steps=35)
+            for i, device in enumerate(emitting)
+        ]
+        for (fd, ft), (sd, st) in zip(via_stream, via_batch):
+            assert fd.device_id == sd.device_id
+            _assert_traces_equal(ft, st)
+
+    def test_window_views_are_zero_copy(self):
+        devices = _fleet(3)
+        fleet = FleetTraceGenerator(devices, random_state=1)
+        (_, batch), = fleet.stream_batch(n_rounds=1, window_steps=20)
+        view = batch.window(1)
+        assert view.cpu_demand.base is batch.cpu_demand
+
+    def test_rejects_bad_rounds(self):
+        fleet = FleetTraceGenerator(_fleet(2), random_state=0)
+        with pytest.raises(ValueError, match="n_rounds"):
+            list(fleet.stream_batch(0, 10))

@@ -1,6 +1,13 @@
-"""Property-based tests for the hardware substrates."""
+"""Property-based tests for the hardware substrates.
+
+The invariant battery at the bottom runs over *both* generation paths —
+the per-window reference (``generate``) and the batched kernel
+(``generate_batch``) — through one shared harness, so a property can
+never hold on one path and silently break on the other.
+"""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -96,3 +103,112 @@ class TestWorkloadProperties:
         hpc = HpcSimulator(random_state=seed).run(trace)
         assert np.all(hpc.counters >= 0)
         assert np.all(np.isfinite(hpc.counters))
+
+
+# --------------------------------------------------------------------------
+# shared invariant harness: reference and batched paths
+# --------------------------------------------------------------------------
+
+
+def _windows(path, spec, n_windows, n_steps, seed):
+    """Generate windows through the requested path."""
+    generator = WorkloadGenerator(random_state=seed)
+    if path == "reference":
+        return [generator.generate(spec, n_steps) for _ in range(n_windows)]
+    return generator.generate_batch(spec, n_windows, n_steps).windows()
+
+
+def _dwell_lengths(phase_ids):
+    """Run lengths of the phase sequence."""
+    changes = np.flatnonzero(np.diff(phase_ids)) + 1
+    bounds = np.concatenate([[0], changes, [len(phase_ids)]])
+    return np.diff(bounds)
+
+
+_TIMER_SPEC = WorkloadSpec(
+    name="timer",
+    label=1,
+    family="prop",
+    phases=(
+        WorkloadPhase("beacon", cpu_mean=0.7, mean_duration_steps=20, dwell_cv=0.05),
+        WorkloadPhase("sleep", cpu_mean=0.05, mean_duration_steps=20, dwell_cv=0.05),
+    ),
+    # Forced alternation so phase run lengths are exactly the sampled
+    # dwells (no same-phase merges).
+    transitions=((0.0, 1.0), (1.0, 0.0)),
+)
+
+_GEOMETRIC_SPEC = WorkloadSpec(
+    name="human",
+    label=0,
+    family="prop",
+    phases=(
+        WorkloadPhase("idle", cpu_mean=0.1, mean_duration_steps=10),
+        WorkloadPhase("busy", cpu_mean=0.8, mean_duration_steps=10),
+    ),
+    transitions=((0.0, 1.0), (1.0, 0.0)),
+)
+
+
+@pytest.mark.parametrize("path", ["reference", "batched"])
+class TestSharedInvariants:
+    """Every invariant runs against both generation paths."""
+
+    @pytest.mark.parametrize("n_steps", [1, 17, 240])
+    def test_bounded_demands(self, path, n_steps):
+        spec = _TIMER_SPEC
+        for trace in _windows(path, spec, 8, n_steps, seed=3):
+            assert np.all((trace.cpu_demand >= 0) & (trace.cpu_demand <= 1))
+            assert np.all((trace.gpu_demand >= 0) & (trace.gpu_demand <= 1))
+            assert np.all((trace.branch_entropy >= 0) & (trace.branch_entropy <= 1))
+            assert np.all((trace.io_rate >= 0) & (trace.io_rate <= 1))
+            assert np.all(trace.working_set_kib > 0)
+
+    def test_mix_rows_sum_to_one(self, path):
+        for trace in _windows(path, _GEOMETRIC_SPEC, 6, 120, seed=8):
+            np.testing.assert_allclose(
+                trace.instr_mix.sum(axis=1), 1.0, atol=1e-9
+            )
+            assert np.all(trace.instr_mix >= 0)
+
+    def test_timer_dwell_means_within_cv_bounds(self, path):
+        # Timer-driven dwells: normal(mean=20, sd=cv*20=1).  The pooled
+        # dwell mean over many windows must sit well inside 20 ± 3.
+        dwells = np.concatenate(
+            [
+                _dwell_lengths(t.phase_id)[1:-1]  # drop truncated ends
+                for t in _windows(path, _TIMER_SPEC, 20, 400, seed=5)
+            ]
+        )
+        assert dwells.size > 100
+        mean = dwells.mean()
+        assert 17.0 < mean < 23.0, f"timer dwell mean {mean} out of bounds"
+        # Rigid cadence: dispersion stays near cv * mean, nowhere close
+        # to the geometric regime (sd ≈ mean).
+        assert dwells.std() < 0.25 * mean
+
+    def test_geometric_dwell_means_within_bounds(self, path):
+        dwells = np.concatenate(
+            [
+                _dwell_lengths(t.phase_id)[1:-1]
+                for t in _windows(path, _GEOMETRIC_SPEC, 20, 400, seed=5)
+            ]
+        )
+        assert dwells.size > 100
+        mean = dwells.mean()
+        assert 7.0 < mean < 13.0, f"geometric dwell mean {mean} out of bounds"
+
+    def test_phase_ids_index_spec_phases(self, path):
+        for trace in _windows(path, _TIMER_SPEC, 4, 60, seed=1):
+            assert trace.phase_id.min() >= 0
+            assert trace.phase_id.max() < len(_TIMER_SPEC.phases)
+
+    def test_substrates_accept_windows_from_both_paths(self, path):
+        traces = _windows(path, _GEOMETRIC_SPEC, 3, 60, seed=2)
+        soc = SocSimulator(random_state=0)
+        hpc = HpcSimulator(random_state=0)
+        for trace in traces:
+            dvfs = soc.run(trace)
+            assert dvfs.states.min() >= 0
+            counters = hpc.run(trace).counters
+            assert np.all(counters >= 0) and np.all(np.isfinite(counters))
