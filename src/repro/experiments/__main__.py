@@ -80,6 +80,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fraction of the Table I HPC counts (1.0 = paper)")
     parser.add_argument("--n-estimators", type=int, default=100,
                         help="ensemble size M")
+    parser.add_argument("--processes", type=int, default=None, metavar="K",
+                        help="shard experiment only: also drain through K "
+                             "worker processes and print both backends")
     return parser
 
 
@@ -105,7 +108,10 @@ def main(argv: list[str] | None = None) -> int:
     context = ExperimentContext(config)
     for name in names:
         t0 = time.time()
-        result = RUNNERS[name](context=context)
+        kwargs = {}
+        if name == "shard" and args.processes is not None:
+            kwargs["processes"] = args.processes
+        result = RUNNERS[name](context=context, **kwargs)
         print(f"\n{'=' * 70}\n{name}  [{time.time() - t0:.1f}s]\n{'=' * 70}")
         print(result.as_text())
     return 0

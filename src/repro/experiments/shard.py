@@ -5,9 +5,13 @@ Stands up the same simulated device fleet twice — behind a single
 :class:`~repro.fleet.sharding.ShardedFleetMonitor` (K device-hash
 routed cores sharing one read-only compiled HMD) — and reports the
 drain-throughput ratio, bitwise verdict equivalence, merged-report
-consistency, and a mid-stream checkpoint/restore round trip.
+consistency, and a mid-stream checkpoint/restore round trip.  With
+``--processes K`` the drain also runs through the multi-process
+:class:`~repro.fleet.workers.WorkerShardedFleetMonitor` backend and the
+in-process and multi-process numbers print side by side.
 
     python -m repro.experiments shard
+    python -m repro.experiments shard --processes 4
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from ..fleet import (
     FleetMonitor,
     FleetWindowSampler,
     ShardedFleetMonitor,
+    WorkerShardedFleetMonitor,
 )
 from ..fleet.engine import batch_verdict_key
 from ..fleet.report import device_report_key
@@ -49,31 +54,53 @@ class ShardResult:
     n_flagged: int
     n_shed: int
     report_text: str
+    n_processes: int | None = None
+    mp_wps: float | None = None
+    mp_verdicts_identical: bool | None = None
+    mp_reports_identical: bool | None = None
 
     @property
     def speedup(self) -> float:
         """Sharded drain windows/sec over the single monitor's."""
         return self.sharded_wps / self.single_wps if self.single_wps else 0.0
 
+    @property
+    def mp_speedup(self) -> float:
+        """Multi-process drain windows/sec over the in-process sharded."""
+        if self.mp_wps is None or not self.sharded_wps:
+            return 0.0
+        return self.mp_wps / self.sharded_wps
+
     def as_text(self) -> str:
         """Render the throughput table and the merged fleet dashboard."""
-        table = format_table(
-            ["mode", "drain windows/sec"],
-            [
-                ["single FleetMonitor", self.single_wps],
+        rows = [
+            ["single FleetMonitor", self.single_wps],
+            [f"ShardedFleetMonitor (K={self.n_shards})", self.sharded_wps],
+        ]
+        if self.mp_wps is not None:
+            rows.append(
                 [
-                    f"ShardedFleetMonitor (K={self.n_shards})",
-                    self.sharded_wps,
-                ],
-            ],
-        )
-        return (
+                    f"WorkerShardedFleetMonitor (K={self.n_processes} procs)",
+                    self.mp_wps,
+                ]
+            )
+        table = format_table(["mode", "drain windows/sec"], rows)
+        text = (
             f"Sharded fleet — {self.n_devices} devices, "
             f"{self.n_windows} windows, batch={self.batch_size}\n{table}\n"
             f"speedup: {self.speedup:.1f}x   "
             f"verdicts identical: {self.verdicts_identical}   "
             f"reports identical: {self.reports_identical}\n"
             f"snapshot→restore resumes identically: {self.restore_identical}\n"
+        )
+        if self.mp_wps is not None:
+            text += (
+                f"multi-process vs in-process: {self.mp_speedup:.1f}x   "
+                f"verdicts identical: {self.mp_verdicts_identical}   "
+                f"reports identical: {self.mp_reports_identical}\n"
+            )
+        return (
+            f"{text}"
             f"flagged={self.n_flagged}  shed={self.n_shed}\n\n"
             f"{self.report_text}"
         )
@@ -87,8 +114,15 @@ def run_shard(
     windows_per_device: int = 30,
     n_shards: int = 4,
     batch_size: int = 256,
+    processes: int | None = None,
 ) -> ShardResult:
-    """Drain the same fleet traffic unsharded vs. K-sharded."""
+    """Drain the same fleet traffic unsharded vs. K-sharded.
+
+    With ``processes`` set, the same traffic is additionally drained
+    through a :class:`WorkerShardedFleetMonitor` with that many shard
+    worker processes, and the in-process vs multi-process drains print
+    side by side.
+    """
     ctx = context if context is not None else ExperimentContext(config)
     cfg = ctx.config
     dataset = ctx.dataset("dvfs")
@@ -154,6 +188,24 @@ def run_shard(
         probe.drain()
     )
 
+    n_processes = None
+    mp_wps = None
+    mp_verdicts_identical = None
+    mp_reports_identical = None
+    if processes is not None:
+        with WorkerShardedFleetMonitor(
+            hmd, n_shards=processes, batch_size=batch_size, policy=policy
+        ) as worker_fleet:
+            mp_batches, mp_elapsed = drive(worker_fleet)
+            mp_verdicts_identical = batch_verdict_key(
+                mp_batches
+            ) == batch_verdict_key(single_batches)
+            mp_reports_identical = device_report_key(
+                worker_fleet.report()
+            ) == device_report_key(single.report())
+        n_processes = processes
+        mp_wps = len(arrivals) / max(mp_elapsed, 1e-9)
+
     n_windows = len(arrivals)
     return ShardResult(
         n_devices=n_devices,
@@ -170,4 +222,8 @@ def run_shard(
             shard.queue.total_shed for shard in sharded.shards
         ),
         report_text=sharded.report().as_text(max_rows=10),
+        n_processes=n_processes,
+        mp_wps=mp_wps,
+        mp_verdicts_identical=mp_verdicts_identical,
+        mp_reports_identical=mp_reports_identical,
     )

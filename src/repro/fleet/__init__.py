@@ -35,6 +35,7 @@ from .sharding import (
     ShardedFleetMonitor,
 )
 from .state import DeviceState, RingBuffer
+from .workers import WorkerShardedFleetMonitor
 
 __all__ = [
     "BackpressurePolicy",
@@ -57,6 +58,7 @@ __all__ = [
     "ShardedFleetMonitor",
     "WindowBatch",
     "WindowRequest",
+    "WorkerShardedFleetMonitor",
     "batched_verdicts_equal_sequential",
     "device_report_key",
     "merge_reports",

@@ -69,7 +69,15 @@ __all__ = [
     "PublishedHmd",
     "FleetShard",
     "ShardedFleetMonitor",
+    "SNAPSHOT_SCHEMA",
 ]
+
+# Version tag stamped into every ShardedFleetMonitor.snapshot() payload.
+# restore() refuses anything else: a checkpoint from a different schema
+# generation (or a payload that was never a fleet snapshot at all) fails
+# loudly up front instead of corrupting worker state halfway through a
+# supervised restart.  Bump the suffix when the payload shape changes.
+SNAPSHOT_SCHEMA = "repro.fleet.sharded/1"
 
 
 # ---------------------------------------------------------------------------
@@ -617,16 +625,20 @@ class PublishedHmd:
         self.backend = backend_compile() if callable(backend_compile) else None
         self._flat = self.backend is not None and hasattr(self.backend, "fg")
 
-        # The scaler front, captured for the fused pass.  Without a PCA
-        # stage ``hmd._transform`` is ``(X - mean) / scale``; replaying
-        # the same two ufuncs in the same order is bitwise identical
-        # while skipping the per-call validation layer.  With PCA the
-        # cached fused-GEMM front is already the fast path.
-        self._scaler_front = (
-            (hmd.scaler_.mean_, hmd.scaler_.scale_)
-            if hmd.pca_ is None
-            else None
-        )
+        # The preprocessing front, captured for the fused pass.  Without
+        # a PCA stage ``hmd._transform`` is ``(X - mean) / scale``;
+        # replaying the same two ufuncs in the same order is bitwise
+        # identical while skipping the per-call validation layer.  With
+        # PCA the cached fused-GEMM front is the fast path — holding the
+        # weight/bias pair here (rather than calling back into the hmd)
+        # lets a detached view (:meth:`from_parts`) run the identical
+        # GEMM with no model object at all.
+        if hmd.pca_ is None:
+            self._scaler_front = (hmd.scaler_.mean_, hmd.scaler_.scale_)
+            self._affine_front = None
+        else:
+            self._scaler_front = None
+            self._affine_front = (hmd._front_weight_, hmd._front_bias_)
 
         if len(self.classes) == 2 and self.backend is not None:
             n_members = self.backend.n_members
@@ -654,8 +666,55 @@ class PublishedHmd:
                 (self.backend.leaf_label == self.classes[-1]).astype(np.int64)
             )
 
+    @classmethod
+    def from_parts(
+        cls,
+        *,
+        backend,
+        classes,
+        threshold: float,
+        prediction_table,
+        entropy_table,
+        accept_table,
+        leaf_is_second,
+        scaler_front=None,
+        affine_front=None,
+    ) -> "PublishedHmd":
+        """Assemble a *detached* view from already-compiled parts.
+
+        This is how a shard worker rebuilds the parent's published view
+        around shared-memory mappings (see :mod:`repro.fleet.shm`): the
+        node tensor, tables and fronts are the parent's exact arrays,
+        so :meth:`verdict` is bitwise identical by construction — but
+        there is no ``hmd`` behind it (``self.hmd is None``), so the
+        detached view can neither fall back to ``analyze`` nor detect
+        retrains itself; currency is managed externally by publication
+        generation.
+        """
+        view = cls.__new__(cls)
+        view.hmd = None
+        view.members = None
+        view.backend = backend
+        view._flat = True
+        view.classes = np.asarray(classes)
+        view.threshold = float(threshold)
+        view.prediction_table = np.asarray(prediction_table)
+        view.entropy_table = np.asarray(entropy_table)
+        view.accept_table = np.asarray(accept_table)
+        view._leaf_is_second = leaf_is_second
+        view._scaler_front = scaler_front
+        view._affine_front = affine_front
+        return view
+
     def is_current(self) -> bool:
-        """False once the HMD refit or changed its operating threshold."""
+        """False once the HMD refit or changed its operating threshold.
+
+        A detached view (:meth:`from_parts`) has no model to compare
+        against; its currency is the publication generation, managed by
+        whoever shipped it — it never self-reports stale.
+        """
+        if self.hmd is None:
+            return True
         return (
             self.members is self.hmd.ensemble_.estimators_
             and self.threshold == float(self.hmd.policy_.threshold)
@@ -677,6 +736,12 @@ class PublishedHmd:
         if self._scaler_front is not None:
             mean, scale = self._scaler_front
             Z = np.true_divide(np.subtract(X, mean), scale)
+        elif self._affine_front is not None:
+            # The captured fused front — the same GEMM, operand order
+            # and dtypes as ``hmd._transform`` minus its validation
+            # layer, so bitwise identical (the fuzz suite asserts it).
+            weight, bias = self._affine_front
+            Z = np.asarray(X, dtype=float) @ weight + bias
         else:
             Z = self.hmd._transform(X)
         if self._flat:
@@ -768,12 +833,18 @@ class FleetShard:
     objects) from a dense integer grouping pass.
     """
 
-    def __init__(self, shard_id: int, monitor: FleetMonitor):
+    def __init__(
+        self, shard_id: int, monitor: FleetMonitor, *, stage_flagged: bool = True
+    ):
         self.shard_id = shard_id
         self.monitor = monitor
         # Columnar staging of flagged rows: the fused drain appends
         # plain arrays here; FlaggedSample objects materialise lazily
         # when the forensic stream is actually read (triage time).
+        # A worker-process shard runs with staging off — its feature
+        # views live in a recycled shared-memory slot, so the *parent*
+        # stages flagged rows from its own retained copies instead.
+        self.stage_flagged = stage_flagged
         self._staged_flagged: list[tuple] = []
 
     @property
@@ -846,6 +917,8 @@ class FleetShard:
             )
             start = stop
 
+        if not self.stage_flagged:
+            return
         flagged = np.flatnonzero(~accepted)
         if len(flagged):
             # Stage columnar: fancy-indexed rows are fresh copies, so
@@ -1197,6 +1270,7 @@ class ShardedFleetMonitor:
         separately (model pickle / fresh ``drift_reference``).
         """
         return {
+            "schema": SNAPSHOT_SCHEMA,
             "n_shards": self.n_shards,
             "batch_size": self.batch_size,
             "entropy_window": self.entropy_window,
@@ -1209,6 +1283,58 @@ class ShardedFleetMonitor:
                 "total_flagged": self.forensics.total_flagged,
             },
         }
+
+    @staticmethod
+    def _validate_snapshot(state: dict) -> None:
+        """Reject stale, foreign or internally inconsistent checkpoints.
+
+        A restore that starts applying a bad payload can leave a fleet
+        (or a supervised worker restarting from it) half-built, so every
+        structural check happens before any state is touched.
+        """
+        if not isinstance(state, dict):
+            raise ValueError(
+                f"fleet snapshot must be a dict; got {type(state).__name__}."
+            )
+        schema = state.get("schema")
+        if schema != SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"unsupported fleet snapshot schema {schema!r}; this build "
+                f"restores {SNAPSHOT_SCHEMA!r} checkpoints only. Re-snapshot "
+                "with the current code (old unversioned payloads predate "
+                "supervised worker restarts and cannot be trusted)."
+            )
+        missing = [
+            key
+            for key in (
+                "n_shards",
+                "batch_size",
+                "entropy_window",
+                "n_batches",
+                "policy",
+                "shards",
+                "forensics",
+            )
+            if key not in state
+        ]
+        if missing:
+            raise ValueError(
+                f"fleet snapshot is missing required keys {missing}; "
+                "the checkpoint is truncated or corrupt."
+            )
+        if len(state["shards"]) != state["n_shards"]:
+            raise ValueError(
+                f"fleet snapshot declares {state['n_shards']} shards but "
+                f"carries {len(state['shards'])} shard payloads; refusing "
+                "a mismatched checkpoint."
+            )
+        try:
+            BackpressurePolicy(**state["policy"])
+        except TypeError as error:
+            raise ValueError(
+                f"fleet snapshot policy {state['policy']!r} does not match "
+                f"this build's BackpressurePolicy: {error}"
+            ) from None
 
     @classmethod
     def restore(
@@ -1229,6 +1355,7 @@ class ShardedFleetMonitor:
         with a custom ``router`` must pass an equivalent one here (the
         router is configuration, not serialisable state).
         """
+        cls._validate_snapshot(state)
         forensic_state = state["forensics"]
         fleet = cls(
             hmd,

@@ -1,0 +1,383 @@
+"""Shared-memory primitives for the multi-process sharded fleet.
+
+Two kinds of state cross the process boundary between the fleet facade
+and its shard workers, and neither is ever pickled row by row:
+
+* **The data plane** — :class:`ShmBlockRing`, a small ring of
+  fixed-size block slots inside one ``multiprocessing.shared_memory``
+  segment.  The parent memcpys a dequeued
+  :class:`~repro.fleet.sharding.IndexedWindowBatch` (feature rows,
+  dense device indices, sequence numbers) into a free slot and sends a
+  tiny control tuple naming the slot; the worker maps the same segment
+  and reads the rows as zero-copy numpy views.  The verdict columns
+  (predictions, entropies, accept flags) travel back through result
+  fields of the *same* slot, so one round trip moves exactly one
+  header tuple through the pipe regardless of batch size.  Ownership
+  of a slot is explicit: the parent owns FREE slots, hands one to the
+  worker with the ``block`` message, and takes it back when the
+  worker's ``result`` message names it.
+
+* **The model plane** — :func:`publish_model` /
+  :func:`map_publication`, the one-shot publication of a compiled
+  :class:`~repro.fleet.sharding.PublishedHmd`.  The flat forest node
+  tensor, the second-class leaf indicator and the (optional) fused
+  affine front land in one read-only segment; the count-indexed
+  verdict tables and other small arrays travel in a plain header
+  dict.  Every worker maps the segment and rebuilds a *detached*
+  ``PublishedHmd`` (:meth:`PublishedHmd.from_parts`) around the mapped
+  arrays — same node tensor bytes, same tables, same kernel, so
+  worker verdicts are bitwise identical to the parent's by
+  construction.  Ensembles outside the fast path (no flat backend, or
+  more than two classes) fall back to shipping the pickled HMD in the
+  header — correctness is never gated on the fast path.
+
+A republish (after a warm retrain or threshold change) is a fresh
+segment with a bumped ``generation``; workers swap views on the next
+control message and the parent unlinks the stale segment once every
+worker has acknowledged the new one.
+"""
+
+from __future__ import annotations
+
+import pickle
+import secrets
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "ShmBlockRing",
+    "publish_model",
+    "map_publication",
+]
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its lifetime.
+
+    The attaching process must never unlink a segment it does not own:
+    Python's ``resource_tracker`` registers every mapped segment and
+    would unlink it when the *worker* exits (or is killed), yanking the
+    arena out from under the parent and any replacement worker.  On
+    3.13+ ``track=False`` expresses this directly; older interpreters
+    need the explicit unregister.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        segment = shared_memory.SharedMemory(name=name)
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:
+            pass
+        return segment
+
+
+def _unlink(segment: shared_memory.SharedMemory) -> None:
+    """Unlink a parent-owned segment without tracker double-count noise.
+
+    The resource tracker keeps a *set* of names, and workers attached
+    via :func:`_attach` have already unregistered the shared entry; a
+    bare ``unlink()`` would then send an unregister for a name the
+    tracker no longer holds (a KeyError traceback in the tracker
+    process).  Re-registering first makes the pair a clean add/remove
+    whether or not any worker ever attached.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(segment._name, "shared_memory")
+    except Exception:
+        pass
+    segment.unlink()
+
+
+def _align(offset: int, itemsize: int) -> int:
+    """Round ``offset`` up to a multiple of ``itemsize`` (numpy-safe)."""
+    return -(-offset // itemsize) * itemsize
+
+
+def _layout(fields: list[tuple[str, str, tuple]]) -> tuple[dict, int]:
+    """Byte offsets for named arrays packed back to back in one segment."""
+    specs: dict[str, tuple[int, str, tuple]] = {}
+    offset = 0
+    for name, dtype_str, shape in fields:
+        dtype = np.dtype(dtype_str)
+        offset = _align(offset, max(dtype.itemsize, 1))
+        specs[name] = (offset, dtype_str, tuple(int(s) for s in shape))
+        offset += int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    return specs, max(offset, 1)
+
+
+def _map_views(buf, specs: dict) -> dict[str, np.ndarray]:
+    """Numpy views over a segment buffer described by ``_layout`` specs."""
+    views = {}
+    for name, (offset, dtype_str, shape) in specs.items():
+        dtype = np.dtype(dtype_str)
+        count = int(np.prod(shape, dtype=np.int64))
+        views[name] = np.frombuffer(
+            buf, dtype=dtype, count=count, offset=offset
+        ).reshape(shape)
+    return views
+
+
+# ---------------------------------------------------------------------------
+# Data plane: the per-worker block-slot ring
+# ---------------------------------------------------------------------------
+
+
+class ShmBlockRing:
+    """A ring of fixed-size block slots in one shared-memory segment.
+
+    Each slot carries one in-flight batch: the request columns the
+    parent writes (``features``, ``dev``, ``seqs``) and the result
+    columns the worker writes back (``predictions``, ``entropy``,
+    ``accepted``).  Slot hand-off is driven entirely by control
+    messages — the segment itself holds no locks or headers, so a
+    SIGKILLed worker can never leave a slot in a half-locked state;
+    the parent simply reclaims every slot it had handed out.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_slots: int,
+        capacity: int,
+        n_features: int,
+        pred_dtype: str,
+        name: str | None = None,
+        create: bool = True,
+    ):
+        self.n_slots = int(n_slots)
+        self.capacity = int(capacity)
+        self.n_features = int(n_features)
+        self.pred_dtype = str(pred_dtype)
+        self._specs, nbytes = _layout(
+            [
+                ("features", "<f8", (n_slots, capacity, n_features)),
+                ("dev", "<i8", (n_slots, capacity)),
+                ("seqs", "<i8", (n_slots, capacity)),
+                ("predictions", pred_dtype, (n_slots, capacity)),
+                ("entropy", "<f8", (n_slots, capacity)),
+                ("accepted", "|u1", (n_slots, capacity)),
+            ]
+        )
+        self.owner = bool(create)
+        if create:
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=nbytes, name=name
+            )
+        else:
+            self._shm = _attach(name)
+        self._views = _map_views(self._shm.buf, self._specs)
+
+    @property
+    def name(self) -> str:
+        """Segment name — what the worker needs to attach."""
+        return self._shm.name
+
+    def spec(self) -> dict:
+        """Constructor arguments for the worker-side attach."""
+        return {
+            "name": self.name,
+            "n_slots": self.n_slots,
+            "capacity": self.capacity,
+            "n_features": self.n_features,
+            "pred_dtype": self.pred_dtype,
+        }
+
+    @classmethod
+    def attach(cls, spec: dict) -> "ShmBlockRing":
+        """Map an existing ring from its :meth:`spec` (worker side)."""
+        return cls(create=False, **spec)
+
+    def slot(self, index: int) -> dict[str, np.ndarray]:
+        """Zero-copy views of one slot's request and result columns."""
+        return {key: view[index] for key, view in self._views.items()}
+
+    def write_block(self, index: int, features, dev, seqs) -> int:
+        """Copy one batch into a slot (parent side); returns row count."""
+        n = len(seqs)
+        slot = self.slot(index)
+        slot["features"][:n] = features
+        slot["dev"][:n] = dev
+        slot["seqs"][:n] = seqs
+        return n
+
+    def read_results(self, index: int, n: int):
+        """Copy one slot's verdict columns out (parent side).
+
+        Copies, not views: the slot returns to the free pool as soon as
+        the result is consumed, and the next block must not race the
+        caller's arrays.
+        """
+        slot = self.slot(index)
+        return (
+            slot["predictions"][:n].copy(),
+            slot["entropy"][:n].copy(),
+            slot["accepted"][:n].astype(bool),
+        )
+
+    def close(self) -> None:
+        """Drop the mapping (and the segment itself when owner)."""
+        self._views = {}
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+        if self.owner:
+            try:
+                _unlink(self._shm)
+            except Exception:
+                pass
+            self.owner = False
+
+
+# ---------------------------------------------------------------------------
+# Model plane: one-shot publication of the compiled verdict state
+# ---------------------------------------------------------------------------
+
+# Arrays big enough to be worth the segment; everything else (vote
+# tables are M+1 entries, the scaler front is n_features long) rides in
+# the pickled header.
+_SEGMENT_ARRAYS = ("fg", "threshold", "leaf_is_second", "front_weight")
+
+
+def publish_model(published, *, generation: int = 0) -> tuple[dict, object]:
+    """Publish a compiled model view into shared memory.
+
+    Returns ``(header, segment)``: the picklable header every worker
+    receives (through spawn args or a ``republish`` control message)
+    and the parent-owned segment handle (``None`` in pickle mode) to
+    unlink once the publication is retired.
+
+    Fast path — the deployment case (binary ensemble, flat backend):
+    the node tensor, leaf indicator and optional fused affine front go
+    into one read-only segment; tables and scalars go into the header.
+    Anything else falls back to a pickled-HMD header (correct, just
+    not zero-copy) so the worker backend never restricts which models
+    the fleet can serve.
+    """
+    if published.entropy_table is None or not published._flat:
+        return (
+            {
+                "mode": "pickle",
+                "generation": int(generation),
+                "payload": pickle.dumps(published.hmd),
+                "pred_dtype": np.asarray(published.classes).dtype.str,
+            },
+            None,
+        )
+
+    backend = published.backend
+    arrays = {
+        "fg": np.ascontiguousarray(backend.fg),
+        "threshold": np.ascontiguousarray(backend.threshold),
+        "leaf_is_second": np.ascontiguousarray(published._leaf_is_second),
+    }
+    if published._affine_front is not None:
+        arrays["front_weight"] = np.ascontiguousarray(
+            published._affine_front[0]
+        )
+    fields = [(k, v.dtype.str, v.shape) for k, v in arrays.items()]
+    specs, nbytes = _layout(fields)
+    segment = shared_memory.SharedMemory(
+        create=True, size=nbytes, name=f"repro-hmd-{secrets.token_hex(4)}"
+    )
+    views = _map_views(segment.buf, specs)
+    for key, value in arrays.items():
+        views[key][...] = value
+
+    header = {
+        "mode": "tables",
+        "generation": int(generation),
+        "segment": segment.name,
+        "specs": specs,
+        "pred_dtype": np.asarray(published.classes).dtype.str,
+        "classes": np.asarray(published.classes),
+        "roots": np.asarray(backend.roots),
+        "n_features": int(backend.n_features),
+        "max_depth": int(backend.max_depth),
+        "threshold": float(published.threshold),
+        "prediction_table": np.asarray(published.prediction_table),
+        "entropy_table": np.asarray(published.entropy_table),
+        "accept_table": np.asarray(published.accept_table),
+        "scaler_front": (
+            None
+            if published._scaler_front is None
+            else tuple(np.asarray(a) for a in published._scaler_front)
+        ),
+        "front_bias": (
+            None
+            if published._affine_front is None
+            else np.asarray(published._affine_front[1])
+        ),
+    }
+    return header, segment
+
+
+class MappedPublication:
+    """A worker's live view of one published model generation."""
+
+    def __init__(self, header: dict):
+        from ..ml.backend import FlatForest
+        from .sharding import PublishedHmd
+
+        self.generation = int(header["generation"])
+        self.mode = header["mode"]
+        if self.mode == "pickle":
+            self._segment = None
+            self.view = PublishedHmd(pickle.loads(header["payload"]))
+            return
+
+        self._segment = _attach(header["segment"])
+        views = _map_views(self._segment.buf, header["specs"])
+        leaf_is_second = views["leaf_is_second"]
+        # The count kernel never reads leaf labels (the second-class
+        # indicator is the whole reduction), so the indicator doubles
+        # as the label column of the mapped forest.
+        forest = FlatForest(
+            fg=views["fg"],
+            threshold=views["threshold"],
+            leaf_label=leaf_is_second,
+            roots=header["roots"],
+            n_features=header["n_features"],
+            max_depth=header["max_depth"],
+        )
+        front_weight = views.get("front_weight")
+        self.view = PublishedHmd.from_parts(
+            backend=forest,
+            classes=header["classes"],
+            threshold=header["threshold"],
+            prediction_table=header["prediction_table"],
+            entropy_table=header["entropy_table"],
+            accept_table=header["accept_table"],
+            leaf_is_second=leaf_is_second,
+            scaler_front=header["scaler_front"],
+            affine_front=(
+                None
+                if front_weight is None
+                else (front_weight, header["front_bias"])
+            ),
+        )
+
+    def verdict(self, X):
+        """``(predictions, entropy, accepted)`` — the shared kernel."""
+        return self.view.verdict(X)
+
+    def close(self) -> None:
+        """Drop the mapping (never unlinks — the parent owns the name)."""
+        self.view = None
+        if self._segment is not None:
+            try:
+                self._segment.close()
+            except Exception:
+                pass
+            self._segment = None
+
+
+def map_publication(header: dict) -> MappedPublication:
+    """Worker-side constructor for a published model header."""
+    return MappedPublication(header)

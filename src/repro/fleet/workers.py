@@ -1,0 +1,1050 @@
+"""Process-per-shard execution backend for the sharded fleet.
+
+:class:`WorkerShardedFleetMonitor` keeps the whole
+:class:`~repro.fleet.sharding.ShardedFleetMonitor` API — register,
+submit, ``process_batch``/``drain``, ``report``, ``snapshot``/
+``restore`` — but runs every shard's verdict pass in its own worker
+*process*, so K shards drain on K cores instead of time-slicing one
+GIL.  The split of responsibilities:
+
+Parent (this process)
+    Owns ingress end to end: the per-shard arena-backed
+    :class:`~repro.fleet.sharding.ShardQueue` (backpressure, shedding
+    and sequence numbering are byte-for-byte the in-process
+    semantics), the merged forensic stream, drift watching, and the
+    mirrors that keep facade-level ``stats`` bitwise identical — the
+    parent re-applies each round's verdict columns to its own
+    per-shard :class:`~repro.uncertainty.online.MonitorStats` with the
+    *same* ``record_verdicts`` call the worker makes.
+
+Worker (one per shard)
+    Owns the shard's :class:`~repro.fleet.sharding.FleetShard` — the
+    device-state table, ring buffers and counters that
+    :meth:`~repro.fleet.sharding.FleetShard.scatter` maintains — plus
+    a read-only mapping of the published model
+    (:mod:`repro.fleet.shm`).  It drains block messages, runs the
+    fused verdict pass, scatters, and writes the verdict columns back
+    into the same shared slot.  No window tensor is ever pickled.
+
+Supervision state machine
+-------------------------
+
+Each worker link is ``RUNNING → (dead | hung | errored) → RESTARTING →
+RUNNING``.  Liveness is observed three ways: the pipe hitting EOF, the
+process reporting not-alive with the pipe drained, or a response
+deadline expiring (``worker_timeout``; :meth:`heartbeat` probes
+explicitly).  A restart rebuilds the worker from its last checkpoint —
+the worker periodically ships ``{epoch, FleetMonitor.snapshot(),
+dense-registry order, reg-log high-water}`` (every
+``checkpoint_every`` blocks and on demand) — and then **replays** every
+retained block newer than that checkpoint.  The parent retains each
+shipped batch until a checkpoint covers it, so replay is always
+possible; verdict determinism makes replayed results identical, and
+results for epochs the parent already merged are recognised by their
+epoch and dropped.  Kill a worker mid-stream and the merged verdict
+stream is indistinguishable from an uninterrupted run (the crash-
+recovery test asserts exactly this).  ``max_restarts`` consecutive
+failures raise instead of looping.
+
+Republish-on-retrain reuses the same checkpoint barrier: after a warm
+retrain the parent checkpoints every worker (so no replay can cross
+model generations), publishes the recompiled
+:class:`~repro.fleet.sharding.PublishedHmd` into a fresh read-only
+segment, and broadcasts the new header; workers swap views and ack —
+no restart, no pause longer than one control round trip.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from collections import deque
+from dataclasses import asdict
+
+import numpy as np
+
+from ..uncertainty.online import ForensicQueue, MonitorStats
+from .engine import FleetBatchResult, FleetMonitor
+from .queueing import BackpressurePolicy
+from .report import merge_reports, rebind_queue_counters
+from .sharding import (
+    SNAPSHOT_SCHEMA,
+    FleetShard,
+    IndexedWindowBatch,
+    PublishedHmd,
+    ShardQueue,
+    ShardedFleetMonitor,
+)
+from .shm import ShmBlockRing, _unlink, map_publication, publish_model
+from .state import DeviceState
+
+__all__ = ["WorkerShardedFleetMonitor", "worker_main"]
+
+
+class _SharedModelStub:
+    """Stands in for the fitted HMD inside a worker's FleetMonitor.
+
+    The worker's monitor never runs the model itself — verdicts come
+    from the mapped shared publication — but :class:`FleetMonitor`
+    insists on a fitted estimator at construction.  A class attribute
+    satisfies the check; everything model-shaped the worker needs
+    lives in the publication.
+    """
+
+    estimator_ = ()
+
+
+class _WorkerDied(Exception):
+    """A worker link failed (process death, pipe EOF, deadline, error)."""
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _apply_regs(monitor: FleetMonitor, applied: int, start: int, entries) -> int:
+    """Apply a reg-log slice, deduplicating by absolute log index.
+
+    Restart replay can deliver overlapping slices (the explicit
+    post-checkpoint gap plus each replayed block's original span); the
+    absolute start index makes re-application exact instead of
+    inflating the applied count.
+    """
+    skip = max(0, applied - start)
+    for name, cohort in entries[skip:]:
+        monitor.register(name, cohort=cohort)
+    return max(applied, start + len(entries))
+
+
+def _apply_names(monitor: FleetMonitor, queue: ShardQueue, start: int, names) -> None:
+    """Extend the worker's dense device registry in parent order.
+
+    Dense indices are positional, so the worker must register exactly
+    the parent's first-sight sequence; slices carry their absolute
+    start offset so overlapping replays skip what is already applied.
+    """
+    skip = max(0, len(queue._names) - start)
+    for name in names[skip:]:
+        queue.register_device(name)
+        monitor.register(name)
+
+
+def _worker_checkpoint(
+    monitor: FleetMonitor, queue: ShardQueue, epoch: int, regs_applied: int
+) -> dict:
+    """The supervision hand-off payload: everything a restart needs."""
+    return {
+        "epoch": int(epoch),
+        "monitor": monitor.snapshot(),
+        "names": list(queue._names),
+        "regs_applied": int(regs_applied),
+    }
+
+
+def _run_block(ring: ShmBlockRing, publication, shard: FleetShard, msg) -> int:
+    """Verdict one shipped block in place; returns its epoch.
+
+    A helper rather than inline in the dispatch loop so the zero-copy
+    slot views die with this frame — lingering views would pin the
+    segment buffer and make the worker's final ``ring.close()`` noisy.
+    """
+    _, slot, epoch, n, names_start, names, regs_start, regs = msg
+    views = ring.slot(slot)
+    features = views["features"][:n]
+    batch = IndexedWindowBatch(
+        device_ids=None,
+        seqs=views["seqs"][:n],
+        features=features,
+        device_index=views["dev"][:n],
+    )
+    predictions, entropy, accepted = publication.verdict(features)
+    shard.scatter(batch, predictions, entropy, accepted)
+    views["predictions"][:n] = predictions
+    views["entropy"][:n] = entropy
+    views["accepted"][:n] = accepted
+    return epoch
+
+
+def worker_main(shard_id: int, conn, init: dict) -> None:
+    """One shard worker: attach shared state, drain the control pipe.
+
+    ``init`` carries the arena ring spec, the current model publication
+    header, the monitor configuration, and — when this process replaces
+    a dead predecessor — the checkpoint to restore from.  The loop is a
+    plain message dispatcher; all heavy data rides in shared memory.
+    """
+    ring = ShmBlockRing.attach(init["ring"])
+    publication = map_publication(init["model"])
+    stub = _SharedModelStub()
+    ckpt = init.get("ckpt")
+    if ckpt is not None:
+        monitor = FleetMonitor.restore(stub, ckpt["monitor"], queue_cls=ShardQueue)
+        queue = monitor.queue
+        for name in ckpt["names"]:
+            # Rebuild the dense registry in the parent's first-sight
+            # order (the queue snapshot holds rows, not the registry).
+            queue.register_device(name)
+        regs_applied = int(ckpt["regs_applied"])
+        epoch_done = int(ckpt["epoch"])
+    else:
+        queue = ShardQueue()
+        monitor = FleetMonitor(
+            stub,
+            batch_size=init["batch_size"],
+            entropy_window=init["entropy_window"],
+            queue=queue,
+        )
+        regs_applied = 0
+        epoch_done = -1
+    # Staging off: the feature views below live in recycled shared
+    # slots, so the parent stages flagged rows from its own copies.
+    shard = FleetShard(shard_id, monitor, stage_flagged=False)
+    checkpoint_every = int(init["checkpoint_every"])
+    since_checkpoint = 0
+
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            kind = msg[0]
+            if kind == "block":
+                regs_applied = _apply_regs(monitor, regs_applied, msg[6], msg[7])
+                _apply_names(monitor, queue, msg[4], msg[5])
+                epoch_done = _run_block(ring, publication, shard, msg)
+                conn.send(("result", msg[1], epoch_done))
+                since_checkpoint += 1
+                if since_checkpoint >= checkpoint_every:
+                    conn.send(
+                        ("ckpt", _worker_checkpoint(monitor, queue, epoch_done, regs_applied))
+                    )
+                    since_checkpoint = 0
+            elif kind == "regs":
+                regs_applied = _apply_regs(monitor, regs_applied, msg[1], msg[2])
+            elif kind == "checkpoint":
+                conn.send(
+                    ("ckpt", _worker_checkpoint(monitor, queue, epoch_done, regs_applied))
+                )
+                since_checkpoint = 0
+            elif kind == "report":
+                conn.send(("report", monitor.report()))
+            elif kind == "republish":
+                stale = publication
+                publication = map_publication(msg[1])
+                stale.close()
+                conn.send(("republished", publication.generation))
+            elif kind == "ping":
+                conn.send(("pong", msg[1]))
+            elif kind == "stop":
+                break
+            else:
+                raise RuntimeError(f"unknown control message {kind!r}")
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+        raise
+    finally:
+        publication.close()
+        ring.close()
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+class _Retained:
+    """One shipped block held until a worker checkpoint covers it."""
+
+    __slots__ = ("batch", "n", "slot", "names_span", "regs_span", "consumed")
+
+    def __init__(self, *, batch, n, slot, names_span, regs_span):
+        self.batch = batch
+        self.n = n
+        self.slot = slot
+        self.names_span = names_span
+        self.regs_span = regs_span
+        self.consumed = False
+
+
+class _WorkerHandle:
+    """Parent-side bookkeeping for one worker link."""
+
+    __slots__ = (
+        "shard_id",
+        "proc",
+        "conn",
+        "ring",
+        "epoch",
+        "consumed",
+        "retained",
+        "inflight",
+        "free_slots",
+        "names_sent",
+        "regs_sent",
+        "last_ckpt",
+        "restarts",
+    )
+
+    def __init__(self, shard_id: int):
+        self.shard_id = shard_id
+        self.proc = None
+        self.conn = None
+        self.ring = None
+        self.epoch = 0              # next block number to ship
+        self.consumed = -1          # highest epoch merged into parent state
+        self.retained: dict[int, _Retained] = {}
+        self.inflight: deque[int] = deque()
+        self.free_slots: set[int] = set()
+        self.names_sent = 0         # parent registry entries shipped
+        self.regs_sent = 0          # reg-log entries shipped
+        self.last_ckpt: dict | None = None
+        self.restarts = 0           # consecutive failures (reset on progress)
+
+
+class WorkerShardedFleetMonitor(ShardedFleetMonitor):
+    """The sharded fleet facade with process-per-shard workers.
+
+    Drop-in for :class:`ShardedFleetMonitor` (same constructor shape,
+    same API), with the verdict work fanned out over ``n_shards``
+    supervised worker processes through shared-memory arenas.  Verdicts,
+    merged stats, forensic stream and report device rows are bitwise
+    identical to the in-process facade — the workers run the *same*
+    :meth:`PublishedHmd.verdict` kernel on the same bytes and the same
+    :meth:`FleetShard.scatter` state updates; the process boundary
+    changes where the work runs, never what it computes.
+
+    Additional parameters
+    ---------------------
+    mp_context:
+        ``multiprocessing`` start method (default ``"spawn"`` — the
+        safe choice next to threaded BLAS; tests use ``"fork"`` for
+        startup speed).
+    checkpoint_every:
+        Worker auto-checkpoint cadence in blocks; bounds both restart
+        replay length and retained-block memory.
+    pipeline_depth:
+        Rounds in flight during :meth:`drain` (take/copy of round
+        ``r+1`` overlaps worker compute of round ``r``).
+    worker_timeout:
+        Seconds a worker may go silent before it is declared hung and
+        restarted from checkpoint.
+    max_restarts:
+        Consecutive failed restarts of one shard before giving up.
+
+    Call :meth:`close` (or use as a context manager) to stop workers
+    and unlink the shared segments.
+    """
+
+    def __init__(
+        self,
+        hmd,
+        *,
+        n_shards: int = 4,
+        batch_size: int = 256,
+        policy: BackpressurePolicy | None = None,
+        forensics: ForensicQueue | None = None,
+        drift_reference=None,
+        entropy_window: int = 128,
+        router=None,
+        mp_context: str = "spawn",
+        checkpoint_every: int = 16,
+        pipeline_depth: int = 2,
+        worker_timeout: float = 30.0,
+        max_restarts: int = 3,
+    ):
+        super().__init__(
+            hmd,
+            n_shards=n_shards,
+            batch_size=batch_size,
+            policy=policy,
+            forensics=forensics,
+            drift_reference=drift_reference,
+            entropy_window=entropy_window,
+            router=router,
+        )
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1; got {checkpoint_every}.")
+        if pipeline_depth < 1:
+            raise ValueError(f"pipeline_depth must be >= 1; got {pipeline_depth}.")
+        self._ctx = mp.get_context(mp_context)
+        self.checkpoint_every = int(checkpoint_every)
+        self.pipeline_depth = int(pipeline_depth)
+        self.worker_timeout = float(worker_timeout)
+        self.max_restarts = int(max_restarts)
+        # Slot budget: worst-case replay (a full checkpoint interval of
+        # retained blocks plus in-flight rounds) must fit the ring with
+        # margin, so a restart never waits on slot reclamation.
+        self._n_slots = self.checkpoint_every + 2 * self.pipeline_depth + 2
+        self._generation = 0
+        self._ping = 0
+        self._closed = False
+        self._model_segment = None
+        self._model_header, self._model_segment = publish_model(
+            self.published, generation=self._generation
+        )
+        self._reg_logs: list[list[tuple[str, str]]] = [
+            [] for _ in range(self.n_shards)
+        ]
+        self.handles: list[_WorkerHandle] = []
+        try:
+            for shard_id in range(self.n_shards):
+                handle = _WorkerHandle(shard_id)
+                handle.ring = ShmBlockRing(
+                    n_slots=self._n_slots,
+                    capacity=self.batch_size,
+                    n_features=int(hmd.n_features_in_),
+                    pred_dtype=self._model_header["pred_dtype"],
+                )
+                handle.free_slots = set(range(self._n_slots))
+                self._spawn_process(handle)
+                self.handles.append(handle)
+        except Exception:
+            self.close()
+            raise
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _spawn_process(self, handle: _WorkerHandle) -> None:
+        """Start (or replace) the worker process behind a handle."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        init = {
+            "ring": handle.ring.spec(),
+            "model": self._model_header,
+            "ckpt": handle.last_ckpt,
+            "batch_size": self.batch_size,
+            "entropy_window": self.entropy_window,
+            "checkpoint_every": self.checkpoint_every,
+        }
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(handle.shard_id, child_conn, init),
+            daemon=True,
+            name=f"fleet-shard-{handle.shard_id}",
+        )
+        proc.start()
+        # Close the parent's copy of the child end so a worker death
+        # surfaces as pipe EOF instead of an eternal block.
+        child_conn.close()
+        handle.proc = proc
+        handle.conn = parent_conn
+
+    def _kill_process(self, handle: _WorkerHandle) -> None:
+        """Tear down a worker process and its pipe, escalating politely."""
+        if handle.conn is not None:
+            try:
+                handle.conn.close()
+            except Exception:
+                pass
+            handle.conn = None
+        proc = handle.proc
+        if proc is None:
+            return
+        handle.proc = None
+        try:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=2.0)
+            else:
+                proc.join(timeout=2.0)
+        except Exception:
+            pass
+        try:
+            proc.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Stop every worker and unlink the shared segments."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in getattr(self, "handles", []):
+            if handle.conn is not None:
+                try:
+                    handle.conn.send(("stop",))
+                except Exception:
+                    pass
+        for handle in getattr(self, "handles", []):
+            self._kill_process(handle)
+            if handle.ring is not None:
+                handle.ring.close()
+        if self._model_segment is not None:
+            try:
+                self._model_segment.close()
+                _unlink(self._model_segment)
+            except Exception:
+                pass
+            self._model_segment = None
+
+    def __enter__(self) -> "WorkerShardedFleetMonitor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- supervision ---------------------------------------------------
+
+    def _restart(self, handle: _WorkerHandle, *, reason: str = "") -> None:
+        """Replace a failed worker: restore from checkpoint, replay.
+
+        Every retained block newer than the checkpoint is re-shipped in
+        epoch order — the consumed ones rebuild the worker's device
+        state (their duplicate results are dropped by epoch), the
+        unconsumed ones are the lost in-flight work whose results the
+        caller is still waiting for.
+        """
+        handle.restarts += 1
+        if handle.restarts > self.max_restarts:
+            raise RuntimeError(
+                f"shard {handle.shard_id} worker failed {handle.restarts} "
+                f"consecutive times; giving up. Last failure: {reason}"
+            )
+        self._kill_process(handle)
+        handle.free_slots = set(range(self._n_slots))
+        for record in handle.retained.values():
+            record.slot = None
+        self._spawn_process(handle)
+        queue = self.shards[handle.shard_id].queue
+        log = self._reg_logs[handle.shard_id]
+        try:
+            # Registrations since the checkpoint that are not attached
+            # to any retained block (flushed standalone) would otherwise
+            # be lost; overlap with block spans dedupes worker-side.
+            regs_from = int(handle.last_ckpt["regs_applied"]) if handle.last_ckpt else 0
+            if regs_from < handle.regs_sent:
+                handle.conn.send(("regs", regs_from, log[regs_from : handle.regs_sent]))
+            for epoch in sorted(handle.retained):
+                record = handle.retained[epoch]
+                slot = handle.free_slots.pop()
+                handle.ring.write_block(
+                    slot,
+                    record.batch.features,
+                    record.batch.device_index,
+                    record.batch.seqs,
+                )
+                ns, ne = record.names_span
+                rs, re_ = record.regs_span
+                handle.conn.send(
+                    (
+                        "block",
+                        slot,
+                        epoch,
+                        record.n,
+                        ns,
+                        list(queue._names[ns:ne]),
+                        rs,
+                        list(log[rs:re_]),
+                    )
+                )
+                record.slot = slot
+        except (BrokenPipeError, OSError) as error:
+            self._restart(handle, reason=f"replay failed: {error}")
+
+    def _handle_side(self, handle: _WorkerHandle, msg: tuple) -> None:
+        """Absorb a message that is not the one currently awaited."""
+        kind = msg[0]
+        if kind == "result":
+            _, slot, epoch = msg
+            if epoch <= handle.consumed:
+                # A replayed block's duplicate verdict: determinism
+                # makes it identical to what was already merged.
+                handle.free_slots.add(slot)
+                return
+            raise RuntimeError(
+                f"shard {handle.shard_id} sent result for epoch {epoch} "
+                "out of order."
+            )
+        if kind == "ckpt":
+            self._absorb_checkpoint(handle, msg[1])
+            return
+        if kind == "error":
+            raise _WorkerDied(
+                f"worker {handle.shard_id} raised:\n{msg[1]}"
+            )
+        # Late pong/report/republished from a superseded request: drop.
+
+    def _absorb_checkpoint(self, handle: _WorkerHandle, state: dict) -> None:
+        """Install a newer checkpoint and release the blocks it covers."""
+        if handle.last_ckpt is not None and state["epoch"] < handle.last_ckpt["epoch"]:
+            return
+        handle.last_ckpt = state
+        covered = int(state["epoch"])
+        for epoch in [
+            e
+            for e, record in handle.retained.items()
+            if e <= covered and record.consumed
+        ]:
+            del handle.retained[epoch]
+
+    def _recv_until(self, handle: _WorkerHandle, kind: str, *, match=None, timeout=None):
+        """Receive until a matching message arrives; raise on link death."""
+        budget = self.worker_timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise _WorkerDied(
+                    f"worker {handle.shard_id} unresponsive for {budget:.1f}s."
+                )
+            conn = handle.conn
+            try:
+                ready = conn.poll(min(0.05, remaining))
+            except (OSError, ValueError):
+                raise _WorkerDied(f"worker {handle.shard_id} pipe closed.")
+            if not ready:
+                if not handle.proc.is_alive() and not conn.poll(0):
+                    raise _WorkerDied(
+                        f"worker {handle.shard_id} died "
+                        f"(exitcode {handle.proc.exitcode})."
+                    )
+                continue
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                raise _WorkerDied(f"worker {handle.shard_id} pipe hit EOF.")
+            if msg[0] == kind and (match is None or match(msg)):
+                return msg
+            self._handle_side(handle, msg)
+
+    def heartbeat(self, *, timeout: float | None = None) -> list[int]:
+        """Ping every worker; restart the silent ones from checkpoint.
+
+        Returns the shard ids that had to be restarted.  Call this from
+        an operational loop between drains to catch workers that died
+        or hung while no round was in flight.
+        """
+        restarted = []
+        for handle in self.handles:
+            self._ping += 1
+            token = self._ping
+            try:
+                handle.conn.send(("ping", token))
+                self._recv_until(
+                    handle, "pong", match=lambda m: m[1] == token, timeout=timeout
+                )
+                handle.restarts = 0
+            except (_WorkerDied, BrokenPipeError, OSError) as error:
+                self._restart(handle, reason=str(error))
+                restarted.append(handle.shard_id)
+        return restarted
+
+    def _sync_checkpoints(self) -> None:
+        """Barrier: a fresh checkpoint from every worker, retained drained."""
+        for handle in self.handles:
+            while True:
+                try:
+                    handle.conn.send(("checkpoint",))
+                    msg = self._recv_until(
+                        handle,
+                        "ckpt",
+                        match=lambda m: int(m[1]["epoch"]) >= handle.consumed,
+                    )
+                except (_WorkerDied, BrokenPipeError, OSError) as error:
+                    self._restart(handle, reason=str(error))
+                    continue
+                self._absorb_checkpoint(handle, msg[1])
+                break
+
+    # -- ingress (reg-log hooks) ---------------------------------------
+
+    def register(self, device_id: str, *, cohort: str = "unknown"):
+        """Register on the home shard and log for worker propagation."""
+        shard_index = self.router.shard_of(device_id)
+        monitor = self.shards[shard_index].monitor
+        known = monitor.devices.get(device_id)
+        if known is None or (cohort != "unknown" and known.cohort == "unknown"):
+            self._reg_logs[shard_index].append((device_id, cohort))
+        return monitor.register(device_id, cohort=cohort)
+
+    def submit(self, device_id: str, window) -> bool:
+        """Route one window to its shard (device logged for the worker)."""
+        self.register(device_id)
+        return super().submit(device_id, window)
+
+    def submit_many(self, device_id: str, windows) -> int:
+        """Route a block of windows (device logged for the worker)."""
+        self.register(device_id)
+        return super().submit_many(device_id, windows)
+
+    def _flush_regs(self) -> None:
+        """Ship registrations that no block has carried yet."""
+        for handle in self.handles:
+            log = self._reg_logs[handle.shard_id]
+            if handle.regs_sent >= len(log):
+                continue
+            start = handle.regs_sent
+            entries = log[start:]
+            handle.regs_sent = len(log)
+            try:
+                handle.conn.send(("regs", start, entries))
+            except (BrokenPipeError, OSError) as error:
+                self._restart(handle, reason=str(error))
+
+    # -- model publication ---------------------------------------------
+
+    def _ensure_published(self) -> PublishedHmd:
+        """Republish to every worker after a retrain/threshold change."""
+        if self.published.is_current():
+            return self.published
+        # Checkpoint barrier first: restart replay must never cross a
+        # model generation, or replayed verdicts would diverge from the
+        # originals already merged.
+        self._sync_checkpoints()
+        self.published = PublishedHmd(self.hmd)
+        self._generation += 1
+        stale_segment = self._model_segment
+        self._model_header, self._model_segment = publish_model(
+            self.published, generation=self._generation
+        )
+        generation = self._generation
+        for handle in self.handles:
+            try:
+                handle.conn.send(("republish", self._model_header))
+                self._recv_until(
+                    handle, "republished", match=lambda m: m[1] == generation
+                )
+            except (_WorkerDied, BrokenPipeError, OSError) as error:
+                # The replacement spawns with the new header — already
+                # on the fresh generation, no ack needed.
+                self._restart(handle, reason=str(error))
+        if stale_segment is not None:
+            try:
+                stale_segment.close()
+                _unlink(stale_segment)
+            except Exception:
+                pass
+        return self.published
+
+    # -- fused rounds across processes ---------------------------------
+
+    def _ship(self, handle: _WorkerHandle, batch: IndexedWindowBatch) -> None:
+        """Copy a dequeued batch into a free slot and hand it over."""
+        if not handle.free_slots:
+            raise RuntimeError(
+                f"shard {handle.shard_id} arena ring exhausted "
+                f"({self._n_slots} slots) — checkpoint cadence and "
+                "pipeline depth are inconsistent."
+            )
+        queue = self.shards[handle.shard_id].queue
+        slot = handle.free_slots.pop()
+        n = handle.ring.write_block(
+            slot, batch.features, batch.device_index, batch.seqs
+        )
+        names_start, regs_start = handle.names_sent, handle.regs_sent
+        names = list(queue._names[names_start:])
+        regs = list(self._reg_logs[handle.shard_id][regs_start:])
+        handle.names_sent = names_start + len(names)
+        handle.regs_sent = regs_start + len(regs)
+        epoch = handle.epoch
+        handle.epoch = epoch + 1
+        handle.retained[epoch] = _Retained(
+            batch=batch,
+            n=n,
+            slot=slot,
+            names_span=(names_start, handle.names_sent),
+            regs_span=(regs_start, handle.regs_sent),
+        )
+        handle.inflight.append(epoch)
+        try:
+            handle.conn.send(
+                ("block", slot, epoch, n, names_start, names, regs_start, regs)
+            )
+        except (BrokenPipeError, OSError) as error:
+            # Retained already — the restart replay re-ships it.
+            self._restart(handle, reason=str(error))
+
+    def _await_result(self, handle: _WorkerHandle):
+        """Block until the oldest in-flight epoch's verdicts arrive."""
+        while True:
+            expected = handle.inflight[0]
+            try:
+                msg = self._recv_until(
+                    handle, "result", match=lambda m: m[2] == expected
+                )
+            except _WorkerDied as error:
+                self._restart(handle, reason=str(error))
+                continue
+            _, slot, epoch = msg
+            record = handle.retained[epoch]
+            predictions, entropy, accepted = handle.ring.read_results(
+                slot, record.n
+            )
+            handle.free_slots.add(slot)
+            record.slot = None
+            record.consumed = True
+            handle.consumed = epoch
+            handle.inflight.popleft()
+            handle.restarts = 0
+            return predictions, entropy, accepted
+
+    def _merge_part(
+        self,
+        shard: FleetShard,
+        batch: IndexedWindowBatch,
+        predictions: np.ndarray,
+        entropy: np.ndarray,
+        accepted: np.ndarray,
+    ) -> None:
+        """Mirror one shard slice into the parent-side facade state.
+
+        The worker already updated the device table; the parent applies
+        the *same* ``record_verdicts`` call to its per-shard stats
+        mirror (bitwise-identical merged counters), advances the same
+        step counter, and stages flagged rows from its own retained
+        feature arrays — exactly the columnar tuples
+        :meth:`FleetShard.scatter` would stage in-process.
+        """
+        monitor = shard.monitor
+        n = len(batch)
+        base_step = monitor._step
+        monitor._step += n
+        accepted = np.asarray(accepted, dtype=bool)
+        monitor.stats.record_verdicts(predictions, entropy, accepted)
+        flagged = np.flatnonzero(~accepted)
+        if len(flagged):
+            shard._staged_flagged.append(
+                (
+                    batch.features[flagged],
+                    predictions[flagged],
+                    entropy[flagged],
+                    base_step + flagged + 1,
+                    batch.device_ids[flagged],
+                    batch.seqs[flagged],
+                )
+            )
+
+    def _ship_round(self):
+        """Take one round's blocks off the queues and ship them."""
+        parts = []
+        for shard, handle in zip(self.shards, self.handles):
+            if len(shard.queue):
+                batch = shard.queue.take(self.batch_size)
+                if len(batch):
+                    self._ship(handle, batch)
+                    parts.append((handle, batch))
+        return parts or None
+
+    def _finish_round(self, parts) -> FleetBatchResult:
+        """Await one round's results and merge them facade-side."""
+        merged = []
+        for handle, batch in parts:
+            predictions, entropy, accepted = self._await_result(handle)
+            self._merge_part(
+                self.shards[handle.shard_id], batch, predictions, entropy, accepted
+            )
+            merged.append((batch, predictions, entropy, accepted))
+        self._collect_flagged()
+        if len(merged) == 1:
+            batch, predictions, entropy, accepted = merged[0]
+            device_ids, seqs = batch.device_ids, batch.seqs
+        else:
+            device_ids = np.concatenate([m[0].device_ids for m in merged])
+            seqs = np.concatenate([m[0].seqs for m in merged])
+            predictions = np.concatenate([m[1] for m in merged])
+            entropy = np.concatenate([m[2] for m in merged])
+            accepted = np.concatenate([m[3] for m in merged])
+        if self.drift is not None:
+            self.drift.observe(entropy)
+        self.n_batches += 1
+        return FleetBatchResult(
+            device_ids=device_ids,
+            seqs=seqs,
+            predictions=predictions,
+            entropy=entropy,
+            accepted=accepted,
+            threshold=self.published.threshold,
+        )
+
+    def process_batch(self) -> FleetBatchResult | None:
+        """One fused round, fanned across the workers."""
+        self._ensure_published()
+        parts = self._ship_round()
+        if parts is None:
+            return None
+        return self._finish_round(parts)
+
+    def drain(self, max_batches: int | None = None) -> list[FleetBatchResult]:
+        """Drain every queue with round-level pipelining.
+
+        Up to ``pipeline_depth`` rounds ride the arenas at once: the
+        parent's take-and-copy of round ``r+1`` overlaps the workers'
+        verdict compute of round ``r``, so the parent is never the
+        bubble between worker batches.
+        """
+        self._ensure_published()
+        results: list[FleetBatchResult] = []
+        rounds: deque = deque()
+        while True:
+            while len(rounds) < self.pipeline_depth and (
+                max_batches is None or len(results) + len(rounds) < max_batches
+            ):
+                parts = self._ship_round()
+                if parts is None:
+                    break
+                rounds.append(parts)
+            if not rounds:
+                break
+            results.append(self._finish_round(rounds.popleft()))
+        return results
+
+    # -- egress --------------------------------------------------------
+
+    def report(self):
+        """Merged fleet view: worker device tables + parent queues."""
+        self._flush_regs()
+        reports = []
+        for handle in self.handles:
+            while True:
+                try:
+                    handle.conn.send(("report",))
+                    msg = self._recv_until(handle, "report")
+                except (_WorkerDied, BrokenPipeError, OSError) as error:
+                    self._restart(handle, reason=str(error))
+                    continue
+                break
+            reports.append(
+                rebind_queue_counters(msg[1], self.shards[handle.shard_id].queue)
+            )
+        return merge_reports(
+            reports,
+            n_batches=self.n_batches,
+            drift_status=self.drift.observe([]).status if self.drift else None,
+        )
+
+    # -- rebalancing ---------------------------------------------------
+
+    def rebalance(self, n_shards: int):
+        """Not supported live across processes (by design, for now).
+
+        The migration path is: :meth:`snapshot` → restore in-process
+        (:meth:`ShardedFleetMonitor.restore`) → ``rebalance(K)`` →
+        ``snapshot()`` → :meth:`WorkerShardedFleetMonitor.restore` —
+        checkpoints are cross-backend by construction, so the round
+        trip is exact.
+        """
+        raise NotImplementedError(
+            "live rebalance is not supported by the multi-process backend; "
+            "snapshot(), restore in-process, rebalance, snapshot and "
+            "restore with WorkerShardedFleetMonitor.restore instead."
+        )
+
+    # -- persistence ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Checkpoint the fleet — same schema as the in-process facade.
+
+        Worker monitor checkpoints are fetched at a barrier, then each
+        shard's payload is rebound to the parent's authoritative queue
+        backlog and sequence counters, yielding a payload
+        :meth:`ShardedFleetMonitor.restore` (in-process) and
+        :meth:`WorkerShardedFleetMonitor.restore` both accept.
+        """
+        self._sync_checkpoints()
+        shard_states = []
+        for handle in self.handles:
+            shard = self.shards[handle.shard_id]
+            worker_state = dict(handle.last_ckpt["monitor"])
+            worker_state["queue"] = shard.queue.snapshot()
+            worker_state["seq"] = dict(shard.monitor._seq)
+            shard_states.append(worker_state)
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "n_shards": self.n_shards,
+            "batch_size": self.batch_size,
+            "entropy_window": self.entropy_window,
+            "n_batches": self.n_batches,
+            "policy": asdict(self.policy),
+            "shards": shard_states,
+            "forensics": {
+                "samples": self.forensics.snapshot(),
+                "maxlen": self.forensics.maxlen,
+                "total_flagged": self.forensics.total_flagged,
+            },
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        hmd,
+        state: dict,
+        *,
+        drift_reference=None,
+        router=None,
+        **worker_options,
+    ) -> "WorkerShardedFleetMonitor":
+        """Rebuild a worker-backed fleet from a facade snapshot.
+
+        Accepts checkpoints from either backend (the schema is shared):
+        parent queues, sequence counters and stat mirrors restore
+        in-process; each worker is reseeded from its shard's monitor
+        payload with an emptied queue (the parent owns the backlog) and
+        rebuilds its dense registry from the first blocks it receives.
+        ``worker_options`` forwards ``mp_context``/``checkpoint_every``/
+        ``pipeline_depth``/``worker_timeout``/``max_restarts``.
+        """
+        cls._validate_snapshot(state)
+        forensic_state = state["forensics"]
+        fleet = cls(
+            hmd,
+            n_shards=state["n_shards"],
+            batch_size=state["batch_size"],
+            entropy_window=state["entropy_window"],
+            policy=BackpressurePolicy(**state["policy"]),
+            forensics=ForensicQueue.restore(
+                forensic_state["samples"],
+                maxlen=forensic_state["maxlen"],
+                total_flagged=forensic_state["total_flagged"],
+            ),
+            drift_reference=drift_reference,
+            router=router,
+            **worker_options,
+        )
+        if fleet.router.n_shards != state["n_shards"]:
+            raise ValueError(
+                f"router has {fleet.router.n_shards} shards but the "
+                f"snapshot holds {state['n_shards']}."
+            )
+        fleet.n_batches = int(state["n_batches"])
+        empty_queue_state = ShardQueue().snapshot()
+        for handle, shard_state in zip(fleet.handles, state["shards"]):
+            shard = fleet.shards[handle.shard_id]
+            monitor = shard.monitor
+            monitor.queue = ShardQueue.restore(shard_state["queue"])
+            monitor._seq = dict(shard_state["seq"])
+            monitor._step = int(shard_state["step"])
+            monitor.stats = MonitorStats.restore(shard_state["stats"])
+            monitor.devices = {
+                device["device_id"]: DeviceState.restore(device)
+                for device in shard_state["devices"]
+            }
+            worker_state = dict(shard_state)
+            worker_state["queue"] = empty_queue_state
+            handle.last_ckpt = {
+                "epoch": -1,
+                "monitor": worker_state,
+                "names": [],
+                "regs_applied": 0,
+            }
+            # Reseed: replace the fresh worker with one restored from
+            # the crafted checkpoint (nothing retained, nothing to
+            # replay — the parent queue rebuilds the registry as blocks
+            # ship).
+            fleet._kill_process(handle)
+            fleet._spawn_process(handle)
+        return fleet
