@@ -83,6 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--processes", type=int, default=None, metavar="K",
                         help="shard experiment only: also drain through K "
                              "worker processes and print both backends")
+    parser.add_argument("--dtype", choices=("float64", "float32"),
+                        default="float64",
+                        help="ingest/shard experiments: inference precision "
+                             "(float32 narrows the fused front and forest)")
+    parser.add_argument("--quantized", action="store_true",
+                        help="ingest/shard experiments: hist-grown ensemble "
+                             "traversed in uint8 bin codes (float64 front, "
+                             "votes identical by construction)")
     return parser
 
 
@@ -111,6 +119,11 @@ def main(argv: list[str] | None = None) -> int:
         kwargs = {}
         if name == "shard" and args.processes is not None:
             kwargs["processes"] = args.processes
+        if name in ("ingest", "shard"):
+            if args.dtype != "float64":
+                kwargs["dtype"] = args.dtype
+            if args.quantized:
+                kwargs["quantized"] = True
         result = RUNNERS[name](context=context, **kwargs)
         print(f"\n{'=' * 70}\n{name}  [{time.time() - t0:.1f}s]\n{'=' * 70}")
         print(result.as_text())

@@ -42,7 +42,12 @@ from ..sim.power import SocSimulator
 from ..sim.trace import DvfsTrace
 from ..sim.workloads import FleetPopulation, _generate_batch
 from ..uncertainty.trust import TrustedHMD
-from .common import ExperimentConfig, ExperimentContext, format_table
+from .common import (
+    ExperimentConfig,
+    ExperimentContext,
+    format_table,
+    resolve_mode,
+)
 
 __all__ = ["IngestResult", "run_ingest"]
 
@@ -60,6 +65,7 @@ class IngestResult:
     features_identical: bool
     verdicts_identical: bool
     n_flagged: int
+    mode: str = "float64"
 
     @property
     def speedup(self) -> float:
@@ -77,7 +83,8 @@ class IngestResult:
         )
         return (
             f"Ingest front — {self.n_devices} devices, {self.n_windows} "
-            f"windows of {self.window_steps} steps (batch={self.batch_size})\n"
+            f"windows of {self.window_steps} steps (batch={self.batch_size}, "
+            f"mode={self.mode})\n"
             f"{table}\n"
             f"speedup: {self.speedup:.1f}x   "
             f"features identical: {self.features_identical}   "
@@ -128,8 +135,19 @@ def run_ingest(
     n_devices: int = 48,
     windows_per_device: int = 8,
     batch_size: int = 256,
+    dtype: str = "float64",
+    quantized: bool = False,
 ) -> IngestResult:
-    """Screen raw device traces through both ingest fronts."""
+    """Screen raw device traces through both ingest fronts.
+
+    ``dtype``/``quantized`` select the inference precision
+    (``TrustedHMD.compile`` modes): ``--dtype float32`` narrows the
+    front and forest, ``--quantized`` runs the uint8 bin-code kernel
+    (implies a hist-grown ensemble and the float64 front).  Both paths
+    run the same mode, so the bitwise verdict-equivalence check stays
+    meaningful in every mode.
+    """
+    mode = resolve_mode(dtype, quantized)
     ctx = context if context is not None else ExperimentContext(config)
     cfg = ctx.config
     dataset = ctx.dataset("dvfs")
@@ -139,11 +157,13 @@ def run_ingest(
     # row-independent and bitwise reproducible across batch composition.
     hmd = TrustedHMD(
         RandomForestClassifier(
-            n_estimators=cfg.n_estimators, random_state=cfg.seed
+            n_estimators=cfg.n_estimators,
+            random_state=cfg.seed,
+            grower="hist" if mode == "quantized" else "exact",
         ),
         threshold=0.40,
     ).fit(dataset.train.X, dataset.train.y)
-    hmd.compile()
+    hmd.compile(mode=mode)
 
     population = FleetPopulation(
         DVFS_KNOWN_BENIGN,
@@ -201,4 +221,5 @@ def run_ingest(
         features_identical=features_identical,
         verdicts_identical=verdicts_identical,
         n_flagged=batched.stats.n_flagged,
+        mode=mode,
     )

@@ -33,7 +33,12 @@ from ..hmd.apps import DVFS_KNOWN_BENIGN, DVFS_KNOWN_MALWARE, DVFS_UNKNOWN
 from ..ml.ensemble import RandomForestClassifier
 from ..sim.workloads import FleetPopulation
 from ..uncertainty.trust import TrustedHMD
-from .common import ExperimentConfig, ExperimentContext, format_table
+from .common import (
+    ExperimentConfig,
+    ExperimentContext,
+    format_table,
+    resolve_mode,
+)
 
 __all__ = ["ShardResult", "run_shard"]
 
@@ -58,6 +63,7 @@ class ShardResult:
     mp_wps: float | None = None
     mp_verdicts_identical: bool | None = None
     mp_reports_identical: bool | None = None
+    mode: str = "float64"
 
     @property
     def speedup(self) -> float:
@@ -87,7 +93,8 @@ class ShardResult:
         table = format_table(["mode", "drain windows/sec"], rows)
         text = (
             f"Sharded fleet — {self.n_devices} devices, "
-            f"{self.n_windows} windows, batch={self.batch_size}\n{table}\n"
+            f"{self.n_windows} windows, batch={self.batch_size}, "
+            f"mode={self.mode}\n{table}\n"
             f"speedup: {self.speedup:.1f}x   "
             f"verdicts identical: {self.verdicts_identical}   "
             f"reports identical: {self.reports_identical}\n"
@@ -115,14 +122,19 @@ def run_shard(
     n_shards: int = 4,
     batch_size: int = 256,
     processes: int | None = None,
+    dtype: str = "float64",
+    quantized: bool = False,
 ) -> ShardResult:
     """Drain the same fleet traffic unsharded vs. K-sharded.
 
     With ``processes`` set, the same traffic is additionally drained
     through a :class:`WorkerShardedFleetMonitor` with that many shard
     worker processes, and the in-process vs multi-process drains print
-    side by side.
+    side by side.  ``dtype``/``quantized`` select the inference
+    precision (all monitors run the same mode, so the equivalence
+    checks remain bitwise).
     """
+    mode = resolve_mode(dtype, quantized)
     ctx = context if context is not None else ExperimentContext(config)
     cfg = ctx.config
     dataset = ctx.dataset("dvfs")
@@ -131,10 +143,13 @@ def run_shard(
     # front keeps batched results bitwise reproducible).
     hmd = TrustedHMD(
         RandomForestClassifier(
-            n_estimators=cfg.n_estimators, random_state=cfg.seed
+            n_estimators=cfg.n_estimators,
+            random_state=cfg.seed,
+            grower="hist" if mode == "quantized" else "exact",
         ),
         threshold=0.40,
     ).fit(dataset.train.X, dataset.train.y)
+    hmd.compile(mode=mode)
 
     population = FleetPopulation(
         DVFS_KNOWN_BENIGN,
@@ -226,4 +241,5 @@ def run_shard(
         mp_wps=mp_wps,
         mp_verdicts_identical=mp_verdicts_identical,
         mp_reports_identical=mp_reports_identical,
+        mode=mode,
     )

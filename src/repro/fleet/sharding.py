@@ -54,6 +54,13 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from ..ml.backend import (
+    FlatForest,
+    QuantizedForest,
+    q_code_view,
+    q_feat_view,
+    q_goto_view,
+)
 from ..uncertainty.drift import EntropyDriftMonitor
 from ..uncertainty.entropy import shannon_entropy, votes_to_distribution
 from ..uncertainty.online import ForensicQueue, MonitorStats
@@ -621,20 +628,31 @@ class PublishedHmd:
         compile_backend = getattr(hmd, "compile", None)
         if callable(compile_backend):
             compile_backend()
+        # The compile mode the kernel was built for — part of the
+        # published view's identity: switching modes on a live hmd must
+        # republish even when the fitted members are unchanged
+        # (:meth:`is_current` compares it).
+        self.compile_mode = getattr(hmd, "_compile_mode_", "float64")
         backend_compile = getattr(hmd.ensemble_, "compile", None)
         self.backend = backend_compile() if callable(backend_compile) else None
-        self._flat = self.backend is not None and hasattr(self.backend, "fg")
+        self._flat = isinstance(self.backend, FlatForest)
+        self._quantized = isinstance(self.backend, QuantizedForest)
 
         # The preprocessing front, captured for the fused pass.  Without
         # a PCA stage ``hmd._transform`` is ``(X - mean) / scale``;
-        # replaying the same two ufuncs in the same order is bitwise
-        # identical while skipping the per-call validation layer.  With
-        # PCA the cached fused-GEMM front is the fast path — holding the
+        # replaying the same two ufuncs in the same order (and, in
+        # float32 mode, the same narrowed operands) is bitwise identical
+        # while skipping the per-call validation layer.  With PCA the
+        # cached fused-GEMM front is the fast path — holding the
         # weight/bias pair here (rather than calling back into the hmd)
         # lets a detached view (:meth:`from_parts`) run the identical
         # GEMM with no model object at all.
+        scaler32 = getattr(hmd, "_scaler32_", None)
         if hmd.pca_ is None:
-            self._scaler_front = (hmd.scaler_.mean_, hmd.scaler_.scale_)
+            if scaler32 is not None:
+                self._scaler_front = scaler32
+            else:
+                self._scaler_front = (hmd.scaler_.mean_, hmd.scaler_.scale_)
             self._affine_front = None
         else:
             self._scaler_front = None
@@ -661,7 +679,7 @@ class PublishedHmd:
             self.accept_table = self.entropy_table <= self.threshold
         else:
             self.entropy_table = None
-        if self._flat:
+        if self._flat or self._quantized:
             self._leaf_is_second = np.ascontiguousarray(
                 (self.backend.leaf_label == self.classes[-1]).astype(np.int64)
             )
@@ -695,7 +713,9 @@ class PublishedHmd:
         view.hmd = None
         view.members = None
         view.backend = backend
-        view._flat = True
+        view._quantized = isinstance(backend, QuantizedForest)
+        view._flat = not view._quantized
+        view.compile_mode = "detached"
         view.classes = np.asarray(classes)
         view.threshold = float(threshold)
         view.prediction_table = np.asarray(prediction_table)
@@ -707,17 +727,23 @@ class PublishedHmd:
         return view
 
     def is_current(self) -> bool:
-        """False once the HMD refit or changed its operating threshold.
+        """False once the HMD refit, changed threshold, or switched mode.
 
-        A detached view (:meth:`from_parts`) has no model to compare
-        against; its currency is the publication generation, managed by
-        whoever shipped it — it never self-reports stale.
+        The compile-mode comparison matters even with unchanged fitted
+        members: ``hmd.compile(mode=...)`` swaps the kernel (and the
+        front dtype) without touching ``estimators_``, and a view that
+        only keyed on the member list would keep serving the stale
+        kernel forever.  A detached view (:meth:`from_parts`) has no
+        model to compare against; its currency is the publication
+        generation, managed by whoever shipped it — it never
+        self-reports stale.
         """
         if self.hmd is None:
             return True
         return (
             self.members is self.hmd.ensemble_.estimators_
             and self.threshold == float(self.hmd.policy_.threshold)
+            and self.compile_mode == getattr(self.hmd, "_compile_mode_", "float64")
         )
 
     # -- fused verdict pass --------------------------------------------
@@ -735,16 +761,22 @@ class PublishedHmd:
             return verdict.predictions, verdict.entropy, verdict.accepted
         if self._scaler_front is not None:
             mean, scale = self._scaler_front
+            # In float32 mode the captured mean/scale are the narrowed
+            # pair; casting X first keeps the whole front narrow (a
+            # float64 X against float32 operands would silently upcast).
+            X = np.asarray(X, dtype=mean.dtype)
             Z = np.true_divide(np.subtract(X, mean), scale)
         elif self._affine_front is not None:
             # The captured fused front — the same GEMM, operand order
             # and dtypes as ``hmd._transform`` minus its validation
             # layer, so bitwise identical (the fuzz suite asserts it).
             weight, bias = self._affine_front
-            Z = np.asarray(X, dtype=float) @ weight + bias
+            Z = np.asarray(X, dtype=weight.dtype) @ weight + bias
         else:
             Z = self.hmd._transform(X)
-        if self._flat:
+        if self._quantized:
+            counts = self._count_votes_quantized(Z)
+        elif self._flat:
             counts = self._count_votes(Z)
         else:
             votes = self.backend.decisions(np.ascontiguousarray(Z, dtype=float))
@@ -767,7 +799,9 @@ class PublishedHmd:
         forest = self.backend
         fg, threshold = forest.fg, forest.threshold
         m, max_depth = forest.n_members, forest.max_depth
-        Z = np.ascontiguousarray(Z, dtype=np.float64)
+        # encode() is the forest's own input cast (float64, or float32
+        # for a narrowed forest) — one definition for both kernels.
+        Z = forest.encode(Z)
         n, n_features = Z.shape
         chunk = max(16, _SHARD_SLOT_TARGET // m)
         counts = np.empty(n, dtype=np.intp)
@@ -804,6 +838,72 @@ class PublishedHmd:
                         f = rec[:, 0]
                 xv = x.take(np.add(f, rows), mode="clip")
                 node = np.add(rec[:, 1], np.greater(xv, threshold.take(node)))
+            if idx is None:
+                leaves = node
+            else:
+                out[idx] = node
+                leaves = out
+            counts[start : start + nc] = (
+                self._leaf_is_second.take(leaves).reshape(nc, m).sum(axis=1)
+            )
+        return counts
+
+    def _count_votes_quantized(self, Z: np.ndarray) -> np.ndarray:
+        """Second-class vote counts via the uint8 bin-code kernel.
+
+        The batch is quantized **once** (one batched searchsorted, see
+        :meth:`QuantizedForest.encode`), then routed with the same
+        node transitions as :meth:`QuantizedForest._apply_chunk` —
+        identical leaves, identical counts — chunked and compacted with
+        the shard tuning of :meth:`_count_votes`.  Each level gathers
+        one packed int64 per live slot and one uint8 code; since the
+        rewritten codes reproduce the float comparisons exactly
+        (``code > b  <=>  v > edges[b]``), counts are bitwise equal to
+        the float64 kernel's.
+        """
+        forest = self.backend
+        packed = forest.packed
+        m, max_depth = forest.n_members, forest.max_depth
+        codes = forest.encode(Z)
+        n, n_features = codes.shape
+        chunk = max(16, _SHARD_SLOT_TARGET // m)
+        counts = np.empty(n, dtype=np.intp)
+        leaf_code = 255  # the packed layout's leaf sentinel
+        for start in range(0, n, chunk):
+            nc = min(chunk, n - start)
+            x = codes[start : start + nc].ravel()
+            rows_f, xi0, code0, goto0 = forest._setup(nc, n_features)
+            out = np.empty(nc * m, dtype=np.intp)
+            node = np.add(goto0, np.greater(x.take(xi0), code0))
+            rows = rows_f
+            idx = None
+            for level in range(1, max_depth):
+                rec = packed.take(node)
+                code = q_code_view(rec)
+                if level >= 2:
+                    alive = code != leaf_code
+                    n_alive = int(np.count_nonzero(alive))
+                    if n_alive == 0:
+                        break
+                    if (
+                        n_alive < _COMPACT_RATIO * node.size
+                        and node.size > _MIN_COMPACT
+                    ):
+                        live = np.flatnonzero(alive)
+                        if idx is None:
+                            out[:] = node
+                            idx = live
+                        else:
+                            dead = np.flatnonzero(~alive)
+                            out[idx.take(dead)] = node.take(dead)
+                            idx = idx.take(live)
+                        rows = rows.take(live)
+                        node = node.take(live)
+                        rec = rec.take(live)
+                        code = q_code_view(rec)
+                f = q_feat_view(rec)
+                xv = x.take(np.add(f, rows))
+                node = np.add(q_goto_view(rec), np.greater(xv, code), dtype=np.intp)
             if idx is None:
                 leaves = node
             else:

@@ -147,6 +147,7 @@ class ShmBlockRing:
         capacity: int,
         n_features: int,
         pred_dtype: str,
+        feat_dtype: str = "<f8",
         name: str | None = None,
         create: bool = True,
     ):
@@ -154,9 +155,15 @@ class ShmBlockRing:
         self.capacity = int(capacity)
         self.n_features = int(n_features)
         self.pred_dtype = str(pred_dtype)
+        # Feature-arena precision: "<f4" when the published model runs
+        # the float32 front (halves the dominant arena traffic).  The
+        # parent's write_block cast f8→f4 rounds exactly like the
+        # in-process front's own input cast, so worker verdicts stay
+        # identical to the single-monitor reference.
+        self.feat_dtype = str(feat_dtype)
         self._specs, nbytes = _layout(
             [
-                ("features", "<f8", (n_slots, capacity, n_features)),
+                ("features", self.feat_dtype, (n_slots, capacity, n_features)),
                 ("dev", "<i8", (n_slots, capacity)),
                 ("seqs", "<i8", (n_slots, capacity)),
                 ("predictions", pred_dtype, (n_slots, capacity)),
@@ -186,6 +193,7 @@ class ShmBlockRing:
             "capacity": self.capacity,
             "n_features": self.n_features,
             "pred_dtype": self.pred_dtype,
+            "feat_dtype": self.feat_dtype,
         }
 
     @classmethod
@@ -241,8 +249,19 @@ class ShmBlockRing:
 
 # Arrays big enough to be worth the segment; everything else (vote
 # tables are M+1 entries, the scaler front is n_features long) rides in
-# the pickled header.
-_SEGMENT_ARRAYS = ("fg", "threshold", "leaf_is_second", "front_weight")
+# the pickled header.  "kind" in the header says which set was shipped:
+#   flat      — fg / threshold (float64 or float32) / leaf_is_second
+#   quantized — packed node records + the bin-encoding tables
+_SEGMENT_ARRAYS = {
+    "flat": ("fg", "threshold", "leaf_is_second", "front_weight"),
+    "quantized": (
+        "packed",
+        "leaf_is_second",
+        "edges_sorted",
+        "edge_prefix",
+        "front_weight",
+    ),
+}
 
 
 def publish_model(published, *, generation: int = 0) -> tuple[dict, object]:
@@ -253,14 +272,16 @@ def publish_model(published, *, generation: int = 0) -> tuple[dict, object]:
     and the parent-owned segment handle (``None`` in pickle mode) to
     unlink once the publication is retired.
 
-    Fast path — the deployment case (binary ensemble, flat backend):
-    the node tensor, leaf indicator and optional fused affine front go
-    into one read-only segment; tables and scalars go into the header.
-    Anything else falls back to a pickled-HMD header (correct, just
-    not zero-copy) so the worker backend never restricts which models
-    the fleet can serve.
+    Fast path — the deployment case (binary ensemble, flat or
+    quantized backend): the node tensor (float thresholds or packed
+    bin-code records plus encoding tables), leaf indicator and
+    optional fused affine front go into one read-only segment; tables
+    and scalars go into the header.  Anything else falls back to a
+    pickled-HMD header (correct, just not zero-copy) so the worker
+    backend never restricts which models the fleet can serve.
     """
-    if published.entropy_table is None or not published._flat:
+    quantized = getattr(published, "_quantized", False)
+    if published.entropy_table is None or not (published._flat or quantized):
         return (
             {
                 "mode": "pickle",
@@ -272,11 +293,21 @@ def publish_model(published, *, generation: int = 0) -> tuple[dict, object]:
         )
 
     backend = published.backend
-    arrays = {
-        "fg": np.ascontiguousarray(backend.fg),
-        "threshold": np.ascontiguousarray(backend.threshold),
-        "leaf_is_second": np.ascontiguousarray(published._leaf_is_second),
-    }
+    if quantized:
+        kind = "quantized"
+        arrays = {
+            "packed": np.ascontiguousarray(backend.packed),
+            "leaf_is_second": np.ascontiguousarray(published._leaf_is_second),
+            "edges_sorted": np.ascontiguousarray(backend.edges_sorted),
+            "edge_prefix": np.ascontiguousarray(backend.edge_prefix),
+        }
+    else:
+        kind = "flat"
+        arrays = {
+            "fg": np.ascontiguousarray(backend.fg),
+            "threshold": np.ascontiguousarray(backend.threshold),
+            "leaf_is_second": np.ascontiguousarray(published._leaf_is_second),
+        }
     if published._affine_front is not None:
         arrays["front_weight"] = np.ascontiguousarray(
             published._affine_front[0]
@@ -292,6 +323,7 @@ def publish_model(published, *, generation: int = 0) -> tuple[dict, object]:
 
     header = {
         "mode": "tables",
+        "kind": kind,
         "generation": int(generation),
         "segment": segment.name,
         "specs": specs,
@@ -322,7 +354,7 @@ class MappedPublication:
     """A worker's live view of one published model generation."""
 
     def __init__(self, header: dict):
-        from ..ml.backend import FlatForest
+        from ..ml.backend import FlatForest, QuantizedForest
         from .sharding import PublishedHmd
 
         self.generation = int(header["generation"])
@@ -338,14 +370,28 @@ class MappedPublication:
         # The count kernel never reads leaf labels (the second-class
         # indicator is the whole reduction), so the indicator doubles
         # as the label column of the mapped forest.
-        forest = FlatForest(
-            fg=views["fg"],
-            threshold=views["threshold"],
-            leaf_label=leaf_is_second,
-            roots=header["roots"],
-            n_features=header["n_features"],
-            max_depth=header["max_depth"],
-        )
+        if header.get("kind", "flat") == "quantized":
+            forest = QuantizedForest(
+                packed=views["packed"],
+                leaf_label=leaf_is_second,
+                roots=header["roots"],
+                n_features=header["n_features"],
+                max_depth=header["max_depth"],
+                edges_sorted=views["edges_sorted"],
+                edge_prefix=views["edge_prefix"],
+            )
+        else:
+            forest = FlatForest(
+                fg=views["fg"],
+                threshold=views["threshold"],
+                leaf_label=leaf_is_second,
+                roots=header["roots"],
+                n_features=header["n_features"],
+                max_depth=header["max_depth"],
+                # A float32 publication ships float32 thresholds; the
+                # mapped forest must cast inputs the same way.
+                feature_dtype=views["threshold"].dtype,
+            )
         front_weight = views.get("front_weight")
         self.view = PublishedHmd.from_parts(
             backend=forest,

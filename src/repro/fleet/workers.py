@@ -392,6 +392,20 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
         self._reg_logs: list[list[tuple[str, str]]] = [
             [] for _ in range(self.n_shards)
         ]
+        # Feature-arena precision follows the published front: a
+        # float32-mode hmd gets "<f4" slots (half the arena traffic);
+        # write_block's f8→f4 cast rounds exactly like the in-process
+        # front's own input cast, so verdicts stay identical.  A later
+        # mode switch republishes the model but keeps the arena dtype —
+        # the worker front casts whatever arrives, so a float64/
+        # quantized republish over an f4 arena would *work* but lose
+        # precision; the facade therefore only narrows the arena when
+        # the hmd is already in float32 mode at construction.
+        feat_dtype = (
+            "<f4"
+            if np.dtype(getattr(hmd, "_front_dtype_", np.float64)) == np.float32
+            else "<f8"
+        )
         self.handles: list[_WorkerHandle] = []
         try:
             for shard_id in range(self.n_shards):
@@ -401,6 +415,7 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
                     capacity=self.batch_size,
                     n_features=int(hmd.n_features_in_),
                     pred_dtype=self._model_header["pred_dtype"],
+                    feat_dtype=feat_dtype,
                 )
                 handle.free_slots = set(range(self._n_slots))
                 self._spawn_process(handle)

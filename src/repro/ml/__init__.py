@@ -12,7 +12,9 @@ from .backend import (
     CompiledVotePath,
     CompositeBackend,
     FlatForest,
+    QuantizedForest,
     compile_flat_forest,
+    compile_quantized_forest,
 )
 from .base import BaseEstimator, ClassifierMixin, TransformerMixin, clone
 from .boosting import AdaBoostClassifier, ExtraTreesClassifier
@@ -53,7 +55,9 @@ __all__ = [
     "CompiledVotePath",
     "CompositeBackend",
     "FlatForest",
+    "QuantizedForest",
     "compile_flat_forest",
+    "compile_quantized_forest",
     "CalibratedClassifier",
     "ClassifierMixin",
     "ConvergenceError",

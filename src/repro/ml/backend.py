@@ -39,20 +39,73 @@ ensembles; ``benchmarks/test_bench_predict.py`` gates the speedup.
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 
 __all__ = [
     "BackendCompileError",
     "FlatForest",
+    "QuantizedForest",
     "CompositeBackend",
     "CompiledVotePath",
     "compile_flat_forest",
+    "compile_quantized_forest",
+    "COMPILE_MODES",
 ]
 
 _LEAF = -1
 # Rows per traversal chunk are sized so a chunk's slot count
 # (rows x members) stays cache-friendly.
 _SLOT_TARGET = 51_200
+
+# Backend compile modes: "flat" is the float64 reference kernel,
+# "float32" the same kernel over float32 features/thresholds (front
+# drift-gated, see repro.uncertainty.trust), "quantized" the uint8
+# bin-code kernel (vote-identical by construction, hist-grown only).
+COMPILE_MODES = ("flat", "float32", "quantized")
+
+# QuantizedForest node record: one int64 per node,
+#   rec = (goto << 32) | (feature << 16) | code
+# so one 8-byte gather per live slot per level replaces the float
+# kernel's fg-row (16 B) + threshold (8 B) gathers.  Every field sits
+# on its natural byte boundary — code in byte 0, feature in bytes 2-3,
+# goto in bytes 4-7 (little-endian) — so the traversal extracts fields
+# from a gathered record array as zero-copy strided *views* instead of
+# paying three shift/mask passes per level.  Leaves store the sentinel
+# code 255 (internal cut bins never exceed 254: max_bins is capped at
+# 256, and a valid cut keeps both children non-empty so the cut bin is
+# <= n_bins - 2), goto = self (the float kernel's self-loop trick) and
+# feature 0 (any in-bounds index: the gathered code is compared
+# against 255, which no uint8 value exceeds, so the slot self-loops
+# forever without clip-mode indexing).
+_Q_GOTO_SHIFT = 32
+_Q_FEAT_SHIFT = 16
+_Q_FEAT_MASK = 0xFFFF
+_Q_CODE_MASK = 0xFF
+_Q_LEAF_CODE = 255
+
+# Byte-view element offsets of (code: uint8, feature: uint16,
+# goto: int32) inside each int64 record, by host endianness.
+if sys.byteorder == "little":
+    _Q_CODE_OFF, _Q_FEAT_OFF, _Q_GOTO_OFF = 0, 1, 1
+else:  # pragma: no cover - big-endian hosts
+    _Q_CODE_OFF, _Q_FEAT_OFF, _Q_GOTO_OFF = 7, 2, 0
+
+
+def q_code_view(rec: np.ndarray) -> np.ndarray:
+    """The uint8 cut-bin codes of a contiguous int64 record array."""
+    return rec.view(np.uint8)[_Q_CODE_OFF::8]
+
+
+def q_feat_view(rec: np.ndarray) -> np.ndarray:
+    """The uint16 feature indices of a contiguous int64 record array."""
+    return rec.view(np.uint16)[_Q_FEAT_OFF::4]
+
+
+def q_goto_view(rec: np.ndarray) -> np.ndarray:
+    """The int32 goto targets of a contiguous int64 record array."""
+    return rec.view(np.int32)[_Q_GOTO_OFF::2]
 
 
 class BackendCompileError(Exception):
@@ -97,6 +150,7 @@ class FlatForest:
         roots: np.ndarray,
         n_features: int,
         max_depth: int,
+        feature_dtype=np.float64,
     ):
         self.fg = fg
         self.threshold = threshold
@@ -106,7 +160,47 @@ class FlatForest:
         self.max_depth = int(max_depth)
         self.n_members = len(roots)
         self.n_nodes = len(threshold)
+        self.feature_dtype = np.dtype(feature_dtype)
         self._setup_cache: dict[int, tuple] = {}
+
+    def cast(self, dtype) -> "FlatForest":
+        """A view of this forest comparing in another float precision.
+
+        Thresholds are rounded once to ``dtype`` and incoming features
+        are cast the same way at :meth:`encode` time, so every
+        comparison runs narrow (half the bytes per gather at float32).
+        Topology arrays are shared, not copied.  Votes can differ from
+        the float64 forest only for values within one ``dtype`` ulp of
+        a threshold — the float32 fast path gates that drift at the
+        verdict level, not here.
+        """
+        dtype = np.dtype(dtype)
+        if dtype == self.threshold.dtype:
+            return self
+        return FlatForest(
+            fg=self.fg,
+            threshold=self.threshold.astype(dtype),
+            leaf_label=self.leaf_label,
+            roots=self.roots,
+            n_features=self.n_features,
+            max_depth=self.max_depth,
+            feature_dtype=dtype,
+        )
+
+    def encode(self, X: np.ndarray) -> np.ndarray:
+        """The traversal-ready feature matrix for :meth:`apply`.
+
+        A contiguous cast to :attr:`feature_dtype` — the one place an
+        input batch is converted, so callers that replay the routing
+        kernel themselves (the sharded fleet's count kernel) encode
+        identically by construction.
+        """
+        X = np.ascontiguousarray(X, dtype=self.feature_dtype)
+        if X.shape[1] != self.n_features:
+            raise ValueError(
+                f"X has {X.shape[1]} features; backend expects {self.n_features}."
+            )
+        return X
 
     def _setup(self, nc: int, n_features: int) -> tuple:
         """Per-batch-shape constants: slot layout and the level-0 step.
@@ -133,12 +227,8 @@ class FlatForest:
 
     def apply(self, X: np.ndarray) -> np.ndarray:
         """Leaf node id per (sample, member), shape ``(n, n_members)``."""
-        X = np.ascontiguousarray(X, dtype=np.float64)
+        X = self.encode(X)
         n, n_features = X.shape
-        if n_features != self.n_features:
-            raise ValueError(
-                f"X has {n_features} features; backend expects {self.n_features}."
-            )
         m = self.n_members
         chunk = max(16, _SLOT_TARGET // m)
         leaves = np.empty(n * m, dtype=np.intp)
@@ -212,6 +302,210 @@ class FlatForest:
         """
         return self.leaf_label.take(self.apply(X).ravel()).reshape(
             X.shape[0], self.n_members
+        )
+
+
+class QuantizedForest:
+    """A hist-grown flat forest traversed entirely in uint8 bin codes.
+
+    Histogram-grown trees (:mod:`repro.ml.training`) only ever split at
+    real bin-edge values: every internal threshold is *exactly*
+    ``bin_edges[f][b]`` for the cut bin ``b`` chosen by the grower.  And
+    the bin code of a value ``v`` is ``searchsorted(edges, v,
+    side="left")`` — the count of edges strictly below ``v`` — so for
+    strictly increasing edges::
+
+        code(v) > b   <=>   v > edges[f][b]        for every real v
+
+    (``code <= b`` iff ``v <= edges[f][b]``: exactly ``b`` edges lie
+    below ``edges[f][b]`` itself, and anything larger clears at least
+    ``b + 1``).  Rewriting each node's float threshold as its cut-bin
+    code therefore routes every window to the **same leaf** as the
+    float64 kernel — votes are bitwise identical *by construction*, not
+    by tolerance.
+
+    The payoff is bandwidth: a batch is quantized **once** (one batched
+    searchsorted, see :func:`~repro.ml.training.quantize_with_tables`),
+    after which each traversal level gathers one packed ``int64`` per
+    live slot (goto | feature | code, layout at the module header) and
+    one ``uint8`` feature code — versus the float kernel's 16-byte
+    ``fg`` row, 8-byte threshold and 8-byte feature value.  The code
+    matrix for a 256-row chunk is a few KB and stays cache-resident
+    across all M members.
+
+    Two further layout choices keep the kernel ahead of the float path
+    on fleet-sized forests (node tables far larger than cache):
+
+    * **level-major numbering** — :func:`compile_quantized_forest`
+      renumbers nodes breadth-first across *all* members, so every
+      traversal level's gathers land in one contiguous block of the
+      packed array (the early levels span a few KB total) instead of
+      striding across the whole table in the growers' depth-first
+      order;
+    * **byte-aligned fields** — code/feature/goto are extracted from
+      the gathered records as zero-copy strided views
+      (:func:`q_code_view` et al.), eliminating the three shift/mask
+      passes a bit-packed layout would pay per level.
+
+    Carries the per-feature edge tables (``edges_sorted`` /
+    ``edge_prefix``) so it can encode raw float windows itself —
+    including when rebuilt around shared-memory views in a worker
+    process, where no fitted :class:`~repro.ml.training.BinMapper`
+    exists.
+    """
+
+    feature_dtype = np.dtype(np.uint8)
+
+    def __init__(
+        self,
+        packed: np.ndarray,
+        leaf_label: np.ndarray,
+        roots: np.ndarray,
+        n_features: int,
+        max_depth: int,
+        edges_sorted: np.ndarray,
+        edge_prefix: np.ndarray,
+    ):
+        self.packed = packed
+        self.leaf_label = leaf_label
+        self.roots = roots
+        self.n_features = int(n_features)
+        self.max_depth = int(max_depth)
+        self.n_members = len(roots)
+        self.n_nodes = len(packed)
+        self.edges_sorted = edges_sorted
+        self.edge_prefix = edge_prefix
+        self._setup_cache: dict[int, tuple] = {}
+
+    def _setup(self, nc: int, n_features: int) -> tuple:
+        """Per-batch-shape constants — the level-0 gather program.
+
+        Mirrors :meth:`FlatForest._setup`: root node records are batch
+        independent, so the first level's feature indices, codes and
+        goto targets are precomputed per chunk shape and cached.
+        """
+        cached = self._setup_cache.get(nc)
+        if cached is not None:
+            return cached
+        if len(self._setup_cache) > 8:
+            self._setup_cache.clear()
+        rows_f = (np.arange(nc, dtype=np.intp) * n_features).repeat(
+            self.n_members
+        )
+        rec = self.packed[self.roots]
+        root_f = (rec >> _Q_FEAT_SHIFT) & _Q_FEAT_MASK
+        xi0 = rows_f + np.tile(root_f, nc)
+        code0 = np.tile(rec & _Q_CODE_MASK, nc)
+        goto0 = np.tile(rec >> _Q_GOTO_SHIFT, nc)
+        cached = (rows_f, xi0, code0, goto0)
+        self._setup_cache[nc] = cached
+        return cached
+
+    def encode(self, X: np.ndarray) -> np.ndarray:
+        """Quantize a raw float batch to the uint8 code matrix.
+
+        One batched searchsorted over the globally sorted edges plus a
+        prefix-matrix gather — bitwise identical to
+        ``BinMapper.transform`` (which is itself pinned against the
+        per-feature reference loop).  Already-encoded uint8 input
+        passes through untouched, so fleet kernels can quantize once
+        per batch and reuse the codes across chunks.
+        """
+        X = np.asarray(X)
+        if X.dtype == np.uint8:
+            codes = np.ascontiguousarray(X)
+        else:
+            from .training import quantize_with_tables
+
+            codes = quantize_with_tables(self.edges_sorted, self.edge_prefix, X)
+        if codes.shape[1] != self.n_features:
+            raise ValueError(
+                f"X has {codes.shape[1]} features; backend expects {self.n_features}."
+            )
+        return codes
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf node id per (sample, member), shape ``(n, n_members)``."""
+        codes = self.encode(X)
+        n, n_features = codes.shape
+        m = self.n_members
+        chunk = max(16, _SLOT_TARGET // m)
+        leaves = np.empty(n * m, dtype=np.intp)
+        for start in range(0, n, chunk):
+            nc = min(chunk, n - start)
+            self._apply_chunk(
+                codes[start : start + nc],
+                leaves[start * m : (start + nc) * m],
+            )
+        return leaves.reshape(n, m)
+
+    def _apply_chunk(self, codes: np.ndarray, out: np.ndarray) -> None:
+        """Route one chunk of encoded rows; ``out`` receives leaf ids.
+
+        The same level-synchronous program as
+        :meth:`FlatForest._apply_chunk` — identical node transitions by
+        the code/threshold equivalence above — with the per-level loads
+        collapsed into one packed-record gather.  The sharded fleet's
+        quantized count kernel
+        (:meth:`repro.fleet.sharding.PublishedHmd._count_votes_quantized`)
+        replays this routing with its own chunk/compaction tuning; the
+        fuzz suite pins the bitwise equivalence.
+        """
+        nc, n_features = codes.shape
+        x_flat = codes.ravel()
+        packed = self.packed
+        rows_f, xi0, code0, goto0 = self._setup(nc, n_features)
+
+        # Level 0: precomputed gather program.  Root feature indices
+        # are always in-bounds (leaf roots store feature 0), so no
+        # clip-mode gather is needed anywhere in this kernel.
+        xv = x_flat.take(xi0)
+        node = np.add(goto0, np.greater(xv, code0))
+
+        idx = None  # None = all slots still tracked full-width
+        for level in range(1, self.max_depth):
+            rec = packed.take(node)
+            code = q_code_view(rec)
+            # Leaves self-loop on the 255 sentinel.  The liveness scan
+            # runs every level (it is one uint8 pass): ensembles carry
+            # a long sparse depth tail — a handful of slots alive for
+            # the last dozen levels — and breaking the moment the scan
+            # hits zero beats looping to max_depth on shrunken arrays.
+            if level >= 2:
+                alive = code != _Q_LEAF_CODE
+                n_alive = int(np.count_nonzero(alive))
+                if n_alive == 0:
+                    break
+                if n_alive < 0.5 * node.size and node.size > 1024:
+                    live = np.flatnonzero(alive)
+                    if idx is None:
+                        out[:] = node
+                        idx = live
+                    else:
+                        dead = np.flatnonzero(~alive)
+                        out[idx.take(dead)] = node.take(dead)
+                        idx = idx.take(live)
+                    rows_f = rows_f.take(live)
+                    node = node.take(live)
+                    rec = rec.take(live)
+                    code = q_code_view(rec)
+            f = q_feat_view(rec)
+            xv = x_flat.take(np.add(f, rows_f))
+            gb = np.greater(xv, code)
+            node = np.add(q_goto_view(rec), gb, dtype=np.intp)
+        if idx is None:
+            out[:] = node
+        else:
+            out[idx] = node
+
+    def decisions(self, X: np.ndarray) -> np.ndarray:
+        """Per-member hard votes, shape ``(n, n_members)``.
+
+        Bitwise identical to the float64 flat forest (and therefore to
+        the legacy per-member predict loop).
+        """
+        return self.leaf_label.take(self.apply(X).ravel()).reshape(
+            np.asarray(X).shape[0], self.n_members
         )
 
 
@@ -372,6 +666,103 @@ def compile_flat_forest(
     )
 
 
+def compile_quantized_forest(forest: FlatForest, mapper) -> QuantizedForest:
+    """Rewrite a float64 flat forest into uint8 bin-code space.
+
+    ``mapper`` is the fitted :class:`~repro.ml.training.BinMapper` the
+    ensemble was grown on.  Every internal threshold must be *exactly*
+    one of the mapper's edge values (the hist grower guarantees this:
+    it splits at ``edges[f][cut_bin]`` verbatim); each is rewritten to
+    its cut-bin code and the node record packed into one int64.  Any
+    threshold that is not an exact edge — an exact-grown tree, a
+    mapper/ensemble mismatch — raises :class:`BackendCompileError`:
+    the vote-identity guarantee cannot be established, so there is no
+    approximate fallback.
+
+    Nodes are renumbered **level-major** across the whole forest: all
+    members' depth-0 nodes first, then every depth-1 node, and so on,
+    with each sibling pair adjacent (preserving the ``right = left +
+    1`` convention).  The level-synchronous kernel then gathers from
+    one contiguous block per level — the first few levels of even a
+    multi-million-node forest span a few KB — instead of striding
+    across the member-by-member depth-first layout the growers emit.
+    """
+    if forest.threshold.dtype != np.float64:
+        raise BackendCompileError("only float64 forests can be quantized.")
+    bin_edges = getattr(mapper, "bin_edges_", None)
+    if bin_edges is None:
+        raise BackendCompileError("mapper has no fitted bin edges.")
+    if len(bin_edges) != forest.n_features:
+        raise BackendCompileError("mapper width does not match the forest.")
+    n_nodes = forest.n_nodes
+    if n_nodes >= (1 << 31) or forest.n_features > _Q_FEAT_MASK:
+        raise BackendCompileError("forest too large for the packed layout.")
+
+    f = forest.fg[:, 0]
+    goto = forest.fg[:, 1]
+    leaf = f < 0
+    code = np.full(n_nodes, _Q_LEAF_CODE, dtype=np.int64)
+    for feature in np.unique(f[~leaf]):
+        edges = np.asarray(bin_edges[feature], dtype=np.float64)
+        mask = f == feature
+        t = forest.threshold[mask]
+        b = np.searchsorted(edges, t, side="left")
+        # A cut bin is a valid code iff the threshold is *exactly* the
+        # edge value (side="left" lands on the first >= entry, so an
+        # off-grid threshold either overruns the edges or gathers a
+        # different value).  BinMapper caps edges at 255 per feature,
+        # keeping every cut code <= 254, below the leaf sentinel.
+        if b.size and (
+            int(b.max()) >= min(len(edges), _Q_LEAF_CODE)
+            or not np.array_equal(edges[b], t)
+        ):
+            raise BackendCompileError(
+                f"feature {int(feature)} has thresholds off the bin-edge "
+                "grid; only hist-grown ensembles quantize."
+            )
+        code[mask] = b
+    feature_packed = np.where(leaf, 0, f).astype(np.int64)
+    goto64 = goto.astype(np.int64)
+
+    # Level-major BFS renumbering: sweep one frontier per depth across
+    # every member at once; children are appended as adjacent
+    # (left, right) pairs so the right = left + 1 convention survives.
+    new_id = np.full(n_nodes, -1, dtype=np.int64)
+    frontier = np.asarray(forest.roots, dtype=np.int64)
+    next_free = 0
+    while len(frontier):
+        new_id[frontier] = np.arange(next_free, next_free + len(frontier))
+        next_free += len(frontier)
+        internal = frontier[~leaf[frontier]]
+        lefts = goto64[internal]
+        frontier = np.column_stack([lefts, lefts + 1]).ravel()
+    if next_free != n_nodes:
+        raise BackendCompileError("forest has nodes unreachable from roots.")
+    new_goto = np.where(leaf, new_id, new_id[np.clip(goto64, 0, n_nodes - 1)])
+
+    packed = np.empty(n_nodes, dtype=np.int64)
+    packed[new_id] = (
+        (new_goto << _Q_GOTO_SHIFT) | (feature_packed << _Q_FEAT_SHIFT) | code
+    )
+    leaf_label = np.empty_like(forest.leaf_label)
+    leaf_label[new_id] = forest.leaf_label
+    roots = new_id[np.asarray(forest.roots, dtype=np.int64)].astype(np.intp)
+
+    edges_sorted = getattr(mapper, "_edges_sorted_", None)
+    if edges_sorted is None:
+        mapper._build_flat_quantizer()
+        edges_sorted = mapper._edges_sorted_
+    return QuantizedForest(
+        packed=packed,
+        leaf_label=leaf_label,
+        roots=roots,
+        n_features=forest.n_features,
+        max_depth=forest.max_depth,
+        edges_sorted=edges_sorted,
+        edge_prefix=mapper._edge_prefix_,
+    )
+
+
 class CompiledVotePath:
     """Mixin growing an ensemble a compiled, cached vote path.
 
@@ -401,18 +792,66 @@ class CompiledVotePath:
         """Drop any compiled backend (called at the top of ``fit``)."""
         self.__dict__.pop("_backend_cache_", None)
 
-    def compile(self):
+    def compile(self, mode: str | None = None):
         """Build (or fetch the cached) flattened prediction backend.
 
+        ``mode`` selects the kernel (see :data:`COMPILE_MODES`):
+
+        * ``"flat"`` — the float64 reference kernel (default);
+        * ``"float32"`` — the same kernel over float32 thresholds and
+          features (pure trees only; mixed/uncompilable ensembles keep
+          their float64 behaviour);
+        * ``"quantized"`` — the uint8 bin-code kernel, available only
+          for hist-grown ensembles (raises
+          :class:`BackendCompileError` otherwise — vote identity
+          cannot be established off the bin grid).
+
+        The mode is *sticky*: ``compile()`` with no argument reuses the
+        last requested mode, so refit paths that recompile internally
+        (``partial_refit``) keep serving the caller's chosen kernel.
         Returns the backend object, or ``None`` when no member is
         compilable (the fast path then degrades to the legacy loop).
-        Refitting invalidates the cache automatically.
+        Refitting invalidates the cache automatically; backends are
+        cached per (member list, mode).
         """
+        if mode is None:
+            mode = getattr(self, "_compile_mode_", "flat")
+        elif mode not in COMPILE_MODES:
+            raise ValueError(
+                f"unknown compile mode {mode!r}; expected one of {COMPILE_MODES}."
+            )
+        self._compile_mode_ = mode
         members, features_list = self._vote_members()
         cache = getattr(self, "_backend_cache_", None)
-        if cache is not None and cache[0] is members:
-            return cache[1]
+        if cache is None or cache[0] is not members:
+            cache = (members, {})
+            self._backend_cache_ = cache
+        by_mode = cache[1]
+        if mode in by_mode:
+            return by_mode[mode]
 
+        if "flat" not in by_mode:
+            by_mode["flat"] = self._compile_flat(members, features_list)
+        base = by_mode["flat"]
+        if mode == "float32":
+            backend = (
+                base.cast(np.float32) if isinstance(base, FlatForest) else base
+            )
+        elif mode == "quantized":
+            binned = getattr(self, "_binned_", None)
+            if binned is None or not isinstance(base, FlatForest):
+                raise BackendCompileError(
+                    "quantized compile requires a pure tree ensemble grown "
+                    "with grower='hist' (no binned training buffer found)."
+                )
+            backend = compile_quantized_forest(base, binned.mapper)
+        else:
+            backend = base
+        by_mode[mode] = backend
+        return backend
+
+    def _compile_flat(self, members, features_list):
+        """The float64 backend build (flat, composite, or ``None``)."""
         backend = None
         try:
             backend = compile_flat_forest(
@@ -448,7 +887,6 @@ class CompiledVotePath:
                     )
                 except BackendCompileError:
                     backend = None
-        self._backend_cache_ = (members, backend)
         return backend
 
     def decisions(self, X) -> np.ndarray:

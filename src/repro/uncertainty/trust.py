@@ -43,21 +43,47 @@ class _FusedFrontMixin:
     transforms.  With PCA the fused result differs from the two-pass
     reference only by float associativity (≲1e-12 per feature; the
     ingest benchmark gates the drift at 1e-9).
+
+    The front also carries a *dtype* (float64 by default): in float32
+    mode the composed weights/biases are rounded once to float32 and
+    every batch is cast on entry, halving the GEMM's memory traffic.
+    Feature drift against the float64 front stays ≤1e-6 on standardized
+    features (the quant benchmark gates it); the float64 modes are
+    untouched bit for bit.
     """
 
     scaler_: StandardScaler
     pca_: PCA | None
 
-    def _build_fused_front(self) -> None:
-        """(Re)compose the cached affine front from the fitted stages."""
+    def _build_fused_front(self, dtype=None) -> None:
+        """(Re)compose the cached affine front from the fitted stages.
+
+        ``dtype=None`` keeps the front's current precision (so refits
+        never silently reset a float32 pipeline to float64); pass
+        ``np.float64``/``np.float32`` to switch.  The composition runs
+        in float64 and is rounded once at the end — the float32 front
+        is the correctly-rounded narrowing of the float64 map.
+        """
+        if dtype is None:
+            dtype = getattr(self, "_front_dtype_", np.float64)
+        dtype = np.dtype(dtype)
+        self._front_dtype_ = dtype
         if self.pca_ is None:
             self._front_weight_ = None
             self._front_bias_ = None
+            if dtype == np.float32:
+                self._scaler32_ = (
+                    self.scaler_.mean_.astype(np.float32),
+                    self.scaler_.scale_.astype(np.float32),
+                )
+            else:
+                self._scaler32_ = None
             return
+        self._scaler32_ = None
         mult, bias = self.scaler_.as_affine()
         weight, offset = self.pca_.as_affine()
-        self._front_weight_ = mult[:, None] * weight
-        self._front_bias_ = bias @ weight + offset
+        self._front_weight_ = (mult[:, None] * weight).astype(dtype, copy=False)
+        self._front_bias_ = (bias @ weight + offset).astype(dtype, copy=False)
 
     def _transform(self, X) -> np.ndarray:
         weight = getattr(self, "_front_weight_", None)
@@ -67,8 +93,20 @@ class _FusedFrontMixin:
             self._build_fused_front()
             weight = self._front_weight_
         if weight is None:
+            scaler32 = getattr(self, "_scaler32_", None)
+            if scaler32 is not None:
+                # Float32 scaler-only front: same (X - mean) / scale op
+                # order as the float64 path, run narrow.  The sharded
+                # fleet's PublishedHmd replays these exact ufuncs.
+                mean32, scale32 = scaler32
+                X = check_array(X, dtype=np.float32)
+                if X.shape[1] != self.n_features_in_:
+                    raise ValueError(
+                        f"Expected {self.n_features_in_} features, got {X.shape[1]}."
+                    )
+                return np.true_divide(np.subtract(X, mean32), scale32)
             return self.scaler_.transform(np.asarray(X, dtype=float))
-        X = check_array(np.asarray(X, dtype=float))
+        X = check_array(np.asarray(X, dtype=float), dtype=weight.dtype)
         if X.shape[1] != self.n_features_in_:
             raise ValueError(
                 f"Expected {self.n_features_in_} features, got {X.shape[1]}."
@@ -177,7 +215,25 @@ class TrustedHMD(_FusedFrontMixin, BaseEstimator):
         self._build_fused_front()
         return self
 
-    def compile(self) -> "TrustedHMD":
+    #: Inference precision modes.  "float64" is the bitwise reference;
+    #: "float32" narrows the fused front and forest comparisons (drift
+    #: gated ≤1e-6 on features); "quantized" keeps the float64 front and
+    #: traverses the forest in uint8 bin codes — votes exactly identical
+    #: by construction, hist-grown ensembles only.
+    COMPILE_MODES = ("float64", "float32", "quantized")
+
+    _BACKEND_MODE = {
+        "float64": "flat",
+        "float32": "float32",
+        "quantized": "quantized",
+    }
+
+    @property
+    def compile_mode(self) -> str:
+        """The current inference mode ("float64" until chosen otherwise)."""
+        return getattr(self, "_compile_mode_", "float64")
+
+    def compile(self, mode: str | None = None) -> "TrustedHMD":
         """Eagerly build the ensemble's flattened vote backend.
 
         The backend compiles lazily on the first analyze call anyway;
@@ -185,13 +241,49 @@ class TrustedHMD(_FusedFrontMixin, BaseEstimator):
         does not pay the one-off flattening cost.  Also (re)composes the
         fused scaler→PCA front for the same reason.  No-op for
         ensembles without a compiled path.
+
+        ``mode`` selects the precision (:attr:`COMPILE_MODES`) and is
+        *sticky*: once ``compile(mode="quantized")`` has been called,
+        subsequent no-argument compiles — including the one inside
+        :meth:`partial_refit` — rebuild the same kind of kernel, and
+        fleet monitors republish it (``PublishedHmd.is_current`` keys
+        on the mode).  ``"quantized"`` requires a hist-grown ensemble;
+        anything else raises ``ValueError``.
         """
         if not hasattr(self, "ensemble_"):
             raise ValueError("hmd must be fitted before compiling.")
+        if mode is None:
+            mode = self.compile_mode
+        elif mode not in self.COMPILE_MODES:
+            raise ValueError(
+                f"unknown compile mode {mode!r}; expected one of "
+                f"{self.COMPILE_MODES}."
+            )
+        self._compile_mode_ = mode
         compile_backend = getattr(self.ensemble_, "compile", None)
         if callable(compile_backend):
-            compile_backend()
-        self._build_fused_front()
+            from ..ml.backend import BackendCompileError
+
+            try:
+                compile_backend(mode=self._BACKEND_MODE[mode])
+            except BackendCompileError as exc:
+                raise ValueError(
+                    f"this ensemble cannot serve mode {mode!r}: {exc} "
+                    "(fit with grower='hist' for the quantized kernel)."
+                ) from exc
+            except TypeError:
+                # Ensemble predates mode-aware compile; float64 only.
+                if mode != "float64":
+                    raise
+                compile_backend()
+        elif mode != "float64":
+            raise ValueError(
+                f"the fitted ensemble has no compiled vote path; mode "
+                f"{mode!r} is unavailable."
+            )
+        self._build_fused_front(
+            np.float32 if mode == "float32" else np.float64
+        )
         return self
 
     def supports_partial_refit(self) -> bool:

@@ -1,0 +1,267 @@
+"""Equivalence suite for the low-precision inference kernels.
+
+Two contracts, two strictness levels:
+
+* the **quantized** (uint8 bin-code) kernel must reproduce the float64
+  flat kernel *bitwise* — every hist-tree threshold is exactly a bin
+  edge, so rewriting ``x > edges[b]`` as ``code > b`` cannot change a
+  single vote;
+* the **float32** kernel narrows thresholds and features with one
+  correct rounding each, so votes may flip only on rows that sit within
+  rounding distance of a threshold — the fuzz below checks agreement on
+  generic data and pins the dtype plumbing exactly.
+
+The vectorized :meth:`BinMapper.transform` is pinned bitwise against
+the per-feature reference loop, including the degenerate inputs that
+stress the sorted-global-edges construction (constant features, exact
+edge values, out-of-range probes).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    BaggingClassifier,
+    BinMapper,
+    DecisionTreeClassifier,
+    ExtraTreesClassifier,
+    QuantizedForest,
+    RandomForestClassifier,
+    compile_quantized_forest,
+)
+from repro.ml.backend import COMPILE_MODES, BackendCompileError, FlatForest
+from repro.ml.training import quantize_with_tables
+from tests.conftest import make_blobs
+
+
+def hist_forest(n_estimators=12, max_depth=None, seed=0, n_per_class=120):
+    X, y = make_blobs(n_per_class=n_per_class, seed=seed)
+    ensemble = RandomForestClassifier(
+        n_estimators=n_estimators,
+        max_depth=max_depth,
+        random_state=seed,
+        grower="hist",
+    ).fit(X, y)
+    return ensemble, X
+
+
+def assert_votes_identical(ensemble, X):
+    """Quantized, flat and legacy votes all agree bitwise."""
+    legacy = ensemble.decisions(X)
+    flat = ensemble.compile(mode="flat").decisions(X)
+    quant = ensemble.compile(mode="quantized").decisions(X)
+    np.testing.assert_array_equal(flat, legacy)
+    np.testing.assert_array_equal(quant, legacy)
+
+
+class TestVectorizedTransform:
+    """Satellite: BinMapper.transform == transform_reference, bitwise."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("max_bins", [2, 17, 256])
+    def test_random_matrices(self, seed, max_bins):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(200, 6)) * rng.gamma(1.0, size=6)
+        mapper = BinMapper(max_bins=max_bins).fit(X)
+        probe = rng.normal(scale=3.0, size=(97, 6))
+        np.testing.assert_array_equal(
+            mapper.transform(probe), mapper.transform_reference(probe)
+        )
+
+    def test_degenerate_columns(self):
+        rng = np.random.default_rng(5)
+        X = np.column_stack(
+            [
+                np.full(150, 3.25),                  # constant → no edges
+                rng.integers(0, 3, size=150),        # few distinct values
+                rng.normal(size=150),                # > max_bins distinct
+                np.repeat([-1.0, 0.0, 1.0], 50),     # exact repeated values
+            ]
+        )
+        mapper = BinMapper(max_bins=8).fit(X)
+        probe = np.vstack([X, X + 1e3, X - 1e3, np.zeros((3, 4))])
+        np.testing.assert_array_equal(
+            mapper.transform(probe), mapper.transform_reference(probe)
+        )
+
+    def test_exact_edge_values(self):
+        """Probes sitting exactly on bin edges take the left bin."""
+        X = np.random.default_rng(9).normal(size=(300, 3))
+        mapper = BinMapper(max_bins=32).fit(X)
+        edges = mapper.bin_edges_
+        probe = np.column_stack(
+            [np.resize(edges[f], 40) for f in range(3)]
+        )
+        codes = mapper.transform(probe)
+        np.testing.assert_array_equal(codes, mapper.transform_reference(probe))
+        # side="left": a value equal to edges[b] has exactly b edges
+        # strictly below it, so it lands in bin b (the left side).
+        for f in range(3):
+            expected = np.searchsorted(edges[f], probe[:, f], side="left")
+            np.testing.assert_array_equal(codes[:, f], expected)
+
+    def test_quantize_with_tables_matches_transform(self):
+        X = np.random.default_rng(2).normal(size=(120, 5))
+        mapper = BinMapper(max_bins=64).fit(X)
+        np.testing.assert_array_equal(
+            quantize_with_tables(
+                mapper._edges_sorted_, mapper._edge_prefix_, X
+            ),
+            mapper.transform(X),
+        )
+
+    def test_legacy_pickle_without_tables(self):
+        """Old pickles (no flat-quantizer tables) rebuild them lazily."""
+        X = np.random.default_rng(3).normal(size=(100, 4))
+        mapper = BinMapper(max_bins=16).fit(X)
+        reference = mapper.transform(X)
+        del mapper._edges_sorted_, mapper._edge_prefix_
+        np.testing.assert_array_equal(mapper.transform(X), reference)
+
+
+class TestQuantizedVoteIdentity:
+    """Tentpole: uint8 traversal is vote-identical by construction."""
+
+    @pytest.mark.parametrize("n_estimators", [1, 9, 40])
+    def test_random_forest(self, n_estimators):
+        ensemble, X = hist_forest(n_estimators=n_estimators, seed=11)
+        probe = np.vstack([X, np.random.default_rng(0).normal(size=(80, 6))])
+        assert_votes_identical(ensemble, probe)
+
+    def test_extra_trees(self):
+        X, y = make_blobs(n_per_class=100, seed=21)
+        ensemble = ExtraTreesClassifier(
+            n_estimators=15, random_state=1, grower="hist"
+        ).fit(X, y)
+        assert_votes_identical(ensemble, X)
+
+    def test_bagging_hist_prototype(self):
+        X, y = make_blobs(n_per_class=100, seed=22)
+        ensemble = BaggingClassifier(
+            DecisionTreeClassifier(grower="hist"),
+            n_estimators=10,
+            random_state=2,
+        ).fit(X, y)
+        assert_votes_identical(ensemble, X)
+
+    def test_stumps(self):
+        ensemble, X = hist_forest(n_estimators=20, max_depth=1, seed=13)
+        assert_votes_identical(ensemble, X)
+
+    def test_adversarial_probes_on_the_bin_grid(self):
+        """Rows placed exactly at every threshold still vote identically."""
+        ensemble, X = hist_forest(n_estimators=8, seed=17)
+        flat = ensemble.compile(mode="flat")
+        internal = np.isfinite(flat.threshold)
+        rng = np.random.default_rng(17)
+        cuts = flat.threshold[internal]
+        feats = flat.fg[internal, 0] % X.shape[1]
+        probe = X[rng.integers(len(X), size=len(cuts))].copy()
+        probe[np.arange(len(cuts)), feats] = cuts
+        assert_votes_identical(ensemble, probe)
+
+    def test_backend_structure(self):
+        ensemble, X = hist_forest(n_estimators=6, seed=3)
+        backend = ensemble.compile(mode="quantized")
+        assert isinstance(backend, QuantizedForest)
+        assert backend.feature_dtype == np.uint8
+        assert backend.n_members == 6
+        assert backend.packed.dtype == np.int64
+        # Leaves carry the sentinel code 255 and self-loop.
+        codes = backend.packed & 0xFF
+        gotos = backend.packed >> 32
+        leaves = codes == 255
+        np.testing.assert_array_equal(
+            gotos[leaves], np.nonzero(leaves)[0]
+        )
+        # encode() passes uint8 codes straight through (zero-copy path).
+        pre = backend.encode(X)
+        assert pre.dtype == np.uint8
+        assert backend.encode(pre) is not None
+        np.testing.assert_array_equal(backend.encode(pre), pre)
+
+    def test_compile_quantized_forest_direct(self):
+        ensemble, X = hist_forest(n_estimators=5, seed=4)
+        flat = ensemble.compile(mode="flat")
+        quant = compile_quantized_forest(flat, ensemble._binned_.mapper)
+        np.testing.assert_array_equal(quant.decisions(X), flat.decisions(X))
+
+    def test_quantized_survives_pickle(self):
+        ensemble, X = hist_forest(n_estimators=7, seed=5)
+        reference = ensemble.compile(mode="quantized").decisions(X)
+        clone = pickle.loads(pickle.dumps(ensemble))
+        np.testing.assert_array_equal(
+            clone.compile(mode="quantized").decisions(X), reference
+        )
+
+
+class TestCompileModes:
+    def test_mode_lattice(self):
+        assert COMPILE_MODES == ("flat", "float32", "quantized")
+
+    def test_unknown_mode_rejected(self):
+        ensemble, _ = hist_forest(n_estimators=3)
+        with pytest.raises(ValueError, match="unknown compile mode"):
+            ensemble.compile(mode="uint4")
+
+    def test_exact_grower_cannot_quantize(self):
+        X, y = make_blobs(n_per_class=80, seed=6)
+        ensemble = RandomForestClassifier(
+            n_estimators=5, random_state=0, grower="exact"
+        ).fit(X, y)
+        with pytest.raises(BackendCompileError, match="hist"):
+            ensemble.compile(mode="quantized")
+
+    def test_modes_cached_separately_and_sticky(self):
+        ensemble, X = hist_forest(n_estimators=4, seed=7)
+        flat = ensemble.compile(mode="flat")
+        quant = ensemble.compile(mode="quantized")
+        assert ensemble.compile(mode="flat") is flat
+        assert ensemble.compile(mode="quantized") is quant
+        # Sticky: a no-argument compile reuses the last requested mode.
+        assert ensemble.compile() is quant
+        # decisions_fast serves the sticky mode.
+        np.testing.assert_array_equal(
+            ensemble.decisions_fast(X), quant.decisions(X)
+        )
+
+    def test_refit_invalidates_all_modes(self):
+        ensemble, X = hist_forest(n_estimators=4, seed=8)
+        quant = ensemble.compile(mode="quantized")
+        X2, y2 = make_blobs(n_per_class=90, seed=80)
+        ensemble.fit(X2, y2)
+        rebuilt = ensemble.compile(mode="quantized")
+        assert rebuilt is not quant
+        np.testing.assert_array_equal(
+            rebuilt.decisions(X2), ensemble.decisions(X2)
+        )
+
+    def test_float32_backend_properties(self):
+        ensemble, X = hist_forest(n_estimators=10, seed=9)
+        flat = ensemble.compile(mode="flat")
+        f32 = ensemble.compile(mode="float32")
+        assert isinstance(f32, FlatForest)
+        assert f32.feature_dtype == np.float32
+        assert f32.threshold.dtype == np.float32
+        np.testing.assert_array_equal(
+            f32.threshold, flat.threshold.astype(np.float32)
+        )
+        # Structure arrays are shared, not copied.
+        assert f32.fg is flat.fg
+        assert f32.leaf_label is flat.leaf_label
+        # cast() to the same dtype is the identity.
+        assert flat.cast(np.float64) is flat
+        assert f32.cast(np.float32) is f32
+
+    def test_float32_vote_agreement_fuzz(self):
+        """On generic (off-threshold) rows, f32 votes match f64."""
+        ensemble, X = hist_forest(n_estimators=20, seed=10, n_per_class=150)
+        flat = ensemble.compile(mode="flat")
+        f32 = ensemble.compile(mode="float32")
+        probe = np.random.default_rng(10).normal(size=(400, 6))
+        v64 = flat.decisions(probe)
+        v32 = f32.decisions(probe)
+        agreement = np.mean(v64 == v32)
+        assert agreement >= 0.999, f"f32 vote agreement {agreement:.5f}"
