@@ -83,6 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--processes", type=int, default=None, metavar="K",
                         help="shard experiment only: also drain through K "
                              "worker processes and print both backends")
+    parser.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                        help="shard experiment only (requires --processes): "
+                             "replay the worker drain under a seeded "
+                             "fault-injection campaign and report degraded "
+                             "throughput, equivalence and accounting")
     parser.add_argument("--dtype", choices=("float64", "float32"),
                         default="float64",
                         help="ingest/shard experiments: inference precision "
@@ -119,6 +124,8 @@ def main(argv: list[str] | None = None) -> int:
         kwargs = {}
         if name == "shard" and args.processes is not None:
             kwargs["processes"] = args.processes
+        if name == "shard" and args.chaos is not None:
+            kwargs["chaos"] = args.chaos
         if name in ("ingest", "shard"):
             if args.dtype != "float64":
                 kwargs["dtype"] = args.dtype

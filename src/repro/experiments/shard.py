@@ -8,10 +8,15 @@ drain-throughput ratio, bitwise verdict equivalence, merged-report
 consistency, and a mid-stream checkpoint/restore round trip.  With
 ``--processes K`` the drain also runs through the multi-process
 :class:`~repro.fleet.workers.WorkerShardedFleetMonitor` backend and the
-in-process and multi-process numbers print side by side.
+in-process and multi-process numbers print side by side.  Adding
+``--chaos SEED`` replays the same traffic once more under a seeded
+fault-injection campaign (worker kills, hangs, slow drains, shm
+corruption) and reports whether the degraded drain stayed bitwise
+equivalent and lost nothing.
 
     python -m repro.experiments shard
     python -m repro.experiments shard --processes 4
+    python -m repro.experiments shard --processes 4 --chaos 7
 """
 
 from __future__ import annotations
@@ -22,12 +27,14 @@ from dataclasses import dataclass
 
 from ..fleet import (
     BackpressurePolicy,
+    FaultPlan,
     FleetMonitor,
     FleetWindowSampler,
     ShardedFleetMonitor,
     WorkerShardedFleetMonitor,
+    account_windows,
 )
-from ..fleet.engine import batch_verdict_key
+from ..fleet.engine import batch_verdict_key, batch_window_keys
 from ..fleet.report import device_report_key
 from ..hmd.apps import DVFS_KNOWN_BENIGN, DVFS_KNOWN_MALWARE, DVFS_UNKNOWN
 from ..ml.ensemble import RandomForestClassifier
@@ -64,6 +71,12 @@ class ShardResult:
     mp_verdicts_identical: bool | None = None
     mp_reports_identical: bool | None = None
     mode: str = "float64"
+    chaos_seed: int | None = None
+    chaos_wps: float | None = None
+    chaos_counts: dict | None = None
+    chaos_restarts: int | None = None
+    chaos_verdicts_identical: bool | None = None
+    chaos_windows_lost: int | None = None
 
     @property
     def speedup(self) -> float:
@@ -77,6 +90,13 @@ class ShardResult:
             return 0.0
         return self.mp_wps / self.sharded_wps
 
+    @property
+    def chaos_ratio(self) -> float:
+        """Chaos-campaign drain throughput over the fault-free mp drain."""
+        if self.chaos_wps is None or not self.mp_wps:
+            return 0.0
+        return self.chaos_wps / self.mp_wps
+
     def as_text(self) -> str:
         """Render the throughput table and the merged fleet dashboard."""
         rows = [
@@ -88,6 +108,13 @@ class ShardResult:
                 [
                     f"WorkerShardedFleetMonitor (K={self.n_processes} procs)",
                     self.mp_wps,
+                ]
+            )
+        if self.chaos_wps is not None:
+            rows.append(
+                [
+                    f"  + chaos campaign (seed {self.chaos_seed})",
+                    self.chaos_wps,
                 ]
             )
         table = format_table(["mode", "drain windows/sec"], rows)
@@ -106,6 +133,14 @@ class ShardResult:
                 f"verdicts identical: {self.mp_verdicts_identical}   "
                 f"reports identical: {self.mp_reports_identical}\n"
             )
+        if self.chaos_wps is not None:
+            text += (
+                f"chaos campaign {self.chaos_counts} "
+                f"(restarts: {self.chaos_restarts}): "
+                f"{self.chaos_ratio:.2f}x fault-free throughput   "
+                f"verdicts identical: {self.chaos_verdicts_identical}   "
+                f"windows lost: {self.chaos_windows_lost}\n"
+            )
         return (
             f"{text}"
             f"flagged={self.n_flagged}  shed={self.n_shed}\n\n"
@@ -122,6 +157,7 @@ def run_shard(
     n_shards: int = 4,
     batch_size: int = 256,
     processes: int | None = None,
+    chaos: int | None = None,
     dtype: str = "float64",
     quantized: bool = False,
 ) -> ShardResult:
@@ -130,10 +166,16 @@ def run_shard(
     With ``processes`` set, the same traffic is additionally drained
     through a :class:`WorkerShardedFleetMonitor` with that many shard
     worker processes, and the in-process vs multi-process drains print
-    side by side.  ``dtype``/``quantized`` select the inference
+    side by side.  ``chaos`` (requires ``processes``) replays the
+    worker drain under a :meth:`FaultPlan.generate` campaign derived
+    from that seed and reports degraded throughput, equivalence and
+    window accounting.  ``dtype``/``quantized`` select the inference
     precision (all monitors run the same mode, so the equivalence
     checks remain bitwise).
     """
+    if chaos is not None and processes is None:
+        raise ValueError("chaos requires processes (the faults are injected "
+                         "into the worker backend).")
     mode = resolve_mode(dtype, quantized)
     ctx = context if context is not None else ExperimentContext(config)
     cfg = ctx.config
@@ -207,6 +249,11 @@ def run_shard(
     mp_wps = None
     mp_verdicts_identical = None
     mp_reports_identical = None
+    chaos_wps = None
+    chaos_counts = None
+    chaos_restarts = None
+    chaos_verdicts_identical = None
+    chaos_windows_lost = None
     if processes is not None:
         with WorkerShardedFleetMonitor(
             hmd, n_shards=processes, batch_size=batch_size, policy=policy
@@ -220,6 +267,45 @@ def run_shard(
             ) == device_report_key(single.report())
         n_processes = processes
         mp_wps = len(arrivals) / max(mp_elapsed, 1e-9)
+
+        if chaos is not None:
+            plan = FaultPlan.generate(
+                chaos,
+                n_shards=processes,
+                crashes=3,
+                hangs=1,
+                slows=2,
+                corruptions=2,
+                horizon=max(
+                    2, len(arrivals) // (processes * batch_size)
+                ),
+                slow_seconds=0.01,
+                hang_seconds=0.03,
+            )
+            with WorkerShardedFleetMonitor(
+                hmd,
+                n_shards=processes,
+                batch_size=batch_size,
+                policy=policy,
+                checkpoint_every=4,
+                chaos=plan,
+            ) as chaos_fleet:
+                chaos_batches, chaos_elapsed = drive(chaos_fleet)
+                chaos_verdicts_identical = batch_verdict_key(
+                    chaos_batches
+                ) == batch_verdict_key(mp_batches)
+                chaos_windows_lost = len(
+                    account_windows(
+                        batch_window_keys(mp_batches),
+                        batch_window_keys(chaos_batches),
+                        chaos_fleet.quarantine.keys(),
+                    )
+                )
+                chaos_restarts = sum(
+                    r.total_restarts for r in chaos_fleet.shard_health()
+                )
+            chaos_counts = plan.counts()
+            chaos_wps = len(arrivals) / max(chaos_elapsed, 1e-9)
 
     n_windows = len(arrivals)
     return ShardResult(
@@ -242,4 +328,10 @@ def run_shard(
         mp_verdicts_identical=mp_verdicts_identical,
         mp_reports_identical=mp_reports_identical,
         mode=mode,
+        chaos_seed=chaos,
+        chaos_wps=chaos_wps,
+        chaos_counts=chaos_counts,
+        chaos_restarts=chaos_restarts,
+        chaos_verdicts_identical=chaos_verdicts_identical,
+        chaos_windows_lost=chaos_windows_lost,
     )

@@ -24,6 +24,14 @@ from .engine import (
 )
 from .queueing import BackpressurePolicy, FleetQueue, WindowBatch, WindowRequest
 from .report import DeviceReport, FleetReport, device_report_key, merge_reports
+from .resilience import (
+    FaultPlan,
+    QuarantineStore,
+    QuarantinedWindow,
+    ShardHealth,
+    ShardHealthReport,
+    account_windows,
+)
 from .retrain import FleetRetrainer, RetrainOutcome
 from .sampler import FleetWindowSampler
 from .sharding import (
@@ -41,6 +49,7 @@ __all__ = [
     "BackpressurePolicy",
     "DeviceReport",
     "DeviceState",
+    "FaultPlan",
     "FleetBatchResult",
     "FleetFlaggedSample",
     "FleetMonitor",
@@ -51,14 +60,19 @@ __all__ = [
     "FleetWindowSampler",
     "IndexedWindowBatch",
     "PublishedHmd",
+    "QuarantineStore",
+    "QuarantinedWindow",
     "RetrainOutcome",
     "RingBuffer",
+    "ShardHealth",
+    "ShardHealthReport",
     "ShardQueue",
     "ShardRouter",
     "ShardedFleetMonitor",
     "WindowBatch",
     "WindowRequest",
     "WorkerShardedFleetMonitor",
+    "account_windows",
     "batched_verdicts_equal_sequential",
     "device_report_key",
     "merge_reports",

@@ -53,6 +53,7 @@ __all__ = [
     "FleetBatchResult",
     "FleetMonitor",
     "batch_verdict_key",
+    "batch_window_keys",
     "batched_verdicts_equal_sequential",
 ]
 
@@ -107,6 +108,21 @@ def batch_verdict_key(batches) -> dict:
                 bool(batch.accepted[j]),
             )
     return keyed
+
+
+def batch_window_keys(batches) -> set:
+    """The ``(device_id, seq)`` keys a drain produced verdicts for.
+
+    The accounting half of :func:`batch_verdict_key`: chaos and
+    failover tests audit that every admitted window's key shows up
+    here, in the quarantine store, or in the shed counters — never
+    silently lost.
+    """
+    return {
+        (str(device_id), int(batch.seqs[j]))
+        for batch in batches
+        for j, device_id in enumerate(batch.device_ids)
+    }
 
 
 def batched_verdicts_equal_sequential(

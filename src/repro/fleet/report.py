@@ -52,6 +52,12 @@ class FleetReport:
     n_batches: int
     mean_entropy: float
     drift_status: str | None
+    # Degradation observability (multi-process backend): per-shard
+    # supervision rows (:class:`~repro.fleet.resilience.ShardHealthReport`)
+    # and the lifetime count of poison windows pulled into quarantine.
+    # Defaulted so single-monitor and in-process reports are unchanged.
+    shard_health: tuple = ()
+    n_quarantined: int = 0
 
     @property
     def n_devices(self) -> int:
@@ -93,6 +99,12 @@ class FleetReport:
         )
         if self.drift_status is not None:
             header += f"  drift={self.drift_status}"
+        if self.n_quarantined:
+            header += f"  quarantined={self.n_quarantined}"
+        if self.shard_health:
+            header += "\n  " + "   ".join(
+                row.as_text() for row in self.shard_health
+            )
 
         ranked = sorted(
             self.devices, key=lambda d: (-d.alert_rate, -d.recent_entropy)

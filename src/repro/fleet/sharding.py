@@ -114,14 +114,48 @@ class ShardRouter:
             raise ValueError(f"n_shards must be >= 1; got {n_shards}.")
         self.n_shards = n_shards
         self._cache: dict[str, int] = {}
+        # Failover state: shards whose hash bucket is remapped onto the
+        # surviving shards.  Empty for the lifetime of a healthy fleet,
+        # so the hot path pays one falsy check.
+        self._disabled: set[int] = set()
+        self._alive: list[int] = []
 
     def shard_of(self, device_id: str) -> int:
         """The shard owning this device (deterministic, memoised)."""
         shard = self._cache.get(device_id)
         if shard is None:
             shard = _fnv1a_32(device_id) % self.n_shards
+            if self._disabled and shard in self._disabled:
+                # Deterministic second hop: the dead shard's bucket is
+                # re-dealt over the survivors by the same device hash,
+                # so any process that knows the disabled set computes
+                # the same assignment (including unseen devices).
+                shard = self._alive[_fnv1a_32(device_id) % len(self._alive)]
             self._cache[device_id] = shard
         return shard
+
+    @property
+    def disabled(self) -> frozenset:
+        """Shards currently excluded from routing (failed over)."""
+        return frozenset(self._disabled)
+
+    def disable(self, shard_id: int) -> list[int]:
+        """Exclude a dead shard from routing; returns the survivors.
+
+        Every cached assignment is dropped so devices previously routed
+        to the dead shard (and to survivors that may re-deal if another
+        shard dies later) resolve against the new alive set.
+        """
+        if not 0 <= shard_id < self.n_shards:
+            raise ValueError(f"shard_id {shard_id} out of range.")
+        self._disabled.add(int(shard_id))
+        self._alive = [
+            s for s in range(self.n_shards) if s not in self._disabled
+        ]
+        if not self._alive:
+            raise ValueError("cannot disable the last live shard.")
+        self._cache.clear()
+        return list(self._alive)
 
     def spread(self, device_ids) -> dict[int, list[str]]:
         """Group device ids by their assigned shard."""

@@ -39,17 +39,71 @@ worker has acknowledged the new one.
 
 from __future__ import annotations
 
+import atexit
 import pickle
 import secrets
+import zlib
 from multiprocessing import shared_memory
 
 import numpy as np
 
 __all__ = [
     "ShmBlockRing",
+    "ShmIntegrityError",
+    "active_owned_segments",
     "publish_model",
     "map_publication",
 ]
+
+
+class ShmIntegrityError(RuntimeError):
+    """A slot's stored checksum does not match its contents."""
+
+
+# Names of segments this process created and has not yet unlinked.  A
+# supervisor that dies before ``close()`` (crash, SIGTERM handler, test
+# failure mid-fixture) would otherwise leak the segment into /dev/shm
+# until reboot; the atexit sweep unlinks whatever is left.  Normal
+# teardown empties the registry first, so the sweep is a no-op then.
+_OWNED: set[str] = set()
+
+
+def _register_owned(name: str) -> None:
+    _OWNED.add(name)
+
+
+def _discard_owned(name: str) -> None:
+    _OWNED.discard(name)
+
+
+def active_owned_segments() -> list[str]:
+    """Names of parent-owned segments not yet unlinked (leak probe)."""
+    return sorted(_OWNED)
+
+
+@atexit.register
+def _cleanup_owned_segments() -> None:
+    for name in list(_OWNED):
+        _OWNED.discard(name)
+        try:
+            leaked = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        except Exception:
+            continue
+        try:
+            leaked.close()
+            leaked.unlink()
+        except Exception:
+            pass
+
+
+def _crc(*arrays) -> int:
+    """crc32 over the raw bytes of one or more arrays (order matters)."""
+    value = 0
+    for array in arrays:
+        value = zlib.crc32(np.ascontiguousarray(array).tobytes(), value)
+    return value & 0xFFFFFFFF
 
 
 def _attach(name: str) -> shared_memory.SharedMemory:
@@ -92,6 +146,7 @@ def _unlink(segment: shared_memory.SharedMemory) -> None:
     except Exception:
         pass
     segment.unlink()
+    _discard_owned(segment.name)
 
 
 def _align(offset: int, itemsize: int) -> int:
@@ -169,6 +224,13 @@ class ShmBlockRing:
                 ("predictions", pred_dtype, (n_slots, capacity)),
                 ("entropy", "<f8", (n_slots, capacity)),
                 ("accepted", "|u1", (n_slots, capacity)),
+                # Per-slot integrity checksums: the request columns'
+                # crc (parent writes, worker verifies) and the result
+                # columns' crc (worker writes, parent verifies).  A
+                # corrupted frame is detected before it can poison
+                # device state on either side of the boundary.
+                ("req_crc", "<u4", (n_slots,)),
+                ("res_crc", "<u4", (n_slots,)),
             ]
         )
         self.owner = bool(create)
@@ -176,6 +238,7 @@ class ShmBlockRing:
             self._shm = shared_memory.SharedMemory(
                 create=True, size=nbytes, name=name
             )
+            _register_owned(self._shm.name)
         else:
             self._shm = _attach(name)
         self._views = _map_views(self._shm.buf, self._specs)
@@ -206,27 +269,66 @@ class ShmBlockRing:
         return {key: view[index] for key, view in self._views.items()}
 
     def write_block(self, index: int, features, dev, seqs) -> int:
-        """Copy one batch into a slot (parent side); returns row count."""
+        """Copy one batch into a slot (parent side); returns row count.
+
+        The request checksum is computed over the slot's *stored* bytes
+        (post any feature-dtype cast), so the worker's re-computation
+        over the same bytes matches exactly.
+        """
         n = len(seqs)
         slot = self.slot(index)
         slot["features"][:n] = features
         slot["dev"][:n] = dev
         slot["seqs"][:n] = seqs
+        self._views["req_crc"][index] = _crc(
+            slot["features"][:n], slot["dev"][:n], slot["seqs"][:n]
+        )
         return n
+
+    def verify_block(self, index: int, n: int) -> bool:
+        """Recompute a slot's request checksum (worker side)."""
+        slot = self.slot(index)
+        return int(self._views["req_crc"][index]) == _crc(
+            slot["features"][:n], slot["dev"][:n], slot["seqs"][:n]
+        )
+
+    def seal_results(self, index: int, n: int) -> None:
+        """Stamp a slot's result checksum after writing verdicts."""
+        slot = self.slot(index)
+        self._views["res_crc"][index] = _crc(
+            slot["predictions"][:n], slot["entropy"][:n], slot["accepted"][:n]
+        )
 
     def read_results(self, index: int, n: int):
         """Copy one slot's verdict columns out (parent side).
 
         Copies, not views: the slot returns to the free pool as soon as
         the result is consumed, and the next block must not race the
-        caller's arrays.
+        caller's arrays.  Raises :class:`ShmIntegrityError` when the
+        stored result checksum does not match — the caller treats that
+        exactly like a worker death (restart + replay recomputes).
         """
         slot = self.slot(index)
+        if int(self._views["res_crc"][index]) != _crc(
+            slot["predictions"][:n], slot["entropy"][:n], slot["accepted"][:n]
+        ):
+            raise ShmIntegrityError(
+                f"slot {index} result columns failed their checksum."
+            )
         return (
             slot["predictions"][:n].copy(),
             slot["entropy"][:n].copy(),
             slot["accepted"][:n].astype(bool),
         )
+
+    def corrupt_slot(self, index: int) -> None:
+        """Flip bits in a slot's feature bytes (chaos/testing hook).
+
+        Leaves the stored request checksum untouched, so the next
+        :meth:`verify_block` on the slot must fail.
+        """
+        raw = self._views["features"][index].reshape(-1).view(np.uint8)
+        raw[: min(8, len(raw))] ^= 0xFF
 
     def close(self) -> None:
         """Drop the mapping (and the segment itself when owner)."""
@@ -317,6 +419,7 @@ def publish_model(published, *, generation: int = 0) -> tuple[dict, object]:
     segment = shared_memory.SharedMemory(
         create=True, size=nbytes, name=f"repro-hmd-{secrets.token_hex(4)}"
     )
+    _register_owned(segment.name)
     views = _map_views(segment.buf, specs)
     for key, value in arrays.items():
         views[key][...] = value

@@ -43,8 +43,26 @@ possible; verdict determinism makes replayed results identical, and
 results for epochs the parent already merged are recognised by their
 epoch and dropped.  Kill a worker mid-stream and the merged verdict
 stream is indistinguishable from an uninterrupted run (the crash-
-recovery test asserts exactly this).  ``max_restarts`` consecutive
-failures raise instead of looping.
+recovery test asserts exactly this).
+
+Degradation beyond restart (see :mod:`repro.fleet.resilience`): every
+shard carries a health state machine (healthy → degraded → dead).
+Restarts back off exponentially (``restart_backoff``); after
+``max_restarts`` consecutive failures the circuit breaker opens and the
+shard **fails over** — its device states, sequence counters, shed
+history and queued backlog migrate to the surviving shards (the router
+re-deals the dead hash bucket deterministically), the lost in-flight
+verdicts are recomputed in-process from the same published kernel, and
+survivors adopt the moved device states over a checkpoint-pinned
+control message.  Nothing is shed by failure; with a single shard the
+breaker still raises (there is nowhere to fail over to).  Block frames
+carry integrity checksums both ways (:class:`~repro.fleet.shm
+.ShmBlockRing`), and a block that faults its worker twice is bisected
+with verdict-only probes: offending rows are quarantined into a
+bounded forensic side-queue, the rest are replayed under the original
+epoch — exactly-once either way.  A seeded
+:class:`~repro.fleet.resilience.FaultPlan` (``chaos=``) exercises all
+of this deterministically.
 
 Republish-on-retrain reuses the same checkpoint barrier: after a warm
 retrain the parent checkpoints every worker (so no replay can cross
@@ -60,7 +78,7 @@ import multiprocessing as mp
 import time
 import traceback
 from collections import deque
-from dataclasses import asdict
+from dataclasses import asdict, replace
 
 import numpy as np
 
@@ -68,6 +86,14 @@ from ..uncertainty.online import ForensicQueue, MonitorStats
 from .engine import FleetBatchResult, FleetMonitor
 from .queueing import BackpressurePolicy
 from .report import merge_reports, rebind_queue_counters
+from .resilience import (
+    FaultInjector,
+    FaultPlan,
+    QuarantineStore,
+    QuarantinedWindow,
+    ShardHealth,
+    ShardHealthReport,
+)
 from .sharding import (
     SNAPSHOT_SCHEMA,
     FleetShard,
@@ -76,7 +102,13 @@ from .sharding import (
     ShardQueue,
     ShardedFleetMonitor,
 )
-from .shm import ShmBlockRing, _unlink, map_publication, publish_model
+from .shm import (
+    ShmBlockRing,
+    ShmIntegrityError,
+    _unlink,
+    map_publication,
+    publish_model,
+)
 from .state import DeviceState
 
 __all__ = ["WorkerShardedFleetMonitor", "worker_main"]
@@ -97,6 +129,15 @@ class _SharedModelStub:
 
 class _WorkerDied(Exception):
     """A worker link failed (process death, pipe EOF, deadline, error)."""
+
+
+# Ceiling on the exponential restart back-off, so a long fault storm
+# degrades throughput smoothly instead of stalling the drain for minutes.
+_BACKOFF_CAP = 2.0
+
+# A block that is re-delivered this many times over integrity failures
+# points at a parent-side arena problem, not transient corruption.
+_MAX_RESHIPS = 3
 
 
 # ---------------------------------------------------------------------------
@@ -164,7 +205,25 @@ def _run_block(ring: ShmBlockRing, publication, shard: FleetShard, msg) -> int:
     views["predictions"][:n] = predictions
     views["entropy"][:n] = entropy
     views["accepted"][:n] = accepted
+    ring.seal_results(slot, n)
     return epoch
+
+
+def _run_probe(ring: ShmBlockRing, publication, msg) -> None:
+    """Verdict probe rows in place — no scatter, no epoch, no state.
+
+    Probes are how the parent bisects a block that keeps faulting its
+    worker: the verdict pass runs (so content-triggered faults fire)
+    but device state is untouched, so a probe is repeatable and its
+    crash attributes the fault to the probed rows alone.
+    """
+    _, slot, n, _token = msg
+    views = ring.slot(slot)
+    predictions, entropy, accepted = publication.verdict(views["features"][:n])
+    views["predictions"][:n] = predictions
+    views["entropy"][:n] = entropy
+    views["accepted"][:n] = accepted
+    ring.seal_results(slot, n)
 
 
 def worker_main(shard_id: int, conn, init: dict) -> None:
@@ -174,6 +233,12 @@ def worker_main(shard_id: int, conn, init: dict) -> None:
     header, the monitor configuration, and — when this process replaces
     a dead predecessor — the checkpoint to restore from.  The loop is a
     plain message dispatcher; all heavy data rides in shared memory.
+
+    Blocks are processed in strict epoch order: a block that arrives
+    early (because a failed-integrity predecessor is being re-shipped,
+    or a quarantine bisection is holding one epoch open) is stashed
+    until its turn, so scatter order — and therefore device state —
+    never depends on fault timing.
     """
     ring = ShmBlockRing.attach(init["ring"])
     publication = map_publication(init["model"])
@@ -203,6 +268,44 @@ def worker_main(shard_id: int, conn, init: dict) -> None:
     shard = FleetShard(shard_id, monitor, stage_flagged=False)
     checkpoint_every = int(init["checkpoint_every"])
     since_checkpoint = 0
+    plan = init.get("chaos")
+    injector = (
+        FaultInjector(plan, shard_id, init.get("life", 0))
+        if plan is not None
+        else None
+    )
+    expected = epoch_done + 1
+    stash: dict[int, tuple] = {}
+
+    def process_block(msg) -> bool:
+        """Handle one in-order block; False = integrity failure reported."""
+        nonlocal regs_applied, epoch_done, since_checkpoint
+        if injector is not None:
+            injector.on_block()
+        regs_applied = _apply_regs(monitor, regs_applied, msg[6], msg[7])
+        _apply_names(monitor, queue, msg[4], msg[5])
+        slot, n = msg[1], msg[3]
+        if not ring.verify_block(slot, n):
+            # A corrupted frame must never reach scatter: report it and
+            # hold this epoch open — the parent re-ships into the same
+            # slot and later epochs wait in the stash meanwhile.
+            conn.send(("badblock", slot, msg[2]))
+            return False
+        if injector is not None:
+            views = ring.slot(slot)
+            injector.check_poison(
+                queue._names, views["dev"][:n], views["seqs"][:n]
+            )
+            del views
+        epoch_done = _run_block(ring, publication, shard, msg)
+        conn.send(("result", slot, epoch_done))
+        since_checkpoint += 1
+        if since_checkpoint >= checkpoint_every:
+            conn.send(
+                ("ckpt", _worker_checkpoint(monitor, queue, epoch_done, regs_applied))
+            )
+            since_checkpoint = 0
+        return True
 
     try:
         while True:
@@ -211,17 +314,48 @@ def worker_main(shard_id: int, conn, init: dict) -> None:
             except EOFError:
                 break
             kind = msg[0]
-            if kind == "block":
-                regs_applied = _apply_regs(monitor, regs_applied, msg[6], msg[7])
-                _apply_names(monitor, queue, msg[4], msg[5])
-                epoch_done = _run_block(ring, publication, shard, msg)
-                conn.send(("result", msg[1], epoch_done))
-                since_checkpoint += 1
-                if since_checkpoint >= checkpoint_every:
-                    conn.send(
-                        ("ckpt", _worker_checkpoint(monitor, queue, epoch_done, regs_applied))
+            if kind in ("block", "skipblock"):
+                epoch = msg[2] if kind == "block" else msg[1]
+                if epoch != expected:
+                    if epoch > expected:
+                        stash[epoch] = msg
+                    continue
+                while msg is not None:
+                    if msg[0] == "skipblock":
+                        # Every row of this epoch was quarantined; the
+                        # parent holds its (empty) result locally.
+                        epoch_done = expected
+                        advanced = True
+                    else:
+                        advanced = process_block(msg)
+                    if not advanced:
+                        break
+                    expected += 1
+                    msg = stash.pop(expected, None)
+            elif kind == "probe":
+                if injector is not None:
+                    views = ring.slot(msg[1])
+                    injector.check_poison(
+                        queue._names, views["dev"][: msg[2]], views["seqs"][: msg[2]]
                     )
-                    since_checkpoint = 0
+                    del views
+                _run_probe(ring, publication, msg)
+                conn.send(("probed", msg[1], msg[3]))
+            elif kind == "adopt":
+                # Failover hand-off from a dead sibling shard.  Apply
+                # only devices the restored checkpoint does not already
+                # carry, so a replayed adopt never regresses state.
+                for snap, seq in msg[1]:
+                    device_id = snap["device_id"]
+                    if device_id not in monitor.devices:
+                        adopted = DeviceState.restore(snap)
+                        monitor.devices[device_id] = adopted
+                        monitor._seq[device_id] = int(seq)
+                        monitor.stats.merge(adopted.stats)
+            elif kind == "names":
+                # Registry span of a block excluded from replay: dense
+                # indices are positional, so the span still has to land.
+                _apply_names(monitor, queue, msg[1], msg[2])
             elif kind == "regs":
                 regs_applied = _apply_regs(monitor, regs_applied, msg[1], msg[2])
             elif kind == "checkpoint":
@@ -262,7 +396,17 @@ def worker_main(shard_id: int, conn, init: dict) -> None:
 class _Retained:
     """One shipped block held until a worker checkpoint covers it."""
 
-    __slots__ = ("batch", "n", "slot", "names_span", "regs_span", "consumed")
+    __slots__ = (
+        "batch",
+        "n",
+        "slot",
+        "names_span",
+        "regs_span",
+        "consumed",
+        "poisoned",
+        "skipped",
+        "reships",
+    )
 
     def __init__(self, *, batch, n, slot, names_span, regs_span):
         self.batch = batch
@@ -271,6 +415,9 @@ class _Retained:
         self.names_span = names_span
         self.regs_span = regs_span
         self.consumed = False
+        self.poisoned = False       # faulted twice; bisect before reshipping
+        self.skipped = False        # fully quarantined; replay as a gap marker
+        self.reships = 0            # integrity-failure re-deliveries
 
 
 class _WorkerHandle:
@@ -290,6 +437,14 @@ class _WorkerHandle:
         "regs_sent",
         "last_ckpt",
         "restarts",
+        "health",
+        "total_restarts",
+        "spawns",
+        "last_seen",
+        "fault_counts",
+        "ready",
+        "local_results",
+        "adopts",
     )
 
     def __init__(self, shard_id: int):
@@ -306,6 +461,16 @@ class _WorkerHandle:
         self.regs_sent = 0          # reg-log entries shipped
         self.last_ckpt: dict | None = None
         self.restarts = 0           # consecutive failures (reset on progress)
+        self.health = ShardHealth.HEALTHY
+        self.total_restarts = 0     # lifetime restarts (observability)
+        self.spawns = 0             # worker incarnations (fault-plan key)
+        self.last_seen = time.monotonic()
+        self.fault_counts: dict[int, int] = {}  # epoch -> worker faults
+        self.ready: dict[int, int] = {}  # early results: epoch -> slot
+        # Verdicts resolved parent-side (failover recompute, fully
+        # quarantined blocks): epoch -> (batch, pred, entropy, accepted).
+        self.local_results: dict[int, tuple] = {}
+        self.adopts: list[tuple] = []  # failover adoptions not yet checkpointed
 
 
 class WorkerShardedFleetMonitor(ShardedFleetMonitor):
@@ -336,7 +501,19 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
         Seconds a worker may go silent before it is declared hung and
         restarted from checkpoint.
     max_restarts:
-        Consecutive failed restarts of one shard before giving up.
+        Consecutive failed restarts of one shard before the circuit
+        breaker opens.  With surviving shards the broken shard fails
+        over (devices, backlog and pending verdicts move — nothing is
+        shed); with a single shard it raises.
+    restart_backoff:
+        Base seconds of the bounded exponential back-off between
+        consecutive restarts of one shard (0 disables; capped at 2s).
+    chaos:
+        Optional :class:`~repro.fleet.resilience.FaultPlan` injecting a
+        deterministic fault campaign (tests/benchmarks only; ``None``
+        costs nothing).
+    quarantine_maxlen:
+        Bound of the poison-window quarantine store.
 
     Call :meth:`close` (or use as a context manager) to stop workers
     and unlink the shared segments.
@@ -358,6 +535,9 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
         pipeline_depth: int = 2,
         worker_timeout: float = 30.0,
         max_restarts: int = 3,
+        restart_backoff: float = 0.0,
+        chaos: FaultPlan | None = None,
+        quarantine_maxlen: int = 256,
     ):
         super().__init__(
             hmd,
@@ -378,6 +558,10 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
         self.pipeline_depth = int(pipeline_depth)
         self.worker_timeout = float(worker_timeout)
         self.max_restarts = int(max_restarts)
+        self.restart_backoff = float(restart_backoff)
+        self._chaos = chaos
+        self._quarantine = QuarantineStore(maxlen=int(quarantine_maxlen))
+        self._probe_token = 0
         # Slot budget: worst-case replay (a full checkpoint interval of
         # retained blocks plus in-flight rounds) must fit the ring with
         # margin, so a restart never waits on slot reclamation.
@@ -436,7 +620,10 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
             "batch_size": self.batch_size,
             "entropy_window": self.entropy_window,
             "checkpoint_every": self.checkpoint_every,
+            "chaos": self._chaos,
+            "life": handle.spawns,
         }
+        handle.spawns += 1
         proc = self._ctx.Process(
             target=worker_main,
             args=(handle.shard_id, child_conn, init),
@@ -449,6 +636,7 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
         child_conn.close()
         handle.proc = proc
         handle.conn = parent_conn
+        handle.last_seen = time.monotonic()
 
     def _kill_process(self, handle: _WorkerHandle) -> None:
         """Tear down a worker process and its pipe, escalating politely."""
@@ -515,37 +703,91 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
 
     # -- supervision ---------------------------------------------------
 
-    def _restart(self, handle: _WorkerHandle, *, reason: str = "") -> None:
+    def _restart(
+        self, handle: _WorkerHandle, *, reason: str = "", count: bool = True
+    ) -> None:
         """Replace a failed worker: restore from checkpoint, replay.
 
         Every retained block newer than the checkpoint is re-shipped in
         epoch order — the consumed ones rebuild the worker's device
         state (their duplicate results are dropped by epoch), the
         unconsumed ones are the lost in-flight work whose results the
-        caller is still waiting for.
+        caller is still waiting for.  Blocks marked poisoned (two
+        faults) or skipped (fully quarantined) are excluded from the
+        replay; their registry spans still ship so dense indices stay
+        aligned, and a skip marker keeps the worker's epoch cursor
+        moving.
+
+        ``count=False`` (bisection probes) skips the consecutive-failure
+        breaker, the back-off and the fault attribution — probe crashes
+        are *expected* while isolating a poison row.
         """
-        handle.restarts += 1
-        if handle.restarts > self.max_restarts:
-            raise RuntimeError(
-                f"shard {handle.shard_id} worker failed {handle.restarts} "
-                f"consecutive times; giving up. Last failure: {reason}"
+        handle.total_restarts += 1
+        if count:
+            handle.restarts += 1
+            if handle.restarts > self.max_restarts:
+                self._failover(handle, reason=reason)
+                return
+            # Which block was the worker on?  Results arrive in epoch
+            # order, so the oldest in-flight epoch without one is the
+            # suspect; two strikes and it goes to bisection.
+            suspect = next(
+                (
+                    e
+                    for e in handle.inflight
+                    if e not in handle.ready
+                    and e in handle.retained
+                    and not handle.retained[e].consumed
+                    and not handle.retained[e].poisoned
+                ),
+                None,
             )
+            if suspect is not None:
+                faults = handle.fault_counts.get(suspect, 0) + 1
+                handle.fault_counts[suspect] = faults
+                if faults >= 2:
+                    handle.retained[suspect].poisoned = True
+            if self.restart_backoff > 0.0:
+                time.sleep(
+                    min(
+                        self.restart_backoff * 2 ** (handle.restarts - 1),
+                        _BACKOFF_CAP,
+                    )
+                )
+        if handle.health is not ShardHealth.DEAD:
+            handle.health = ShardHealth.DEGRADED
         self._kill_process(handle)
         handle.free_slots = set(range(self._n_slots))
+        handle.ready.clear()
         for record in handle.retained.values():
             record.slot = None
         self._spawn_process(handle)
         queue = self.shards[handle.shard_id].queue
         log = self._reg_logs[handle.shard_id]
         try:
-            # Registrations since the checkpoint that are not attached
-            # to any retained block (flushed standalone) would otherwise
-            # be lost; overlap with block spans dedupes worker-side.
+            # Adoptions not yet pinned by a checkpoint first (the
+            # worker applies them only when the restored checkpoint
+            # does not already carry the device), then registrations
+            # since the checkpoint that are not attached to any
+            # retained block (flushed standalone) — overlap with block
+            # spans dedupes worker-side.
+            if handle.adopts:
+                handle.conn.send(("adopt", list(handle.adopts)))
             regs_from = int(handle.last_ckpt["regs_applied"]) if handle.last_ckpt else 0
             if regs_from < handle.regs_sent:
                 handle.conn.send(("regs", regs_from, log[regs_from : handle.regs_sent]))
             for epoch in sorted(handle.retained):
                 record = handle.retained[epoch]
+                ns, ne = record.names_span
+                rs, re_ = record.regs_span
+                if record.poisoned or record.skipped:
+                    if rs < re_:
+                        handle.conn.send(("regs", rs, list(log[rs:re_])))
+                    if ns < ne:
+                        handle.conn.send(("names", ns, list(queue._names[ns:ne])))
+                    if record.skipped:
+                        handle.conn.send(("skipblock", epoch))
+                    continue
                 slot = handle.free_slots.pop()
                 handle.ring.write_block(
                     slot,
@@ -553,8 +795,6 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
                     record.batch.device_index,
                     record.batch.seqs,
                 )
-                ns, ne = record.names_span
-                rs, re_ = record.regs_span
                 handle.conn.send(
                     (
                         "block",
@@ -569,7 +809,165 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
                 )
                 record.slot = slot
         except (BrokenPipeError, OSError) as error:
-            self._restart(handle, reason=f"replay failed: {error}")
+            self._restart(handle, reason=f"replay failed: {error}", count=count)
+
+    def _failover(self, handle: _WorkerHandle, *, reason: str) -> None:
+        """Retire a shard whose circuit breaker opened; move everything.
+
+        With no survivors this raises (single-shard fleets keep the old
+        fail-fast behaviour).  Otherwise:
+
+        1. The dead worker's device table is rebuilt *in-process* from
+           its last checkpoint plus the retained-block replay — the
+           same restore-and-replay a restart performs, run against the
+           same published verdict kernel, so the rebuilt states are
+           bitwise what the worker held.  Verdicts for epochs the
+           parent had not consumed yet are kept as local results, so
+           the in-flight rounds complete without the worker.
+        2. The router permanently re-deals the dead hash bucket over
+           the survivors, and every device migrates rebalance-style:
+           state, sequence counter, shed history and queued backlog
+           move — nothing is shed, nothing is lost.
+        3. Each survivor adopts its share over a control message that
+           is replay-safe (re-sent on restart until a checkpoint pins
+           it; the worker applies only devices its checkpoint does not
+           already carry).
+
+        The dead shard's parent mirror is zeroed — its contributions
+        now live in the survivors' mirrors — and its arena segment is
+        unlinked.
+        """
+        survivors = [
+            h
+            for h in self.handles
+            if h is not handle and h.health is not ShardHealth.DEAD
+        ]
+        if not survivors:
+            raise RuntimeError(
+                f"shard {handle.shard_id} worker failed {handle.restarts} "
+                f"consecutive times; giving up. Last failure: {reason}"
+            )
+        self._kill_process(handle)
+        handle.health = ShardHealth.DEAD
+        shard = self.shards[handle.shard_id]
+        mirror = shard.monitor
+        queue = shard.queue
+        log = self._reg_logs[handle.shard_id]
+
+        # 1. Restore-and-replay in-process: exactly what a replacement
+        # worker would compute, minus the process.
+        stub = _SharedModelStub()
+        ckpt = handle.last_ckpt
+        if ckpt is not None:
+            replay = FleetMonitor.restore(stub, ckpt["monitor"], queue_cls=ShardQueue)
+            replay_queue = replay.queue
+            for name in ckpt["names"]:
+                replay_queue.register_device(name)
+            regs_applied = int(ckpt["regs_applied"])
+        else:
+            replay_queue = ShardQueue()
+            replay = FleetMonitor(
+                stub,
+                batch_size=self.batch_size,
+                entropy_window=self.entropy_window,
+                queue=replay_queue,
+            )
+            regs_applied = 0
+        for snap, seq in handle.adopts:
+            if snap["device_id"] not in replay.devices:
+                replay.devices[snap["device_id"]] = DeviceState.restore(snap)
+                replay._seq[snap["device_id"]] = int(seq)
+        regs_applied = _apply_regs(
+            replay, regs_applied, regs_applied, log[regs_applied : handle.regs_sent]
+        )
+        replay_shard = FleetShard(handle.shard_id, replay, stage_flagged=False)
+        for epoch in sorted(handle.retained):
+            record = handle.retained[epoch]
+            ns, ne = record.names_span
+            rs, re_ = record.regs_span
+            regs_applied = _apply_regs(replay, regs_applied, rs, log[rs:re_])
+            _apply_names(replay, replay_queue, ns, list(queue._names[ns:ne]))
+            if record.skipped:
+                continue
+            batch = record.batch
+            predictions, entropy, accepted = self.published.verdict(batch.features)
+            replay_shard.scatter(
+                IndexedWindowBatch(
+                    device_ids=None,
+                    seqs=batch.seqs,
+                    features=batch.features,
+                    device_index=batch.device_index,
+                ),
+                predictions,
+                entropy,
+                accepted,
+            )
+            if not record.consumed:
+                # The in-flight verdicts the caller is still awaiting;
+                # their stats ride inside the migrated device states,
+                # so the consume-time merge skips the stats mirror.
+                handle.local_results[epoch] = (
+                    batch,
+                    predictions,
+                    entropy,
+                    np.asarray(accepted, dtype=bool),
+                )
+
+        # 2. Re-route and migrate (rebalance semantics: moved, never
+        # shed).  The mirror's registry is authoritative for *which*
+        # devices exist; the replay monitor for their verdict state.
+        self.router.disable(handle.shard_id)
+        moves: dict[int, list[tuple]] = {}
+        for device_id in list(mirror.devices):
+            state = replay.devices.get(device_id, mirror.devices[device_id])
+            seq = int(mirror._seq.get(device_id, 0))
+            snap = state.snapshot()
+            target_id = self.router.shard_of(device_id)
+            target = self.shards[target_id].monitor
+            adopted = DeviceState.restore(snap)
+            target.devices[device_id] = adopted
+            target._seq[device_id] = seq
+            target.stats.merge(adopted.stats)
+            shed = queue.shed_by_device.pop(device_id, 0)
+            if shed:
+                target.queue.shed_by_device[device_id] = (
+                    target.queue.shed_by_device.get(device_id, 0) + shed
+                )
+            features, seqs = queue.extract_device(device_id)
+            if len(seqs):
+                index = target.queue.register_device(device_id)
+                target.queue._admit_rows(
+                    np.full(len(seqs), index, dtype=np.int64), features, seqs
+                )
+            moves.setdefault(target_id, []).append((snap, seq))
+
+        # 3. Survivors adopt their share.  Recorded before sending so a
+        # send failure replays the adoption on restart.
+        for target_id, payload in moves.items():
+            thandle = self.handles[target_id]
+            thandle.adopts.extend(payload)
+            try:
+                thandle.conn.send(("adopt", payload))
+            except (BrokenPipeError, OSError) as error:
+                self._restart(thandle, reason=str(error))
+
+        # Zero the dead mirror: every contribution now lives in the
+        # survivors (the replayed step counter keeps advancing through
+        # the pending local results, so leave it be).
+        mirror.devices = {}
+        mirror._seq = {}
+        mirror.stats = MonitorStats()
+        handle.retained.clear()
+        handle.ready.clear()
+        handle.fault_counts.clear()
+        handle.last_ckpt = None
+        handle.free_slots = set(range(self._n_slots))
+        if handle.ring is not None:
+            handle.ring.close()
+            handle.ring = None
+        # Pin the adoptions: once a survivor checkpoint carries the
+        # moved devices, the adopt payloads can be dropped from replay.
+        self._sync_checkpoints()
 
     def _handle_side(self, handle: _WorkerHandle, msg: tuple) -> None:
         """Absorb a message that is not the one currently awaited."""
@@ -580,11 +978,16 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
                 # A replayed block's duplicate verdict: determinism
                 # makes it identical to what was already merged.
                 handle.free_slots.add(slot)
-                return
-            raise RuntimeError(
-                f"shard {handle.shard_id} sent result for epoch {epoch} "
-                "out of order."
-            )
+            else:
+                # Early arrival: an integrity re-ship or a mid-drain
+                # checkpoint barrier can legitimately complete epochs
+                # ahead of the one being awaited.  Hold the slot until
+                # its turn comes around.
+                handle.ready[epoch] = slot
+            return
+        if kind == "badblock":
+            self._reship(handle, msg[1], msg[2])
+            return
         if kind == "ckpt":
             self._absorb_checkpoint(handle, msg[1])
             return
@@ -593,6 +996,45 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
                 f"worker {handle.shard_id} raised:\n{msg[1]}"
             )
         # Late pong/report/republished from a superseded request: drop.
+
+    def _reship(self, handle: _WorkerHandle, slot: int, epoch: int) -> None:
+        """Re-deliver a block whose frame failed the worker's checksum.
+
+        The worker holds the epoch open, so re-writing the same slot
+        and re-sending the same message is exactly-once by
+        construction.  Corruption that survives ``_MAX_RESHIPS`` clean
+        re-writes is not transient — treat the link as dead so the
+        supervisor takes over.
+        """
+        record = handle.retained.get(epoch)
+        if record is None or record.consumed or record.skipped:
+            handle.free_slots.add(slot)
+            return
+        record.reships += 1
+        if record.reships > _MAX_RESHIPS:
+            raise _WorkerDied(
+                f"shard {handle.shard_id} block {epoch} failed integrity "
+                f"checks {record.reships} times."
+            )
+        handle.ring.write_block(
+            slot, record.batch.features, record.batch.device_index, record.batch.seqs
+        )
+        ns, ne = record.names_span
+        rs, re_ = record.regs_span
+        queue = self.shards[handle.shard_id].queue
+        log = self._reg_logs[handle.shard_id]
+        handle.conn.send(
+            (
+                "block",
+                slot,
+                epoch,
+                record.n,
+                ns,
+                list(queue._names[ns:ne]),
+                rs,
+                list(log[rs:re_]),
+            )
+        )
 
     def _absorb_checkpoint(self, handle: _WorkerHandle, state: dict) -> None:
         """Install a newer checkpoint and release the blocks it covers."""
@@ -606,6 +1048,15 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
             if e <= covered and record.consumed
         ]:
             del handle.retained[epoch]
+        if handle.adopts:
+            # Adoptions the checkpoint now carries no longer need the
+            # replay-time re-send.
+            carried = {d["device_id"] for d in state["monitor"]["devices"]}
+            handle.adopts = [
+                (snap, seq)
+                for snap, seq in handle.adopts
+                if snap["device_id"] not in carried
+            ]
 
     def _recv_until(self, handle: _WorkerHandle, kind: str, *, match=None, timeout=None):
         """Receive until a matching message arrives; raise on link death."""
@@ -633,6 +1084,7 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
                 msg = conn.recv()
             except (EOFError, OSError):
                 raise _WorkerDied(f"worker {handle.shard_id} pipe hit EOF.")
+            handle.last_seen = time.monotonic()
             if msg[0] == kind and (match is None or match(msg)):
                 return msg
             self._handle_side(handle, msg)
@@ -646,6 +1098,8 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
         """
         restarted = []
         for handle in self.handles:
+            if handle.health is ShardHealth.DEAD:
+                continue
             self._ping += 1
             token = self._ping
             try:
@@ -654,6 +1108,8 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
                     handle, "pong", match=lambda m: m[1] == token, timeout=timeout
                 )
                 handle.restarts = 0
+                if handle.health is ShardHealth.DEGRADED:
+                    handle.health = ShardHealth.HEALTHY
             except (_WorkerDied, BrokenPipeError, OSError) as error:
                 self._restart(handle, reason=str(error))
                 restarted.append(handle.shard_id)
@@ -662,6 +1118,8 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
     def _sync_checkpoints(self) -> None:
         """Barrier: a fresh checkpoint from every worker, retained drained."""
         for handle in self.handles:
+            if handle.health is ShardHealth.DEAD:
+                continue
             while True:
                 try:
                     handle.conn.send(("checkpoint",))
@@ -700,6 +1158,8 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
     def _flush_regs(self) -> None:
         """Ship registrations that no block has carried yet."""
         for handle in self.handles:
+            if handle.health is ShardHealth.DEAD:
+                continue
             log = self._reg_logs[handle.shard_id]
             if handle.regs_sent >= len(log):
                 continue
@@ -729,6 +1189,8 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
         )
         generation = self._generation
         for handle in self.handles:
+            if handle.health is ShardHealth.DEAD:
+                continue
             try:
                 handle.conn.send(("republish", self._model_header))
                 self._recv_until(
@@ -776,6 +1238,14 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
             regs_span=(regs_start, handle.regs_sent),
         )
         handle.inflight.append(epoch)
+        if self._chaos is not None and self._chaos.should_corrupt(
+            handle.shard_id, epoch
+        ):
+            # Scheduled arena corruption: flip stored bytes *after* the
+            # checksum stamp, exactly like a bit-flip in flight.  Only
+            # the first delivery is corrupted — the integrity re-ship
+            # rewrites the slot cleanly, so recovery converges.
+            handle.ring.corrupt_slot(slot)
         try:
             handle.conn.send(
                 ("block", slot, epoch, n, names_start, names, regs_start, regs)
@@ -785,28 +1255,211 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
             self._restart(handle, reason=str(error))
 
     def _await_result(self, handle: _WorkerHandle):
-        """Block until the oldest in-flight epoch's verdicts arrive."""
+        """Resolve the oldest in-flight epoch's verdicts.
+
+        Returns ``(batch, predictions, entropy, accepted, mirrored)``.
+        ``batch`` is the authoritative batch for the epoch — it may be
+        a quarantine-filtered subset of what was shipped.  ``mirrored``
+        is True when the verdicts' stats contributions already live in
+        the parent's mirrors (failover recompute: the migrated device
+        states carry them), so the caller must skip the stats half of
+        the merge.
+        """
         while True:
             expected = handle.inflight[0]
+            local = handle.local_results.pop(expected, None)
+            if local is not None:
+                # Resolved parent-side: a failover recompute or a fully
+                # quarantined (empty) block.
+                handle.inflight.popleft()
+                handle.consumed = max(handle.consumed, expected)
+                batch, predictions, entropy, accepted = local
+                return batch, predictions, entropy, accepted, True
+            record = handle.retained[expected]
+            if record.poisoned:
+                self._quarantine_and_reship(handle, expected)
+                continue
+            if expected in handle.ready:
+                slot = handle.ready.pop(expected)
+            else:
+                try:
+                    msg = self._recv_until(
+                        handle, "result", match=lambda m: m[2] == expected
+                    )
+                except _WorkerDied as error:
+                    self._restart(handle, reason=str(error))
+                    continue
+                slot = msg[1]
             try:
-                msg = self._recv_until(
-                    handle, "result", match=lambda m: m[2] == expected
+                predictions, entropy, accepted = handle.ring.read_results(
+                    slot, record.n
                 )
-            except _WorkerDied as error:
+            except ShmIntegrityError as error:
+                # The result frame itself is damaged — indistinguishable
+                # from a worker that scribbled and died; replay
+                # recomputes it from the pre-block checkpoint.
                 self._restart(handle, reason=str(error))
                 continue
-            _, slot, epoch = msg
-            record = handle.retained[epoch]
-            predictions, entropy, accepted = handle.ring.read_results(
-                slot, record.n
-            )
             handle.free_slots.add(slot)
             record.slot = None
             record.consumed = True
-            handle.consumed = epoch
+            handle.consumed = expected
             handle.inflight.popleft()
             handle.restarts = 0
-            return predictions, entropy, accepted
+            handle.fault_counts.pop(expected, None)
+            if handle.health is ShardHealth.DEGRADED:
+                handle.health = ShardHealth.HEALTHY
+            return record.batch, predictions, entropy, accepted, False
+
+    def _quarantine_and_reship(self, handle: _WorkerHandle, epoch: int) -> None:
+        """Bisect a twice-faulting block; quarantine rows, replay the rest.
+
+        Verdict-only probes narrow the fault down to individual rows
+        (a probe re-runs the verdict pass without touching device
+        state, so probing is repeatable and free of side effects).
+        Offending rows move to the bounded quarantine store — still
+        accounted, never silently shed — and the surviving rows are
+        re-shipped *under the original epoch*, so ordering, sequence
+        numbers and exactly-once semantics are untouched.  A block
+        whose probes all pass was a coincidence of two unrelated
+        faults: it replays whole.
+        """
+        record = handle.retained[epoch]
+        batch = record.batch
+        keep = self._isolate_rows(handle, batch)
+        bad = np.flatnonzero(~keep)
+        for i in bad:
+            self._quarantine.push(
+                QuarantinedWindow(
+                    device_id=str(batch.device_ids[i]),
+                    seq=int(batch.seqs[i]),
+                    features=np.array(batch.features[i], copy=True),
+                    shard_id=handle.shard_id,
+                    epoch=int(epoch),
+                    reason=(
+                        "worker faulted twice on this block; "
+                        "row isolated by bisection"
+                    ),
+                )
+            )
+        record.poisoned = False
+        handle.fault_counts.pop(epoch, None)
+        if len(bad):
+            # Genuine poison found and removed — that is progress, so
+            # the consecutive-failure breaker resets.  A clean bisection
+            # (two unrelated crashes) keeps the count: a crash storm
+            # must still be able to open the breaker.
+            handle.restarts = 0
+        if not keep.any():
+            # Nothing left to verdict: the epoch resolves to an empty
+            # local result and the worker is told to skip it so its
+            # strict epoch cursor keeps moving.
+            record.skipped = True
+            record.consumed = True
+            empty = IndexedWindowBatch(
+                device_ids=batch.device_ids[:0],
+                seqs=batch.seqs[:0],
+                features=batch.features[:0],
+                device_index=batch.device_index[:0],
+            )
+            record.batch = empty
+            record.n = 0
+            handle.local_results[epoch] = (
+                empty,
+                np.empty(0, dtype=np.dtype(self._model_header["pred_dtype"])),
+                np.empty(0, dtype=np.float64),
+                np.empty(0, dtype=bool),
+            )
+            try:
+                handle.conn.send(("skipblock", epoch))
+            except (BrokenPipeError, OSError) as error:
+                self._restart(handle, reason=str(error))
+            return
+        if len(bad):
+            record.batch = IndexedWindowBatch(
+                device_ids=batch.device_ids[keep],
+                seqs=batch.seqs[keep],
+                features=batch.features[keep],
+                device_index=batch.device_index[keep],
+            )
+            record.n = len(record.batch.seqs)
+        try:
+            slot = handle.free_slots.pop()
+            handle.ring.write_block(
+                slot,
+                record.batch.features,
+                record.batch.device_index,
+                record.batch.seqs,
+            )
+            ns, ne = record.names_span
+            rs, re_ = record.regs_span
+            queue = self.shards[handle.shard_id].queue
+            log = self._reg_logs[handle.shard_id]
+            handle.conn.send(
+                (
+                    "block",
+                    slot,
+                    epoch,
+                    record.n,
+                    ns,
+                    list(queue._names[ns:ne]),
+                    rs,
+                    list(log[rs:re_]),
+                )
+            )
+            record.slot = slot
+        except (BrokenPipeError, OSError) as error:
+            # The restart replay ships the (now filtered) record.
+            self._restart(handle, reason=str(error))
+
+    def _isolate_rows(self, handle: _WorkerHandle, batch) -> np.ndarray:
+        """Delta-debug a faulting block down to its poison rows.
+
+        Returns a keep-mask.  Probes the full row set first — if that
+        passes, the double fault was two unrelated crashes and every
+        row is kept.  Otherwise subsets split until failing singletons
+        fall out: O(k log n) probes for k poison rows.
+        """
+        n = len(batch.seqs)
+        keep = np.ones(n, dtype=bool)
+        stack = [np.arange(n)]
+        while stack:
+            rows = stack.pop()
+            if self._probe(handle, batch, rows):
+                continue
+            if len(rows) == 1:
+                keep[rows[0]] = False
+                continue
+            mid = len(rows) // 2
+            stack.append(rows[mid:])
+            stack.append(rows[:mid])
+        return keep
+
+    def _probe(self, handle: _WorkerHandle, batch, rows: np.ndarray) -> bool:
+        """Verdict-only probe of a row subset; False = the worker died.
+
+        Probe deaths are the *expected* bisection signal, so the
+        restart they trigger is uncounted — no breaker progress, no
+        back-off, no fault attribution.
+        """
+        self._probe_token += 1
+        token = self._probe_token
+        slot = handle.free_slots.pop()
+        try:
+            handle.ring.write_block(
+                slot,
+                batch.features[rows],
+                batch.device_index[rows],
+                batch.seqs[rows],
+            )
+            handle.conn.send(("probe", slot, len(rows), token))
+            self._recv_until(handle, "probed", match=lambda m: m[2] == token)
+        except (_WorkerDied, BrokenPipeError, OSError) as error:
+            # The restart reclaims every slot, including this probe's.
+            self._restart(handle, reason=str(error), count=False)
+            return False
+        handle.free_slots.add(slot)
+        return True
 
     def _merge_part(
         self,
@@ -815,6 +1468,8 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
         predictions: np.ndarray,
         entropy: np.ndarray,
         accepted: np.ndarray,
+        *,
+        record_stats: bool = True,
     ) -> None:
         """Mirror one shard slice into the parent-side facade state.
 
@@ -824,13 +1479,18 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
         step counter, and stages flagged rows from its own retained
         feature arrays — exactly the columnar tuples
         :meth:`FleetShard.scatter` would stage in-process.
+
+        ``record_stats=False`` is the failover-recompute path: those
+        verdicts' stats already travelled inside the migrated device
+        states, so only the step counter and flagged staging apply.
         """
         monitor = shard.monitor
         n = len(batch)
         base_step = monitor._step
         monitor._step += n
         accepted = np.asarray(accepted, dtype=bool)
-        monitor.stats.record_verdicts(predictions, entropy, accepted)
+        if record_stats:
+            monitor.stats.record_verdicts(predictions, entropy, accepted)
         flagged = np.flatnonzero(~accepted)
         if len(flagged):
             shard._staged_flagged.append(
@@ -848,6 +1508,8 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
         """Take one round's blocks off the queues and ship them."""
         parts = []
         for shard, handle in zip(self.shards, self.handles):
+            if handle.health is ShardHealth.DEAD:
+                continue
             if len(shard.queue):
                 batch = shard.queue.take(self.batch_size)
                 if len(batch):
@@ -858,10 +1520,19 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
     def _finish_round(self, parts) -> FleetBatchResult:
         """Await one round's results and merge them facade-side."""
         merged = []
-        for handle, batch in parts:
-            predictions, entropy, accepted = self._await_result(handle)
+        for handle, _shipped in parts:
+            # The resolved batch may differ from the shipped one (rows
+            # quarantined mid-flight), so merge what came back.
+            batch, predictions, entropy, accepted, mirrored = self._await_result(
+                handle
+            )
             self._merge_part(
-                self.shards[handle.shard_id], batch, predictions, entropy, accepted
+                self.shards[handle.shard_id],
+                batch,
+                predictions,
+                entropy,
+                accepted,
+                record_stats=not mirrored,
             )
             merged.append((batch, predictions, entropy, accepted))
         self._collect_flagged()
@@ -920,11 +1591,42 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
 
     # -- egress --------------------------------------------------------
 
+    def shard_health(self) -> tuple[ShardHealthReport, ...]:
+        """Per-shard supervision snapshot (health, restarts, liveness)."""
+        now = time.monotonic()
+        return tuple(
+            ShardHealthReport(
+                shard_id=handle.shard_id,
+                health=handle.health,
+                restarts=handle.restarts,
+                total_restarts=handle.total_restarts,
+                heartbeat_age=(
+                    0.0
+                    if handle.health is ShardHealth.DEAD
+                    else max(0.0, now - handle.last_seen)
+                ),
+            )
+            for handle in self.handles
+        )
+
+    @property
+    def quarantine(self) -> QuarantineStore:
+        """The poison-window quarantine store (bounded, accounted)."""
+        return self._quarantine
+
     def report(self):
-        """Merged fleet view: worker device tables + parent queues."""
+        """Merged fleet view: worker device tables + parent queues.
+
+        Failed-over shards are skipped — their devices (and counters)
+        already live in the survivors' tables.  The merged report also
+        carries the per-shard health rows and the lifetime quarantine
+        count.
+        """
         self._flush_regs()
         reports = []
         for handle in self.handles:
+            if handle.health is ShardHealth.DEAD:
+                continue
             while True:
                 try:
                     handle.conn.send(("report",))
@@ -936,10 +1638,15 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
             reports.append(
                 rebind_queue_counters(msg[1], self.shards[handle.shard_id].queue)
             )
-        return merge_reports(
+        merged = merge_reports(
             reports,
             n_batches=self.n_batches,
             drift_status=self.drift.observe([]).status if self.drift else None,
+        )
+        return replace(
+            merged,
+            shard_health=self.shard_health(),
+            n_quarantined=self._quarantine.total_quarantined,
         )
 
     # -- rebalancing ---------------------------------------------------
@@ -974,7 +1681,14 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
         shard_states = []
         for handle in self.handles:
             shard = self.shards[handle.shard_id]
-            worker_state = dict(handle.last_ckpt["monitor"])
+            if handle.health is ShardHealth.DEAD:
+                # Failed-over shard: everything migrated, so its slot in
+                # the snapshot is the (empty) parent mirror.  Restoring
+                # such a snapshot needs a router with the same shard
+                # disabled for identical routing — or a rebalance.
+                worker_state = shard.monitor.snapshot()
+            else:
+                worker_state = dict(handle.last_ckpt["monitor"])
             worker_state["queue"] = shard.queue.snapshot()
             worker_state["seq"] = dict(shard.monitor._seq)
             shard_states.append(worker_state)
@@ -1011,7 +1725,8 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
         payload with an emptied queue (the parent owns the backlog) and
         rebuilds its dense registry from the first blocks it receives.
         ``worker_options`` forwards ``mp_context``/``checkpoint_every``/
-        ``pipeline_depth``/``worker_timeout``/``max_restarts``.
+        ``pipeline_depth``/``worker_timeout``/``max_restarts``/
+        ``restart_backoff``/``chaos``/``quarantine_maxlen``.
         """
         cls._validate_snapshot(state)
         forensic_state = state["forensics"]

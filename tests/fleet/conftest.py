@@ -1,0 +1,20 @@
+"""Shared fixtures for the fleet test package.
+
+The autouse leak guard asserts that no parent-owned shared-memory
+segment outlives the test that created it — the regression it pins is
+the fleet facade (or a test fixture) leaking ``/dev/shm`` segments when
+teardown is skipped or a supervisor dies before ``close()``.
+"""
+
+import pytest
+
+from repro.fleet.shm import active_owned_segments
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every test must leave the owned-segment registry empty."""
+    before = set(active_owned_segments())
+    yield
+    leaked = [name for name in active_owned_segments() if name not in before]
+    assert not leaked, f"test leaked shared-memory segments: {leaked}"

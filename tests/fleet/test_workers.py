@@ -28,14 +28,17 @@ import pytest
 
 from repro.fleet import (
     BackpressurePolicy,
+    FaultPlan,
     FleetMonitor,
     ShardedFleetMonitor,
+    ShardHealth,
     WorkerShardedFleetMonitor,
 )
 from repro.fleet.engine import batch_verdict_key
+from repro.fleet.resilience import FaultEvent
 from repro.fleet.report import device_report_key, rebind_queue_counters
 from repro.fleet.sharding import SNAPSHOT_SCHEMA, PublishedHmd, ShardQueue
-from repro.fleet.shm import ShmBlockRing, map_publication, publish_model
+from repro.fleet.shm import ShmBlockRing, _unlink, map_publication, publish_model
 from repro.ml import RandomForestClassifier
 from repro.uncertainty import TrustedHMD
 from tests.conftest import make_blobs
@@ -98,10 +101,12 @@ class TestShmBlockRing:
             np.testing.assert_array_equal(slot["dev"][:n], dev)
             np.testing.assert_array_equal(slot["seqs"][:n], seqs)
             # Result columns written through the attached mapping come
-            # back through the owner as fresh copies.
+            # back through the owner as fresh copies — once sealed with
+            # the result checksum the worker would stamp.
             slot["predictions"][:n] = dev
             slot["entropy"][:n] = features[:, 0]
             slot["accepted"][:n] = (dev % 2).astype(np.uint8)
+            attached.seal_results(1, n)
             predictions, entropy, accepted = ring.read_results(1, n)
             np.testing.assert_array_equal(predictions, dev)
             np.testing.assert_array_equal(entropy, features[:, 0])
@@ -147,7 +152,7 @@ class TestModelPublication:
         finally:
             mapped.close()
             segment.close()
-            segment.unlink()
+            _unlink(segment)
 
     def test_mapped_pca_front_verdicts_bitwise(self):
         X, y = make_blobs(n_per_class=100, separation=2.0, seed=12)
@@ -167,7 +172,7 @@ class TestModelPublication:
         finally:
             mapped.close()
             segment.close()
-            segment.unlink()
+            _unlink(segment)
 
     def test_multiclass_pickle_fallback_bitwise(self):
         rng = np.random.default_rng(5)
@@ -433,6 +438,40 @@ class TestSupervision:
                     # A successful restart resets the failure budget, so
                     # keep killing until two failures land back to back.
 
+    def test_restart_storm_fails_over_mid_pipelined_drain(self, fitted_hmd):
+        # A shard crashing on the first block of every incarnation trips
+        # the circuit breaker while pipelined epochs are still in flight
+        # on every shard; its devices must fail over to survivors with
+        # zero lost or duplicated verdicts.
+        X, _, hmd = fitted_hmd
+        arrivals = _arrivals(X, n_devices=24, rounds=10, seed=21)
+        reference = ShardedFleetMonitor(hmd, n_shards=4, batch_size=32)
+        _feed(reference, arrivals)
+        ref_results = reference.drain()
+        storm = FaultPlan(
+            events=tuple(
+                FaultEvent(shard_id=1, life=life, block=0, kind="crash")
+                for life in range(8)
+            )
+        )
+        with _worker_fleet(
+            hmd, n_shards=4, batch_size=32, pipeline_depth=3,
+            max_restarts=1, chaos=storm,
+        ) as fleet:
+            _feed(fleet, arrivals)
+            results = fleet.drain()
+            assert batch_verdict_key(results) == batch_verdict_key(
+                ref_results
+            )
+            health = {r.shard_id: r.health for r in fleet.shard_health()}
+            assert health[1] is ShardHealth.DEAD
+            assert all(
+                health[s] is not ShardHealth.DEAD for s in (0, 2, 3)
+            )
+            assert device_report_key(fleet.report()) == device_report_key(
+                reference.report()
+            )
+
     def test_republish_on_retrain_propagates_without_restart(self):
         X, y = make_blobs(n_per_class=120, separation=4.0, seed=71)
         hmd = TrustedHMD(
@@ -511,6 +550,81 @@ class TestWorkerCheckpointing:
             hmd, state, mp_context="fork"
         ) as resumed:
             _feed(resumed, tail[20:])
+            assert batch_verdict_key(resumed.drain()) == batch_verdict_key(
+                reference
+            )
+            assert device_report_key(resumed.report()) == device_report_key(
+                source.report()
+            )
+
+    def test_checkpoint_barrier_races_republish(self):
+        # Snapshot taken between a warm retrain and the republish that
+        # propagates it: the checkpoint barrier runs with pipelined
+        # epochs in flight against the old model generation, and the
+        # restored fleet must resume on the new one.
+        X, y = make_blobs(n_per_class=120, separation=4.0, seed=72)
+        hmd = TrustedHMD(
+            RandomForestClassifier(n_estimators=20, random_state=0),
+            threshold=0.4,
+        ).fit(X, y)
+        arrivals = _arrivals(X, n_devices=12, rounds=8, seed=22)
+        tail = _arrivals(X, n_devices=12, rounds=4, seed=23)
+        reference = ShardedFleetMonitor(hmd, n_shards=2, batch_size=32)
+        with _worker_fleet(
+            hmd, n_shards=2, batch_size=32, pipeline_depth=3,
+            checkpoint_every=2,
+        ) as fleet:
+            _feed(reference, arrivals)
+            _feed(fleet, arrivals)
+            ref_head = reference.drain(max_batches=4)
+            head = fleet.drain(max_batches=4)
+            assert batch_verdict_key(head) == batch_verdict_key(ref_head)
+            hmd.fit(X[::2], y[::2])  # republish pending, not yet shipped
+            state = fleet.snapshot()
+            ref_tail = reference.drain()
+            assert batch_verdict_key(fleet.drain()) == batch_verdict_key(
+                ref_tail
+            )
+        # The checkpoint predates the republish; restoring it against
+        # the retrained model must publish the new generation and stay
+        # equivalent to an in-process restore of the same state.
+        inproc = ShardedFleetMonitor.restore(hmd, state)
+        _feed(inproc, tail)
+        inproc_results = inproc.drain()
+        with WorkerShardedFleetMonitor.restore(
+            hmd, state, mp_context="fork"
+        ) as resumed:
+            _feed(resumed, tail)
+            assert batch_verdict_key(resumed.drain()) == batch_verdict_key(
+                inproc_results
+            )
+            assert device_report_key(resumed.report()) == device_report_key(
+                inproc.report()
+            )
+
+    def test_restore_from_checkpoint_taken_during_rebalance(
+        self, fitted_hmd
+    ):
+        # The in-process facade rebalances with a live backlog; the
+        # snapshot taken mid-rebalance (migrated devices, split queues)
+        # must restore into the worker backend and keep verdicts
+        # identical to the source continuing in process.
+        X, _, hmd = fitted_hmd
+        arrivals = _arrivals(X, n_devices=12, rounds=8, seed=24)
+        tail = _arrivals(X, n_devices=12, rounds=4, seed=25)
+        source = ShardedFleetMonitor(hmd, n_shards=2, batch_size=64)
+        _feed(source, arrivals)
+        source.drain()
+        _feed(source, tail[:24])  # backlog straddles the rebalance
+        moves = source.rebalance(3)
+        assert moves  # the checkpoint really is mid-migration
+        state = source.snapshot()
+        _feed(source, tail[24:])
+        reference = source.drain()
+        with WorkerShardedFleetMonitor.restore(
+            hmd, state, mp_context="fork"
+        ) as resumed:
+            _feed(resumed, tail[24:])
             assert batch_verdict_key(resumed.drain()) == batch_verdict_key(
                 reference
             )
