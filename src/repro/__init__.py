@@ -20,11 +20,14 @@ Subpackages
 ``repro.fleet``
     Fleet-scale batched streaming inference: multiplexed device
     streams, backpressure, vectorised batch verdicts, fleet reports.
+``repro.obs``
+    Telemetry plane: metrics registry, sampled window tracing and the
+    live terminal dashboard over the running fleet.
 ``repro.experiments``
     Runners regenerating every table and figure of the evaluation.
 """
 
-from . import data, experiments, fleet, hmd, ml, sim, uncertainty, viz
+from . import data, experiments, fleet, hmd, ml, obs, sim, uncertainty, viz
 
 __version__ = "1.1.0"
 
@@ -34,6 +37,7 @@ __all__ = [
     "fleet",
     "hmd",
     "ml",
+    "obs",
     "sim",
     "uncertainty",
     "viz",

@@ -29,6 +29,7 @@ from .common import (
     format_table,
     make_ensemble,
 )
+from .dashboard import DashboardResult, run_dashboard
 from .fleet import FleetResult, run_fleet
 from .ingest import IngestResult, run_ingest
 from .shard import ShardResult, run_shard
@@ -43,6 +44,7 @@ __all__ = [
     "Claim",
     "ClaimsResult",
     "CounterBudgetResult",
+    "DashboardResult",
     "DecompositionAblationResult",
     "DiversityAblationResult",
     "ENSEMBLE_KINDS",
@@ -69,6 +71,7 @@ __all__ = [
     "make_ensemble",
     "run_claims",
     "run_counter_budget_ablation",
+    "run_dashboard",
     "run_decomposition_ablation",
     "run_diversity_ablation",
     "run_em_extension",

@@ -18,6 +18,7 @@ from . import (
     run_counter_budget_ablation,
     ExperimentContext,
     run_claims,
+    run_dashboard,
     run_decomposition_ablation,
     run_diversity_ablation,
     run_fig4,
@@ -57,6 +58,7 @@ RUNNERS = {
     "fleet": run_fleet,
     "ingest": run_ingest,
     "shard": run_shard,
+    "dashboard": run_dashboard,
 }
 
 
@@ -96,6 +98,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="ingest/shard experiments: hist-grown ensemble "
                              "traversed in uint8 bin codes (float64 front, "
                              "votes identical by construction)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="ingest/shard experiments: drain with live "
+                             "metrics registries and print the snapshot "
+                             "summary after the result")
+    parser.add_argument("--telemetry-out", type=str, default=None,
+                        metavar="PATH",
+                        help="ingest/shard experiments: append the final "
+                             "telemetry snapshot to this JSONL file "
+                             "(implies --telemetry)")
+    parser.add_argument("--frames", type=int, default=None, metavar="N",
+                        help="dashboard experiment: number of drive slices "
+                             "/ rendered frames (default 6)")
+    parser.add_argument("--refresh", type=float, default=None, metavar="S",
+                        help="dashboard experiment: pause between live "
+                             "frames in seconds (default 0, full speed)")
     return parser
 
 
@@ -122,15 +139,25 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         t0 = time.time()
         kwargs = {}
-        if name == "shard" and args.processes is not None:
+        if name in ("shard", "dashboard") and args.processes is not None:
             kwargs["processes"] = args.processes
         if name == "shard" and args.chaos is not None:
             kwargs["chaos"] = args.chaos
-        if name in ("ingest", "shard"):
+        if name in ("ingest", "shard", "dashboard"):
             if args.dtype != "float64":
                 kwargs["dtype"] = args.dtype
             if args.quantized:
                 kwargs["quantized"] = True
+        if name in ("ingest", "shard"):
+            if args.telemetry:
+                kwargs["telemetry"] = True
+            if args.telemetry_out is not None:
+                kwargs["telemetry_out"] = args.telemetry_out
+        if name == "dashboard":
+            if args.frames is not None:
+                kwargs["frames"] = args.frames
+            if args.refresh is not None:
+                kwargs["refresh"] = args.refresh
         result = RUNNERS[name](context=context, **kwargs)
         print(f"\n{'=' * 70}\n{name}  [{time.time() - t0:.1f}s]\n{'=' * 70}")
         print(result.as_text())

@@ -1,0 +1,243 @@
+"""Live fleet dashboard experiment (beyond-paper extension).
+
+Stands up a small simulated fleet behind a telemetry-enabled sharded
+monitor — in-process :class:`~repro.fleet.sharding.ShardedFleetMonitor`
+by default, the multi-process
+:class:`~repro.fleet.workers.WorkerShardedFleetMonitor` with
+``--processes K`` — and drives the traffic through it in slices,
+posting a message burst into :class:`~repro.obs.Dashboard` after each
+slice and rendering a frame.  On a TTY the frames redraw in place
+(plain ANSI clear-and-home, no curses); headless, the frames are
+captured as strings on the result, which is what makes the dashboard
+snapshot-testable without a terminal.
+
+    python -m repro.experiments dashboard
+    python -m repro.experiments dashboard --processes 4
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+
+from ..fleet import (
+    BackpressurePolicy,
+    FleetWindowSampler,
+    ShardedFleetMonitor,
+    WorkerShardedFleetMonitor,
+)
+from ..hmd.apps import DVFS_KNOWN_BENIGN, DVFS_KNOWN_MALWARE, DVFS_UNKNOWN
+from ..ml.ensemble import RandomForestClassifier
+from ..obs import (
+    Dashboard,
+    MetricsUpdate,
+    ReportUpdate,
+    ShardSample,
+    ShardsUpdate,
+    TraceContext,
+    TraceSampler,
+    TraceUpdate,
+    ansi_frame,
+)
+from ..sim.workloads import FleetPopulation
+from ..uncertainty.trust import TrustedHMD
+from .common import ExperimentConfig, ExperimentContext, resolve_mode
+
+__all__ = ["DashboardResult", "run_dashboard"]
+
+
+@dataclass(frozen=True)
+class DashboardResult:
+    """Captured dashboard frames plus the drive summary."""
+
+    backend: str
+    n_devices: int
+    n_windows: int
+    n_shards: int
+    n_frames: int
+    n_messages: int
+    n_flagged: int
+    n_spans: int
+    frames: tuple[str, ...]
+
+    @property
+    def final_frame(self) -> str:
+        """The last rendered frame (the steady-state view)."""
+        return self.frames[-1] if self.frames else ""
+
+    def as_text(self) -> str:
+        """The final frame with a one-line drive summary on top."""
+        return (
+            f"Dashboard drive — {self.backend} backend, {self.n_devices} "
+            f"devices, {self.n_windows} windows, K={self.n_shards}, "
+            f"{self.n_frames} frames from {self.n_messages} messages, "
+            f"{self.n_spans} trace spans\n\n{self.final_frame}"
+        )
+
+
+def _sample_shards(monitor, dashboard: Dashboard) -> None:
+    """Post one per-shard health/throughput sample burst."""
+    health: dict[int, tuple[str, int]] = {}
+    if hasattr(monitor, "shard_health"):
+        health = {
+            row.shard_id: (row.health.value, row.total_restarts)
+            for row in monitor.shard_health()
+        }
+    rows = []
+    for shard in monitor.shards:
+        stats = shard.monitor.stats
+        state, restarts = health.get(shard.shard_id, ("healthy", 0))
+        rows.append(
+            ShardSample(
+                shard_id=shard.shard_id,
+                health=state,
+                n_seen=stats.n_seen,
+                n_flagged=stats.n_flagged,
+                pending=len(shard.queue),
+                restarts=restarts,
+            )
+        )
+    dashboard.post(ShardsUpdate(rows=tuple(rows), ts=time.monotonic()))
+
+
+def _drive(
+    monitor,
+    tracer: TraceContext,
+    dashboard: Dashboard,
+    devices,
+    arrivals,
+    *,
+    frames: int,
+    refresh: float,
+    live: bool,
+    stream=None,
+) -> list[str]:
+    """Feed the traffic in ``frames`` slices, rendering after each."""
+    out = stream if stream is not None else sys.stdout
+    monitor.register_fleet(devices)
+    slices = max(1, int(frames))
+    per_slice = max(1, (len(arrivals) + slices - 1) // slices)
+    rendered: list[str] = []
+    for start in range(0, len(arrivals), per_slice):
+        for device_id, window in arrivals[start : start + per_slice]:
+            monitor.submit(device_id, window)
+        _sample_shards(monitor, dashboard)  # queues loaded, pre-drain
+        monitor.drain()
+        _sample_shards(monitor, dashboard)
+        report = monitor.report()
+        dashboard.post(ReportUpdate(report=report, ts=time.monotonic()))
+        if report.telemetry:
+            dashboard.post(MetricsUpdate(snapshot=report.telemetry))
+        dashboard.post(TraceUpdate(summary=tracer.summary()))
+        frame = dashboard.render()
+        rendered.append(frame)
+        if live:
+            out.write(ansi_frame(frame) + "\n")
+            out.flush()
+            if refresh > 0:
+                time.sleep(refresh)
+    return rendered
+
+
+def run_dashboard(
+    config: ExperimentConfig | None = None,
+    context: ExperimentContext | None = None,
+    *,
+    n_devices: int = 48,
+    windows_per_device: int = 12,
+    n_shards: int = 4,
+    batch_size: int = 256,
+    processes: int | None = None,
+    frames: int = 6,
+    refresh: float = 0.0,
+    trace_rate: int = 8,
+    live: bool | None = None,
+    stream=None,
+    dtype: str = "float64",
+    quantized: bool = False,
+) -> DashboardResult:
+    """Drive a telemetry-enabled fleet and capture dashboard frames.
+
+    ``live`` defaults to "stdout is a TTY"; pass ``False`` (or any
+    non-TTY ``stream``) for headless capture — the returned
+    :class:`DashboardResult` carries every rendered frame either way.
+    ``trace_rate`` oversamples spans relative to the production 1/1024
+    default so short demo drives still populate the latency table.
+    """
+    mode = resolve_mode(dtype, quantized)
+    ctx = context if context is not None else ExperimentContext(config)
+    cfg = ctx.config
+    dataset = ctx.dataset("dvfs")
+
+    hmd = TrustedHMD(
+        RandomForestClassifier(
+            n_estimators=cfg.n_estimators,
+            random_state=cfg.seed,
+            grower="hist" if mode == "quantized" else "exact",
+        ),
+        threshold=0.40,
+    ).fit(dataset.train.X, dataset.train.y)
+    hmd.compile(mode=mode)
+
+    population = FleetPopulation(
+        DVFS_KNOWN_BENIGN,
+        DVFS_KNOWN_MALWARE,
+        DVFS_UNKNOWN,
+        malware_fraction=0.08,
+        zero_day_fraction=0.05,
+        random_state=cfg.seed,
+    )
+    devices = population.sample(n_devices)
+    sampler = FleetWindowSampler(dataset, devices, random_state=cfg.seed)
+    arrivals = list(sampler.rounds(windows_per_device))
+    policy = BackpressurePolicy(max_pending=len(arrivals) + 1)
+
+    tracer = TraceContext(TraceSampler(rate=trace_rate, seed=cfg.seed))
+    dashboard = Dashboard()
+    if live is None:
+        live = stream is None and sys.stdout.isatty()
+
+    if processes is not None:
+        backend = "worker"
+        with WorkerShardedFleetMonitor(
+            hmd,
+            n_shards=processes,
+            batch_size=batch_size,
+            policy=policy,
+            telemetry=True,
+            tracer=tracer,
+        ) as monitor:
+            rendered = _drive(
+                monitor, tracer, dashboard, devices, arrivals,
+                frames=frames, refresh=refresh, live=live, stream=stream,
+            )
+            n_flagged = monitor.stats.n_flagged
+        n_shards = processes
+    else:
+        backend = "in-process"
+        monitor = ShardedFleetMonitor(
+            hmd,
+            n_shards=n_shards,
+            batch_size=batch_size,
+            policy=policy,
+            telemetry=True,
+            tracer=tracer,
+        )
+        rendered = _drive(
+            monitor, tracer, dashboard, devices, arrivals,
+            frames=frames, refresh=refresh, live=live, stream=stream,
+        )
+        n_flagged = monitor.stats.n_flagged
+
+    return DashboardResult(
+        backend=backend,
+        n_devices=n_devices,
+        n_windows=len(arrivals),
+        n_shards=n_shards,
+        n_frames=len(rendered),
+        n_messages=dashboard.n_messages,
+        n_flagged=n_flagged,
+        n_spans=tracer.n_completed,
+        frames=tuple(rendered),
+    )

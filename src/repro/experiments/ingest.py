@@ -37,6 +37,7 @@ from ..hmd.apps import DVFS_KNOWN_BENIGN, DVFS_KNOWN_MALWARE, DVFS_UNKNOWN
 from ..hmd.features import DvfsFeatureExtractor
 from ..ml.ensemble import RandomForestClassifier
 from ..ml.validation import check_random_state
+from ..obs import JsonlExporter, summarize_snapshot
 from ..sim.batch import ActivityBatch
 from ..sim.power import SocSimulator
 from ..sim.trace import DvfsTrace
@@ -66,6 +67,7 @@ class IngestResult:
     verdicts_identical: bool
     n_flagged: int
     mode: str = "float64"
+    telemetry_text: str | None = None
 
     @property
     def speedup(self) -> float:
@@ -81,7 +83,7 @@ class IngestResult:
                 ["batched extract + bulk submit", self.batched_wps],
             ],
         )
-        return (
+        text = (
             f"Ingest front — {self.n_devices} devices, {self.n_windows} "
             f"windows of {self.window_steps} steps (batch={self.batch_size}, "
             f"mode={self.mode})\n"
@@ -91,6 +93,9 @@ class IngestResult:
             f"verdicts identical: {self.verdicts_identical}\n"
             f"flagged: {self.n_flagged}"
         )
+        if self.telemetry_text is not None:
+            text += f"\n\ntelemetry\n{self.telemetry_text}"
+        return text
 
 
 def _device_traces(
@@ -137,6 +142,8 @@ def run_ingest(
     batch_size: int = 256,
     dtype: str = "float64",
     quantized: bool = False,
+    telemetry: bool = False,
+    telemetry_out=None,
 ) -> IngestResult:
     """Screen raw device traces through both ingest fronts.
 
@@ -146,7 +153,14 @@ def run_ingest(
     (implies a hist-grown ensemble and the float64 front).  Both paths
     run the same mode, so the bitwise verdict-equivalence check stays
     meaningful in every mode.
+
+    ``telemetry`` runs the batched front with a live metrics registry
+    and renders its snapshot after the throughput table — the verdict
+    equivalence check then doubles as the telemetry-neutrality check;
+    ``telemetry_out`` additionally appends the snapshot to that JSONL
+    path on exit (implies ``telemetry``).
     """
+    telemetry = telemetry or telemetry_out is not None
     mode = resolve_mode(dtype, quantized)
     ctx = context if context is not None else ExperimentContext(config)
     cfg = ctx.config
@@ -194,7 +208,9 @@ def run_ingest(
     reference_elapsed = time.perf_counter() - t0
 
     # -- batched: whole-tensor extraction, bulk block submission -------
-    batched = FleetMonitor(hmd, batch_size=batch_size, policy=policy)
+    batched = FleetMonitor(
+        hmd, batch_size=batch_size, policy=policy, telemetry=telemetry or None
+    )
     t0 = time.perf_counter()
     batched_features = {}
     for device_id, trace in traces:
@@ -211,6 +227,13 @@ def run_ingest(
     verdicts_identical = (
         batch_verdict_key(reference_batches) == batch_verdict_key(batched_batches)
     )
+    telemetry_text = None
+    if telemetry:
+        snapshot = batched.metrics.snapshot()
+        telemetry_text = summarize_snapshot(snapshot)
+        if telemetry_out is not None:
+            with JsonlExporter(telemetry_out) as exporter:
+                exporter.export(snapshot)
     return IngestResult(
         n_devices=n_devices,
         n_windows=n_windows,
@@ -222,4 +245,5 @@ def run_ingest(
         verdicts_identical=verdicts_identical,
         n_flagged=batched.stats.n_flagged,
         mode=mode,
+        telemetry_text=telemetry_text,
     )

@@ -38,6 +38,7 @@ from ..fleet.engine import batch_verdict_key, batch_window_keys
 from ..fleet.report import device_report_key
 from ..hmd.apps import DVFS_KNOWN_BENIGN, DVFS_KNOWN_MALWARE, DVFS_UNKNOWN
 from ..ml.ensemble import RandomForestClassifier
+from ..obs import JsonlExporter, merge_snapshots, summarize_snapshot
 from ..sim.workloads import FleetPopulation
 from ..uncertainty.trust import TrustedHMD
 from .common import (
@@ -77,6 +78,7 @@ class ShardResult:
     chaos_restarts: int | None = None
     chaos_verdicts_identical: bool | None = None
     chaos_windows_lost: int | None = None
+    telemetry_text: str | None = None
 
     @property
     def speedup(self) -> float:
@@ -141,11 +143,14 @@ class ShardResult:
                 f"verdicts identical: {self.chaos_verdicts_identical}   "
                 f"windows lost: {self.chaos_windows_lost}\n"
             )
-        return (
+        rendered = (
             f"{text}"
             f"flagged={self.n_flagged}  shed={self.n_shed}\n\n"
             f"{self.report_text}"
         )
+        if self.telemetry_text is not None:
+            rendered += f"\n\ntelemetry\n{self.telemetry_text}"
+        return rendered
 
 
 def run_shard(
@@ -160,6 +165,8 @@ def run_shard(
     chaos: int | None = None,
     dtype: str = "float64",
     quantized: bool = False,
+    telemetry: bool = False,
+    telemetry_out=None,
 ) -> ShardResult:
     """Drain the same fleet traffic unsharded vs. K-sharded.
 
@@ -171,8 +178,14 @@ def run_shard(
     from that seed and reports degraded throughput, equivalence and
     window accounting.  ``dtype``/``quantized`` select the inference
     precision (all monitors run the same mode, so the equivalence
-    checks remain bitwise).
+    checks remain bitwise).  ``telemetry`` drains the sharded (and
+    worker) monitors with live metrics registries — the equivalence
+    checks against the uninstrumented single monitor then double as
+    the telemetry-neutrality check — and renders the merged snapshot
+    after the report; ``telemetry_out`` additionally appends it to
+    that JSONL path on exit (implies ``telemetry``).
     """
+    telemetry = telemetry or telemetry_out is not None
     if chaos is not None and processes is None:
         raise ValueError("chaos requires processes (the faults are injected "
                          "into the worker backend).")
@@ -218,15 +231,23 @@ def run_shard(
     single_batches, single_elapsed = drive(single)
 
     sharded = ShardedFleetMonitor(
-        hmd, n_shards=n_shards, batch_size=batch_size, policy=policy
+        hmd,
+        n_shards=n_shards,
+        batch_size=batch_size,
+        policy=policy,
+        telemetry=telemetry or None,
     )
     sharded_batches, sharded_elapsed = drive(sharded)
 
     verdicts_identical = batch_verdict_key(sharded_batches) == batch_verdict_key(
         single_batches
     )
-    reports_identical = device_report_key(sharded.report()) == device_report_key(
+    sharded_report = sharded.report()
+    reports_identical = device_report_key(sharded_report) == device_report_key(
         single.report()
+    )
+    telemetry_snapshots = (
+        [sharded_report.telemetry] if sharded_report.telemetry else []
     )
 
     # Checkpoint/restore: snapshot a half-drained fleet, restore it
@@ -256,15 +277,22 @@ def run_shard(
     chaos_windows_lost = None
     if processes is not None:
         with WorkerShardedFleetMonitor(
-            hmd, n_shards=processes, batch_size=batch_size, policy=policy
+            hmd,
+            n_shards=processes,
+            batch_size=batch_size,
+            policy=policy,
+            telemetry=telemetry or None,
         ) as worker_fleet:
             mp_batches, mp_elapsed = drive(worker_fleet)
             mp_verdicts_identical = batch_verdict_key(
                 mp_batches
             ) == batch_verdict_key(single_batches)
+            mp_report = worker_fleet.report()
             mp_reports_identical = device_report_key(
-                worker_fleet.report()
+                mp_report
             ) == device_report_key(single.report())
+            if mp_report.telemetry:
+                telemetry_snapshots.append(mp_report.telemetry)
         n_processes = processes
         mp_wps = len(arrivals) / max(mp_elapsed, 1e-9)
 
@@ -307,6 +335,14 @@ def run_shard(
             chaos_counts = plan.counts()
             chaos_wps = len(arrivals) / max(chaos_elapsed, 1e-9)
 
+    telemetry_text = None
+    if telemetry:
+        merged_snapshot = merge_snapshots(telemetry_snapshots)
+        telemetry_text = summarize_snapshot(merged_snapshot)
+        if telemetry_out is not None:
+            with JsonlExporter(telemetry_out) as exporter:
+                exporter.export(merged_snapshot)
+
     n_windows = len(arrivals)
     return ShardResult(
         n_devices=n_devices,
@@ -322,7 +358,7 @@ def run_shard(
         n_shed=sum(
             shard.queue.total_shed for shard in sharded.shards
         ),
-        report_text=sharded.report().as_text(max_rows=10),
+        report_text=sharded_report.as_text(max_rows=10),
         n_processes=n_processes,
         mp_wps=mp_wps,
         mp_verdicts_identical=mp_verdicts_identical,
@@ -334,4 +370,5 @@ def run_shard(
         chaos_restarts=chaos_restarts,
         chaos_verdicts_identical=chaos_verdicts_identical,
         chaos_windows_lost=chaos_windows_lost,
+        telemetry_text=telemetry_text,
     )

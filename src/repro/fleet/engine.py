@@ -37,10 +37,12 @@ batched verdicts are *bitwise identical* to sequential per-window ones
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.metrics import resolve_registry
 from ..uncertainty.drift import EntropyDriftMonitor
 from ..uncertainty.online import FlaggedSample, ForensicQueue, MonitorStats
 from ..uncertainty.trust import TrustedHMD, TrustedVerdict
@@ -183,6 +185,16 @@ class FleetMonitor:
         the sharded fleet uses to give each shard's monitor an
         arena-backed :class:`~repro.fleet.sharding.ShardQueue` while
         everything downstream stays unchanged.
+    telemetry:
+        ``True`` for a fresh per-monitor
+        :class:`~repro.obs.metrics.MetricsRegistry`, an explicit
+        registry to share one, or ``None``/``False`` (default) for the
+        zero-cost no-op registry.  Purely observational: verdicts are
+        bitwise identical either way.
+    tracer:
+        Optional :class:`~repro.obs.tracing.TraceContext` recording
+        sampled window-lifecycle spans (ingest→queue→verdict→scatter on
+        this in-process path).
     """
 
     def __init__(
@@ -195,6 +207,8 @@ class FleetMonitor:
         drift_reference=None,
         entropy_window: int = 128,
         queue: FleetQueue | None = None,
+        telemetry=None,
+        tracer=None,
     ):
         if not hasattr(hmd, "estimator_"):
             raise ValueError("hmd must be fitted before fleet monitoring.")
@@ -222,6 +236,24 @@ class FleetMonitor:
         self._seq: dict[str, int] = {}
         self._step = 0
         self.n_batches = 0
+        self.metrics = resolve_registry(telemetry)
+        self.tracer = tracer
+        # One flag guards every per-batch observation so the
+        # uninstrumented hot path pays a single attribute test.
+        self._obs_on = self.metrics.enabled or tracer is not None
+        self._m_batches = self.metrics.counter(
+            "fleet_batches_total", "vectorised verdict passes"
+        )
+        self._m_drained = self.metrics.counter(
+            "fleet_windows_drained_total", "windows verdicted"
+        )
+        self._m_flagged = self.metrics.counter(
+            "fleet_windows_flagged_total", "windows withheld as uncertain"
+        )
+        self._m_verdict = self.metrics.histogram(
+            "fleet_verdict_seconds", "per-batch verdict-pass latency"
+        )
+        self.queue.bind_metrics(self.metrics)
 
     # -- ingress -------------------------------------------------------
 
@@ -259,6 +291,8 @@ class FleetMonitor:
             )
         seq = self._seq[device_id]
         self._seq[device_id] = seq + 1
+        if self.tracer is not None:
+            self.tracer.begin(device_id, seq)
         return self.queue.submit(
             WindowRequest(device_id=device_id, features=window, seq=seq)
         )
@@ -287,6 +321,8 @@ class FleetMonitor:
         start = self._seq[device_id]
         self._seq[device_id] = start + len(windows)
         seqs = np.arange(start, start + len(windows), dtype=np.int64)
+        if self.tracer is not None:
+            self.tracer.begin_block(device_id, seqs)
         return self.queue.submit_block(device_id, windows, seqs)
 
     @property
@@ -304,8 +340,20 @@ class FleetMonitor:
         batch: WindowBatch = self.queue.take(self.batch_size)
         if len(batch) == 0:
             return None
+        if self._obs_on:
+            if self.tracer is not None:
+                self.tracer.stamp_rows(batch.device_ids, batch.seqs, "queue")
+            t0 = time.perf_counter()
         verdict: TrustedVerdict = self.hmd.analyze(batch.features)
+        if self._obs_on:
+            self._m_verdict.observe(time.perf_counter() - t0)
+            self._m_batches.inc()
+            self._m_drained.inc(len(batch))
+            if self.tracer is not None:
+                self.tracer.stamp_rows(batch.device_ids, batch.seqs, "verdict")
         self._route(batch, verdict)
+        if self._obs_on and self.tracer is not None:
+            self.tracer.complete_rows(batch.device_ids, batch.seqs, "scatter")
         self.n_batches += 1
         return FleetBatchResult(
             device_ids=batch.device_ids,
@@ -355,6 +403,7 @@ class FleetMonitor:
             )
 
         flagged = np.flatnonzero(~accepted)
+        self._m_flagged.inc(len(flagged))
         if len(flagged):
             # One bulk hand-off; samples materialise as Python objects
             # only for the (typically few) flagged rows.
@@ -401,6 +450,7 @@ class FleetMonitor:
             n_batches=self.n_batches,
             mean_entropy=self.stats.mean_entropy,
             drift_status=self.drift.observe([]).status if self.drift else None,
+            telemetry=self.metrics.snapshot() if self.metrics.enabled else None,
         )
 
     # -- persistence ---------------------------------------------------

@@ -37,6 +37,8 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from ..obs.metrics import NULL_REGISTRY
+
 __all__ = ["WindowRequest", "WindowBatch", "BackpressurePolicy", "FleetQueue"]
 
 _SHED_MODES = ("drop_oldest", "drop_newest")
@@ -170,6 +172,25 @@ class FleetQueue:
         self._n_pending = 0
         self._n_live_segments = 0
         self.shed_by_device: dict[str, int] = {}
+        self.bind_metrics(NULL_REGISTRY)
+
+    def bind_metrics(self, registry) -> None:
+        """Bind ingress instruments to a registry (no-op registry default).
+
+        The three choke points every admission, shed and drain already
+        flows through (:meth:`_admit`, :meth:`_shed`, :meth:`take`)
+        observe at segment/batch granularity, so instrumentation adds
+        one counter bump per *block*, never per window.
+        """
+        self._m_admitted = registry.counter(
+            "fleet_windows_admitted_total", "windows accepted by the ingress"
+        )
+        self._m_shed = registry.counter(
+            "fleet_windows_shed_total", "windows dropped by backpressure"
+        )
+        self._m_depth = registry.gauge(
+            "fleet_queue_depth", "windows currently queued"
+        )
 
     def __len__(self) -> int:
         return self._n_pending
@@ -189,6 +210,7 @@ class FleetQueue:
 
     def _shed(self, device_id: str, n: int = 1) -> None:
         self.shed_by_device[device_id] = self.shed_by_device.get(device_id, 0) + n
+        self._m_shed.inc(n)
 
     def _consume_head(self, segment: _Segment) -> None:
         """Kill a segment's oldest live row (eviction bookkeeping)."""
@@ -261,6 +283,8 @@ class FleetQueue:
         )
         self._n_pending += segment.n_alive
         self._n_live_segments += 1
+        self._m_admitted.inc(segment.n_alive)
+        self._m_depth.set(self._n_pending)
         self._compact()
 
     def submit(self, request: WindowRequest) -> bool:
@@ -366,6 +390,7 @@ class FleetQueue:
                 device_queue = self._by_device.get(segment.device_id)
                 while device_queue and device_queue[0].n_alive == 0:
                     device_queue.popleft()
+        self._m_depth.set(self._n_pending)
         self._compact()
 
         if not parts:

@@ -9,9 +9,10 @@ keeping up* (throughput, queue depth, shed volume).  Both read the same
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from ..formatting import format_table
+from ..obs.metrics import histogram_percentile, merge_snapshots
 
 __all__ = [
     "DeviceReport",
@@ -58,6 +59,10 @@ class FleetReport:
     # Defaulted so single-monitor and in-process reports are unchanged.
     shard_health: tuple = ()
     n_quarantined: int = 0
+    # Telemetry section: the monitor's merged
+    # :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, ``None`` when
+    # telemetry is off (the common case; reports stay cheap).
+    telemetry: dict | None = field(default=None, compare=False)
 
     @property
     def n_devices(self) -> int:
@@ -101,10 +106,25 @@ class FleetReport:
             header += f"  drift={self.drift_status}"
         if self.n_quarantined:
             header += f"  quarantined={self.n_quarantined}"
+        if self.telemetry:
+            header += "\n" + _telemetry_line(self.telemetry)
         if self.shard_health:
-            header += "\n  " + "   ".join(
-                row.as_text() for row in self.shard_health
+            # Shard-health rows get their own aligned table: the old
+            # free-joined one-liner drifted out of alignment next to
+            # device tables whose id column outgrew its header.
+            health_table = format_table(
+                ["shard", "health", "restarts", "heartbeat_age"],
+                [
+                    [
+                        row.shard_id,
+                        row.health.value,
+                        row.total_restarts,
+                        f"{row.heartbeat_age:.1f}s",
+                    ]
+                    for row in self.shard_health
+                ],
             )
+            header += "\n" + health_table
 
         ranked = sorted(
             self.devices, key=lambda d: (-d.alert_rate, -d.recent_entropy)
@@ -125,6 +145,31 @@ class FleetReport:
             else ""
         )
         return f"{header}\n{table}{suffix}"
+
+
+def _telemetry_line(telemetry: dict) -> str:
+    """One-line telemetry digest for :meth:`FleetReport.as_text`."""
+    counters = telemetry.get("counters", {})
+    parts = [
+        f"{label}={counters[name]}"
+        for label, name in (
+            ("admitted", "fleet_windows_admitted_total"),
+            ("drained", "fleet_windows_drained_total"),
+            ("shed", "fleet_windows_shed_total"),
+            ("restarts", "fleet_worker_restarts_total"),
+        )
+        if name in counters
+    ]
+    verdict = telemetry.get("histograms", {}).get("fleet_verdict_seconds")
+    if verdict and verdict.get("count"):
+        parts.append(
+            "verdict_ms p50/p95="
+            f"{histogram_percentile(verdict, 50) * 1e3:.2f}/"
+            f"{histogram_percentile(verdict, 95) * 1e3:.2f}"
+        )
+    return "  telemetry: " + (
+        "  ".join(parts) if parts else "(no instruments)"
+    )
 
 
 def device_report_key(report: FleetReport) -> dict[str, tuple]:
@@ -195,12 +240,20 @@ def merge_reports(
     facade passes its fused-round count instead (one round covers all
     shards).  ``drift_status`` likewise belongs to the facade-level
     drift monitor, not to any single shard.
+
+    The observability sections merge too, and tolerate heterogeneity —
+    shards that never report them simply contribute nothing: health
+    rows concatenate in shard order, quarantine counts sum, and
+    telemetry snapshots fold through the associative
+    :func:`~repro.obs.metrics.merge_snapshots` (``None`` when no shard
+    reported telemetry).
     """
     reports = list(reports)
     if not reports:
         raise ValueError("At least one report is required.")
     n_seen = sum(r.n_seen for r in reports)
     weighted_entropy = sum(r.mean_entropy * r.n_seen for r in reports)
+    telemetries = [r.telemetry for r in reports if r.telemetry]
     return FleetReport(
         devices=tuple(device for r in reports for device in r.devices),
         n_seen=n_seen,
@@ -214,4 +267,9 @@ def merge_reports(
         ),
         mean_entropy=weighted_entropy / n_seen if n_seen else 0.0,
         drift_status=drift_status,
+        shard_health=tuple(
+            row for r in reports for row in r.shard_health
+        ),
+        n_quarantined=sum(r.n_quarantined for r in reports),
+        telemetry=merge_snapshots(telemetries) if telemetries else None,
     )

@@ -306,9 +306,21 @@ class QuarantineStore:
     total_quarantined: int = 0
     _items: list = field(default_factory=list)
     _keys: set = field(default_factory=set)
+    # Optional telemetry counter (kept as an injected object so this
+    # module stays import-free of the rest of the fleet package).
+    _metric: object = field(default=None, repr=False, compare=False)
+
+    def bind_metrics(self, registry) -> None:
+        """Count quarantine pushes in a telemetry registry."""
+        self._metric = registry.counter(
+            "fleet_windows_quarantined_total",
+            "poison windows pulled into the quarantine store",
+        )
 
     def push(self, window: QuarantinedWindow) -> None:
         self.total_quarantined += 1
+        if self._metric is not None:
+            self._metric.inc()
         self._keys.add((window.device_id, window.seq))
         self._items.append(window)
         if len(self._items) > self.maxlen:

@@ -16,6 +16,7 @@ to run live between inference batches.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -85,6 +86,23 @@ class FleetRetrainer:
         self.n_clusters = n_clusters
         self.random_state = random_state
         self.n_steps = 0
+        # Instruments land in the monitor's registry (no-op when its
+        # telemetry is off), so retrain activity shows up in the same
+        # snapshot as the inference path it interleaves with.
+        metrics = monitor.metrics
+        self._m_steps = metrics.counter(
+            "fleet_retrain_steps_total", "analyst triage cycles"
+        )
+        self._m_labelled = metrics.counter(
+            "fleet_retrain_windows_labelled_total",
+            "flagged windows labelled and incorporated",
+        )
+        self._m_refits = metrics.counter(
+            "fleet_retrain_refits_total", "warm HMD refits triggered"
+        )
+        self._m_step_seconds = metrics.histogram(
+            "fleet_retrain_step_seconds", "triage→label→refit cycle latency"
+        )
 
     def triage(self) -> list[TriageCluster]:
         """Cluster the queued flagged windows for analyst review."""
@@ -103,9 +121,11 @@ class FleetRetrainer:
         monitor's next batch — no restart, no handoff.
         """
         self.n_steps += 1
+        self._m_steps.inc()
         queue = self.monitor.forensics
         if len(queue) == 0:
             return RetrainOutcome(0, 0, False, self.loop.n_retrains)
+        t0 = time.perf_counter()
         clusters = self.triage()
         label_of: dict[int, object] = {}
         for cluster in clusters:
@@ -115,6 +135,10 @@ class FleetRetrainer:
         samples = queue.drain()
         labels = [label_of[id(sample)] for sample in samples]
         retrained = self.loop.incorporate(samples, labels)
+        self._m_step_seconds.observe(time.perf_counter() - t0)
+        self._m_labelled.inc(len(samples))
+        if retrained:
+            self._m_refits.inc()
         return RetrainOutcome(
             n_labelled=len(samples),
             n_clusters=len(clusters),

@@ -49,8 +49,9 @@ three structural effects, not from cutting corners:
 
 from __future__ import annotations
 
+import time
 from collections import deque
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 
 import numpy as np
 
@@ -61,6 +62,7 @@ from ..ml.backend import (
     q_feat_view,
     q_goto_view,
 )
+from ..obs.metrics import NULL_REGISTRY, merge_snapshots, resolve_registry
 from ..uncertainty.drift import EntropyDriftMonitor
 from ..uncertainty.entropy import shannon_entropy, votes_to_distribution
 from ..uncertainty.online import ForensicQueue, MonitorStats
@@ -250,6 +252,27 @@ class ShardQueue:
             {} if self.policy.max_pending_per_device is not None else None
         )
         self.shed_by_device: dict[str, int] = {}
+        self.bind_metrics(NULL_REGISTRY)
+
+    def bind_metrics(self, registry) -> None:
+        """Bind admission/shed/occupancy instruments to a registry.
+
+        Same instrument set as :meth:`FleetQueue.bind_metrics` plus the
+        arena-occupancy gauge (contiguous blocks currently allocated) —
+        the shard queue's own capacity signal.
+        """
+        self._m_admitted = registry.counter(
+            "fleet_windows_admitted_total", "windows accepted into the queue"
+        )
+        self._m_shed = registry.counter(
+            "fleet_windows_shed_total", "windows dropped by backpressure"
+        )
+        self._m_depth = registry.gauge(
+            "fleet_queue_depth", "windows currently queued"
+        )
+        self._m_arena = registry.gauge(
+            "fleet_arena_blocks", "arena blocks currently allocated"
+        )
 
     # -- registry ------------------------------------------------------
 
@@ -296,6 +319,7 @@ class ShardQueue:
 
     def _shed(self, device_id: str, n: int = 1) -> None:
         self.shed_by_device[device_id] = self.shed_by_device.get(device_id, 0) + n
+        self._m_shed.inc(n)
 
     # -- shedding ------------------------------------------------------
 
@@ -392,6 +416,9 @@ class ShardQueue:
                     self._dev_rows[int(index)] = deque(
                         (b, p) for b, p in rows if p >= b.head
                     )
+        self._m_admitted.inc(m)
+        self._m_depth.set(self._n_pending)
+        self._m_arena.set(len(self._blocks))
 
     def submit(self, request: WindowRequest) -> bool:
         """Enqueue one window; returns False when *it* was shed.
@@ -513,6 +540,8 @@ class ShardQueue:
         counts = np.bincount(dev, minlength=len(self._pending_dev))
         self._pending_dev[: len(counts)] -= counts
         self._n_pending -= len(seqs)
+        self._m_depth.set(self._n_pending)
+        self._m_arena.set(len(self._blocks))
         if self._dev_rows is not None:
             # Trim the consumed entries off the eviction lookups now:
             # take consumes in FIFO order, so they sit at the deque
@@ -1098,7 +1127,11 @@ class ShardedFleetMonitor:
     queue individually — fleet-total capacity is ``K x max_pending``.
 
     Parameters mirror :class:`FleetMonitor`, plus ``n_shards`` /
-    ``router``.
+    ``router``.  ``telemetry`` follows the same contract as the single
+    monitor's; each shard core gets its *own* registry (per-shard queue
+    gauges must not overwrite each other), and :meth:`report` folds all
+    of them — plus the facade's fused-round instruments — through the
+    associative :func:`~repro.obs.metrics.merge_snapshots`.
     """
 
     def __init__(
@@ -1112,6 +1145,8 @@ class ShardedFleetMonitor:
         drift_reference=None,
         entropy_window: int = 128,
         router: ShardRouter | None = None,
+        telemetry=None,
+        tracer=None,
     ):
         if not hasattr(hmd, "estimator_"):
             raise ValueError("hmd must be fitted before fleet monitoring.")
@@ -1120,6 +1155,27 @@ class ShardedFleetMonitor:
         self.batch_size = batch_size
         self.policy = policy if policy is not None else BackpressurePolicy()
         self.entropy_window = entropy_window
+        self.metrics = resolve_registry(telemetry)
+        self.tracer = tracer
+        self._obs_on = self.metrics.enabled or tracer is not None
+        self._m_rounds = self.metrics.counter(
+            "fleet_batches_total", "fused inference rounds run"
+        )
+        self._m_drained = self.metrics.counter(
+            "fleet_windows_drained_total", "windows given a verdict"
+        )
+        self._m_verdict = self.metrics.histogram(
+            "fleet_verdict_seconds", "fused verdict-pass latency per round"
+        )
+        self._m_scatter_rows = self.metrics.counter(
+            "fleet_scatter_rows_total", "verdict rows fanned back to shards"
+        )
+        self._m_flagged = self.metrics.counter(
+            "fleet_windows_flagged_total", "windows withheld as uncertain"
+        )
+        self._m_scatter = self.metrics.histogram(
+            "fleet_scatter_seconds", "verdict scatter latency per round"
+        )
         self.shards = [
             FleetShard(
                 shard_id,
@@ -1129,6 +1185,8 @@ class ShardedFleetMonitor:
                     forensics=ForensicQueue(),
                     entropy_window=entropy_window,
                     queue=ShardQueue(self.policy),
+                    telemetry=self.metrics.enabled or None,
+                    tracer=tracer,
                 ),
             )
             for shard_id in range(self.router.n_shards)
@@ -1270,11 +1328,25 @@ class ShardedFleetMonitor:
         if not parts:
             return None
 
+        if self._obs_on:
+            if self.tracer is not None:
+                for _, batch in parts:
+                    self.tracer.stamp_rows(batch.device_ids, batch.seqs, "queue")
+            t0 = time.perf_counter()
         if len(parts) == 1:
             features = parts[0][1].features
         else:
             features = np.vstack([batch.features for _, batch in parts])
         predictions, entropy, accepted = published.verdict(features)
+        if self._obs_on:
+            t1 = time.perf_counter()
+            self._m_verdict.observe(t1 - t0)
+            self._m_rounds.inc()
+            self._m_drained.inc(len(predictions))
+            self._m_flagged.inc(int(np.count_nonzero(~np.asarray(accepted, dtype=bool))))
+            if self.tracer is not None:
+                for _, batch in parts:
+                    self.tracer.stamp_rows(batch.device_ids, batch.seqs, "verdict")
 
         offset = 0
         for shard, batch in parts:
@@ -1286,6 +1358,12 @@ class ShardedFleetMonitor:
                 accepted[offset:stop],
             )
             offset = stop
+        if self._obs_on:
+            self._m_scatter.observe(time.perf_counter() - t1)
+            self._m_scatter_rows.inc(len(predictions))
+            if self.tracer is not None:
+                for _, batch in parts:
+                    self.tracer.complete_rows(batch.device_ids, batch.seqs, "scatter")
         self._collect_flagged()
         if self.drift is not None:
             self.drift.observe(entropy)
@@ -1320,11 +1398,20 @@ class ShardedFleetMonitor:
 
     def report(self) -> FleetReport:
         """Merged fleet view over all shards' device tables."""
-        return merge_reports(
+        report = merge_reports(
             (shard.monitor.report() for shard in self.shards),
             n_batches=self.n_batches,
             drift_status=self.drift.observe([]).status if self.drift else None,
         )
+        if self.metrics.enabled:
+            # Fold the facade's fused-round instruments into the merged
+            # per-shard telemetry (merge_snapshots is associative, so
+            # order does not matter).
+            snapshots = [self.metrics.snapshot()]
+            if report.telemetry:
+                snapshots.append(report.telemetry)
+            report = replace(report, telemetry=merge_snapshots(snapshots))
+        return report
 
     # -- rebalancing ---------------------------------------------------
 
@@ -1359,6 +1446,8 @@ class ShardedFleetMonitor:
                     forensics=ForensicQueue(),
                     entropy_window=self.entropy_window,
                     queue=ShardQueue(self.policy),
+                    telemetry=self.metrics.enabled or None,
+                    tracer=self.tracer,
                 ),
             )
             for shard_id in range(n_shards)

@@ -231,6 +231,14 @@ class ShmBlockRing:
                 # device state on either side of the boundary.
                 ("req_crc", "<u4", (n_slots,)),
                 ("res_crc", "<u4", (n_slots,)),
+                # Trace sidecar: monotonic stamps for the sampled
+                # window-lifecycle tracer — [0] ship (parent, at block
+                # hand-off), [1] verdict (worker, before sealing).
+                # Deliberately outside both checksums: stamps differ
+                # across restart replays of the same block, and the
+                # verdict payload they ride with must stay bitwise
+                # reproducible.
+                ("trace", "<f8", (n_slots, 2)),
             ]
         )
         self.owner = bool(create)
@@ -320,6 +328,15 @@ class ShmBlockRing:
             slot["entropy"][:n].copy(),
             slot["accepted"][:n].astype(bool),
         )
+
+    def stamp_trace(self, index: int, column: int, ts: float) -> None:
+        """Write one sidecar stamp (0 = ship, 1 = verdict)."""
+        self._views["trace"][index, column] = ts
+
+    def read_trace(self, index: int) -> tuple[float, float]:
+        """Read a slot's ``(ship, verdict)`` sidecar stamps."""
+        row = self._views["trace"][index]
+        return float(row[0]), float(row[1])
 
     def corrupt_slot(self, index: int) -> None:
         """Flip bits in a slot's feature bytes (chaos/testing hook).

@@ -82,6 +82,7 @@ from dataclasses import asdict, replace
 
 import numpy as np
 
+from ..obs.metrics import merge_snapshots, resolve_registry
 from ..uncertainty.online import ForensicQueue, MonitorStats
 from .engine import FleetBatchResult, FleetMonitor
 from .queueing import BackpressurePolicy
@@ -205,6 +206,10 @@ def _run_block(ring: ShmBlockRing, publication, shard: FleetShard, msg) -> int:
     views["predictions"][:n] = predictions
     views["entropy"][:n] = entropy
     views["accepted"][:n] = accepted
+    # Trace sidecar column 1: the worker's seal timestamp, read back by
+    # the parent to reconstruct the shm crossing (one float store; the
+    # sidecar sits outside both checksums, see ShmBlockRing).
+    ring.stamp_trace(slot, 1, time.monotonic())
     ring.seal_results(slot, n)
     return epoch
 
@@ -263,6 +268,22 @@ def worker_main(shard_id: int, conn, init: dict) -> None:
         )
         regs_applied = 0
         epoch_done = -1
+    if init.get("telemetry"):
+        # The worker keeps its own registry (restored monitors come up
+        # with telemetry off, so rebind here either way); its snapshot
+        # rides home inside every report message and the parent folds
+        # it with merge_snapshots.
+        monitor.metrics = resolve_registry(True)
+    m_blocks = monitor.metrics.counter(
+        "fleet_batches_total", "blocks verdicted by this worker"
+    )
+    m_drained = monitor.metrics.counter(
+        "fleet_windows_drained_total", "windows given a verdict"
+    )
+    m_verdict = monitor.metrics.histogram(
+        "fleet_verdict_seconds", "verdict+scatter latency per block"
+    )
+    obs_on = monitor.metrics.enabled
     # Staging off: the feature views below live in recycled shared
     # slots, so the parent stages flagged rows from its own copies.
     shard = FleetShard(shard_id, monitor, stage_flagged=False)
@@ -297,7 +318,14 @@ def worker_main(shard_id: int, conn, init: dict) -> None:
                 queue._names, views["dev"][:n], views["seqs"][:n]
             )
             del views
-        epoch_done = _run_block(ring, publication, shard, msg)
+        if obs_on:
+            t0 = time.perf_counter()
+            epoch_done = _run_block(ring, publication, shard, msg)
+            m_verdict.observe(time.perf_counter() - t0)
+            m_blocks.inc()
+            m_drained.inc(n)
+        else:
+            epoch_done = _run_block(ring, publication, shard, msg)
         conn.send(("result", slot, epoch_done))
         since_checkpoint += 1
         if since_checkpoint >= checkpoint_every:
@@ -538,6 +566,8 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
         restart_backoff: float = 0.0,
         chaos: FaultPlan | None = None,
         quarantine_maxlen: int = 256,
+        telemetry=None,
+        tracer=None,
     ):
         super().__init__(
             hmd,
@@ -548,6 +578,8 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
             drift_reference=drift_reference,
             entropy_window=entropy_window,
             router=router,
+            telemetry=telemetry,
+            tracer=tracer,
         )
         if checkpoint_every < 1:
             raise ValueError(f"checkpoint_every must be >= 1; got {checkpoint_every}.")
@@ -561,6 +593,24 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
         self.restart_backoff = float(restart_backoff)
         self._chaos = chaos
         self._quarantine = QuarantineStore(maxlen=int(quarantine_maxlen))
+        self._quarantine.bind_metrics(self.metrics)
+        # Supervision instruments (no-ops when telemetry is off):
+        # restart/failover/reship events plus the shm crossing latency
+        # reconstructed from the per-slot trace sidecar.
+        self._m_restarts = self.metrics.counter(
+            "fleet_worker_restarts_total", "supervised worker restarts"
+        )
+        self._m_failovers = self.metrics.counter(
+            "fleet_worker_failovers_total", "shards failed over to survivors"
+        )
+        self._m_reships = self.metrics.counter(
+            "fleet_block_reships_total",
+            "blocks re-shipped after an integrity failure",
+        )
+        self._m_roundtrip = self.metrics.histogram(
+            "fleet_shm_roundtrip_seconds",
+            "ship→seal shm crossing latency per block",
+        )
         self._probe_token = 0
         # Slot budget: worst-case replay (a full checkpoint interval of
         # retained blocks plus in-flight rounds) must fit the ring with
@@ -622,6 +672,7 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
             "checkpoint_every": self.checkpoint_every,
             "chaos": self._chaos,
             "life": handle.spawns,
+            "telemetry": self.metrics.enabled,
         }
         handle.spawns += 1
         proc = self._ctx.Process(
@@ -723,6 +774,7 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
         are *expected* while isolating a poison row.
         """
         handle.total_restarts += 1
+        self._m_restarts.inc()
         if count:
             handle.restarts += 1
             if handle.restarts > self.max_restarts:
@@ -849,6 +901,7 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
             )
         self._kill_process(handle)
         handle.health = ShardHealth.DEAD
+        self._m_failovers.inc()
         shard = self.shards[handle.shard_id]
         mirror = shard.monitor
         queue = shard.queue
@@ -1011,6 +1064,7 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
             handle.free_slots.add(slot)
             return
         record.reships += 1
+        self._m_reships.inc()
         if record.reships > _MAX_RESHIPS:
             raise _WorkerDied(
                 f"shard {handle.shard_id} block {epoch} failed integrity "
@@ -1223,6 +1277,14 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
         n = handle.ring.write_block(
             slot, batch.features, batch.device_index, batch.seqs
         )
+        if self._obs_on:
+            # Trace sidecar column 0: the parent's ship timestamp.  The
+            # worker seals its own into column 1; _await_result reads
+            # the pair back as the shm crossing.
+            ship_ts = time.monotonic()
+            handle.ring.stamp_trace(slot, 0, ship_ts)
+            if self.tracer is not None:
+                self.tracer.stamp_rows(batch.device_ids, batch.seqs, "ship", ship_ts)
         names_start, regs_start = handle.names_sent, handle.regs_sent
         names = list(queue._names[names_start:])
         regs = list(self._reg_logs[handle.shard_id][regs_start:])
@@ -1300,6 +1362,17 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
                 # recomputes it from the pre-block checkpoint.
                 self._restart(handle, reason=str(error))
                 continue
+            if self._obs_on:
+                ship_ts, seal_ts = handle.ring.read_trace(slot)
+                if seal_ts > ship_ts > 0.0:
+                    self._m_roundtrip.observe(seal_ts - ship_ts)
+                if self.tracer is not None and seal_ts > 0.0:
+                    self.tracer.stamp_rows(
+                        record.batch.device_ids,
+                        record.batch.seqs,
+                        "verdict",
+                        seal_ts,
+                    )
             handle.free_slots.add(slot)
             record.slot = None
             record.consumed = True
@@ -1503,6 +1576,11 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
                     batch.seqs[flagged],
                 )
             )
+        if self._obs_on:
+            self._m_scatter_rows.inc(n)
+            self._m_flagged.inc(len(flagged))
+            if self.tracer is not None:
+                self.tracer.complete_rows(batch.device_ids, batch.seqs, "scatter")
 
     def _ship_round(self):
         """Take one round's blocks off the queues and ship them."""
@@ -1513,6 +1591,8 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
             if len(shard.queue):
                 batch = shard.queue.take(self.batch_size)
                 if len(batch):
+                    if self.tracer is not None:
+                        self.tracer.stamp_rows(batch.device_ids, batch.seqs, "queue")
                     self._ship(handle, batch)
                     parts.append((handle, batch))
         return parts or None
@@ -1643,6 +1723,20 @@ class WorkerShardedFleetMonitor(ShardedFleetMonitor):
             n_batches=self.n_batches,
             drift_status=self.drift.observe([]).status if self.drift else None,
         )
+        if self.metrics.enabled:
+            # Three telemetry planes fold here: the facade's supervision
+            # instruments, the parent mirrors' queue instruments (the
+            # parent owns ingress), and whatever worker snapshots rode
+            # home inside the reports (already merged above).
+            snapshots = [self.metrics.snapshot()]
+            snapshots.extend(
+                shard.monitor.metrics.snapshot()
+                for shard in self.shards
+                if shard.monitor.metrics.enabled
+            )
+            if merged.telemetry:
+                snapshots.append(merged.telemetry)
+            merged = replace(merged, telemetry=merge_snapshots(snapshots))
         return replace(
             merged,
             shard_health=self.shard_health(),

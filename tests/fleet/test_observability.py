@@ -1,0 +1,299 @@
+"""Tests for the fleet's telemetry integration.
+
+The contract the telemetry plane must keep: instrumentation observes
+the stream without touching it (verdicts bitwise identical with
+telemetry on and off), per-component registries fold associatively
+through ``merge_reports`` even when only some shards report them, and
+the rendered report stays aligned whatever the device ids look like.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    BackpressurePolicy,
+    FleetMonitor,
+    FleetRetrainer,
+    ShardedFleetMonitor,
+    WorkerShardedFleetMonitor,
+)
+from repro.fleet.engine import batch_verdict_key
+from repro.fleet.report import (
+    DeviceReport,
+    FleetReport,
+    device_report_key,
+    merge_reports,
+)
+from repro.fleet.resilience import ShardHealth, ShardHealthReport
+from repro.ml import RandomForestClassifier
+from repro.obs import MetricsRegistry, TraceContext, TraceSampler
+from repro.uncertainty import TrustedHMD
+from tests.conftest import make_blobs
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(scope="module")
+def fitted_hmd():
+    X, y = make_blobs(n_per_class=120, separation=4.0, seed=70)
+    hmd = TrustedHMD(
+        RandomForestClassifier(n_estimators=20, random_state=0),
+        threshold=0.4,
+    ).fit(X, y)
+    return X, hmd
+
+
+def _arrivals(X, n_devices=8, rounds=16, seed=1):
+    rng = np.random.default_rng(seed)
+    return [
+        (f"dev-{d:03d}", X[rng.integers(len(X))])
+        for _ in range(rounds)
+        for d in range(n_devices)
+    ]
+
+
+def _drive(monitor, arrivals):
+    for device_id, _ in arrivals:
+        monitor.register(device_id)
+    for device_id, window in arrivals:
+        monitor.submit(device_id, window)
+    return monitor.drain()
+
+
+class TestTelemetryNeutrality:
+    def test_verdicts_identical_with_telemetry_on_and_off(self, fitted_hmd):
+        X, hmd = fitted_hmd
+        arrivals = _arrivals(X)
+        plain = ShardedFleetMonitor(hmd, n_shards=3, batch_size=32)
+        plain_batches = _drive(plain, arrivals)
+        instrumented = ShardedFleetMonitor(
+            hmd,
+            n_shards=3,
+            batch_size=32,
+            telemetry=True,
+            tracer=TraceContext(TraceSampler(rate=4, seed=0)),
+        )
+        instr_batches = _drive(instrumented, arrivals)
+        assert batch_verdict_key(instr_batches) == batch_verdict_key(
+            plain_batches
+        )
+        assert device_report_key(instrumented.report()) == device_report_key(
+            plain.report()
+        )
+
+    def test_counters_account_for_the_traffic(self, fitted_hmd):
+        X, hmd = fitted_hmd
+        arrivals = _arrivals(X)
+        monitor = ShardedFleetMonitor(
+            hmd, n_shards=2, batch_size=32, telemetry=True
+        )
+        _drive(monitor, arrivals)
+        report = monitor.report()
+        counters = report.telemetry["counters"]
+        assert counters["fleet_windows_admitted_total"] == len(arrivals)
+        assert counters["fleet_windows_drained_total"] == len(arrivals)
+        assert counters["fleet_windows_flagged_total"] == monitor.stats.n_flagged
+        assert counters["fleet_scatter_rows_total"] == len(arrivals)
+        assert report.telemetry["gauges"]["fleet_queue_depth"] == 0
+        verdict = report.telemetry["histograms"]["fleet_verdict_seconds"]
+        assert verdict["count"] == counters["fleet_batches_total"] > 0
+
+    def test_shed_windows_counted(self, fitted_hmd):
+        X, hmd = fitted_hmd
+        arrivals = _arrivals(X, n_devices=4, rounds=12)
+        monitor = FleetMonitor(
+            hmd,
+            batch_size=16,
+            policy=BackpressurePolicy(max_pending=8, shed="drop_newest"),
+            telemetry=True,
+        )
+        _drive(monitor, arrivals)
+        counters = monitor.metrics.snapshot()["counters"]
+        assert counters["fleet_windows_shed_total"] == monitor.queue.total_shed > 0
+        assert (
+            counters["fleet_windows_admitted_total"]
+            + counters["fleet_windows_shed_total"]
+            == len(arrivals)
+        )
+
+    def test_disabled_monitor_reports_no_telemetry(self, fitted_hmd):
+        X, hmd = fitted_hmd
+        monitor = ShardedFleetMonitor(hmd, n_shards=2, batch_size=32)
+        _drive(monitor, _arrivals(X, rounds=2))
+        assert monitor.report().telemetry is None
+
+    def test_retrain_steps_counted(self, fitted_hmd):
+        X, hmd = fitted_hmd
+        y = np.zeros(len(X), dtype=int)
+        monitor = FleetMonitor(hmd, batch_size=32, telemetry=True)
+        retrainer = FleetRetrainer(
+            monitor, lambda cluster: 1, X, y, min_batch=5, random_state=0
+        )
+        rng = np.random.default_rng(0)
+        novel = rng.normal(size=(40, X.shape[1])) * 0.4
+        novel[:, 2] += 10.0
+        for i, window in enumerate(novel):
+            monitor.submit(f"dev-{i % 4}", window)
+        retrainer.drain()
+        counters = monitor.metrics.snapshot()["counters"]
+        assert counters["fleet_retrain_steps_total"] >= 1
+        if retrainer.loop.n_retrains:
+            assert counters["fleet_retrain_refits_total"] >= 1
+            assert counters["fleet_retrain_windows_labelled_total"] > 0
+
+
+@pytest.mark.mp
+class TestWorkerTelemetry:
+    def test_three_plane_fold_and_shm_roundtrip(self, fitted_hmd):
+        X, hmd = fitted_hmd
+        arrivals = _arrivals(X)
+        plain = ShardedFleetMonitor(hmd, n_shards=2, batch_size=32)
+        plain_batches = _drive(plain, arrivals)
+        with WorkerShardedFleetMonitor(
+            hmd,
+            n_shards=2,
+            batch_size=32,
+            mp_context="fork",
+            telemetry=True,
+            policy=BackpressurePolicy(max_pending=len(arrivals) + 1),
+        ) as fleet:
+            batches = _drive(fleet, arrivals)
+            report = fleet.report()
+        assert batch_verdict_key(batches) == batch_verdict_key(plain_batches)
+        counters = report.telemetry["counters"]
+        # Parent plane: ingress admission; worker plane: drained counts
+        # ride home inside the worker reports; supervision plane: the
+        # restart/failover counters exist even at zero.
+        assert counters["fleet_windows_admitted_total"] == len(arrivals)
+        assert counters["fleet_windows_drained_total"] == len(arrivals)
+        assert counters["fleet_worker_restarts_total"] == 0
+        assert counters["fleet_worker_failovers_total"] == 0
+        roundtrip = report.telemetry["histograms"]["fleet_shm_roundtrip_seconds"]
+        assert roundtrip["count"] > 0
+        assert roundtrip["sum"] > 0.0
+
+
+def _device(device_id, n_seen=10, n_flagged=1):
+    return DeviceReport(
+        device_id=device_id,
+        cohort="benign",
+        n_seen=n_seen,
+        n_flagged=n_flagged,
+        n_malware_alerts=0,
+        n_shed=0,
+        n_pending=0,
+        rejection_rate=n_flagged / n_seen,
+        alert_rate=0.0,
+        recent_entropy=0.1,
+    )
+
+
+def _shard_report(device_id, *, telemetry=None, n_quarantined=0, health=()):
+    device = _device(device_id)
+    return FleetReport(
+        devices=(device,),
+        n_seen=device.n_seen,
+        n_accepted=device.n_seen - device.n_flagged,
+        n_flagged=device.n_flagged,
+        n_malware_alerts=0,
+        n_shed=0,
+        n_pending=0,
+        n_batches=1,
+        mean_entropy=0.2,
+        drift_status=None,
+        shard_health=health,
+        n_quarantined=n_quarantined,
+        telemetry=telemetry,
+    )
+
+
+def _telemetry(counter, hist_values=()):
+    registry = MetricsRegistry()
+    registry.counter("fleet_windows_drained_total").inc(counter)
+    if hist_values:
+        registry.histogram("fleet_verdict_seconds").observe_many(
+            list(hist_values)
+        )
+    return registry.snapshot()
+
+
+class TestMergeReportsTelemetry:
+    def test_heterogeneous_sections_merge(self):
+        merged = merge_reports([
+            _shard_report("dev-a", telemetry=_telemetry(10, (0.01,))),
+            _shard_report("dev-b"),  # no telemetry section at all
+            _shard_report(
+                "dev-c",
+                telemetry=_telemetry(5, (0.02, 0.04)),
+                n_quarantined=2,
+                health=(
+                    ShardHealthReport(2, ShardHealth.DEGRADED, 1, 3, 0.5),
+                ),
+            ),
+        ])
+        assert merged.telemetry["counters"]["fleet_windows_drained_total"] == 15
+        assert merged.telemetry["histograms"]["fleet_verdict_seconds"][
+            "count"
+        ] == 3
+        assert merged.n_quarantined == 2
+        assert [r.shard_id for r in merged.shard_health] == [2]
+
+    def test_no_telemetry_anywhere_stays_none(self):
+        merged = merge_reports(
+            [_shard_report("dev-a"), _shard_report("dev-b")]
+        )
+        assert merged.telemetry is None
+
+    def test_histogram_merge_is_associative_through_reports(self):
+        a = _shard_report("dev-a", telemetry=_telemetry(1, (0.001,)))
+        b = _shard_report("dev-b", telemetry=_telemetry(2, (0.01, 0.02)))
+        c = _shard_report("dev-c", telemetry=_telemetry(4, (0.1,)))
+        left = merge_reports([merge_reports([a, b]), c])
+        right = merge_reports([a, merge_reports([b, c])])
+        assert left.telemetry == right.telemetry
+        assert left.telemetry["counters"]["fleet_windows_drained_total"] == 7
+
+
+class TestReportRendering:
+    def test_long_device_ids_stay_aligned(self):
+        report = merge_reports([
+            _shard_report("edge-site-ams-rack12-device-0042"),
+            _shard_report("d0"),
+        ])
+        text = report.as_text()
+        table_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith(("device", "-", "edge", "d0"))
+        ]
+        # Header, rule and both data rows all pad to the same width —
+        # the long id widens every row, it never breaks alignment.
+        assert len(table_lines) == 4
+        assert len({len(line) for line in table_lines}) == 1
+
+    def test_shard_health_renders_as_table(self):
+        report = _shard_report(
+            "dev-a",
+            health=(
+                ShardHealthReport(0, ShardHealth.HEALTHY, 0, 0, 0.01),
+                ShardHealthReport(1, ShardHealth.DEAD, 3, 5, 0.0),
+            ),
+        )
+        text = report.as_text()
+        assert "shard" in text and "heartbeat_age" in text
+        assert "healthy" in text and "dead" in text
+
+    def test_quarantined_rendered_only_when_nonzero(self):
+        assert "quarantined=" not in _shard_report("dev-a").as_text()
+        assert "quarantined=3" in _shard_report(
+            "dev-a", n_quarantined=3
+        ).as_text()
+
+    def test_telemetry_digest_line(self):
+        report = _shard_report(
+            "dev-a", telemetry=_telemetry(12, (0.005, 0.01))
+        )
+        text = report.as_text()
+        assert "telemetry: " in text
+        assert "drained=12" in text
+        assert "verdict_ms p50/p95=" in text

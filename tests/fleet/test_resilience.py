@@ -380,7 +380,9 @@ class TestChaosCampaigns:
             # The campaign actually fired: restarts are visible in the
             # health rows and the rendered report.
             assert sum(r.total_restarts for r in report.shard_health) >= 1
-            assert "shard 0:" in report.as_text()
+            text = report.as_text()
+            assert "shard" in text and "restarts" in text
+            assert "healthy" in text or "degraded" in text or "dead" in text
 
     def test_poison_windows_quarantined_exactly(
         self, fitted_hmd, reference_run

@@ -1,0 +1,208 @@
+"""Tests for sampled window-lifecycle tracing.
+
+The load-bearing guarantees: sampling is deterministic per
+``(device_id, seq)`` (same windows sampled on every backend and every
+replay), spans cover every pipeline stage the traffic actually visits
+— including the shm crossing on the multi-process path — and the
+summary's transition percentiles are computed over completed spans
+only.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    BackpressurePolicy,
+    ShardedFleetMonitor,
+    WorkerShardedFleetMonitor,
+)
+from repro.fleet.engine import batch_verdict_key
+from repro.ml import RandomForestClassifier
+from repro.obs import STAGES, TraceContext, TraceSampler, TraceSpan
+from repro.uncertainty import TrustedHMD
+from tests.conftest import make_blobs
+
+pytestmark = pytest.mark.obs
+
+
+class TestTraceSampler:
+    def test_deterministic_across_instances(self):
+        a = TraceSampler(rate=8, seed=3)
+        b = TraceSampler(rate=8, seed=3)
+        picks_a = [a.sample(f"dev-{i % 5}", i) for i in range(400)]
+        picks_b = [b.sample(f"dev-{i % 5}", i) for i in range(400)]
+        assert picks_a == picks_b
+        assert any(picks_a) and not all(picks_a)
+
+    def test_block_mask_matches_scalar_path(self):
+        sampler = TraceSampler(rate=16, seed=1)
+        seqs = np.arange(256)
+        mask = sampler.sample_block("dev-0", seqs)
+        assert mask.tolist() == [sampler.sample("dev-0", int(s)) for s in seqs]
+
+    def test_mixed_batch_mask_matches_scalar_path(self):
+        sampler = TraceSampler(rate=4, seed=2)
+        device_ids = np.array([f"dev-{i % 3}" for i in range(90)])
+        seqs = np.arange(90)
+        mask = sampler.sample_rows(device_ids, seqs)
+        assert mask.tolist() == [
+            sampler.sample(str(d), int(s)) for d, s in zip(device_ids, seqs)
+        ]
+
+    def test_rate_one_samples_everything(self):
+        sampler = TraceSampler(rate=1)
+        assert sampler.sample_block("dev", np.arange(32)).all()
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            TraceSampler(rate=0)
+
+
+class TestTraceContext:
+    def test_span_lifecycle_with_explicit_timestamps(self):
+        tracer = TraceContext(TraceSampler(rate=1))
+        assert tracer.begin("dev-0", 7, ts=1.0)
+        tracer.stamp("dev-0", 7, "queue", ts=2.0)
+        tracer.stamp("dev-0", 7, "verdict", ts=4.0)
+        assert tracer.complete_rows(["dev-0"], [7], ts=7.0) == 1
+        assert tracer.n_completed == 1 and tracer.n_pending == 0
+        (span,) = tracer.spans
+        assert span.stamps == {
+            "ingest": 1.0, "queue": 2.0, "verdict": 4.0, "scatter": 7.0
+        }
+        assert span.duration() == 6.0
+        assert span.transitions() == [
+            ("ingest", "queue", 1.0),
+            ("queue", "verdict", 2.0),
+            ("verdict", "scatter", 3.0),
+        ]
+
+    def test_unsampled_windows_cost_nothing(self):
+        tracer = TraceContext(TraceSampler(rate=10**9, seed=5))
+        assert tracer.begin_block("dev-0", np.arange(100)) == 0
+        tracer.stamp_rows(["dev-0"] * 3, [1, 2, 3], "queue")
+        assert tracer.complete_rows(["dev-0"] * 3, [1, 2, 3]) == 0
+        assert tracer.n_sampled == 0 and len(tracer.spans) == 0
+
+    def test_stamp_on_untraced_window_is_noop(self):
+        tracer = TraceContext(TraceSampler(rate=1))
+        tracer.stamp("dev-9", 3, "queue")  # never began
+        assert tracer.n_pending == 0
+
+    def test_summary_shape(self):
+        tracer = TraceContext(TraceSampler(rate=1))
+        for seq in range(4):
+            tracer.begin("dev-0", seq, ts=float(seq))
+            tracer.stamp("dev-0", seq, "queue", ts=float(seq) + 0.5)
+        tracer.complete_rows(["dev-0"] * 4, list(range(4)), ts=10.0)
+        summary = tracer.summary()
+        assert summary["n_completed"] == 4
+        assert summary["stages"] == ["ingest", "queue", "scatter"]
+        assert set(summary["transitions"]) == {"ingest→queue", "queue→scatter"}
+        assert summary["transitions"]["ingest→queue"]["p50"] == 0.5
+        assert summary["transitions"]["ingest→queue"]["n"] == 4
+        assert summary["total"]["n"] == 4
+
+    def test_summary_empty(self):
+        summary = TraceContext().summary()
+        assert summary["total"] is None
+        assert summary["transitions"] == {}
+
+    def test_span_cap_bounds_memory(self):
+        tracer = TraceContext(TraceSampler(rate=1), max_spans=8)
+        for seq in range(32):
+            tracer.begin("dev-0", seq, ts=0.0)
+            tracer.complete_rows(["dev-0"], [seq], ts=1.0)
+        assert len(tracer.spans) == 8
+        assert tracer.n_completed == 32
+
+
+@pytest.fixture(scope="module")
+def fitted_hmd():
+    X, y = make_blobs(n_per_class=120, separation=4.0, seed=70)
+    hmd = TrustedHMD(
+        RandomForestClassifier(n_estimators=20, random_state=0),
+        threshold=0.4,
+    ).fit(X, y)
+    return X, hmd
+
+
+def _arrivals(X, n_devices=6, rounds=20, seed=1):
+    rng = np.random.default_rng(seed)
+    return [
+        (f"dev-{d:03d}", X[rng.integers(len(X))])
+        for _ in range(rounds)
+        for d in range(n_devices)
+    ]
+
+
+def _drive(monitor, arrivals):
+    for device_id, _ in arrivals:
+        monitor.register(device_id)
+    for device_id, window in arrivals:
+        monitor.submit(device_id, window)
+    return monitor.drain()
+
+
+class TestMonitorSpans:
+    def test_inprocess_spans_cover_all_stages(self, fitted_hmd):
+        X, hmd = fitted_hmd
+        tracer = TraceContext(TraceSampler(rate=4, seed=0))
+        monitor = ShardedFleetMonitor(
+            hmd, n_shards=2, batch_size=32, tracer=tracer
+        )
+        _drive(monitor, _arrivals(X))
+        assert tracer.n_completed > 0
+        assert tracer.n_pending == 0  # every begun span finished
+        assert tracer.stages_covered() == {
+            "ingest", "queue", "verdict", "scatter"
+        }
+        for span in tracer.spans:
+            stamps = [span.stamps[s] for s in STAGES if s in span.stamps]
+            assert stamps == sorted(stamps)  # monotone through the stages
+
+    @pytest.mark.mp
+    def test_worker_spans_cover_shm_crossing(self, fitted_hmd):
+        X, hmd = fitted_hmd
+        arrivals = _arrivals(X)
+        tracer = TraceContext(TraceSampler(rate=4, seed=0))
+        plain = ShardedFleetMonitor(hmd, n_shards=2, batch_size=32)
+        plain_batches = _drive(plain, arrivals)
+        with WorkerShardedFleetMonitor(
+            hmd,
+            n_shards=2,
+            batch_size=32,
+            mp_context="fork",
+            tracer=tracer,
+            policy=BackpressurePolicy(max_pending=len(arrivals) + 1),
+        ) as fleet:
+            batches = _drive(fleet, arrivals)
+        # The sidecar-merged spans cover every stage including ship and
+        # the worker-stamped verdict, and tracing never perturbs verdicts.
+        assert batch_verdict_key(batches) == batch_verdict_key(plain_batches)
+        assert tracer.n_completed > 0
+        assert tracer.stages_covered() == set(STAGES)
+        summary = tracer.summary()
+        assert "ship→verdict" in summary["transitions"]
+        for span in tracer.spans:
+            assert set(span.stamps) == set(STAGES)
+            stamps = [span.stamps[s] for s in STAGES]
+            assert stamps == sorted(stamps)
+
+    def test_same_windows_sampled_on_both_backends(self, fitted_hmd):
+        X, hmd = fitted_hmd
+        arrivals = _arrivals(X)
+        keys = []
+        for n_shards in (1, 3):
+            tracer = TraceContext(TraceSampler(rate=4, seed=0))
+            monitor = ShardedFleetMonitor(
+                hmd, n_shards=n_shards, batch_size=32, tracer=tracer
+            )
+            _drive(monitor, arrivals)
+            keys.append(sorted((s.device_id, s.seq) for s in tracer.spans))
+        assert keys[0] == keys[1]
+
+    def test_trace_span_duration_missing_stage(self):
+        span = TraceSpan("dev-0", 1, {"ingest": 1.0})
+        assert span.duration() is None
+        assert span.transitions() == []
